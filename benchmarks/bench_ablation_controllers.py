@@ -1,0 +1,116 @@
+"""Ablation: controller design choices (§9.1).
+
+* Reaction time: the network-controlled design "typically reacts faster,
+  but must make its choices based on fewer parameters" — measured here as
+  time from load-step to shift for both controllers under the same stimulus.
+* Hysteresis: shrinking the threshold band below the workload's oscillation
+  amplitude causes flapping; the paper's dual-threshold design prevents it.
+"""
+
+import pytest
+
+from repro.core import (
+    HysteresisSwitch,
+    NetworkController,
+    NetworkControllerConfig,
+    OnDemandService,
+    Thresholds,
+)
+from repro.experiments.reporting import format_table
+from repro.net import ClassifierRule, PacketClassifier, TrafficClass
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+from repro.units import SEC, kpps, msec, sec
+
+
+def _drive(sim, classifier, rate_of_time):
+    """Feed classifier traffic at rate_of_time(now) pps, 10ms granularity."""
+
+    def tick():
+        rate = rate_of_time(sim.now)
+        for _ in range(int(rate * msec(10.0) / SEC)):
+            classifier.classify(
+                make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now)
+            )
+
+    sim.call_every(msec(10.0), tick)
+
+
+def _network_shift_delay(window_s):
+    """Time from load step to shift for the network controller."""
+    sim = Simulator()
+    classifier = PacketClassifier(sim)
+    classifier.add_rule(
+        ClassifierRule(TrafficClass.MEMCACHED, hardware=lambda p: None, host=lambda p: None)
+    )
+    service = OnDemandService(
+        sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED
+    )
+    NetworkController(
+        sim, classifier, TrafficClass.MEMCACHED, service,
+        NetworkControllerConfig(
+            up_rate_pps=kpps(80), down_rate_pps=kpps(50),
+            up_window_us=sec(window_s), down_window_us=sec(window_s),
+            tick_us=msec(50.0),
+        ),
+    )
+    step_at = sec(0.2)
+    _drive(sim, classifier, lambda now: kpps(150) if now >= step_at else kpps(10))
+    sim.run_until(sec(window_s * 4 + 2.0))
+    if not service.shifts:
+        return None
+    return service.shifts[0].time_us - step_at
+
+
+def test_ablation_reaction_time(benchmark, save_result):
+    """Shift delay scales with the averaging window — the §9.1 trade-off
+    between responsiveness and stability."""
+
+    def run():
+        return [(w, _network_shift_delay(w)) for w in (0.5, 1.0, 2.0)]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_reaction_time",
+        format_table(
+            ["window [s]", "shift delay [us]"],
+            [(w, d if d is not None else "never") for w, d in rows],
+        ),
+    )
+    delays = [d for _, d in rows]
+    assert all(d is not None for d in delays)
+    assert delays == sorted(delays)
+    # delay is on the order of the window: the sliding average needs ~half
+    # a window of post-step samples to cross the threshold, plus tick lag
+    for window, delay in rows:
+        assert sec(window) * 0.4 <= delay <= sec(window) * 1.5
+
+
+def test_ablation_hysteresis_band(benchmark, save_result):
+    """A single threshold (zero band) flaps on an oscillating signal; the
+    paper's dual-threshold design does not."""
+
+    def run():
+        import random
+
+        results = []
+        for band in (1.0, 20.0, 50.0):
+            rng = random.Random(17)
+            switch = HysteresisSwitch(
+                Thresholds(up=80.0 + band / 2, down=80.0 - band / 2)
+            )
+            # noisy load hovering right at the 80 threshold
+            for _ in range(2000):
+                switch.update(rng.gauss(80.0, 12.0))
+            results.append((band, switch.transitions))
+        return results
+
+    rows = benchmark(run)
+    save_result(
+        "ablation_hysteresis",
+        format_table(["band width", "transitions"], rows),
+    )
+    transitions = {band: t for band, t in rows}
+    assert transitions[1.0] > 200       # near-single threshold flaps wildly
+    assert transitions[20.0] < transitions[1.0] / 2
+    assert transitions[50.0] < transitions[20.0]

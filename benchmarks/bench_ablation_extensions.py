@@ -1,0 +1,141 @@
+"""Ablations for the paper's future-work extensions implemented here.
+
+* §9.2 shift strategies: reset+gate vs keep-warm vs partial reconfiguration
+  over a realistic duty cycle — reproduces the paper's choice.
+* §9.1 PEAS-style predictive control vs the naive threshold controller:
+  energy over a diurnal load day.
+* §2 virtualization: marginal power of co-locating programs on one card.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.core.shift_strategy import ShiftStrategy, ShiftStrategyModel
+from repro.experiments.reporting import format_table
+from repro.hw.virtualization import (
+    VirtualizedCard,
+    emu_dns_tenant,
+    lake_tenant,
+    p4xos_tenant,
+)
+from repro.steady import kvs_models
+from repro.units import kpps
+
+
+def test_ablation_shift_strategy(benchmark, save_result):
+    """§9.2: the chosen strategy is the cheapest that never halts traffic."""
+
+    def run():
+        model = ShiftStrategyModel()
+        # duty cycle: 10 minutes in software standby, then a shift at 100Kpps
+        return model.assess_all(standby_s=600.0, rate_at_shift_pps=kpps(100))
+
+    assessments = benchmark(run)
+    rows = [
+        (a.strategy.value, a.standby_power_w, a.standby_energy_j, a.warmup_s, a.traffic_halt_s)
+        for a in assessments
+    ]
+    save_result(
+        "ablation_shift_strategy",
+        format_table(
+            ["strategy", "standby [W]", "energy [J]", "warmup [s]", "halt [s]"], rows
+        ),
+    )
+    model = ShiftStrategyModel()
+    assert (
+        model.paper_choice(600.0, kpps(100)) is ShiftStrategy.RESET_AND_GATE
+    )
+    by_strategy = {a.strategy: a for a in assessments}
+    # keep-warm wastes the §5 memory+logic watts all standby long
+    waste = (
+        by_strategy[ShiftStrategy.KEEP_WARM].standby_energy_j
+        - by_strategy[ShiftStrategy.RESET_AND_GATE].standby_energy_j
+    )
+    assert waste > 600.0 * 4.0  # > 4W for 10 minutes
+
+
+def _diurnal_rates():
+    """24 hourly rates (pps): quiet night, busy day — a Dynamo-like diurnal."""
+    profile = [4, 3, 2, 2, 2, 3, 8, 20, 60, 110, 150, 170,
+               180, 170, 160, 150, 140, 130, 120, 90, 60, 30, 15, 8]
+    return [kpps(v) for v in profile]
+
+
+def test_ablation_predictive_vs_threshold_energy(benchmark, save_result):
+    """Daily energy: naive 80Kpps threshold vs model-predictive placement.
+
+    The predictive controller also offloads in the 10–80Kpps band where the
+    §7-style low-load power jump already makes hardware cheaper, recovering
+    extra energy the naive crossover threshold leaves on the table.
+    """
+
+    def run():
+        models = kvs_models()
+        software = models["memcached"]
+        hardware = models["lake"]
+        standby_w = 17.88  # gated LaKe (§5 arithmetic)
+
+        def hourly_power(rate, in_hardware):
+            if in_hardware:
+                return hardware.power_at(min(rate, hardware.capacity_pps))
+            return software.power_at(min(rate, software.capacity_pps)) - 3.0 + standby_w
+
+        threshold_j = 0.0
+        predictive_j = 0.0
+        always_sw_j = 0.0
+        for rate in _diurnal_rates():
+            threshold_j += hourly_power(rate, rate >= kpps(80)) * 3600.0
+            saving = (
+                software.power_at(min(rate, software.capacity_pps)) - 3.0 + standby_w
+            ) - hardware.power_at(min(rate, hardware.capacity_pps))
+            predictive_j += hourly_power(rate, saving > 2.0) * 3600.0
+            always_sw_j += hourly_power(rate, False) * 3600.0
+        return threshold_j, predictive_j, always_sw_j
+
+    threshold_j, predictive_j, always_sw_j = benchmark(run)
+    save_result(
+        "ablation_controller_energy",
+        format_table(
+            ["policy", "daily energy [MJ]", "vs always-software"],
+            [
+                ("always software", always_sw_j / 1e6, "-"),
+                ("threshold @80Kpps", threshold_j / 1e6,
+                 f"{1 - threshold_j / always_sw_j:.1%}"),
+                ("model-predictive", predictive_j / 1e6,
+                 f"{1 - predictive_j / always_sw_j:.1%}"),
+            ],
+        ),
+    )
+    assert predictive_j <= threshold_j < always_sw_j
+
+
+def test_ablation_virtualization_marginal_power(benchmark, save_result):
+    """§2/§6: once a card is deployed, each extra program costs only its
+    logic watts — the consolidation argument."""
+
+    def run():
+        card = VirtualizedCard()
+        rows = []
+        for make, label in (
+            (lambda: lake_tenant(pe_count=2), "LaKe (2 PEs)"),
+            (p4xos_tenant, "P4xos"),
+            (emu_dns_tenant, "Emu DNS"),
+        ):
+            tenant = make()
+            marginal = card.marginal_power_w(tenant)
+            card.admit(tenant)
+            rows.append((label, marginal, card.power_w()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_virtualization",
+        format_table(["tenant added", "marginal [W]", "card total [W]"], rows),
+    )
+    # first tenant pays its logic + the shared memories; the rest only logic
+    assert rows[0][1] > 10.0   # LaKe brings up DRAM+SRAM
+    assert rows[1][1] == pytest.approx(cal.P4XOS_LOGIC_W)
+    assert rows[2][1] == pytest.approx(cal.EMU_DNS_LOGIC_W)
+    # three services on one card cost far less than three cards
+    three_cards = cal.LAKE_CARD_W + cal.P4XOS_CARD_W + cal.EMU_DNS_CARD_W
+    assert rows[2][2] < 0.6 * three_cards

@@ -1,0 +1,86 @@
+"""Ablation: the LaKe design choices DESIGN.md calls out (§5).
+
+Sweeps the knobs the paper's Figure 4 varies one at a time and quantifies
+each design decision's cost/benefit:
+
+* PE count (throughput per watt as cores scale);
+* external memories on/off (the order-of-magnitude capacity vs ~11W);
+* clock gating / reset (the §9.2 standby configuration).
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.experiments.reporting import format_table
+from repro.hw.fpga import make_lake_fpga
+from repro.steady.kvs import lake_in_server_model
+
+
+def _pe_sweep():
+    rows = []
+    for pes in (1, 2, 3, 4, 5):
+        model = lake_in_server_model(pe_count=pes)
+        capacity = model.capacity_pps
+        power = model.power_at(capacity)
+        rows.append((pes, capacity / 1e6, power, capacity / power))
+    return rows
+
+
+def test_ablation_pe_count(benchmark, save_result):
+    rows = benchmark(_pe_sweep)
+    save_result(
+        "ablation_pe_count",
+        format_table(["PEs", "capacity [Mpps]", "power [W]", "ops/W"], rows),
+    )
+    # throughput scales with PEs until the 13Mpps line rate (§3.1, §5.2)
+    capacities = [row[1] for row in rows]
+    assert capacities == sorted(capacities)
+    assert capacities[3] == pytest.approx(13.0, rel=0.02)  # 4 PEs: 13.2 -> capped
+    # each PE adds only ~0.25W, so ops/W *improves* with more PEs
+    assert rows[-1][3] > rows[0][3]
+
+
+def test_ablation_memories(benchmark, save_result):
+    """§5.3: the memory trade-off — ~11W buys ×65k capacity."""
+
+    def run():
+        with_mem = make_lake_fpga(with_external_memories=True)
+        without = make_lake_fpga(with_external_memories=False)
+        return with_mem.power_w() - without.power_w()
+
+    extra_power = benchmark(run)
+    save_result(
+        "ablation_memories",
+        format_table(
+            ["configuration", "power delta [W]", "value entries"],
+            [
+                ("on-chip only", 0.0, cal.ONCHIP_VALUE_ENTRIES),
+                ("with DRAM+SRAM", extra_power, cal.DRAM_VALUE_ENTRIES),
+            ],
+        ),
+    )
+    assert extra_power == pytest.approx(cal.MEMORIES_TOTAL_W)
+    assert cal.DRAM_VALUE_ENTRIES / cal.ONCHIP_VALUE_ENTRIES >= 60_000
+
+
+def test_ablation_standby_ladder(benchmark, save_result):
+    """Power ladder of the §9.2 standby configurations."""
+
+    def run():
+        ladder = []
+        card = make_lake_fpga()
+        ladder.append(("active", card.power_w()))
+        card.clock_gate_all_logic()
+        ladder.append(("clock gated", card.power_w()))
+        card.reset_memories()
+        ladder.append(("clock gated + mem reset", card.power_w()))
+        card.remove_memories()
+        ladder.append(("memories removed", card.power_w()))
+        return ladder
+
+    ladder = benchmark(run)
+    save_result("ablation_standby", format_table(["state", "power [W]"], ladder))
+    powers = [p for _, p in ladder]
+    assert powers == sorted(powers, reverse=True)
+    # full standby saving is meaningful but bounded
+    assert 4.0 < powers[0] - powers[2] < 7.0

@@ -1,0 +1,36 @@
+"""Figure 3(a): KVS power vs throughput.
+
+Paper result: memcached rises from 39W toward ~115W by 1Mpps; LaKe sits
+near 59W flat up to 13Mpps line rate; the power-efficiency crossover is
+around 80Kpps with the Mellanox NIC and over 300Kpps with the Intel X520.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.host.nic import NIC_INTEL_X520
+from repro.units import kpps
+
+
+def test_figure3a_mellanox(benchmark, save_result):
+    result = benchmark(figures.figure3a)
+    save_result("figure3a_mellanox", result.render())
+    assert result.crossover_pps == pytest.approx(kpps(80), rel=0.15)
+    lake = result.series["lake"]
+    memcached = result.series["memcached"]
+    # who wins where: software below the crossover, LaKe above
+    assert memcached[0].power_w < lake[0].power_w
+    assert memcached[-1].power_w > lake[-1].power_w
+
+
+def test_figure3a_intel_nic(benchmark, save_result):
+    result = benchmark(lambda: figures.figure3a(nic=NIC_INTEL_X520))
+    save_result("figure3a_intel", result.render())
+    assert result.crossover_pps == pytest.approx(kpps(300), rel=0.1)
+
+
+def test_figure3a_lake_line_rate_same_power(benchmark):
+    """§4.2: LaKe sustains 13Mpps 'for the same power consumption'."""
+    result = benchmark(lambda: figures.figure3a(steps=41))
+    lake = result.series["lake"]
+    assert max(p.power_w for p in lake) - min(p.power_w for p in lake) < 1.5

@@ -1,0 +1,40 @@
+"""Figure 3(b): Paxos power vs throughput (leader + acceptor roles).
+
+Paper result: libpaxos crosses P4xos around 150K msgs/s; DPDK is high and
+flat at every rate; standalone P4xos is 18.2W idle with ≤1.2W dynamic.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.steady.paxos import PaxosRole
+from repro.units import kpps
+
+
+def test_figure3b_acceptor(benchmark, save_result):
+    result = benchmark(lambda: figures.figure3b(PaxosRole.ACCEPTOR))
+    save_result("figure3b_acceptor", result.render())
+    assert result.crossover_pps == pytest.approx(kpps(150), rel=0.1)
+
+
+def test_figure3b_leader(benchmark, save_result):
+    result = benchmark(lambda: figures.figure3b(PaxosRole.LEADER))
+    save_result("figure3b_leader", result.render())
+    assert kpps(100) < result.crossover_pps < kpps(180)
+
+
+def test_figure3b_dpdk_shape(benchmark):
+    """§4.3: DPDK 'power consumption ... is high even under low load, and
+    remains almost constant under an increasing load.'"""
+    result = benchmark(lambda: figures.figure3b(PaxosRole.ACCEPTOR, steps=31))
+    dpdk = [p.power_w for p in result.series["dpdk"]]
+    libpaxos_idle = result.series["libpaxos"][0].power_w
+    assert dpdk[0] > libpaxos_idle + 25.0
+    assert max(dpdk) - min(dpdk) < 8.0
+
+
+def test_figure3b_standalone_anchors(benchmark):
+    result = benchmark(lambda: figures.figure3b(PaxosRole.ACCEPTOR))
+    standalone = result.series["p4xos-standalone"]
+    assert standalone[0].power_w == pytest.approx(18.2)
+    assert max(p.power_w for p in standalone) <= 18.2 + 1.2 + 1e-9

@@ -1,0 +1,45 @@
+"""Figure 4: the effects of LaKe's design trade-offs on power.
+
+Paper result (bar chart, standalone card): external memories are the
+biggest contributor (≥10W); holding them in reset saves 40% of their
+power; clock gating the logic saves <1W; each PE costs ~0.25W; the idle
+no-card server is roughly comparable to standalone idle LaKe.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.experiments import figures
+
+
+def test_figure4_bars(benchmark, save_result):
+    result = benchmark(figures.figure4)
+    save_result("figure4", result.render())
+    assert len(result.bars) == 9
+
+
+def test_figure4_ordering(benchmark):
+    """The qualitative bar ordering of Figure 4."""
+    result = benchmark(figures.figure4)
+    assert (
+        result.bar("Ref. NIC")
+        < result.bar("1 PE & no mem")
+        < result.bar("No mem")
+        <= result.bar("Max load & no mem")
+        < result.bar("Reset mem & clk gating")
+        < result.bar("Reset mem")
+        < result.bar("Clk gating")
+        < result.bar("LaKe")
+    )
+
+
+def test_figure4_component_claims(benchmark):
+    result = benchmark(figures.figure4)
+    # memories >= 10W (§5.1)
+    assert result.bar("LaKe") - result.bar("No mem") >= 10.0
+    # reset saves 40% of memory power (§5.1)
+    assert result.bar("LaKe") - result.bar("Reset mem") == pytest.approx(
+        cal.MEMORIES_TOTAL_W * cal.MEMORY_RESET_SAVING_FRACTION, rel=0.01
+    )
+    # clock gating < 1W (§5.1)
+    assert result.bar("LaKe") - result.bar("Clk gating") < 1.0

@@ -1,0 +1,41 @@
+"""Figure 5: power with in-network computing on demand.
+
+Paper result: at low utilization the on-demand curve follows the software
+system; above the shift threshold it follows the (flat) hardware curve;
+at high load the saving vs software-only reaches ~50% (abstract/§1).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.units import kpps
+
+
+def test_figure5(benchmark, save_result):
+    result = benchmark(figures.figure5)
+    save_result("figure5", result.render())
+    assert len(result.series) == 6
+
+
+def test_figure5_kvs_saving_half(benchmark):
+    result = benchmark(figures.figure5)
+    assert result.savings_at_peak["kvs"] == pytest.approx(0.49, abs=0.06)
+
+
+def test_figure5_flat_above_threshold(benchmark):
+    """'processing is shifted to the network, and the power consumption
+    changes little with utilization.'"""
+    result = benchmark(lambda: figures.figure5(steps=25))
+    for app in ("kvs", "dns"):
+        points = result.series[f"{app} (On demand)"]
+        high = [p.power_w for p in points if p.offered_pps >= kpps(300)]
+        assert max(high) - min(high) < 2.0
+
+
+def test_figure5_follows_software_at_low_load(benchmark):
+    result = benchmark(lambda: figures.figure5(steps=25))
+    for app in ("kvs", "paxos", "dns"):
+        ondemand = result.series[f"{app} (On demand)"][1]  # first nonzero rate
+        software = result.series[f"{app} (SW)"][1]
+        # within the standby-card adder of the software curve
+        assert abs(ondemand.power_w - software.power_w) < 20.0

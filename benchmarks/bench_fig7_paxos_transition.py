@@ -1,0 +1,41 @@
+"""Figure 7: transitioning the Paxos leader between software and hardware.
+
+Paper result: after the forwarding rule flips, throughput drops to zero
+for ~100ms (the client timeout) while the new leader recovers the sequence
+number from the acceptors; with the hardware leader, throughput rises and
+latency halves.
+"""
+
+import pytest
+
+from repro.experiments import run_figure7
+from repro.units import msec, sec
+
+
+def _run():
+    return run_figure7(duration_s=5.0, shift_to_hw_s=1.5, shift_to_sw_s=3.5)
+
+
+def test_figure7(benchmark, save_result):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    save_result("figure7", result.render())
+
+    assert len(result.shift_times_us) == 2
+
+    # latency halved with the hardware leader
+    sw_latency = result.mean_latency_us(sec(0.5), sec(1.5))
+    hw_latency = result.mean_latency_us(sec(2.0), sec(3.5))
+    assert hw_latency == pytest.approx(sw_latency / 2.0, rel=0.25)
+
+    # closed-loop throughput roughly doubles
+    sw_thr = result.mean_throughput_pps(sec(0.5), sec(1.5))
+    hw_thr = result.mean_throughput_pps(sec(2.0), sec(3.5))
+    assert hw_thr > 1.5 * sw_thr
+
+    # ~100ms stall after each shift (client retry timeout)
+    assert len(result.stall_us) == 2
+    for stall in result.stall_us:
+        assert stall == pytest.approx(msec(100.0), rel=0.25)
+
+    # consensus kept making progress overall
+    assert result.decided > 20_000

@@ -1,0 +1,149 @@
+"""Placement matrix: which Paxos roles live in the data plane?
+
+§3.2/§4.3 evaluate both the leader and the acceptor roles in hardware.
+This benchmark runs the full DES consensus pipeline under four placements
+and reports end-to-end latency and closed-loop throughput — the *shape*
+claims: every role moved into the data plane removes its software stack
+latency from the critical path, and the leader is the most valuable single
+move (it sits on the path once, but so does each acceptor's quorum wait).
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.paxos import PaxosClient
+from repro.apps.paxos.deployment import (
+    HardwarePaxosRole,
+    PaxosDeployment,
+    SoftwarePaxosRole,
+    _Directory,
+)
+from repro.apps.paxos.roles import AcceptorState, LeaderState, LearnerState
+from repro.experiments.reporting import format_table
+from repro.host import make_i7_server
+from repro.hw.fpga import make_p4xos_fpga
+from repro.net.node import CallbackNode
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.sim import Simulator
+from repro.units import msec, sec
+
+
+def _run_placement(hw_leader: bool, hw_acceptors: bool, duration_s=1.0):
+    sim = Simulator()
+    topo = Topology(sim)
+    switch = Switch(sim, "tor")
+    topo.add(switch)
+    n_acceptors = 3
+    acceptor_names = [f"acceptor{i}" for i in range(n_acceptors)]
+    directory = _Directory(acceptor_names, ["learner0"])
+
+    # -- leader
+    if hw_leader:
+        card = make_p4xos_fpga()
+        node = CallbackNode(sim, "leader", on_packet=lambda p: leader.offer(p))
+        leader = HardwarePaxosRole(
+            sim, card, node, LeaderState("leader", 0, n_acceptors), directory
+        )
+        topo.add(node)
+    else:
+        server = make_i7_server(sim, name="leader")
+        leader = SoftwarePaxosRole(
+            sim, server, LeaderState("leader", 0, n_acceptors), directory,
+            capacity_pps=cal.LIBPAXOS_LEADER_CAPACITY_PPS,
+            stack_latency_us=cal.LIBPAXOS_LEADER_STACK_US,
+        )
+        server.set_packet_handler(leader.offer)
+        topo.add(server)
+    topo.connect_via_switch("tor", "leader")
+
+    # -- acceptors
+    acceptor_roles = []
+    for name in acceptor_names:
+        if hw_acceptors:
+            card = make_p4xos_fpga()
+            node = CallbackNode(
+                sim, name,
+                on_packet=lambda p, idx=len(acceptor_roles): acceptor_roles[idx].offer(p),
+            )
+            role = HardwarePaxosRole(
+                sim, card, node, AcceptorState(name), directory
+            )
+            topo.add(node)
+        else:
+            server = make_i7_server(sim, name=name)
+            role = SoftwarePaxosRole(
+                sim, server, AcceptorState(name), directory,
+                capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+                stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
+                app_name=f"acc.{name}",
+            )
+            server.set_packet_handler(role.offer)
+            topo.add(server)
+        topo.connect_via_switch("tor", name)
+        acceptor_roles.append(role)
+
+    # -- learner (always software, as in the paper's deployments)
+    learner_server = make_i7_server(sim, name="learner0")
+    learner = SoftwarePaxosRole(
+        sim, learner_server, LearnerState("learner0", n_acceptors), directory,
+        capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+        stack_latency_us=cal.LIBPAXOS_LEARNER_STACK_US,
+        app_name="learner",
+    )
+    learner_server.set_packet_handler(learner.offer)
+    topo.add(learner_server)
+    topo.connect_via_switch("tor", "learner0")
+
+    deployment = PaxosDeployment(switch)
+    deployment.register_leader("leader", leader)
+    deployment.activate_leader("leader")
+
+    clients = []
+    for i in range(3):
+        client = PaxosClient(sim, f"client{i}")
+        topo.add(client)
+        topo.connect_via_switch("tor", client.name)
+        clients.append(client)
+        sim.schedule_at(msec(20.0), lambda c=client: c.start_closed_loop(1))
+
+    sim.run_until(sec(duration_s))
+    latencies = [c.latency.median() for c in clients if len(c.latency)]
+    decided = sum(c.decided for c in clients)
+    return sum(latencies) / len(latencies), decided / (duration_s - 0.02)
+
+
+def _matrix():
+    rows = []
+    for hw_leader, hw_acceptors, label in (
+        (False, False, "all software"),
+        (True, False, "hardware leader"),
+        (False, True, "hardware acceptors"),
+        (True, True, "leader + acceptors in hardware"),
+    ):
+        latency, throughput = _run_placement(hw_leader, hw_acceptors)
+        rows.append((label, latency, throughput / 1e3))
+    return rows
+
+
+def test_paxos_placement_matrix(benchmark, save_result):
+    rows = benchmark.pedantic(_matrix, rounds=1, iterations=1)
+    save_result(
+        "paxos_placements",
+        format_table(["placement", "median latency [us]", "throughput [kpps]"], rows),
+    )
+    by_label = {label: (lat, thr) for label, lat, thr in rows}
+
+    all_sw = by_label["all software"]
+    hw_leader = by_label["hardware leader"]
+    hw_acc = by_label["hardware acceptors"]
+    all_hw = by_label["leader + acceptors in hardware"]
+
+    # each hardware role removes its stack latency from the path
+    assert hw_leader[0] < all_sw[0]
+    assert hw_acc[0] < all_sw[0]
+    assert all_hw[0] < min(hw_leader[0], hw_acc[0])
+    # the leader's 200µs stack is the largest single contribution
+    assert (all_sw[0] - hw_leader[0]) > (all_sw[0] - hw_acc[0]) - 20.0
+    # closed-loop throughput is inverse to latency
+    assert all_hw[1] > all_sw[1]

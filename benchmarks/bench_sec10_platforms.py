@@ -1,0 +1,39 @@
+"""§10: FPGA, SmartNIC or switch?
+
+Paper result: switch ASIC wins raw performance and perf/W but costs ×10
+and raises topology/failure questions; SmartNICs stay within the 25W PCIe
+envelope at millions of ops/W (AccelNet: 17–19W, ~4Mpps/W); FPGAs are the
+most flexible but the weakest perf/W; SoCs are easiest to program but hit
+the resource wall first.
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.hw.smartnic import SMARTNIC_ARCHETYPES
+
+
+def test_section10(benchmark, save_result):
+    result = benchmark(figures.section10_platforms)
+    save_result("section10_platforms", result.render())
+    assert len(result.smartnic_rows) == 4
+
+
+def test_section10_rankings(benchmark):
+    result = benchmark(figures.section10_platforms)
+    paxos = [p for p, _ in result.recommendations["Paxos @ 100Mpps"]]
+    assert paxos[0] == "switch-asic"
+    dns = [p for p, _ in result.recommendations["DNS @ 50Kpps"]]
+    assert dns[0] == "server"
+
+
+def test_section10_asic_smartnic_best_perf_per_watt(benchmark):
+    """§10: ASIC-based SmartNICs give the best power trade-off."""
+
+    def best():
+        return max(
+            SMARTNIC_ARCHETYPES.values(), key=lambda nic: nic.ops_per_watt(1.0)
+        )
+
+    nic = benchmark(best)
+    assert nic.architecture.value == "asic"

@@ -1,0 +1,34 @@
+"""§5.3: memory power/capacity and LaKe latency distributions.
+
+Paper result: 4GB DRAM = 4.8W (33M values), 18MB SRAM = 6W (4.7M freelist
+entries); on-chip-only holds ×65k/×32k less; on-chip hit ≤1.4µs, L2 hit
+1.67µs median / 1.9µs p99 at low load, hardware miss 13.5µs median /
+14.3µs p99 (×10 an on-chip hit).
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.experiments import figures
+
+
+def test_section5(benchmark, save_result):
+    result = benchmark(lambda: figures.section5_memories(samples=20_000))
+    save_result("section5_memories", result.render())
+    rows = {row[0]: row for row in result.latency_rows}
+
+    l2 = rows["L2 hit (DRAM)"]
+    assert l2[1] == pytest.approx(cal.LAKE_L2_HIT_MEDIAN_US, rel=0.05)
+    assert l2[2] == pytest.approx(cal.LAKE_L2_HIT_P99_LOW_LOAD_US, rel=0.1)
+
+    miss = rows["miss (software)"]
+    assert miss[1] == pytest.approx(cal.LAKE_MISS_MEDIAN_US, rel=0.05)
+    assert miss[1] / rows["L1 hit (on-chip)"][1] > 8.0  # ×10 claim
+
+
+def test_section5_memory_rows(benchmark):
+    result = benchmark(lambda: figures.section5_memories(samples=100))
+    rows = {row[0]: row for row in result.rows}
+    assert rows["DRAM 4GB"][1] == pytest.approx(4.8)
+    assert rows["SRAM 18MB"][1] == pytest.approx(6.0)
+    assert rows["DRAM 4GB"][2] == 33_000_000

@@ -1,0 +1,46 @@
+"""§6: lessons from an ASIC (Tofino).
+
+Paper result: idle power identical with/without P4xos; P4xos adds ≤2% under
+load, diag.p4 adds 4.8% (more than twice P4xos); min↔max span <20%; at 10%
+utilization the ASIC delivers ×1000 a server's Paxos throughput while its
+dynamic power is ~1/3 of the server's at 180Kpps; ops/W: software 10K's,
+FPGA 100K's, ASIC 10M's.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.experiments import figures
+from repro.hw.asic import TofinoProgram, TofinoSwitch
+from repro.steady.paxos import PaxosRole, libpaxos_model
+from repro.units import kpps
+
+
+def test_section6(benchmark, save_result):
+    result = benchmark(figures.section6_asic)
+    save_result("section6_asic", result.render())
+    assert result.p4xos_overhead_full_load <= 0.02 + 1e-9
+    assert result.diag_overhead_full_load == pytest.approx(0.048, abs=0.002)
+    assert result.power_span_fraction < 0.20
+    assert result.dynamic_ratio_vs_server == pytest.approx(1 / 3, rel=0.35)
+
+
+def test_section6_ops_per_watt_orders(benchmark):
+    result = benchmark(figures.section6_asic)
+    assert 1e4 <= result.ops_per_watt["software"] < 1e5
+    assert 1e5 <= result.ops_per_watt["fpga"] < 1e6
+    assert result.ops_per_watt["asic"] >= 1e7
+
+
+def test_section6_x1000_throughput_at_10pct(benchmark):
+    """§6: at 10% utilization the ASIC achieves ×1000 a server's Paxos
+    throughput."""
+
+    def ratio():
+        asic = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+        asic.set_utilization(cal.TOFINO_X1000_UTILIZATION)
+        server = libpaxos_model(PaxosRole.ACCEPTOR)
+        return asic.throughput_pps() / server.capacity_pps
+
+    value = benchmark(ratio)
+    assert value == pytest.approx(1000.0, rel=0.5)

@@ -1,0 +1,39 @@
+"""§7: lessons from a server (dual Xeon E5-2660 v4, RAPL).
+
+Paper result: idle 56W split evenly between sockets; a single active core
+jumps the system to 91W (86W at just 10% core load); each additional core
+costs only 1–2W; full load is 134W; both sockets rise almost equally on
+activation.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+def test_section7(benchmark, save_result):
+    result = benchmark(figures.section7_server)
+    save_result("section7_server", result.render())
+    assert result.total("idle") == pytest.approx(56.0)
+    assert result.total("1 core @10%") == pytest.approx(86.0)
+    assert result.total("1 core @100%") == pytest.approx(91.0)
+    assert result.total("28 cores @100%") == pytest.approx(134.0)
+
+
+def test_section7_extra_core_cost(benchmark):
+    result = benchmark(figures.section7_server)
+    one = result.total("1 core @100%")
+    two = result.total("2 cores @100%")
+    assert 1.0 <= two - one <= 2.0
+
+
+def test_section7_low_load_insight(benchmark):
+    """§7: 'even at a low CPU core load, e.g., 10%, the power consumption
+    of the server reaches 86W' — more than half the idle-to-full span."""
+    result = benchmark(figures.section7_server)
+    idle, low, full = (
+        result.total("idle"),
+        result.total("1 core @10%"),
+        result.total("28 cores @100%"),
+    )
+    assert (low - idle) / (full - idle) > 0.3

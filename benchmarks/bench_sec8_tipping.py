@@ -1,0 +1,29 @@
+"""§8 + §9.4: when to use in-network computing.
+
+Paper result: the tipping point Pd_N(R) = Pd_S(R) sits at the §4 crossover
+for NIC-class devices (80–150Kpps range across the three apps), and at
+R ≈ 0 for a ToR switch that already forwards the traffic (<1W per Mqps).
+"""
+
+import pytest
+
+from repro.experiments import figures
+from repro.units import kpps
+
+
+def test_section8(benchmark, save_result):
+    result = benchmark(figures.section8_tipping)
+    save_result("section8_tipping", result.render())
+    assert len(result.tipping_points) == 3
+    crossovers = {t.software: t.crossover_pps for t in result.tipping_points}
+    assert crossovers["memcached (Mellanox MCX311A-XCCT)"] == pytest.approx(
+        kpps(80), rel=0.15
+    )
+    assert crossovers["libpaxos acceptor"] == pytest.approx(kpps(150), rel=0.1)
+    assert kpps(100) < crossovers["NSD (SW)"] < kpps(200)
+
+
+def test_section8_tor_switch(benchmark):
+    result = benchmark(figures.section8_tipping)
+    assert result.tor.switch_always_wins
+    assert result.tor.switch_w_per_mqps <= 1.0

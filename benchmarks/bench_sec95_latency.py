@@ -1,0 +1,88 @@
+"""§9.5: latency discussion.
+
+Paper result: "where latency is the target, there is no need for
+in-network computing on demand, as in-network computing will provide lower
+latency" — fully-pipelined designs have almost-constant latency (±100ns on
+NetFPGA SUME) independent of load and of power state, while software
+latency grows toward saturation; external-memory access adds hundreds of
+nanoseconds but still beats the PCIe trip to the host.
+"""
+
+import random
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.kvs.lake import sample_latency
+from repro.experiments.reporting import format_table
+from repro.steady import dns_models, kvs_models
+from repro.units import kpps
+
+
+def _latency_sweep():
+    kvs = kvs_models()
+    rows = []
+    for rate in (kpps(10), kpps(200), kpps(500), kpps(900)):
+        rows.append(
+            (
+                rate / 1e3,
+                kvs["memcached"].latency_at(rate),
+                kvs["lake"].latency_at(rate),
+            )
+        )
+    return rows
+
+
+def test_section95_hardware_latency_flat(benchmark, save_result):
+    rows = benchmark(_latency_sweep)
+    save_result(
+        "section95_latency",
+        format_table(["kpps", "memcached [us]", "LaKe [us]"], rows),
+    )
+    software = [row[1] for row in rows]
+    hardware = [row[2] for row in rows]
+    # software latency inflates toward saturation; hardware stays flat
+    assert software[-1] > 2 * software[0]
+    assert max(hardware) == min(hardware)
+
+
+def test_section95_hardware_always_faster(benchmark):
+    rows = benchmark(_latency_sweep)
+    for _, software_us, hardware_us in rows:
+        assert hardware_us < software_us
+
+
+def test_section95_pipeline_jitter_100ns(benchmark):
+    """§9.5: fully pipelined designs vary by ±100ns."""
+
+    def spread():
+        rng = random.Random(1)
+        # L1-hit path: constant + uniform pipeline jitter
+        values = [
+            cal.LAKE_L1_HIT_US + rng.uniform(0.0, cal.FPGA_PIPELINE_JITTER_US)
+            for _ in range(5000)
+        ]
+        return max(values) - min(values)
+
+    value = benchmark(spread)
+    assert value <= 2 * cal.FPGA_PIPELINE_JITTER_US
+
+
+def test_section95_external_memory_adds_hundreds_of_ns(benchmark):
+    """§9.5/§5.3: off-chip access adds ~0.3µs over on-chip but stays far
+    below the software path."""
+
+    def deltas():
+        rng = random.Random(2)
+        l2 = sorted(
+            sample_latency(
+                rng, cal.LAKE_L2_HIT_MEDIAN_US, cal.LAKE_L2_HIT_P99_LOW_LOAD_US
+            )
+            for _ in range(10_000)
+        )
+        return l2[len(l2) // 2]
+
+    l2_median = benchmark(deltas)
+    over_onchip = l2_median - cal.LAKE_L1_HIT_US
+    assert 0.1 < over_onchip < 1.0                     # hundreds of ns
+    assert l2_median < cal.MEMCACHED_SW_MEDIAN_US / 5  # still ≫ faster than host

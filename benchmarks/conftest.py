@@ -1,0 +1,27 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one paper table/figure and writes its rendered
+text to ``benchmarks/results/<name>.txt`` so the paper-vs-measured record
+in EXPERIMENTS.md can be reproduced from a clean checkout with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Persist a figure's rendered text under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

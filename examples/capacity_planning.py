@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Capacity planning with the §8/§9.3/§10 analyses.
+
+You operate a rack and consider in-network computing for three services.
+This example walks the paper's decision process:
+
+1. tipping points per service (§8);
+2. is the workload's power variation low enough for on-demand shifts
+   (Dynamo analysis, §9.3)?
+3. which platform should host the offload (§10 advisor)?
+4. what does a ToR-switch deployment change (§9.4)?
+"""
+
+from repro.core import tipping_point, tor_switch_analysis
+from repro.core.placement import ApplicationProfile, PlacementAdvisor
+from repro.steady import dns_models, kvs_models, paxos_models
+from repro.steady.paxos import PaxosRole
+from repro.units import kpps, mpps
+from repro.workloads import DynamoTraceSynthesizer, analyze_power_variation
+from repro.workloads.dynamo import shift_safety
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Rack capacity planning with in-network computing on demand")
+    print("=" * 72)
+
+    # ---- 1. tipping points -------------------------------------------------
+    kvs = kvs_models()
+    paxos = paxos_models(PaxosRole.ACCEPTOR)
+    dns = dns_models()
+    services = {
+        "kvs": (kvs["memcached"], kvs["lake"], mpps(0.4)),
+        "paxos": (paxos["libpaxos"], paxos["p4xos"], kpps(120)),
+        "dns": (dns["nsd"], dns["emu"], kpps(60)),
+    }
+    print("\n1. Tipping points vs expected peak load:")
+    for name, (software, hardware, expected_peak) in services.items():
+        analysis = tipping_point(software, hardware)
+        worth_it = expected_peak >= analysis.crossover_pps
+        print(
+            f"  {name:6s} crossover {analysis.crossover_pps / 1e3:6.0f} Kpps, "
+            f"expected peak {expected_peak / 1e3:6.0f} Kpps -> "
+            f"{'offload pays off' if worth_it else 'stay in software'}"
+        )
+
+    # ---- 2. power-variation safety (§9.3) ---------------------------------
+    print("\n2. Power-variation safety over the scheduling period:")
+    for cls in ("caching", "web"):
+        synth = DynamoTraceSynthesizer(cls, seed=1)
+        trace = synth.generate(1800)
+        analysis = analyze_power_variation(trace, synth.paper_statistics()["window_s"])
+        verdict = "safe for on-demand" if shift_safety(analysis) else "too volatile"
+        print(
+            f"  {cls:8s} median {analysis.median:5.1%}, p99 {analysis.p99:5.1%} "
+            f"-> {verdict}"
+        )
+
+    # ---- 3. platform choice (§10) ------------------------------------------
+    print("\n3. Platform recommendations:")
+    advisor = PlacementAdvisor()
+    profiles = [
+        ApplicationProfile("kvs", peak_rate_pps=mpps(0.4), latency_sensitive=True,
+                           state_bytes=2 << 30),
+        ApplicationProfile("paxos", peak_rate_pps=kpps(120), latency_sensitive=True,
+                           state_bytes=1 << 20),
+        ApplicationProfile("dns", peak_rate_pps=kpps(60), state_bytes=1 << 20),
+    ]
+    for profile in profiles:
+        ranked = advisor.recommend(profile)
+        best = ranked[0]
+        print(f"  {profile.name:6s} -> {best.platform}")
+        for reason in best.reasons[:2]:
+            print(f"           - {reason}")
+
+    # ---- 4. the ToR switch case (§9.4) --------------------------------------
+    print("\n4. If the rack's ToR switch is programmable:")
+    tor = tor_switch_analysis(kvs["memcached"], nodes_served=32)
+    print(
+        f"  switch marginal cost {tor.switch_w_per_mqps:.1f} W/Mqps vs server "
+        f"{tor.server_dynamic_w_per_mqps:.0f} W/Mqps at low load"
+    )
+    print(
+        f"  tipping point {tor.crossover_pps:.0f} pps -> "
+        f"{'offload whenever the program fits' if tor.switch_always_wins else 'evaluate per workload'}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Live Paxos leader shift (the Figure 7 scenario).
+
+A full Paxos deployment — closed-loop clients, a software (libpaxos-style)
+leader, a hardware (P4xos-style) leader candidate, three acceptors, a
+learner — on a simulated rack.  The centralized controller rewrites the
+ToR forwarding rule to move the leader into the data plane and back.  The
+new leader recovers the sequence number from the acceptors' piggybacked
+last-voted instances; clients ride over the ~100ms stall with their retry
+timeout.
+
+Run:  python examples/paxos_leader_shift.py
+"""
+
+from repro.experiments import run_figure7
+from repro.units import sec
+
+
+def main() -> None:
+    print("Running the Figure 7 scenario (5s, shifts at 1.5s and 3.5s)...\n")
+    result = run_figure7(duration_s=5.0, shift_to_hw_s=1.5, shift_to_sw_s=3.5)
+    print(result.render())
+
+    sw_thr = result.mean_throughput_pps(sec(0.5), sec(1.5))
+    hw_thr = result.mean_throughput_pps(sec(2.0), sec(3.5))
+    sw_lat = result.mean_latency_us(sec(0.5), sec(1.5))
+    hw_lat = result.mean_latency_us(sec(2.0), sec(3.5))
+    print("\nInterpretation:")
+    print(
+        f"  - software leader: {sw_thr / 1e3:.1f} kpps at {sw_lat:.0f}us; "
+        f"hardware leader: {hw_thr / 1e3:.1f} kpps at {hw_lat:.0f}us "
+        "(latency halved, throughput up — Figure 7)"
+    )
+    print(
+        "  - post-shift stalls: "
+        + ", ".join(f"{s / 1e3:.0f}ms" for s in result.stall_us)
+        + " — the client retry timeout, exactly as the paper reports"
+    )
+    print(f"  - total decisions: {result.decided}, client retries: {result.retries}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's headline numbers in five minutes.
+
+1. Build the calibrated steady-state models for all three applications.
+2. Find the software→network tipping points (§8).
+3. Run a small live simulation: memcached on an i7 behind a ToR switch,
+   served by LaKe once the load crosses the threshold.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import tipping_point
+from repro.experiments import figures
+from repro.steady import dns_models, kvs_models, paxos_models
+from repro.steady.paxos import PaxosRole
+from repro.units import kpps, to_kpps
+
+
+def main() -> None:
+    print("=" * 72)
+    print("In-network computing on demand — quickstart")
+    print("=" * 72)
+
+    # ---- 1. power curves at a glance ------------------------------------
+    kvs = kvs_models()
+    paxos = paxos_models(PaxosRole.ACCEPTOR)
+    dns = dns_models()
+    print("\nIdle vs peak power [W]:")
+    for name, model in {**kvs, **paxos, **dns}.items():
+        print(
+            f"  {model.name:35s} idle={model.power_at(0):6.1f}  "
+            f"peak={model.power_at(model.capacity_pps):6.1f}  "
+            f"capacity={to_kpps(model.capacity_pps):10.0f} Kpps"
+        )
+
+    # ---- 2. tipping points (§8) -----------------------------------------
+    print("\nTipping points (shift to the network above):")
+    for software, hardware in [
+        (kvs["memcached"], kvs["lake"]),
+        (paxos["libpaxos"], paxos["p4xos"]),
+        (dns["nsd"], dns["emu"]),
+    ]:
+        print(f"  {tipping_point(software, hardware).describe()}")
+
+    # ---- 3. ops per watt (§6) --------------------------------------------
+    section6 = figures.section6_asic()
+    print("\nPaxos messages per watt (§6):")
+    for platform, ops in section6.ops_per_watt.items():
+        print(f"  {platform:10s} {ops:>14,.0f} msgs/W")
+
+    # ---- 4. on-demand saving (Figure 5) -----------------------------------
+    fig5 = figures.figure5(steps=7)
+    print("\nOn-demand saving vs software-only at high load (Figure 5):")
+    for app, saving in fig5.savings_at_peak.items():
+        print(f"  {app:6s} {saving:.0%}")
+
+    print("\nDone.  See examples/kvs_on_demand.py for a live transition.")
+
+
+if __name__ == "__main__":
+    main()

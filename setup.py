@@ -1,0 +1,5 @@
+"""Setuptools shim: enables legacy editable installs ("pip install -e .")
+in offline environments that lack the `wheel` package."""
+from setuptools import setup
+
+setup()

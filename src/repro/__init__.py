@@ -1,0 +1,41 @@
+"""repro — a full reproduction of "The Case For In-Network Computing On
+Demand" (EuroSys 2019).
+
+Top-level convenience exports cover the most common entry points; the
+subpackages hold the full system:
+
+* :mod:`repro.steady` — calibrated power/latency curves (Figures 3–5);
+* :mod:`repro.core` — the on-demand controllers and analyses (§8–§10);
+* :mod:`repro.apps` — the three applications, software and hardware;
+* :mod:`repro.experiments` — one runner per paper figure/table.
+"""
+
+from .calibration import I7_6700K, XEON_E5_2637, XEON_E5_2660
+from .core import (
+    HostController,
+    NetworkController,
+    OnDemandService,
+    PaxosShiftController,
+    tipping_point,
+)
+from .sim import Simulator
+from .steady import dns_models, find_crossover, kvs_models, paxos_models
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "I7_6700K",
+    "XEON_E5_2637",
+    "XEON_E5_2660",
+    "HostController",
+    "NetworkController",
+    "OnDemandService",
+    "PaxosShiftController",
+    "tipping_point",
+    "Simulator",
+    "dns_models",
+    "find_crossover",
+    "kvs_models",
+    "paxos_models",
+    "__version__",
+]

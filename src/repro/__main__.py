@@ -1,0 +1,73 @@
+"""Command-line entry point: regenerate any paper figure/table.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure3a
+    python -m repro figure7 --duration 5
+    python -m repro all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import figures, run_figure6, run_figure7
+
+
+def _analytic(runner):
+    return lambda args: runner().render()
+
+
+_EXPERIMENTS = {
+    "figure3a": _analytic(figures.figure3a),
+    "figure3b": _analytic(figures.figure3b),
+    "figure3c": _analytic(figures.figure3c),
+    "figure4": _analytic(figures.figure4),
+    "figure5": _analytic(figures.figure5),
+    "figure6": lambda args: run_figure6(duration_s=args.duration or 10.0).render(),
+    "figure7": lambda args: run_figure7(duration_s=args.duration or 5.0).render(),
+    "section5": _analytic(figures.section5_memories),
+    "section6": _analytic(figures.section6_asic),
+    "section7": _analytic(figures.section7_server),
+    "section8": _analytic(figures.section8_tipping),
+    "section9.3": _analytic(figures.section93_traces),
+    "section10": _analytic(figures.section10_platforms),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('list' prints the catalogue)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="simulated seconds for the DES experiments (figure6/figure7)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(_EXPERIMENTS):
+            print(name)
+        return 0
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(_EXPERIMENTS[name](args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

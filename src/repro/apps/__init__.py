@@ -1,0 +1,11 @@
+"""The paper's three case-study applications (§3).
+
+Each application ships a **software** implementation (runs on a
+:class:`repro.host.Server`, consumes CPU, replies through the NIC path) and
+a **hardware** implementation (runs on a :class:`repro.hw.NetFpgaSume`
+model behind a packet classifier, with calibrated pipeline latencies):
+
+* :mod:`repro.apps.kvs`   — memcached (software) and LaKe (hardware), §3.1.
+* :mod:`repro.apps.paxos` — libpaxos / DPDK (software) and P4xos (hardware), §3.2.
+* :mod:`repro.apps.dns`   — NSD (software) and Emu DNS (hardware), §3.3.
+"""

@@ -1,0 +1,25 @@
+"""DNS: software NSD and hardware Emu DNS (§3.3).
+
+Emu DNS "implements a subset of DNS functionality, supporting non-recursive
+queries … resolution queries from names to IPv4 addresses.  If the queried
+name is absent from the resolution table, Emu DNS informs the client that
+it cannot resolve the name."  Both implementations here share the zone
+table and query logic; they differ in where they run and what they cost.
+"""
+
+from .message import DnsQuery, DnsResponse, DnsRcode, ARecord
+from .zone import ZoneTable
+from .nsd import SoftwareNsd
+from .emu import EmuDns
+from .client import DnsClient
+
+__all__ = [
+    "DnsQuery",
+    "DnsResponse",
+    "DnsRcode",
+    "ARecord",
+    "ZoneTable",
+    "SoftwareNsd",
+    "EmuDns",
+    "DnsClient",
+]

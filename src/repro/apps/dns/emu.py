@@ -1,0 +1,104 @@
+"""Emu DNS — the hardware DNS server (§3.3).
+
+Compiled from C# via Kiwi/Emu to the NetFPGA; non-pipelined, which is why
+its peak (~1M req/s) is comparable to the software's rather than at line
+rate (§4.4).  Latency is ~1µs (the ×70 improvement over NSD) with the
+±100ns pipeline jitter of §9.5.  A packet classifier (added by the paper)
+lets the card double as a NIC, and gives it the same on-demand shift hooks
+as LaKe.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ... import calibration as cal
+from ...hw.fpga import NetFpgaSume
+from ...net.packet import Packet
+from ...sim import Simulator
+from ..common import HardwareService
+from .message import DnsQuery, DnsRcode, DnsResponse
+from .zone import ZoneTable
+
+#: Emu DNS keeps its resolution table in on-chip memory (§3.4); the bound
+#: is of the same order as LaKe's on-chip value capacity (§5.3).
+EMU_ZONE_CAPACITY = 4096
+
+#: §9.2: "The biggest challenge would be supporting DNS queries that
+#: require parsing deeper than the maximum supported depth" — data-plane
+#: parsers unroll a fixed number of labels.
+MAX_PARSE_LABELS = 8
+
+
+class EmuDns(HardwareService):
+    """The Emu DNS pipeline on a NetFPGA SUME card."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        card: NetFpgaSume,
+        server,
+        zone: Optional[ZoneTable] = None,
+        rng: Optional[random.Random] = None,
+        fallback=None,
+        max_parse_labels: int = MAX_PARSE_LABELS,
+        app_name: str = "emu-dns",
+    ):
+        super().__init__(
+            sim, card, server, app_name, capacity_pps=cal.EMU_DNS_CAPACITY_PPS
+        )
+        self.zone = (
+            zone
+            if zone is not None
+            else ZoneTable(capacity=EMU_ZONE_CAPACITY, name=f"{app_name}.zone")
+        )
+        self._rng = rng or random.Random(0xD45)
+        self.enabled = False
+        #: software server handling names deeper than the parser supports
+        #: (§9.2: "in the worst case scenario, those queries could be
+        #: treated as iterative requests"); None -> answer NOTIMP.
+        self.fallback = fallback
+        self.max_parse_labels = max_parse_labels
+        self.deep_query_fallbacks = 0
+
+    # -- on-demand shift hooks (§9.2: "Dynamically shifting DNS operation
+    # from software to the network is much the same as shifting KVS") -------
+
+    def enable(self) -> None:
+        self.card.activate_all_logic()
+        self.enabled = True
+
+    def disable(self, power_save: bool = True) -> None:
+        self.enabled = False
+        self.card.set_utilization(0.0)
+        if power_save:
+            self.card.clock_gate_all_logic()
+
+    # -- service --------------------------------------------------------------
+
+    def request_latency_us(self, packet: Packet) -> float:
+        query = packet.payload
+        if isinstance(query, DnsQuery) and self._too_deep(query):
+            # punted to the host: software service + stack latency
+            return cal.NSD_MEDIAN_US
+        return cal.EMU_DNS_MEDIAN_US + self._rng.uniform(
+            -cal.FPGA_PIPELINE_JITTER_US, cal.FPGA_PIPELINE_JITTER_US
+        )
+
+    def _too_deep(self, query: DnsQuery) -> bool:
+        return query.name.count(".") + 1 > self.max_parse_labels
+
+    def handle_request(self, packet: Packet) -> DnsResponse:
+        query = packet.payload
+        if not isinstance(query, DnsQuery):
+            raise TypeError(f"Emu DNS got non-DNS payload: {query!r}")
+        if self._too_deep(query):
+            # §9.2: deeper-than-parser names cannot be matched in the data
+            # plane; hand them to software (or refuse if standalone)
+            self.deep_query_fallbacks += 1
+            if self.fallback is None:
+                return DnsResponse(DnsRcode.NOTIMP, query.name, query_id=query.query_id)
+            self.fallback.util.add_busy(self.fallback.service_time_us)
+            return self.fallback.zone.resolve(query)
+        return self.zone.resolve(query)

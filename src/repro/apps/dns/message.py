@@ -1,0 +1,87 @@
+"""DNS message model (the subset Emu DNS supports, §3.3).
+
+Non-recursive A-record queries only: name → IPv4.  Names are validated to
+the DNS label rules that matter for a resolution table (length limits,
+non-empty labels).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import ProtocolError
+
+MAX_NAME_LENGTH = 253
+MAX_LABEL_LENGTH = 63
+
+
+def validate_name(name: str) -> str:
+    """Normalize and validate a DNS name; returns the lowercase form."""
+    if not name:
+        raise ProtocolError("empty DNS name")
+    normalized = name.rstrip(".").lower()
+    if len(normalized) > MAX_NAME_LENGTH:
+        raise ProtocolError(f"name exceeds {MAX_NAME_LENGTH} bytes: {name!r}")
+    for label in normalized.split("."):
+        if not label:
+            raise ProtocolError(f"empty label in {name!r}")
+        if len(label) > MAX_LABEL_LENGTH:
+            raise ProtocolError(f"label exceeds {MAX_LABEL_LENGTH} bytes: {label!r}")
+    return normalized
+
+
+class DnsRcode(enum.Enum):
+    NOERROR = 0
+    NXDOMAIN = 3     # "cannot resolve the name" (§3.3)
+    NOTIMP = 4       # e.g. recursive queries, unsupported types
+
+
+@dataclass(frozen=True)
+class ARecord:
+    """An address record in the zone."""
+
+    name: str
+    ipv4: str
+    ttl: int = 300
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", validate_name(self.name))
+        parts = self.ipv4.split(".")
+        if len(parts) != 4 or not all(p.isdigit() and 0 <= int(p) <= 255 for p in parts):
+            raise ProtocolError(f"invalid IPv4 address {self.ipv4!r}")
+        if self.ttl < 0:
+            raise ProtocolError("negative TTL")
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """A client query."""
+
+    name: str
+    query_id: int = 0
+    recursive: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "name", validate_name(self.name))
+
+    @property
+    def size_bytes(self) -> int:
+        return 40 + len(self.name)
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """A server response."""
+
+    rcode: DnsRcode
+    name: str
+    record: Optional[ARecord] = None
+    query_id: int = 0
+
+    def __post_init__(self):
+        if self.rcode is DnsRcode.NOERROR and self.record is None:
+            raise ProtocolError("NOERROR response requires a record")
+        if self.rcode is not DnsRcode.NOERROR and self.record is not None:
+            raise ProtocolError(f"{self.rcode.name} must not carry a record")

@@ -1,0 +1,45 @@
+"""Software NSD — the authoritative name server baseline (§3.3, [62]).
+
+Capacity 956K requests/s on the i7 (§4.4); latency ~70µs median, which is
+the ×70 the paper quotes Emu DNS improving on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ... import calibration as cal
+from ...net.packet import Packet
+from ...sim import Simulator
+from ..common import SoftwareService
+from .message import DnsQuery, DnsResponse
+from .zone import ZoneTable
+
+
+class SoftwareNsd(SoftwareService):
+    """NSD running on a host server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server,
+        zone: Optional[ZoneTable] = None,
+        capacity_pps: float = cal.NSD_CAPACITY_PPS,
+        cores: Optional[float] = None,
+        app_name: str = "nsd",
+    ):
+        super().__init__(
+            sim,
+            server,
+            app_name,
+            capacity_pps=capacity_pps,
+            cores=cores if cores is not None else float(server.cpu.total_cores),
+            extra_latency_us=cal.NSD_STACK_US,
+        )
+        self.zone = zone if zone is not None else ZoneTable(name=f"{app_name}.zone")
+
+    def handle_request(self, packet: Packet) -> DnsResponse:
+        query = packet.payload
+        if not isinstance(query, DnsQuery):
+            raise TypeError(f"NSD got non-DNS payload: {query!r}")
+        return self.zone.resolve(query)

@@ -1,0 +1,24 @@
+"""Key-value store: software memcached and hardware LaKe (§3.1).
+
+LaKe is a layered hardware memcached: an on-chip (BRAM) L1 cache, an
+on-card DRAM L2, and a miss path that forwards to the host's software
+memcached — "A query is only forwarded to software if there are misses at
+both layers."
+"""
+
+from .protocol import KvsOp, KvsRequest, KvsResponse, KvsStatus
+from .store import LruStore
+from .memcached import SoftwareMemcached
+from .lake import LakeKvs
+from .client import KvsClient
+
+__all__ = [
+    "KvsOp",
+    "KvsRequest",
+    "KvsResponse",
+    "KvsStatus",
+    "LruStore",
+    "SoftwareMemcached",
+    "LakeKvs",
+    "KvsClient",
+]

@@ -1,0 +1,76 @@
+"""KVS wire protocol (a memcached-like UDP request/response).
+
+LaKe "supports standard memcached functionality" (§3.1); we model the
+subset the workloads exercise: GET / SET / DELETE over UDP with small keys
+and values (the Facebook ETC workload the paper replays is dominated by
+small objects).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ...errors import ProtocolError
+
+
+class KvsOp(enum.Enum):
+    GET = "get"
+    SET = "set"
+    DELETE = "delete"
+
+
+class KvsStatus(enum.Enum):
+    HIT = "hit"
+    MISS = "miss"
+    STORED = "stored"
+    DELETED = "deleted"
+    NOT_FOUND = "not_found"
+
+
+@dataclass(frozen=True)
+class KvsRequest:
+    """A client request."""
+
+    op: KvsOp
+    key: str
+    value: Optional[bytes] = None
+    request_id: int = 0
+
+    def __post_init__(self):
+        if not self.key:
+            raise ProtocolError("empty key")
+        if len(self.key) > 250:
+            raise ProtocolError("key exceeds memcached's 250-byte limit")
+        if self.op is KvsOp.SET and self.value is None:
+            raise ProtocolError("SET requires a value")
+        if self.op is not KvsOp.SET and self.value is not None:
+            raise ProtocolError(f"{self.op.value} must not carry a value")
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate datagram size: headers + key (+ value)."""
+        size = 48 + len(self.key)
+        if self.value is not None:
+            size += len(self.value)
+        return size
+
+
+@dataclass(frozen=True)
+class KvsResponse:
+    """A server response."""
+
+    status: KvsStatus
+    key: str
+    value: Optional[bytes] = None
+    request_id: int = 0
+    #: which layer served it: "l1", "l2", "software" (observability; the
+    #: Figure 6 latency series distinguishes hardware hits from misses)
+    served_by: str = "software"
+
+    def __post_init__(self):
+        if self.status is KvsStatus.HIT and self.value is None:
+            raise ProtocolError("HIT response requires a value")
+        if self.status in (KvsStatus.MISS, KvsStatus.NOT_FOUND) and self.value is not None:
+            raise ProtocolError(f"{self.status.value} must not carry a value")

@@ -1,0 +1,86 @@
+"""LRU key-value store.
+
+Backs both the software memcached and LaKe's two cache levels.  Capacity is
+in *entries* to match the paper's §5.3 sizing (33M DRAM value entries vs
+~500 on-chip entries), with byte accounting for observability.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ...errors import ConfigurationError
+
+
+class LruStore:
+    """A bounded LRU map from str keys to bytes values."""
+
+    def __init__(self, capacity_entries: int, name: str = "store"):
+        if capacity_entries <= 0:
+            raise ConfigurationError("capacity_entries must be positive")
+        self.capacity_entries = capacity_entries
+        self.name = name
+        self._data: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.sets = 0
+        self.evictions = 0
+        self.bytes_stored = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    # -- operations ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Lookup; refreshes LRU position on hit."""
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def set(self, key: str, value: bytes) -> None:
+        """Insert/replace; evicts the LRU entry when full."""
+        old = self._data.pop(key, None)
+        if old is not None:
+            self.bytes_stored -= len(old)
+        elif len(self._data) >= self.capacity_entries:
+            evicted_key, evicted_value = self._data.popitem(last=False)
+            self.bytes_stored -= len(evicted_value)
+            self.evictions += 1
+        self._data[key] = value
+        self.bytes_stored += len(value)
+        self.sets += 1
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key``; True if it was present."""
+        value = self._data.pop(key, None)
+        if value is None:
+            return False
+        self.bytes_stored -= len(value)
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries (LaKe's caches start cold after a shift, §9.2)."""
+        self._data.clear()
+        self.bytes_stored = 0
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lru_key(self) -> Optional[str]:
+        """The coldest key (next eviction victim), or None."""
+        if not self._data:
+            return None
+        return next(iter(self._data))

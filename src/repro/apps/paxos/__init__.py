@@ -1,0 +1,51 @@
+"""Paxos consensus: software libpaxos / DPDK and hardware P4xos (§3.2).
+
+The protocol core (:mod:`repro.apps.paxos.roles`) is a complete,
+transport-agnostic multi-Paxos: leader (sequence-number assignment, phase-1
+takeover with value recovery), acceptors (promises, votes, and the §9.2
+last-voted piggyback), and learners (quorum tracking, in-order delivery,
+gap detection with no-op fill).  Deployments
+(:mod:`repro.apps.paxos.deployment`) host the roles on servers (libpaxos /
+DPDK) or on FPGA cards (P4xos) inside the DES.
+"""
+
+from .messages import (
+    ClientCommand,
+    ClientRequest,
+    Decision,
+    GapRequest,
+    NOOP,
+    Phase1A,
+    Phase1B,
+    Phase2A,
+    Phase2B,
+)
+from .roles import AcceptorState, LeaderState, LearnerState, majority
+from .deployment import (
+    PaxosDeployment,
+    SoftwarePaxosRole,
+    HardwarePaxosRole,
+    LOGICAL_LEADER,
+)
+from .client import PaxosClient
+
+__all__ = [
+    "ClientCommand",
+    "ClientRequest",
+    "Decision",
+    "GapRequest",
+    "NOOP",
+    "Phase1A",
+    "Phase1B",
+    "Phase2A",
+    "Phase2B",
+    "AcceptorState",
+    "LeaderState",
+    "LearnerState",
+    "majority",
+    "PaxosDeployment",
+    "SoftwarePaxosRole",
+    "HardwarePaxosRole",
+    "LOGICAL_LEADER",
+    "PaxosClient",
+]

@@ -1,0 +1,204 @@
+"""Acceptor-set reconfiguration (§9.2's second well-studied problem).
+
+"Changing the members of Paxos … requires addressing two well-studied
+problems in distributed systems: leader election … and reconfiguration
+(i.e., replacing one or more acceptors).  In this paper, we focus on leader
+election … For reconfiguration, we point readers to protocols from prior
+work [Vertical Paxos; Reconfiguring a State Machine] which could be adapted
+for this setting."
+
+This module adapts the simplest of those protocols — stop-sign
+reconfiguration (Lamport et al., "Reconfiguring a State Machine", §3.1) —
+to the package's role state machines:
+
+1. the coordinator seals the old configuration: the leader stops proposing
+   and a *stop command* is decided as the next instance in the old group;
+2. the decided log up to the stop instance is transferred to the new
+   acceptors by re-running phase 2 on the new group (state transfer);
+3. a new epoch begins: leaders, acceptors, and learners of epoch e+1 handle
+   instances strictly after the stop instance; clients keep their logical
+   addressing.
+
+The invariant checked by the property tests: the sequence of decided
+commands (excluding no-ops and the stop command itself) is identical before
+and after a reconfiguration, and decisions never diverge across epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ProtocolError
+from .messages import NOOP, Phase2A
+from .roles import AcceptorState, LeaderState, LearnerState, majority
+
+
+@dataclass(frozen=True)
+class StopCommand:
+    """The §9.2-style stop sign sealing an epoch."""
+
+    epoch: int
+    new_acceptors: Tuple[str, ...]
+
+    def __repr__(self) -> str:
+        return f"stop(epoch={self.epoch} -> {list(self.new_acceptors)})"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One epoch's membership."""
+
+    epoch: int
+    acceptors: Tuple[str, ...]
+    #: first instance owned by this epoch (1 for the initial config)
+    first_instance: int = 1
+
+    def __post_init__(self):
+        if self.epoch < 0:
+            raise ProtocolError("epoch must be >= 0")
+        if not self.acceptors:
+            raise ProtocolError("configuration needs acceptors")
+        if self.first_instance < 1:
+            raise ProtocolError("first_instance must be >= 1")
+
+    @property
+    def quorum(self) -> int:
+        return majority(len(self.acceptors))
+
+
+class ReconfigurableGroup:
+    """A Paxos group whose acceptor set can change between epochs.
+
+    Operates at the role level (direct message delivery) — the DES
+    deployments can drive it the same way the §9.2 leader shift drives
+    :class:`LeaderState`, but the protocol logic and its invariants live
+    here, transport-free.
+    """
+
+    def __init__(self, initial_acceptors: Sequence[str], leader_id: str = "L0"):
+        self.configs: List[Configuration] = [
+            Configuration(epoch=0, acceptors=tuple(initial_acceptors))
+        ]
+        self.acceptors: Dict[str, AcceptorState] = {
+            name: AcceptorState(name) for name in initial_acceptors
+        }
+        self.leader = LeaderState(leader_id, 0, len(initial_acceptors))
+        self.learner = LearnerState("learner", len(initial_acceptors))
+        self._leader_seq = 0
+        self._run_phase1()
+        self.reconfigurations = 0
+
+    # -- current epoch --------------------------------------------------------
+
+    @property
+    def config(self) -> Configuration:
+        return self.configs[-1]
+
+    def _epoch_acceptors(self) -> List[AcceptorState]:
+        return [self.acceptors[name] for name in self.config.acceptors]
+
+    def _run_phase1(self) -> None:
+        # round counters grow with the epoch so a reused acceptor's old
+        # promise can never outrank the new epoch's leader
+        p1a = self.leader.start_phase1(round_counter=len(self.configs) + 1)
+        for acceptor in self._epoch_acceptors():
+            promise = acceptor.handle_phase1a(p1a)
+            if promise is not None:
+                self.leader.handle_phase1b(promise)
+        if not self.leader.ready:
+            raise ProtocolError("phase 1 failed to reach a quorum")
+        # the new epoch's log starts after any transferred state
+        self.leader.next_instance = max(
+            self.leader.next_instance, self.config.first_instance
+        )
+
+    # -- normal operation -------------------------------------------------------
+
+    def submit(self, value: object) -> Optional[int]:
+        """Run one value through consensus; returns its instance."""
+        proposal = self.leader.propose(value)
+        if proposal is None:
+            return None
+        self._commit(proposal)
+        return proposal.instance
+
+    def _commit(self, proposal: Phase2A) -> None:
+        for acceptor in self._epoch_acceptors():
+            vote = acceptor.handle_phase2a(proposal)
+            if vote is not None:
+                self.learner.handle_phase2b(vote)
+
+    def delivered_commands(self) -> List[object]:
+        """All delivered commands in order, no-ops and stop signs excluded."""
+        self.learner.deliverable()
+        return [
+            self.learner.decided[i]
+            for i in range(1, self.learner.delivered_upto + 1)
+            if self.learner.decided[i] is not NOOP
+            and not isinstance(self.learner.decided[i], StopCommand)
+        ]
+
+    # -- reconfiguration -----------------------------------------------------------
+
+    def reconfigure(self, new_acceptors: Sequence[str]) -> Configuration:
+        """Replace the acceptor set.
+
+        Returns the new configuration.  Decided commands are preserved: the
+        old epoch is sealed with a stop command, the decided prefix is
+        transferred, and the new epoch owns subsequent instances.
+        """
+        if not new_acceptors:
+            raise ProtocolError("new configuration needs acceptors")
+        old_config = self.config
+
+        # 1. seal the old epoch with a stop command
+        stop = StopCommand(
+            epoch=old_config.epoch, new_acceptors=tuple(new_acceptors)
+        )
+        stop_instance = self.submit(stop)
+        if stop_instance is None:
+            raise ProtocolError("failed to decide the stop command")
+        self.leader.step_down()
+
+        # 2. state transfer: make the decided prefix durable on the new set
+        self.learner.deliverable()
+        decided_prefix = {
+            i: self.learner.decided[i] for i in range(1, stop_instance + 1)
+        }
+        if len(decided_prefix) != stop_instance:
+            raise ProtocolError("cannot reconfigure with gaps in the decided log")
+        for name in new_acceptors:
+            self.acceptors.setdefault(name, AcceptorState(name))
+
+        # 3. activate the new epoch
+        config = Configuration(
+            epoch=old_config.epoch + 1,
+            acceptors=tuple(new_acceptors),
+            first_instance=stop_instance + 1,
+        )
+        self.configs.append(config)
+        self._leader_seq += 1
+        self.leader = LeaderState(
+            f"L{self._leader_seq}",
+            self._leader_seq % 16,
+            len(new_acceptors),
+        )
+        # learner continues across epochs with the new quorum size
+        self.learner.quorum = config.quorum
+        self.learner.n_acceptors = len(new_acceptors)
+
+        # transfer: re-run phase 2 for the decided prefix on the new group
+        self._run_phase1()
+        transfer_round = self.leader.round
+        for instance in range(1, stop_instance + 1):
+            proposal = Phase2A(
+                round=transfer_round, instance=instance, value=decided_prefix[instance]
+            )
+            for name in new_acceptors:
+                vote = self.acceptors[name].handle_phase2a(proposal)
+                if vote is not None:
+                    self.learner.handle_phase2b(vote)
+        self.leader.next_instance = stop_instance + 1
+        self.reconfigurations += 1
+        return config

@@ -1,0 +1,405 @@
+"""Paper-derived calibration constants — the single source of truth.
+
+Every constant in this module carries the paper section it was taken from.
+Where the paper gives only anchors (idle and peak power, a crossover load)
+we pick the simplest curve through those anchors; the chosen shape is
+documented next to the constant.  Nothing elsewhere in the package hardcodes
+a wattage or a capacity: models read this module.
+
+Known internal tensions in the paper are reproduced as faithfully as
+possible and noted here:
+
+* §9.2 quotes "about 5W gap" between a plain NIC and LaKe held in reset with
+  clock gating, while the §5 component arithmetic (memories 10.8W with reset
+  saving 40%, logic 2.2W with clock gating saving <1W) yields ~7.9W.  We keep
+  the §5 component numbers, so our gated-LaKe gap is ~7.9W; EXPERIMENTS.md
+  records the deviation.
+* Figure 4's y-axis (0–30W) is consistent with standalone-card measurements
+  plus an idle server drawn without NIC; §4.2's 39W idle includes the NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .units import mpps
+
+# ===========================================================================
+# Servers (§4.1, §4.2, §5.4, §7).
+# ===========================================================================
+
+#: §4.2: "the power consumption of the server while idle or under low
+#: utilization is just 39W" — Intel Core i7-6700K, 4 cores @ 4GHz, with NIC.
+I7_IDLE_W = 39.0
+
+#: Derived: idle server minus the NIC share below (used for Figure 4's
+#: "Server no cards" bar, which is drawn without any NIC installed).
+I7_IDLE_NO_NIC_W = 36.0
+
+#: NIC wall-power shares of the idle figure above.  The paper does not give
+#: per-NIC watts; 3W (Intel X520) and 3W (Mellanox CX311A) are typical
+#: 10GE-NIC idle draws and keep the 39W idle anchor for both setups.
+NIC_INTEL_X520_IDLE_W = 3.0
+NIC_MELLANOX_CX311A_IDLE_W = 3.0
+
+#: §4.2: memcached on the i7 peaks at "approximately 1Mpps" (Mellanox NIC).
+MEMCACHED_PEAK_PPS_MELLANOX = mpps(1.0)
+
+#: §4.2: "the maximum throughput the server achieves using the Intel NIC is
+#: lower" — we use 0.8Mpps.
+MEMCACHED_PEAK_PPS_INTEL = mpps(0.8)
+
+#: Peak wall power of the i7 running memcached at saturation (all 4 cores
+#: pegged).  Figure 3(a) tops out around 115W.
+I7_MEMCACHED_PEAK_W = 115.0
+
+#: Software power-curve exponents: P(u) = idle + (peak-idle) * u**alpha.
+#: alpha < 1 (concave, power jumps at low load — §7 observes exactly this)
+#: for the Mellanox setup places the LaKe crossover at ~80Kpps (§4.2);
+#: alpha > 1 for the Intel setup moves it to ~300Kpps (§4.2: "the crossing
+#: point moved to over 300Kpps").
+MEMCACHED_POWER_ALPHA_MELLANOX = 0.53
+MEMCACHED_POWER_ALPHA_INTEL = 1.35
+
+#: §5.4: single-socket Xeon E5-2637 v4 on SuperMicro X10-DRG-Q: "the idle
+#: power consumption of the server, without a NIC, is 83W".
+XEON_E5_2637_IDLE_NO_NIC_W = 83.0
+
+#: §7: dual-socket Xeon E5-2660 v4 (ASUS ESC4000-G3S), 14 cores per CPU.
+XEON_2660_SOCKETS = 2
+XEON_2660_CORES_PER_SOCKET = 14
+#: §7: "power consumption of the server is 56W in idle, evenly divided
+#: between the sockets".
+XEON_2660_IDLE_W = 56.0
+#: §7: "jumps when even a single core is used, up to 91W".
+XEON_2660_ONE_CORE_W = 91.0
+#: §7: "134W under full load of all cores".
+XEON_2660_FULL_LOAD_W = 134.0
+#: §7: "even at a low CPU core load, e.g., 10%, the power consumption of the
+#: server reaches 86W".
+XEON_2660_ONE_CORE_10PCT_W = 86.0
+#: §7: "the overhead of an additional core running is small, in the order of
+#: 1W-2W" — we use 1.5W/core, which lands full load at
+#: 56 + 35.7 + 1.5*27 + ... ≈ 134W (see repro.host.server for the fit).
+XEON_2660_EXTRA_CORE_W = 1.5
+
+# ===========================================================================
+# NetFPGA SUME platform (§3, §4, §5).
+# ===========================================================================
+
+#: FPGA shell (interfaces, arbiters, PCIe/DMA, static power) inside a host.
+#: §4.2: the idle server *with NIC* draws 39W; for LaKe's evaluation "the
+#: NIC is taken out of the server … as LaKe replaces it", and the LaKe
+#: system idles at 59W.  So the LaKe card is 59 − 36 = 23W, and with LaKe's
+#: logic (2.2W) and memories (10.8W) the shell is 10W.
+NETFPGA_SHELL_W = 10.0
+
+#: §5.2: "The power overhead of LaKe's logic over the NetFPGA reference NIC
+#: is 2.2W, including five processing cores, interconnects and a packet
+#: classification module."
+LAKE_LOGIC_TOTAL_W = 2.2
+#: §5.1: "The power contribution of each PE is also small, about 0.25W".
+LAKE_PE_W = 0.25
+LAKE_DEFAULT_PES = 5
+#: Remainder of the 2.2W once 5 PEs are accounted for: classifier + interconnect.
+LAKE_CLASSIFIER_INTERCONNECT_W = LAKE_LOGIC_TOTAL_W - LAKE_DEFAULT_PES * LAKE_PE_W
+
+#: §5.3: "4GB of DRAM memory costs 4.8W and 18MB of SRAM costs 6W".
+DRAM_4GB_W = 4.8
+SRAM_18MB_W = 6.0
+MEMORIES_TOTAL_W = DRAM_4GB_W + SRAM_18MB_W  # "no less than 10W" (§5.1)
+
+#: §5.1: "Reset to the external memory interfaces can save 40% of their power."
+MEMORY_RESET_SAVING_FRACTION = 0.40
+
+#: §5.1: "Clock gating to the LaKe module and the PEs earns less than 1W".
+CLOCK_GATING_SAVING_W = 0.8
+
+#: §4.3: P4xos standalone idle power and max dynamic adder.
+P4XOS_STANDALONE_IDLE_W = 18.2
+P4XOS_STANDALONE_DYNAMIC_MAX_W = 1.2
+
+#: In-server card wattage (delta over the idle *no-NIC* host, 36W).  LaKe =
+#: 23W so the LaKe system idles at 59W (§4.2); P4xos "base power consumption
+#: is 10W lower than LaKe" (§4.3) → 13W card → 49W system; Emu DNS draws
+#: "about 48W" in-server (§4.4) → 12W card.
+LAKE_CARD_W = NETFPGA_SHELL_W + LAKE_LOGIC_TOTAL_W + MEMORIES_TOTAL_W  # 23.0
+P4XOS_CARD_W = LAKE_CARD_W - 10.0  # 13.0
+EMU_DNS_CARD_W = 12.0
+
+#: Logic-only watts for the on-chip designs (card minus shell).
+P4XOS_LOGIC_W = P4XOS_CARD_W - NETFPGA_SHELL_W
+EMU_DNS_LOGIC_W = EMU_DNS_CARD_W - NETFPGA_SHELL_W
+
+#: Standalone operation adds a dedicated PSU + board overheads.  Anchored by
+#: §4.3's standalone P4xos figure: 18.2W standalone with a 13W in-server
+#: card implies 5.2W of PSU/management overhead.  This puts standalone LaKe
+#: at 28.2W idle, "roughly equivalent" (§5.1) to the idle no-NIC server (36W).
+STANDALONE_PSU_OVERHEAD_W = P4XOS_STANDALONE_IDLE_W - P4XOS_CARD_W  # 5.2
+
+#: Dynamic (load-dependent) power adder of the FPGA designs at full load.
+#: §4.3: "additional dynamic power consumption (under maximum load) being no
+#: more than 1.2W"; §4.4 Emu moves 47.5W -> <48W.
+FPGA_DYNAMIC_MAX_W = 1.2
+EMU_DYNAMIC_MAX_W = 0.5
+
+#: §4.2/§3.1: LaKe line rate ≈ 13 Mpps on 10GE; each PE supports 3.3Mqps (§5.2).
+LAKE_LINE_RATE_PPS = mpps(13.0)
+LAKE_PE_CAPACITY_PPS = mpps(3.3)
+
+#: §3.2: P4xos on NetFPGA SUME reaches 10M msgs/s.
+P4XOS_FPGA_CAPACITY_PPS = mpps(10.0)
+
+#: §4.4: Emu DNS peaks at "roughly 1M requests served every second";
+#: software NSD serves 956K requests/s.
+EMU_DNS_CAPACITY_PPS = mpps(1.0)
+NSD_CAPACITY_PPS = 956_000.0
+
+#: §4.4: "At peak throughput, the server draws twice the power of Emu DNS"
+#: (Emu ≈ 48W) → NSD peak ≈ 96W.  Curve exponent picked so that the software
+#: exceeds 48W below 200Kpps (§4.4: "less than 200Kpps are enough").
+NSD_PEAK_W = 96.0
+NSD_POWER_ALPHA = 1.05
+
+# ===========================================================================
+# Paxos software baselines (§3.2, §4.3).
+# ===========================================================================
+
+#: §3.2: "The libpaxos software implementation of an acceptor could achieve
+#: a throughput of 178K messages/second" (single core).
+LIBPAXOS_ACCEPTOR_CAPACITY_PPS = 178_000.0
+#: The leader does strictly more work per client message; we use 160K/s.
+LIBPAXOS_LEADER_CAPACITY_PPS = 160_000.0
+
+#: Single-core-saturated wall power for libpaxos on the i7.  The §4.3
+#: crossover at 150K msgs/s against P4xos-in-server (≈49W) pins the curve;
+#: we model P = idle + LIN*u + POLY*u^4 (slow rise, steep near saturation).
+LIBPAXOS_PEAK_W = 53.5
+LIBPAXOS_LINEAR_W = 8.0
+LIBPAXOS_POLY_W = LIBPAXOS_PEAK_W - I7_IDLE_W - LIBPAXOS_LINEAR_W  # 6.5
+LIBPAXOS_POLY_EXP = 4.0
+
+#: §4.3: DPDK "power consumption ... is high even under low load, and
+#: remains almost constant" (constant polling).  Figure 3(b) shows ~72W.
+DPDK_IDLE_W = 72.0
+DPDK_PEAK_W = 78.0
+DPDK_ACCEPTOR_CAPACITY_PPS = 900_000.0
+DPDK_LEADER_CAPACITY_PPS = 800_000.0
+
+# ===========================================================================
+# Tofino ASIC (§6).
+# ===========================================================================
+
+#: §6 reports only normalized power.  We normalize to the idle power of the
+#: switch running L2 forwarding alone (= 1.0).
+TOFINO_IDLE_NORMALIZED = 1.0
+#: §6: "the difference between the minimum and maximum consumption is less
+#: than 20%" → full-load L2-only = 1.17, so that even with the P4xos
+#: overhead the span stays below 20%.
+TOFINO_L2_FULL_LOAD_NORMALIZED = 1.17
+#: §6: "running P4xos adds no more than 2% to the overall power consumption".
+TOFINO_P4XOS_OVERHEAD_FRACTION = 0.02
+#: §6: "the diagnostic program supplied with Tofino (diag.p4) takes 4.8% more
+#: power than the layer 2 forwarding program under full load".
+TOFINO_DIAG_OVERHEAD_FRACTION = 0.048
+#: §3.2: ASIC deployment processes "over 2.5 billion consensus messages/s".
+TOFINO_P4XOS_CAPACITY_PPS = 2.5e9
+#: §6 test configuration: 1.28Tbps as 32x40G snake.
+TOFINO_PORTS = 32
+TOFINO_PORT_GBPS = 40
+#: Absolute scale used when de-normalizing is required (typical Tofino-class
+#: system power; only ratios are reported in experiments, per §6).
+TOFINO_TYPICAL_IDLE_W = 200.0
+
+#: §6: ops/W orders of magnitude ("software ... 10K's of messages per watt,
+#: FPGA ... 100K's, ASIC ... 10M's").
+OPS_PER_WATT_ORDER = {"software": 1e4, "fpga": 1e5, "asic": 1e7}
+
+#: §6: at 10% utilization the Tofino P4xos delivers x1000 the throughput of
+#: a server while its dynamic power is 1/3 of the server's at 180Kpps.
+TOFINO_DYNAMIC_VS_SERVER_FRACTION = 1.0 / 3.0
+TOFINO_X1000_UTILIZATION = 0.10
+
+# ===========================================================================
+# Latency calibration (§5.3, §9.5, §3.3).
+# ===========================================================================
+
+#: §5.3: "A hit in the on-chip cache takes no more than 1.4us".
+LAKE_L1_HIT_US = 1.4
+#: §5.3: off-chip (DRAM) hit: 1.67us median, 1.9us p99 at 100Kqps, p99 3us
+#: at 10Mqps.
+LAKE_L2_HIT_MEDIAN_US = 1.67
+LAKE_L2_HIT_P99_LOW_LOAD_US = 1.9
+LAKE_L2_HIT_P99_FULL_LOAD_US = 3.0
+#: §5.3: "a miss in the hardware will be x10 longer (13.5us median, 14.3us
+#: 99th percentile)" — i.e. served by host software behind the card.
+LAKE_MISS_MEDIAN_US = 13.5
+LAKE_MISS_P99_US = 14.3
+#: §3.1: LaKe provides "x10 latency ... improvement compared to
+#: software-based memcached" → software memcached ≈ 14-16us median.
+MEMCACHED_SW_MEDIAN_US = 15.0
+MEMCACHED_SW_P99_US = 32.0
+
+#: §3.3: Emu DNS provides "approximately x70 average and 99th percentile
+#: latency improvement" over NSD.
+NSD_MEDIAN_US = 70.0
+EMU_DNS_MEDIAN_US = 1.0
+
+#: Figure 7: software leader end-to-end consensus latency ~400us at load,
+#: "latency is halved when the leader is implemented in hardware".
+PAXOS_SW_LEADER_LATENCY_US = 400.0
+PAXOS_HW_LEADER_LATENCY_US = 200.0
+
+#: Per-role software stack (kernel UDP + libpaxos processing) latencies,
+#: chosen so the end-to-end chain client->leader->acceptor->learner->client
+#: lands at ~400us with a software leader and ~200us (halved, Figure 7)
+#: with the leader in hardware.
+LIBPAXOS_LEADER_STACK_US = 200.0
+LIBPAXOS_ACCEPTOR_STACK_US = 90.0
+LIBPAXOS_LEARNER_STACK_US = 90.0
+#: DPDK kernel-bypass trims the stack latency substantially (§3.2).
+DPDK_STACK_US = 25.0
+#: P4xos pipeline latency on the FPGA (§9.5: ns-scale stages; µs-scale total).
+P4XOS_FPGA_PIPELINE_US = 2.0
+
+#: Software memcached / NSD stack latencies (median request latency minus
+#: the ~1µs service occupancy), matching MEMCACHED_SW_MEDIAN_US and
+#: NSD_MEDIAN_US.
+MEMCACHED_STACK_US = 14.0
+NSD_STACK_US = 69.0
+
+#: §9.5: fully pipelined designs have almost-constant latency, ±100ns on
+#: NetFPGA SUME.
+FPGA_PIPELINE_JITTER_US = 0.1
+
+# ===========================================================================
+# LaKe memory capacities (§5.3).
+# ===========================================================================
+
+#: §5.3: 4GB DRAM holds 33M 64B value chunks and 268M hash-table entries;
+#: the SRAM holds a free-chunk list of up to 4.7M entries; on-chip-only
+#: designs hold x65k fewer value entries and x32k fewer free-list entries.
+DRAM_VALUE_ENTRIES = 33_000_000
+DRAM_HASH_ENTRIES = 268_000_000
+SRAM_FREELIST_ENTRIES = 4_700_000
+ONCHIP_VALUE_ENTRIES = DRAM_VALUE_ENTRIES // 65_000   # ≈ 507
+ONCHIP_FREELIST_ENTRIES = SRAM_FREELIST_ENTRIES // 32_000  # ≈ 146
+
+# ===========================================================================
+# On-demand controller defaults (§9.1, §9.2).
+# ===========================================================================
+
+#: Network-controlled: rate thresholds with hysteresis.  The shift-up
+#: thresholds sit at the §4 crossovers; shift-down lower, to avoid flapping.
+NETCTL_KVS_UP_PPS = 80_000.0      # §4.2 crossover
+NETCTL_KVS_DOWN_PPS = 50_000.0
+NETCTL_PAXOS_UP_PPS = 150_000.0   # §4.3 crossover
+NETCTL_PAXOS_DOWN_PPS = 100_000.0
+NETCTL_DNS_UP_PPS = 150_000.0     # §4.4 crossover region
+NETCTL_DNS_DOWN_PPS = 100_000.0
+#: Figure 6: "Transition is triggered after three seconds of sustained high
+#: load".
+CONTROLLER_SUSTAIN_S = 3.0
+
+#: Host-controlled defaults: RAPL package-power thresholds + host CPU-usage
+#: thresholds.  Calibrated to the Figure 6 scenario: the co-located
+#: ChainerMN job lifts RAPL package power from ~36W to ~85W and host CPU
+#: utilization above 50%, which triggers the shift; after it stops, power
+#: falls below the down threshold and the workload shifts back.
+HOSTCTL_POWER_UP_W = 60.0
+HOSTCTL_POWER_DOWN_W = 45.0
+HOSTCTL_CPU_UP_FRACTION = 0.50
+HOSTCTL_CPU_DOWN_FRACTION = 0.30
+
+#: §9.1 implementation footprint (reported for fidelity; used in docs/tests).
+NETCTL_LINES_OF_CODE = 40
+HOSTCTL_LINES_OF_CODE = 204
+HOSTCTL_CPU_OVERHEAD_FRACTION = 0.003  # "0.3% CPU usage, mainly RAPL reads"
+
+#: Figure 7: client retry timeout ≈ 100ms ("throughput drops to zero for
+#: about 100 msec. This corresponds to the value of the client timeout").
+PAXOS_CLIENT_TIMEOUT_MS = 100.0
+PAXOS_LEARNER_GAP_TIMEOUT_MS = 50.0
+
+# ===========================================================================
+# §9.3 real-workload statistics (Dynamo / Google cluster trace).
+# ===========================================================================
+
+#: Dynamo rack-level power variation percentiles.
+DYNAMO_RACK_VARIATION_3S_P99 = 0.128
+DYNAMO_RACK_VARIATION_30S_P99 = 0.266
+DYNAMO_RACK_VARIATION_MEDIAN = 0.05
+DYNAMO_CACHING_VARIATION_60S_MEDIAN = 0.092
+DYNAMO_CACHING_VARIATION_60S_P99 = 0.262
+DYNAMO_WEB_VARIATION_MEDIAN = 0.372
+DYNAMO_WEB_VARIATION_P99 = 0.622
+#: Dynamo dynamic power at 10% load per CPU generation (§9.3).
+DYNAMO_WESTMERE_10PCT_DYNAMIC_W = 30.0
+DYNAMO_HASWELL_10PCT_DYNAMIC_W = 75.0
+
+#: Google trace statistics (§9.3): 90% of utilization from jobs >2h that are
+#: only 5% of jobs; >=1.39M unique tasks with >=10% of a core for >=5min;
+#: average 7.7 normalized cores of such tasks per node per 5-min sample.
+GOOGLE_LONG_JOB_UTIL_FRACTION = 0.90
+GOOGLE_LONG_JOB_COUNT_FRACTION = 0.05
+GOOGLE_OFFLOAD_CANDIDATE_TASKS = 1_390_000
+GOOGLE_AVG_CANDIDATE_CORES_PER_NODE = 7.7
+GOOGLE_CANDIDATE_MIN_CORE_FRACTION = 0.10
+GOOGLE_CANDIDATE_MIN_DURATION_S = 300.0
+
+# ===========================================================================
+# §9.4 / §10 switch + SmartNIC figures.
+# ===========================================================================
+
+#: §9.4: switches take "less than 5W per 100G port", so "a million queries
+#: will draw less than 1W" (packets ≤1500B).
+SWITCH_W_PER_100G_PORT = 5.0
+SWITCH_W_PER_MQPS = 1.0
+
+#: §10: Azure AccelNet SmartNIC consumes 17-19W standalone on a 40GE board,
+#: "close to 4Mpps/W for some use cases".
+ACCELNET_STANDALONE_W = (17.0, 19.0)
+ACCELNET_MPPS_PER_W = 4.0
+#: §10: SmartNICs typically cap at the 25W PCIe slot budget.
+SMARTNIC_PCIE_POWER_CAP_W = 25.0
+
+#: §5.4: "Xilinx UltraScale+ achieves x2.4 performance/Watt compared with
+#: Xilinx Virtex 7".
+ULTRASCALE_PERF_PER_WATT_GAIN = 2.4
+
+
+# ===========================================================================
+# Structured views used by model constructors.
+# ===========================================================================
+
+
+@dataclass(frozen=True)
+class ServerCalibration:
+    """Anchor points for a software server power curve."""
+
+    name: str
+    idle_w: float
+    peak_w: float
+    cores: int
+    base_ghz: float
+
+
+I7_6700K = ServerCalibration(
+    name="i7-6700K", idle_w=I7_IDLE_W, peak_w=I7_MEMCACHED_PEAK_W, cores=4, base_ghz=4.0
+)
+
+XEON_E5_2637 = ServerCalibration(
+    name="Xeon E5-2637 v4",
+    idle_w=XEON_E5_2637_IDLE_NO_NIC_W,
+    peak_w=XEON_E5_2637_IDLE_NO_NIC_W + 80.0,
+    cores=4,
+    base_ghz=3.5,
+)
+
+XEON_E5_2660 = ServerCalibration(
+    name="Xeon E5-2660 v4 (dual)",
+    idle_w=XEON_2660_IDLE_W,
+    peak_w=XEON_2660_FULL_LOAD_W,
+    cores=XEON_2660_SOCKETS * XEON_2660_CORES_PER_SOCKET,
+    base_ghz=2.0,
+)

@@ -1,0 +1,50 @@
+"""The paper's primary contribution: in-network computing on demand.
+
+§9 proposes treating programmable network devices as schedulable computing
+resources, with two proof-of-concept controllers:
+
+* :class:`NetworkController` (§9.1) — decides in the device from traffic
+  rate alone: a threshold + averaging-period pair to shift up, a mirror pair
+  to shift down (hysteresis).
+* :class:`HostController` (§9.1) — decides at the host from application CPU
+  usage and RAPL power, with feedback from the network for shifting back.
+* :class:`PaxosShiftController` (§9.2) — a centralized controller that
+  shifts the Paxos leader by rewriting switch forwarding rules.
+
+plus the §8 energy analysis (:mod:`repro.core.energy_model`) and a placement
+advisor (:mod:`repro.core.placement`).
+"""
+
+from .window import SlidingWindowRate, SlidingWindowMean
+from .hysteresis import HysteresisSwitch, Thresholds
+from .network_controller import NetworkController, NetworkControllerConfig
+from .host_controller import HostController, HostControllerConfig
+from .paxos_controller import PaxosShiftController
+from .predictive_controller import PredictiveController, PredictiveControllerConfig
+from .energy_model import TippingPointAnalysis, tipping_point, tor_switch_analysis
+from .ondemand import OnDemandService, Placement
+from .placement import PlacementAdvisor, PlatformRecommendation
+from .shift_strategy import ShiftStrategy, ShiftStrategyModel
+
+__all__ = [
+    "SlidingWindowRate",
+    "SlidingWindowMean",
+    "HysteresisSwitch",
+    "Thresholds",
+    "NetworkController",
+    "NetworkControllerConfig",
+    "HostController",
+    "HostControllerConfig",
+    "PaxosShiftController",
+    "TippingPointAnalysis",
+    "tipping_point",
+    "tor_switch_analysis",
+    "OnDemandService",
+    "Placement",
+    "PlacementAdvisor",
+    "PlatformRecommendation",
+    "PredictiveController",
+    "PredictiveControllerConfig",
+    "ShiftStrategy",
+    "ShiftStrategyModel",
+]

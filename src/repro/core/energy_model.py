@@ -1,0 +1,182 @@
+"""The §8 "when to use in-network computing" analysis.
+
+Two questions from the paper:
+
+1. *If you use standard network devices, should you start using
+   programmable ones?*  Dominated by the idle powers ``Pi_S`` vs ``Pi_N``
+   (§6 answers: programmable switch idle power equals fixed-function, so
+   the penalty is ~zero).
+2. *If you use programmable network devices, when should you offload?*
+   Here ``Pi_N = Pi_S`` (same device either way) and the dynamic terms
+   dominate: the tipping point is the rate R where
+   ``Pd_N(R) = Pd_S(R)``.
+
+Plus the §9.4 ToR-switch variant: with switches drawing <5W per 100G port,
+a million queries costs <1W, so ``Pd_N(R) = Pd_S(R)`` at R ≈ 0 — offloading
+to an already-installed switch is essentially always power-positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..steady.base import SteadyModel, find_crossover
+
+
+@dataclass(frozen=True)
+class TippingPointAnalysis:
+    """Result of the §8 analysis for one application."""
+
+    software: str
+    hardware: str
+    crossover_pps: Optional[float]
+    software_idle_w: float
+    hardware_idle_w: float
+    software_peak_w: float
+    hardware_peak_w: float
+
+    @property
+    def hardware_ever_wins(self) -> bool:
+        return self.crossover_pps is not None
+
+    def describe(self) -> str:
+        if not self.hardware_ever_wins:
+            return (
+                f"{self.hardware} never beats {self.software} "
+                "within the examined range"
+            )
+        return (
+            f"shift {self.software} -> {self.hardware} above "
+            f"{self.crossover_pps / 1e3:.0f} Kpps"
+        )
+
+
+def tipping_point(software: SteadyModel, hardware: SteadyModel) -> TippingPointAnalysis:
+    """Find R with ``P_N(R) = P_S(R)`` for a software/hardware model pair."""
+    crossover = find_crossover(software, hardware)
+    return TippingPointAnalysis(
+        software=software.name,
+        hardware=hardware.name,
+        crossover_pps=crossover,
+        software_idle_w=software.power_at(0.0),
+        hardware_idle_w=hardware.power_at(0.0),
+        software_peak_w=software.power_at(software.capacity_pps),
+        hardware_peak_w=hardware.power_at(hardware.capacity_pps),
+    )
+
+
+@dataclass(frozen=True)
+class TorSwitchAnalysis:
+    """The §9.4 ToR-switch on-demand analysis."""
+
+    nodes_served: int
+    switch_w_per_mqps: float
+    server_dynamic_w_per_mqps: float
+    crossover_pps: float
+
+    @property
+    def switch_always_wins(self) -> bool:
+        """True when the crossover is effectively zero (§9.4: 'PNd(R) will
+        equal PSd(R) when R is almost zero')."""
+        return self.crossover_pps < 1_000.0
+
+
+def tor_switch_analysis(
+    software: SteadyModel,
+    nodes_served: int = 32,
+    switch_w_per_mqps: float = cal.SWITCH_W_PER_MQPS,
+) -> TorSwitchAnalysis:
+    """Compare offloading to a ToR switch already forwarding the traffic.
+
+    The switch's marginal cost is ``switch_w_per_mqps`` (<1W/Mqps, §9.4);
+    the server's dynamic cost at low load is taken from the software model's
+    initial slope.  The crossover is where the marginal powers match — with
+    these constants, practically zero.
+    """
+    if nodes_served <= 0:
+        raise ConfigurationError("nodes_served must be positive")
+    probe_pps = software.capacity_pps * 0.01
+    server_dynamic_w = software.power_at(probe_pps) - software.power_at(0.0)
+    server_w_per_mqps = server_dynamic_w / (probe_pps / 1e6)
+    # switch dynamic power per Mqps is constant; find R where cumulative
+    # dynamic powers cross: switch_w_per_mqps * R = server curve(R).
+    lo, hi = 0.0, probe_pps
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        switch_w = switch_w_per_mqps * mid / 1e6
+        server_w = software.power_at(mid) - software.power_at(0.0)
+        if switch_w < server_w:
+            hi = mid
+        else:
+            lo = mid
+    return TorSwitchAnalysis(
+        nodes_served=nodes_served,
+        switch_w_per_mqps=switch_w_per_mqps,
+        server_dynamic_w_per_mqps=server_w_per_mqps,
+        crossover_pps=hi,
+    )
+
+
+@dataclass(frozen=True)
+class CacheOffloadEfficiency:
+    """§9.4's last scenario: the switch serves only the hit fraction.
+
+    "A different case consider[s] the switch handling just some of the
+    requests, and the rest are handled by the host … it is a function of
+    hit:miss ratio to define the efficiency of offloading on-demand."
+    """
+
+    hit_ratio: float
+    rate_pps: float
+    switch_dynamic_w: float
+    host_dynamic_w: float
+    host_only_dynamic_w: float
+
+    @property
+    def power_saving_w(self) -> float:
+        """Dynamic power saved vs serving everything on the host."""
+        return self.host_only_dynamic_w - (self.switch_dynamic_w + self.host_dynamic_w)
+
+    @property
+    def saving_fraction(self) -> float:
+        if self.host_only_dynamic_w <= 0:
+            return 0.0
+        return self.power_saving_w / self.host_only_dynamic_w
+
+
+def cache_offload_efficiency(
+    software: SteadyModel,
+    hit_ratio: float,
+    rate_pps: float,
+    switch_w_per_mqps: float = cal.SWITCH_W_PER_MQPS,
+) -> CacheOffloadEfficiency:
+    """Evaluate switch-cache offloading at a given hit ratio (§9.4).
+
+    The switch absorbs ``hit_ratio`` of the requests at its ~1W/Mqps
+    marginal cost; the host serves the misses along its own power curve.
+    """
+    if not 0.0 <= hit_ratio <= 1.0:
+        raise ConfigurationError("hit_ratio outside [0,1]")
+    if rate_pps < 0:
+        raise ConfigurationError("rate must be >= 0")
+    miss_rate = min((1.0 - hit_ratio) * rate_pps, software.capacity_pps)
+    served_rate = min(rate_pps, software.capacity_pps)
+    idle = software.power_at(0.0)
+    return CacheOffloadEfficiency(
+        hit_ratio=hit_ratio,
+        rate_pps=rate_pps,
+        switch_dynamic_w=switch_w_per_mqps * hit_ratio * rate_pps / 1e6,
+        host_dynamic_w=software.power_at(miss_rate) - idle,
+        host_only_dynamic_w=software.power_at(served_rate) - idle,
+    )
+
+
+def programmable_adoption_penalty_w() -> float:
+    """Question 1 of §8: the idle-power penalty of deploying programmable
+    instead of fixed-function switches.  §6/§9.4: none ("The power
+    consumption of programmable switches is the same or better than
+    fixed-function devices")."""
+    return 0.0

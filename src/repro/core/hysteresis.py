@@ -1,0 +1,58 @@
+"""Dual-threshold hysteresis.
+
+§9.1: "A mirror pair of parameters is used to shift workloads from the
+network back to the host.  Using two sets of parameters provides hysteresis,
+and attends to concerns of rapidly shifting workloads back-and-forth."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """An (up, down) threshold pair; ``up`` must exceed ``down``."""
+
+    up: float
+    down: float
+
+    def __post_init__(self):
+        if self.up <= self.down:
+            raise ConfigurationError(
+                f"hysteresis requires up > down (got up={self.up}, down={self.down})"
+            )
+
+
+class HysteresisSwitch:
+    """A boolean state driven through dual thresholds.
+
+    State goes high when the signal is >= ``thresholds.up`` and low when it
+    is <= ``thresholds.down``; between the two it holds (the hysteresis
+    band).  Transition counts are exposed so experiments and tests can
+    assert the absence of flapping.
+    """
+
+    def __init__(self, thresholds: Thresholds, initial: bool = False):
+        self.thresholds = thresholds
+        self.state = initial
+        self.ups = 0
+        self.downs = 0
+
+    def update(self, signal: float) -> bool:
+        """Feed a signal sample; returns True iff the state changed."""
+        if not self.state and signal >= self.thresholds.up:
+            self.state = True
+            self.ups += 1
+            return True
+        if self.state and signal <= self.thresholds.down:
+            self.state = False
+            self.downs += 1
+            return True
+        return False
+
+    @property
+    def transitions(self) -> int:
+        return self.ups + self.downs

@@ -1,0 +1,101 @@
+"""The user-facing on-demand service handle.
+
+§9: "Two components are required to support in-network computing on demand.
+The first is a controller … The second is an application-specific task,
+which may be null, in charge of the actual transition of an application."
+
+:class:`OnDemandService` binds the two: it owns the current
+:class:`Placement`, the classifier offload switch, and the
+application-specific transition hooks (e.g. ``LakeKvs.enable`` /
+``LakeKvs.disable``, or a Paxos leader shift).  Controllers call
+``shift_to_hardware()`` / ``shift_to_software()``; the service records
+every transition for the Figure 6/7 timelines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..errors import PlacementError
+from ..net.classifier import PacketClassifier
+from ..net.packet import TrafficClass
+from ..sim import Simulator
+
+
+class Placement(enum.Enum):
+    SOFTWARE = "software"
+    HARDWARE = "hardware"
+
+
+@dataclass(frozen=True)
+class Shift:
+    """One recorded transition."""
+
+    time_us: float
+    to: Placement
+    reason: str
+
+
+class OnDemandService:
+    """A service whose placement can shift between host and network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        classifier: Optional[PacketClassifier] = None,
+        traffic_class: Optional[TrafficClass] = None,
+        to_hardware: Optional[Callable[[], None]] = None,
+        to_software: Optional[Callable[[], None]] = None,
+        initial: Placement = Placement.SOFTWARE,
+    ):
+        self.sim = sim
+        self.name = name
+        self.classifier = classifier
+        self.traffic_class = traffic_class
+        self._to_hardware = to_hardware
+        self._to_software = to_software
+        self.placement = initial
+        self.shifts: List[Shift] = []
+
+    # -- transitions ------------------------------------------------------
+
+    def shift_to_hardware(self, reason: str = "") -> bool:
+        """Shift processing into the network; False if already there."""
+        if self.placement is Placement.HARDWARE:
+            return False
+        if self._to_hardware is not None:
+            self._to_hardware()
+        if self.classifier is not None:
+            if self.traffic_class is None:
+                raise PlacementError(f"{self.name}: classifier without traffic class")
+            self.classifier.set_offload(self.traffic_class, True)
+        self.placement = Placement.HARDWARE
+        self.shifts.append(Shift(self.sim.now, Placement.HARDWARE, reason))
+        return True
+
+    def shift_to_software(self, reason: str = "") -> bool:
+        """Shift processing back to the host; False if already there."""
+        if self.placement is Placement.SOFTWARE:
+            return False
+        if self.classifier is not None:
+            if self.traffic_class is None:
+                raise PlacementError(f"{self.name}: classifier without traffic class")
+            self.classifier.set_offload(self.traffic_class, False)
+        if self._to_software is not None:
+            self._to_software()
+        self.placement = Placement.SOFTWARE
+        self.shifts.append(Shift(self.sim.now, Placement.SOFTWARE, reason))
+        return True
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def in_hardware(self) -> bool:
+        return self.placement is Placement.HARDWARE
+
+    def shift_times_us(self) -> List[float]:
+        """The red dashed lines of Figures 6 and 7."""
+        return [s.time_us for s in self.shifts]

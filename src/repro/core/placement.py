@@ -1,0 +1,172 @@
+"""Placement advisor — the §10 "FPGA, SmartNIC or Switch?" rules of thumb.
+
+§10's answer is "not conclusive" but structured; this module encodes the
+structure: given an application profile, rank the platforms and explain
+the ranking with the paper's own arguments (switch = best performance and
+perf/W but ×10 price and topology questions; FPGA = most flexible, poorest
+perf/W; ASIC SmartNIC = good trade-off of programmability, cost, maturity,
+power; SoC = easiest bring-up, earliest resource wall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..workloads.dynamo import PowerVariationAnalysis
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """What the advisor needs to know about a workload."""
+
+    name: str
+    peak_rate_pps: float
+    latency_sensitive: bool = False
+    #: bytes of state the data-plane implementation needs
+    state_bytes: int = 0
+    #: does every message naturally traverse a shared switch?
+    traffic_through_switch: bool = True
+    #: needs bespoke interfaces / exotic memories / full feature set?
+    needs_flexibility: bool = False
+    #: §9.3: power variation over the scheduling period
+    power_variation: Optional[PowerVariationAnalysis] = None
+
+
+@dataclass(frozen=True)
+class PlatformRecommendation:
+    platform: str
+    score: float
+    reasons: List[str] = field(default_factory=list)
+
+
+#: On-chip state capacities (bytes) of data-plane targets; a switch ASIC
+#: offers tens of MB of SRAM, an FPGA can add GBs of on-card DRAM (§5.3).
+_SWITCH_STATE_LIMIT = 32 * 1024 * 1024
+_SMARTNIC_STATE_LIMIT = 2 * 1024 * 1024 * 1024
+_FPGA_STATE_LIMIT = 4 * 1024 * 1024 * 1024
+
+
+class PlacementAdvisor:
+    """Scores {server, fpga-nic, smartnic-asic, smartnic-soc, switch-asic}."""
+
+    def recommend(self, profile: ApplicationProfile) -> List[PlatformRecommendation]:
+        """Platforms ranked best-first."""
+        if profile.peak_rate_pps < 0:
+            raise ConfigurationError("peak rate must be >= 0")
+        recs = [
+            self._score_server(profile),
+            self._score_switch(profile),
+            self._score_smartnic_asic(profile),
+            self._score_smartnic_soc(profile),
+            self._score_fpga(profile),
+        ]
+        return sorted(recs, key=lambda r: r.score, reverse=True)
+
+    def best(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        return self.recommend(profile)[0]
+
+    # -- scoring helpers -----------------------------------------------------------
+
+    def _variation_penalty(self, profile: ApplicationProfile) -> float:
+        """§9.3: high power variance makes on-demand INC 'incorrect or
+        inefficient'."""
+        if profile.power_variation is None:
+            return 0.0
+        return 2.0 if profile.power_variation.p99 > 0.30 else 0.0
+
+    def _score_server(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        reasons = [
+            "software needs no data-plane port and shifts on demand at zero "
+            "engineering cost (§9)"
+        ]
+        score = 3.0
+        if profile.peak_rate_pps < cal.NETCTL_KVS_UP_PPS:
+            score += 3.0
+            reasons.append(
+                "below the §4 crossover loads the software host is the most "
+                "power-efficient placement"
+            )
+        if profile.latency_sensitive:
+            score -= 2.0
+            reasons.append("host processing pays the PCIe+kernel latency tax (§9.5)")
+        score += self._variation_penalty(profile)
+        if self._variation_penalty(profile):
+            reasons.append(
+                "high power variance makes on-demand shifts risky (§9.3); "
+                "staying in software is the safe default"
+            )
+        return PlatformRecommendation("server", score, reasons)
+
+    def _score_switch(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        reasons = [
+            "switch ASIC offers the highest performance and performance/W (§10)",
+            "terminating in the switch halves application packet hops (§10)",
+        ]
+        score = 4.0
+        if profile.peak_rate_pps > 50e6:
+            score += 4.0
+            reasons.append("only the ASIC sustains this rate (§3.2: 2.5B msgs/s)")
+        if not profile.traffic_through_switch:
+            score -= 4.0
+            reasons.append(
+                "not all messages traverse one switch: placement there is not "
+                "in-network computing for this workload (§10)"
+            )
+        if profile.state_bytes > _SWITCH_STATE_LIMIT:
+            score -= 4.0
+            reasons.append("state exceeds switch on-chip memory (§10: limited resources per Gbps)")
+        if profile.needs_flexibility:
+            score -= 2.0
+            reasons.append("vendor-fixed target architecture limits flexibility (§10)")
+        score -= 1.0  # ×10 price tag (§10)
+        reasons.append("switch price is ×10 that of NIC-class solutions (§10)")
+        return PlatformRecommendation("switch-asic", score, reasons)
+
+    def _score_smartnic_asic(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        reasons = [
+            "ASIC SmartNICs trade programmability, cost, maturity and power well (§10)"
+        ]
+        score = 5.0
+        if profile.state_bytes > _SMARTNIC_STATE_LIMIT:
+            score -= 3.0
+            reasons.append("state exceeds SmartNIC memory budget")
+        if profile.needs_flexibility:
+            score -= 2.0
+            reasons.append("ASIC-based SmartNICs may not suit every in-network function (§10)")
+        if profile.peak_rate_pps > 200e6:
+            score -= 2.0
+            reasons.append("rate beyond a single NIC-class device")
+        return PlatformRecommendation("smartnic-asic", score, reasons)
+
+    def _score_smartnic_soc(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        reasons = [
+            "SoC SmartNICs provide the easiest implementation trajectory (§10)"
+        ]
+        score = 4.0
+        if profile.peak_rate_pps > 20e6:
+            score -= 3.0
+            reasons.append("SoC scalability hits the resource wall earliest (§10)")
+        return PlatformRecommendation("smartnic-soc", score, reasons)
+
+    def _score_fpga(self, profile: ApplicationProfile) -> PlatformRecommendation:
+        reasons = [
+            "FPGA is the most flexible target: any application, any interface, "
+            "any memory (§10)"
+        ]
+        score = 4.0
+        if profile.needs_flexibility:
+            score += 3.0
+        if profile.state_bytes > _SWITCH_STATE_LIMIT:
+            score += 1.0
+            reasons.append("on-card DRAM fits large state (§5.3)")
+        if profile.state_bytes > _FPGA_STATE_LIMIT:
+            score -= 3.0
+            reasons.append("state exceeds even on-card DRAM")
+        score -= 1.0
+        reasons.append(
+            "FPGA likely provides the poorest performance/W of the options (§10)"
+        )
+        return PlatformRecommendation("fpga-nic", score, reasons)

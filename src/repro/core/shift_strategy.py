@@ -1,0 +1,150 @@
+"""Shift strategies for the programmed-but-inactive device (§9.2).
+
+The paper weighs three ways to keep LaKe ready while the workload runs in
+software:
+
+* **RESET_AND_GATE** (chosen by the paper): memories held in reset, logic
+  clock-gated — "the approach that keeps LaKe programmed but inactive, in
+  order to get the best of both performance and power efficiency worlds".
+  Standby power is minimal, but the caches come up cold after a shift.
+* **KEEP_WARM**: the design stays fully powered and the caches stay warm —
+  zero warm-up penalty, "reduced power saving".
+* **PARTIAL_RECONFIGURATION**: the FPGA region is reprogrammed on demand —
+  near-NIC standby power but "may result in a momentary traffic halt".
+
+:class:`ShiftStrategyModel` quantifies the §9.2 trade-off so the ablation
+benchmark can reproduce the paper's choice: given a shift cadence and load,
+it scores standby energy vs warm-up and halt penalties.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+
+
+class ShiftStrategy(enum.Enum):
+    RESET_AND_GATE = "reset-and-gate"
+    KEEP_WARM = "keep-warm"
+    PARTIAL_RECONFIGURATION = "partial-reconfiguration"
+
+
+#: FPGA partial reconfiguration of a LaKe-sized region: bitstream load time.
+#: Order of 100ms for a multi-MB partial bitstream over ICAP.
+PARTIAL_RECONFIG_HALT_S = 0.25
+
+#: Cold-cache warm-up time constant: at rate R, the hot set is re-fetched in
+#: roughly hot_set/R seconds; misses during warm-up are served by software
+#: at the miss latency instead of the hit latency.
+DEFAULT_HOT_SET_KEYS = 40_000.0
+
+
+@dataclass(frozen=True)
+class StrategyAssessment:
+    """Outcome of evaluating one strategy over one duty cycle."""
+
+    strategy: ShiftStrategy
+    standby_power_w: float
+    warmup_s: float
+    traffic_halt_s: float
+    #: energy over the assessed period relative to KEEP_WARM standby (J)
+    standby_energy_j: float
+
+    def dominates(self, other: "StrategyAssessment") -> bool:
+        """Strictly better or equal on every §9.2 axis."""
+        return (
+            self.standby_energy_j <= other.standby_energy_j
+            and self.warmup_s <= other.warmup_s
+            and self.traffic_halt_s <= other.traffic_halt_s
+        )
+
+
+class ShiftStrategyModel:
+    """Evaluate the §9.2 strategy trade-off for a LaKe-class design."""
+
+    def __init__(
+        self,
+        active_card_w: float = cal.LAKE_CARD_W,
+        gated_card_w: float = None,
+        nic_only_w: float = cal.NETFPGA_SHELL_W,
+        hot_set_keys: float = DEFAULT_HOT_SET_KEYS,
+    ):
+        if gated_card_w is None:
+            # shell + clock-gated logic + memories in reset (§5.1 arithmetic)
+            gated_card_w = (
+                cal.NETFPGA_SHELL_W
+                + (cal.LAKE_LOGIC_TOTAL_W - cal.CLOCK_GATING_SAVING_W)
+                + cal.MEMORIES_TOTAL_W * (1.0 - cal.MEMORY_RESET_SAVING_FRACTION)
+            )
+        if not nic_only_w <= gated_card_w <= active_card_w:
+            raise ConfigurationError(
+                "expected nic_only <= gated <= active card power"
+            )
+        self.active_card_w = active_card_w
+        self.gated_card_w = gated_card_w
+        self.nic_only_w = nic_only_w
+        self.hot_set_keys = hot_set_keys
+
+    def standby_power_w(self, strategy: ShiftStrategy) -> float:
+        if strategy is ShiftStrategy.KEEP_WARM:
+            return self.active_card_w
+        if strategy is ShiftStrategy.RESET_AND_GATE:
+            return self.gated_card_w
+        # partial reconfiguration: only the NIC shell region is loaded
+        return self.nic_only_w
+
+    def warmup_s(self, strategy: ShiftStrategy, rate_pps: float) -> float:
+        """Seconds until the cache hit ratio recovers after a shift."""
+        if rate_pps <= 0:
+            raise ConfigurationError("rate must be positive")
+        if strategy is ShiftStrategy.KEEP_WARM:
+            return 0.0
+        return self.hot_set_keys / rate_pps
+
+    def traffic_halt_s(self, strategy: ShiftStrategy) -> float:
+        if strategy is ShiftStrategy.PARTIAL_RECONFIGURATION:
+            return PARTIAL_RECONFIG_HALT_S
+        return 0.0
+
+    def assess(
+        self,
+        strategy: ShiftStrategy,
+        standby_s: float,
+        rate_at_shift_pps: float,
+    ) -> StrategyAssessment:
+        """Evaluate one standby period ending in a shift to hardware."""
+        if standby_s < 0:
+            raise ConfigurationError("standby_s must be >= 0")
+        power = self.standby_power_w(strategy)
+        return StrategyAssessment(
+            strategy=strategy,
+            standby_power_w=power,
+            warmup_s=self.warmup_s(strategy, rate_at_shift_pps),
+            traffic_halt_s=self.traffic_halt_s(strategy),
+            standby_energy_j=power * standby_s,
+        )
+
+    def assess_all(self, standby_s: float, rate_at_shift_pps: float):
+        """All three strategies over the same duty cycle, best-energy first."""
+        assessments = [
+            self.assess(strategy, standby_s, rate_at_shift_pps)
+            for strategy in ShiftStrategy
+        ]
+        return sorted(assessments, key=lambda a: a.standby_energy_j)
+
+    def paper_choice(self, standby_s: float, rate_at_shift_pps: float) -> ShiftStrategy:
+        """§9.2's pick: the cheapest strategy that never halts traffic.
+
+        "Other approaches … are possible, but may result in a momentary
+        traffic halt or reduced power saving, correspondingly.  We therefore
+        choose the approach that keeps LaKe programmed but inactive."
+        """
+        candidates = [
+            a
+            for a in self.assess_all(standby_s, rate_at_shift_pps)
+            if a.traffic_halt_s == 0.0
+        ]
+        return min(candidates, key=lambda a: a.standby_energy_j).strategy

@@ -1,0 +1,99 @@
+"""Sliding-window estimators.
+
+§9.1: both controllers average their inputs over a configurable window
+("the second [parameter] is the averaging period (implemented as a sliding
+window)" … "the information is inspected over time, avoiding harsh
+decisions based on spikes and outliers").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from ..errors import ConfigurationError
+from ..units import SEC
+
+
+class SlidingWindowRate:
+    """Event rate (events/second) over a sliding time window.
+
+    ``observe(now_us, count)`` records events; ``rate_pps(now_us)`` returns
+    the average rate over the trailing window.  Events older than the window
+    are evicted lazily.
+    """
+
+    def __init__(self, window_us: float):
+        if window_us <= 0:
+            raise ConfigurationError("window must be positive")
+        self.window_us = window_us
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._count_in_window = 0
+
+    def observe(self, now_us: float, count: int = 1) -> None:
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        if self._events and now_us < self._events[-1][0]:
+            raise ConfigurationError("observations must be time-ordered")
+        self._events.append((now_us, count))
+        self._count_in_window += count
+        self._evict(now_us)
+
+    def _evict(self, now_us: float) -> None:
+        horizon = now_us - self.window_us
+        while self._events and self._events[0][0] <= horizon:
+            _, count = self._events.popleft()
+            self._count_in_window -= count
+
+    def rate_pps(self, now_us: float) -> float:
+        """Average events/second over the trailing window."""
+        self._evict(now_us)
+        return self._count_in_window * SEC / self.window_us
+
+    def count(self, now_us: float) -> int:
+        self._evict(now_us)
+        return self._count_in_window
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._count_in_window = 0
+
+
+class SlidingWindowMean:
+    """Mean of sampled values over a sliding time window (used for CPU
+    usage and RAPL power by the host controller)."""
+
+    def __init__(self, window_us: float):
+        if window_us <= 0:
+            raise ConfigurationError("window must be positive")
+        self.window_us = window_us
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def observe(self, now_us: float, value: float) -> None:
+        if self._samples and now_us < self._samples[-1][0]:
+            raise ConfigurationError("observations must be time-ordered")
+        self._samples.append((now_us, value))
+        self._evict(now_us)
+
+    def _evict(self, now_us: float) -> None:
+        horizon = now_us - self.window_us
+        while self._samples and self._samples[0][0] <= horizon:
+            self._samples.popleft()
+
+    def mean(self, now_us: float) -> float:
+        """Mean of in-window samples; 0.0 when no samples remain."""
+        self._evict(now_us)
+        if not self._samples:
+            return 0.0
+        return sum(v for _, v in self._samples) / len(self._samples)
+
+    def full(self, now_us: float) -> bool:
+        """True once samples span (most of) the window — controllers wait
+        for a full window before acting, the §9.1 'sustained' requirement."""
+        self._evict(now_us)
+        if not self._samples:
+            return False
+        return now_us - self._samples[0][0] >= 0.9 * self.window_us
+
+    def reset(self) -> None:
+        self._samples.clear()

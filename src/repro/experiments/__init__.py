@@ -1,0 +1,26 @@
+"""Experiment harness: one runner per paper table/figure.
+
+Fast analytic experiments (Figures 3–5, §5–§8, §9.3–§10) live in
+:mod:`repro.experiments.figures`; the two DES transition experiments
+(Figures 6 and 7) live in :mod:`repro.experiments.transitions`.  Every
+runner returns a result object with the raw series plus a ``render()``
+method that prints the rows/series the paper reports.
+"""
+
+from .reporting import format_table, bucket_rate_series
+from .sweep import SweepPoint, sweep_model, sweep_models
+from . import figures
+from .transitions import run_figure6, run_figure7, Figure6Result, Figure7Result
+
+__all__ = [
+    "format_table",
+    "bucket_rate_series",
+    "SweepPoint",
+    "sweep_model",
+    "sweep_models",
+    "figures",
+    "run_figure6",
+    "run_figure7",
+    "Figure6Result",
+    "Figure7Result",
+]

@@ -1,0 +1,84 @@
+"""Plain-text reporting helpers used by every experiment runner."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from ..units import SEC
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render a fixed-width text table (right-aligned numerics)."""
+    if not headers:
+        raise ConfigurationError("table needs headers")
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def bucket_rate_series(
+    times_us: Sequence[float], window_us: float, end_us: float
+) -> List[tuple]:
+    """Convert event timestamps into a (t_us, rate_pps) series.
+
+    Used to turn client response timestamps into the throughput timelines
+    of Figures 6 and 7.
+    """
+    if window_us <= 0:
+        raise ConfigurationError("window must be positive")
+    buckets = {}
+    for t in times_us:
+        buckets[int(t // window_us)] = buckets.get(int(t // window_us), 0) + 1
+    n_buckets = int(end_us // window_us) + 1
+    series = []
+    for i in range(n_buckets):
+        rate = buckets.get(i, 0) * SEC / window_us
+        series.append((i * window_us, rate))
+    return series
+
+
+def bucket_mean_series(
+    samples: Sequence[tuple], window_us: float, end_us: float
+) -> List[tuple]:
+    """Average (t_us, value) samples into fixed windows (None when empty)."""
+    if window_us <= 0:
+        raise ConfigurationError("window must be positive")
+    sums = {}
+    counts = {}
+    for t, v in samples:
+        idx = int(t // window_us)
+        sums[idx] = sums.get(idx, 0.0) + v
+        counts[idx] = counts.get(idx, 0) + 1
+    series = []
+    for i in range(int(end_us // window_us) + 1):
+        if counts.get(i):
+            series.append((i * window_us, sums[i] / counts[i]))
+        else:
+            series.append((i * window_us, None))
+    return series

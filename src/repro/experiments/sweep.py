@@ -1,0 +1,55 @@
+"""Offered-load sweeps over steady-state models — the Figure 3/5 engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigurationError
+from ..steady.base import SteadyModel
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (offered load, measurements) sample."""
+
+    offered_pps: float
+    achieved_pps: float
+    power_w: float
+    latency_us: float
+    ops_per_watt: float
+
+
+def sweep_model(model: SteadyModel, rates_pps: Sequence[float]) -> List[SweepPoint]:
+    """Evaluate a model across offered rates."""
+    if not rates_pps:
+        raise ConfigurationError("empty rate list")
+    points = []
+    for rate in rates_pps:
+        power = model.power_at(rate)
+        points.append(
+            SweepPoint(
+                offered_pps=rate,
+                achieved_pps=model.achieved_pps(rate),
+                power_w=power,
+                latency_us=model.latency_at(rate),
+                ops_per_watt=model.achieved_pps(rate) / power if power > 0 else 0.0,
+            )
+        )
+    return points
+
+
+def sweep_models(
+    models: Dict[str, SteadyModel], rates_pps: Sequence[float]
+) -> Dict[str, List[SweepPoint]]:
+    """Sweep several models over the same rates (one figure's curve set)."""
+    return {name: sweep_model(model, rates_pps) for name, model in models.items()}
+
+
+def linspace_rates(max_pps: float, steps: int = 21) -> List[float]:
+    """Evenly spaced offered rates 0..max (inclusive)."""
+    if steps < 2:
+        raise ConfigurationError("steps must be >= 2")
+    if max_pps <= 0:
+        raise ConfigurationError("max rate must be positive")
+    return [max_pps * i / (steps - 1) for i in range(steps)]

@@ -1,0 +1,26 @@
+"""Host (server) substrate.
+
+Models the paper's three server platforms (§4.1, §5.4, §7) at the level the
+paper measures them: wall power as a function of load, per-socket RAPL
+counters, per-core activation costs, and the kernel-stack vs DPDK driver
+distinction that dominates the Paxos software power curves (§4.3).
+"""
+
+from .cpu import CpuAccount, CoreAllocation
+from .nic import Nic, NIC_INTEL_X520, NIC_MELLANOX_CX311A
+from .rapl import RaplDomain, RaplReader
+from .server import Server, make_i7_server, make_xeon_2660_server, make_xeon_2637_server
+
+__all__ = [
+    "CpuAccount",
+    "CoreAllocation",
+    "Nic",
+    "NIC_INTEL_X520",
+    "NIC_MELLANOX_CX311A",
+    "RaplDomain",
+    "RaplReader",
+    "Server",
+    "make_i7_server",
+    "make_xeon_2660_server",
+    "make_xeon_2637_server",
+]

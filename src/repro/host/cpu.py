@@ -1,0 +1,97 @@
+"""CPU utilization accounting.
+
+Applications (and co-located workloads like the ChainerMN job in Figure 6)
+register *core allocations* — how many cores they hold and at what
+utilization.  The server power model reads the aggregate; the host-controlled
+on-demand controller reads the per-application figures (§9.1: "As long as the
+application is running, the controller monitors its CPU usage").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+
+
+@dataclass
+class CoreAllocation:
+    """One application's CPU footprint.
+
+    ``cores`` may be fractional (a 0.5 allocation at utilization 1.0 equals
+    one core at 50%).  ``utilization`` is the busy fraction of those cores.
+    """
+
+    app: str
+    cores: float
+    utilization: float
+
+    def validate(self, total_cores: int) -> None:
+        if self.cores < 0 or self.cores > total_cores:
+            raise ConfigurationError(
+                f"{self.app!r}: cores={self.cores} outside [0, {total_cores}]"
+            )
+        if not 0.0 <= self.utilization <= 1.0:
+            raise ConfigurationError(
+                f"{self.app!r}: utilization={self.utilization} outside [0, 1]"
+            )
+
+    @property
+    def core_seconds_per_second(self) -> float:
+        """Effective busy cores contributed by this allocation."""
+        return self.cores * self.utilization
+
+
+class CpuAccount:
+    """Aggregates per-application core allocations on one server."""
+
+    def __init__(self, total_cores: int):
+        if total_cores <= 0:
+            raise ConfigurationError("total_cores must be positive")
+        self.total_cores = total_cores
+        self._allocations: Dict[str, CoreAllocation] = {}
+
+    def set_load(self, app: str, cores: float, utilization: float) -> None:
+        """Set (replacing) the CPU footprint of ``app``."""
+        alloc = CoreAllocation(app, cores, utilization)
+        alloc.validate(self.total_cores)
+        self._allocations[app] = alloc
+
+    def clear_load(self, app: str) -> None:
+        """Remove ``app``'s footprint (app stopped or shifted away)."""
+        self._allocations.pop(app, None)
+
+    def app_utilization(self, app: str) -> float:
+        """Busy-core fraction of the whole machine attributable to ``app``."""
+        alloc = self._allocations.get(app)
+        if alloc is None:
+            return 0.0
+        return alloc.core_seconds_per_second / self.total_cores
+
+    def app_allocation(self, app: str) -> CoreAllocation:
+        try:
+            return self._allocations[app]
+        except KeyError:
+            raise ConfigurationError(f"no allocation for app {app!r}") from None
+
+    @property
+    def busy_cores(self) -> float:
+        """Total effective busy cores (capped at the physical count)."""
+        total = sum(a.core_seconds_per_second for a in self._allocations.values())
+        return min(total, float(self.total_cores))
+
+    @property
+    def active_cores(self) -> float:
+        """Cores with *any* activity (drives the §7 activation jump)."""
+        total = sum(a.cores for a in self._allocations.values() if a.utilization > 0)
+        return min(total, float(self.total_cores))
+
+    @property
+    def utilization(self) -> float:
+        """Machine-wide busy fraction in [0, 1]."""
+        return self.busy_cores / self.total_cores
+
+    @property
+    def apps(self) -> Dict[str, CoreAllocation]:
+        return dict(self._allocations)

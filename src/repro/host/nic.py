@@ -1,0 +1,56 @@
+"""NIC models.
+
+§4.2 found that the choice of commodity NIC changes *both* the host's peak
+throughput and the shape of its power curve: with the Mellanox NIC the
+LaKe crossover sat around 80Kpps; replacing it with an Intel X520 made the
+host more power-efficient at low load (crossover >300Kpps) but capped its
+peak throughput lower.  We model a NIC as (idle watts, peak watts, a host
+power-curve exponent, and a host throughput cap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Nic:
+    """A commodity NIC installed in a server."""
+
+    name: str
+    idle_w: float
+    peak_w: float
+    #: exponent of the *host* software power curve when driven through this
+    #: NIC (interrupt moderation etc. change where the power is spent).
+    host_power_alpha: float
+    #: cap on host application throughput through this NIC (pps).
+    host_peak_pps: float
+
+    def power_w(self, utilization: float) -> float:
+        """NIC power at a given traffic utilization in [0, 1]."""
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError(f"utilization {utilization} outside [0,1]")
+        return self.idle_w + (self.peak_w - self.idle_w) * utilization
+
+
+#: Mellanox MCX311A-XCCT — used for the KVS evaluation because the Intel NIC
+#: was a performance bottleneck (§4.1).
+NIC_MELLANOX_CX311A = Nic(
+    name="Mellanox MCX311A-XCCT",
+    idle_w=cal.NIC_MELLANOX_CX311A_IDLE_W,
+    peak_w=cal.NIC_MELLANOX_CX311A_IDLE_W + 1.5,
+    host_power_alpha=cal.MEMCACHED_POWER_ALPHA_MELLANOX,
+    host_peak_pps=cal.MEMCACHED_PEAK_PPS_MELLANOX,
+)
+
+#: Intel X520 — the default NIC of the software setup (§4.1).
+NIC_INTEL_X520 = Nic(
+    name="Intel X520",
+    idle_w=cal.NIC_INTEL_X520_IDLE_W,
+    peak_w=cal.NIC_INTEL_X520_IDLE_W + 1.0,
+    host_power_alpha=cal.MEMCACHED_POWER_ALPHA_INTEL,
+    host_peak_pps=cal.MEMCACHED_PEAK_PPS_INTEL,
+)

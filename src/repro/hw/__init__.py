@@ -1,0 +1,32 @@
+"""Programmable network hardware models.
+
+* :mod:`repro.hw.fpga` — the NetFPGA SUME platform: module-level power with
+  clock gating / power gating / reset semantics (§5.1).
+* :mod:`repro.hw.memory` — BRAM/SRAM/DRAM models with the §5.3 capacities
+  and latencies.
+* :mod:`repro.hw.asic` — Barefoot Tofino normalized-power model (§6).
+* :mod:`repro.hw.smartnic` — SmartNIC archetypes for the §10 discussion.
+"""
+
+from .memory import BramBank, DramChannel, SramBank, MemoryState
+from .fpga import FpgaModule, ModuleState, NetFpgaSume, PlatformMode
+from .asic import TofinoProgram, TofinoSwitch
+from .smartnic import SmartNic, SMARTNIC_ARCHETYPES
+from .virtualization import TenantProgram, VirtualizedCard
+
+__all__ = [
+    "BramBank",
+    "DramChannel",
+    "SramBank",
+    "MemoryState",
+    "FpgaModule",
+    "ModuleState",
+    "NetFpgaSume",
+    "PlatformMode",
+    "TofinoProgram",
+    "TofinoSwitch",
+    "SmartNic",
+    "SMARTNIC_ARCHETYPES",
+    "TenantProgram",
+    "VirtualizedCard",
+]

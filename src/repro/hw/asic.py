@@ -1,0 +1,127 @@
+"""Barefoot Tofino switch-ASIC model (§6).
+
+§6 reports only *normalized* power "due to the large variance in power
+between different ASICs and ASIC vendors".  We therefore model the switch as
+a normalized curve (idle = 1.0) with the paper's anchors:
+
+* idle power identical for L2-forwarding-only and L2+P4xos;
+* min↔max power span under load < 20% (we use 18%);
+* P4xos adds ≤2% at full load; diag.p4 adds 4.8% at full load;
+* P4xos capacity 2.5B msgs/s (§3.2) on a 1.28Tbps 32×40G snake config.
+
+``power_normalized(util)`` returns power relative to L2-only idle; an
+optional absolute scale de-normalizes for energy integration.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+
+
+class TofinoProgram(enum.Enum):
+    """Data-plane programs evaluated in §6."""
+
+    L2_FORWARDING = "l2-forwarding"
+    L2_PLUS_P4XOS = "l2+p4xos"
+    DIAG = "diag.p4"
+
+
+#: Per-program *additional* power fraction at full load, over L2-only.
+_PROGRAM_OVERHEAD_AT_FULL_LOAD = {
+    TofinoProgram.L2_FORWARDING: 0.0,
+    TofinoProgram.L2_PLUS_P4XOS: cal.TOFINO_P4XOS_OVERHEAD_FRACTION,
+    TofinoProgram.DIAG: cal.TOFINO_DIAG_OVERHEAD_FRACTION,
+}
+
+
+class TofinoSwitch:
+    """Normalized power/performance model of a Tofino running a P4 program."""
+
+    def __init__(
+        self,
+        program: TofinoProgram = TofinoProgram.L2_FORWARDING,
+        ports: int = cal.TOFINO_PORTS,
+        port_gbps: float = cal.TOFINO_PORT_GBPS,
+        absolute_idle_w: float = cal.TOFINO_TYPICAL_IDLE_W,
+    ):
+        if ports <= 0 or port_gbps <= 0:
+            raise ConfigurationError("ports and port_gbps must be positive")
+        self.program = program
+        self.ports = ports
+        self.port_gbps = port_gbps
+        self.absolute_idle_w = absolute_idle_w
+        self.utilization = 0.0
+
+    # -- configuration --------------------------------------------------------
+
+    def load_program(self, program: TofinoProgram) -> None:
+        """Reprogramming the data plane; §6 shows this does not change idle
+        power at all."""
+        self.program = program
+
+    def set_utilization(self, utilization: float) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        self.utilization = utilization
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def bandwidth_tbps(self) -> float:
+        return self.ports * self.port_gbps / 1000.0
+
+    @property
+    def p4xos_capacity_pps(self) -> float:
+        """Consensus messages/second at full capacity (§3.2: >2.5B)."""
+        return cal.TOFINO_P4XOS_CAPACITY_PPS
+
+    def throughput_pps(self) -> float:
+        if self.program is not TofinoProgram.L2_PLUS_P4XOS:
+            return 0.0
+        return self.p4xos_capacity_pps * self.utilization
+
+    # -- power ------------------------------------------------------------
+
+    def power_normalized(self, utilization: float = None) -> float:
+        """Power relative to the idle L2-only switch (= 1.0).
+
+        The L2 forwarding component rises linearly to 1.18 at full load
+        (<20% span, §6); the in-network-computing overhead also scales with
+        rate ("the relative increase in power using P4xos is almost constant
+        with the rate"), reaching its program's full-load fraction.
+        """
+        u = self.utilization if utilization is None else utilization
+        if not 0.0 <= u <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        base = cal.TOFINO_IDLE_NORMALIZED + (
+            cal.TOFINO_L2_FULL_LOAD_NORMALIZED - cal.TOFINO_IDLE_NORMALIZED
+        ) * u
+        overhead = _PROGRAM_OVERHEAD_AT_FULL_LOAD[self.program] * u
+        return base * (1.0 + overhead)
+
+    def power_w(self, utilization: float = None) -> float:
+        """Absolute power using the configured de-normalization scale."""
+        return self.power_normalized(utilization) * self.absolute_idle_w
+
+    def dynamic_power_w(self, utilization: float = None) -> float:
+        """Power above idle — the quantity §6 compares against the server's
+        dynamic power (1/3 of the server's at 180Kpps)."""
+        u = self.utilization if utilization is None else utilization
+        return self.power_w(u) - self.power_w(0.0)
+
+    def ops_per_watt(self, utilization: float = 1.0) -> float:
+        """Consensus messages per watt of total power (§6: 10M's for ASIC)."""
+        if self.program is not TofinoProgram.L2_PLUS_P4XOS:
+            raise ConfigurationError("ops/W defined for the P4xos program only")
+        if utilization <= 0:
+            return 0.0
+        return self.p4xos_capacity_pps * utilization / self.power_w(utilization)
+
+
+def snake_connectivity(ports: int = cal.TOFINO_PORTS):
+    """§6's test harness: 'Each output port is connected to the next input
+    port', exercising all ports at full capacity.  Returns the port pairs."""
+    return [(i, (i + 1) % ports) for i in range(ports)]

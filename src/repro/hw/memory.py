@@ -1,0 +1,126 @@
+"""On-card memory models: BRAM (on-chip), SRAM and DRAM (off-chip).
+
+§5.3 gives the numbers this module encodes:
+
+* 4GB DRAM: 4.8W, 33M 64B value entries, 268M hash-table entries.
+* 18MB SRAM: 6W, free-chunk list of up to 4.7M entries.
+* On-chip only designs store ×65k fewer values and ×32k fewer free-list
+  entries.
+* Off-chip access costs a few hundred nanoseconds over on-chip; the paper's
+  LaKe L2-hit median is 1.67µs vs 1.4µs for an on-chip hit.
+
+Memories can be held in **reset**, saving 40% of their power (§5.1); clock
+and power gating of the memory interfaces are not supported on the platform
+and raise errors.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+
+
+class MemoryState(enum.Enum):
+    ACTIVE = "active"
+    RESET = "reset"      # interfaces held in reset: 40% power saving (§5.1)
+    REMOVED = "removed"  # eliminated from the design
+
+
+class _ExternalMemory:
+    """Shared behaviour of off-chip memories (SRAM/DRAM)."""
+
+    #: subclasses set these
+    FULL_POWER_W = 0.0
+    KIND = "external"
+
+    def __init__(self) -> None:
+        self.state = MemoryState.ACTIVE
+
+    # -- power ------------------------------------------------------------
+
+    def power_w(self) -> float:
+        if self.state is MemoryState.ACTIVE:
+            return self.FULL_POWER_W
+        if self.state is MemoryState.RESET:
+            return self.FULL_POWER_W * (1.0 - cal.MEMORY_RESET_SAVING_FRACTION)
+        return 0.0
+
+    # -- state transitions ---------------------------------------------------
+
+    def hold_in_reset(self) -> None:
+        """§9.2: memories are held in reset while the workload runs in
+        software, to minimize the idle cost of the programmed-but-inactive
+        design."""
+        if self.state is MemoryState.REMOVED:
+            raise ConfigurationError(f"{self.KIND} was removed from the design")
+        self.state = MemoryState.RESET
+
+    def activate(self) -> None:
+        if self.state is MemoryState.REMOVED:
+            raise ConfigurationError(f"{self.KIND} was removed from the design")
+        self.state = MemoryState.ACTIVE
+
+    def remove(self) -> None:
+        self.state = MemoryState.REMOVED
+
+    def clock_gate(self) -> None:
+        raise ConfigurationError(
+            f"clock gating the {self.KIND} interfaces is not supported (§5.1)"
+        )
+
+    def power_gate(self) -> None:
+        raise ConfigurationError(
+            f"power gating the {self.KIND} interfaces is not supported (§5.1)"
+        )
+
+    @property
+    def usable(self) -> bool:
+        return self.state is MemoryState.ACTIVE
+
+
+class DramChannel(_ExternalMemory):
+    """4GB of on-card DRAM: LaKe's L2 value store + hash table."""
+
+    FULL_POWER_W = cal.DRAM_4GB_W
+    KIND = "DRAM"
+
+    value_entries = cal.DRAM_VALUE_ENTRIES
+    hash_entries = cal.DRAM_HASH_ENTRIES
+    #: extra latency of an off-chip L2 hit over an on-chip hit, µs (§5.3:
+    #: 1.67µs median L2 hit vs 1.4µs on-chip).
+    access_latency_us = cal.LAKE_L2_HIT_MEDIAN_US - cal.LAKE_L1_HIT_US
+
+
+class SramBank(_ExternalMemory):
+    """18MB of on-card SRAM: LaKe's free-chunk list."""
+
+    FULL_POWER_W = cal.SRAM_18MB_W
+    KIND = "SRAM"
+
+    freelist_entries = cal.SRAM_FREELIST_ENTRIES
+    access_latency_us = 0.1
+
+
+class BramBank:
+    """On-chip block RAM: LaKe's L1 cache / the only memory of on-chip-only
+    designs (P4xos, Emu DNS, NetChain-style caches).
+
+    BRAM power is part of the logic module's figure, so this class carries
+    capacity and latency but no independent wattage.
+    """
+
+    value_entries = cal.ONCHIP_VALUE_ENTRIES
+    freelist_entries = cal.ONCHIP_FREELIST_ENTRIES
+    access_latency_us = 0.0  # included in the pipeline's 1.4µs hit figure
+
+    def __init__(self, value_entries: int = None):
+        if value_entries is not None:
+            if value_entries <= 0:
+                raise ConfigurationError("value_entries must be positive")
+            self.value_entries = value_entries
+
+    @property
+    def usable(self) -> bool:
+        return True

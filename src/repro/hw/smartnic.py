@@ -1,0 +1,113 @@
+"""SmartNIC archetypes for the §10 placement discussion.
+
+§10 identifies four architectural approaches to SmartNICs — FPGA based,
+ASIC based, combined ASIC+FPGA, and SoC based — and gives the figures this
+module encodes: the 25W PCIe power envelope, AccelNet's 17–19W standalone at
+~4Mpps/W, and the qualitative flexibility/scalability trade-offs the
+placement advisor (:mod:`repro.core.placement`) ranks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+
+
+class SmartNicArchitecture(enum.Enum):
+    FPGA = "fpga"
+    ASIC = "asic"
+    ASIC_PLUS_FPGA = "asic+fpga"
+    SOC = "soc"
+
+
+@dataclass(frozen=True)
+class SmartNic:
+    """A SmartNIC archetype.
+
+    ``flexibility`` and ``maturity`` are 0–5 qualitative scores encoding the
+    §10 narrative (FPGA = most flexible; ASIC = best power/maturity trade;
+    SoC = easiest to program but hits the resource wall earliest).
+    """
+
+    name: str
+    architecture: SmartNicArchitecture
+    idle_w: float
+    peak_w: float
+    mpps_per_w: float
+    port_gbps: float
+    flexibility: int
+    maturity: int
+
+    def __post_init__(self):
+        if self.peak_w > cal.SMARTNIC_PCIE_POWER_CAP_W:
+            raise ConfigurationError(
+                f"{self.name}: SmartNICs are limited to the "
+                f"{cal.SMARTNIC_PCIE_POWER_CAP_W}W PCIe envelope (§10)"
+            )
+        if self.peak_w < self.idle_w:
+            raise ConfigurationError(f"{self.name}: peak_w < idle_w")
+
+    def power_w(self, utilization: float) -> float:
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        return self.idle_w + (self.peak_w - self.idle_w) * utilization
+
+    def peak_pps(self) -> float:
+        """Throughput at peak power from the Mpps/W figure."""
+        return self.mpps_per_w * 1e6 * self.peak_w
+
+    def ops_per_watt(self, utilization: float = 1.0) -> float:
+        if utilization <= 0:
+            return 0.0
+        return self.peak_pps() * utilization / self.power_w(utilization)
+
+
+#: Archetypes used by the §10 advisor benchmark.  AccelNet numbers are the
+#: paper's (17–19W standalone, ~4Mpps/W on a 40GE board); the others are
+#: representative points inside the 25W envelope consistent with the §10
+#: qualitative ordering (ASIC best perf/W, SoC lowest scalability).
+SMARTNIC_ARCHETYPES = {
+    "accelnet-fpga": SmartNic(
+        name="AccelNet-class FPGA SmartNIC",
+        architecture=SmartNicArchitecture.FPGA,
+        idle_w=cal.ACCELNET_STANDALONE_W[0],
+        peak_w=cal.ACCELNET_STANDALONE_W[1],
+        mpps_per_w=cal.ACCELNET_MPPS_PER_W,
+        port_gbps=40.0,
+        flexibility=5,
+        maturity=3,
+    ),
+    "asic-smartnic": SmartNic(
+        name="ASIC SmartNIC (Agilio-class)",
+        architecture=SmartNicArchitecture.ASIC,
+        idle_w=12.0,
+        peak_w=22.0,
+        mpps_per_w=6.0,
+        port_gbps=50.0,
+        flexibility=2,
+        maturity=5,
+    ),
+    "hybrid-smartnic": SmartNic(
+        name="ASIC+FPGA SmartNIC (Innova-class)",
+        architecture=SmartNicArchitecture.ASIC_PLUS_FPGA,
+        idle_w=15.0,
+        peak_w=24.0,
+        mpps_per_w=4.5,
+        port_gbps=40.0,
+        flexibility=4,
+        maturity=3,
+    ),
+    "soc-smartnic": SmartNic(
+        name="SoC SmartNIC (BlueField-class)",
+        architecture=SmartNicArchitecture.SOC,
+        idle_w=14.0,
+        peak_w=25.0,
+        mpps_per_w=1.5,
+        port_gbps=100.0,
+        flexibility=3,
+        maturity=4,
+    ),
+}

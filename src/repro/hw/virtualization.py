@@ -1,0 +1,202 @@
+"""Data-plane virtualization: multiple programs on one device.
+
+§2 (Deployment): "For our study, we assume that a single in-network
+computing application is deployed on a network device.  Recent work has
+proposed virtualization techniques for deploying multiple data-plane
+programs concurrently [P4Visor].  It would be interesting in future work to
+study the impact of such a deployment."  This module is that study's
+substrate: a :class:`VirtualizedCard` hosts several application designs
+behind one shared shell, with per-program activation, shared-resource
+accounting, and an additive power model, so the on-demand machinery can
+shift *several* services onto one card.
+
+Resource accounting follows §5.2: LaKe's full logic is <3% of the Virtex-7,
+so co-residence is plausible resource-wise; the binding constraint the
+paper names is the interconnect, which we model as an aggregate-capacity
+cap shared by all programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from .fpga import NetFpgaSume, PlatformMode
+
+#: Fraction of FPGA logic available to tenant programs (the shell and
+#: interconnect reserve the rest).
+TENANT_LOGIC_BUDGET = 0.60
+
+#: §5.2: LaKe's logic (5 PEs + classifier + interconnect) is "less than 3%
+#: of logical elements"; we charge ~1.3% per watt of logic as a coarse map
+#: from the power figures to area.
+LOGIC_FRACTION_PER_WATT = 0.013
+
+#: Aggregate pipeline capacity shared by co-resident programs (the §5.2
+#: interconnect limit): one 10GE line rate.
+SHARED_CAPACITY_PPS = cal.LAKE_LINE_RATE_PPS
+
+
+@dataclass
+class TenantProgram:
+    """One data-plane program co-resident on a virtualized card."""
+
+    name: str
+    logic_power_w: float
+    capacity_share_pps: float
+    uses_external_memories: bool = False
+    active: bool = True
+
+    def __post_init__(self):
+        if self.logic_power_w < 0:
+            raise ConfigurationError("logic power must be >= 0")
+        if self.capacity_share_pps <= 0:
+            raise ConfigurationError("capacity share must be positive")
+
+    @property
+    def logic_fraction(self) -> float:
+        return self.logic_power_w * LOGIC_FRACTION_PER_WATT
+
+
+class VirtualizedCard:
+    """A NetFPGA-class card hosting multiple tenant programs.
+
+    Power is additive over the shared shell, each *active* tenant's logic,
+    and the external memories (powered if any active tenant uses them).
+    Admission control enforces the logic budget and the shared pipeline
+    capacity.
+    """
+
+    def __init__(self, mode: PlatformMode = PlatformMode.IN_SERVER):
+        self.mode = mode
+        self._tenants: Dict[str, TenantProgram] = {}
+        self.utilization = 0.0
+
+    # -- admission control ---------------------------------------------------
+
+    def admit(self, program: TenantProgram) -> None:
+        """Admit a tenant; raises if it would overflow logic or capacity."""
+        if program.name in self._tenants:
+            raise ConfigurationError(f"tenant {program.name!r} already admitted")
+        logic_after = self.logic_fraction_used + program.logic_fraction
+        if logic_after > TENANT_LOGIC_BUDGET:
+            raise ConfigurationError(
+                f"admitting {program.name!r} needs {logic_after:.1%} of logic; "
+                f"budget is {TENANT_LOGIC_BUDGET:.0%}"
+            )
+        capacity_after = self.capacity_committed_pps + program.capacity_share_pps
+        if capacity_after > SHARED_CAPACITY_PPS:
+            raise ConfigurationError(
+                f"admitting {program.name!r} commits "
+                f"{capacity_after / 1e6:.1f}Mpps; the shared pipeline caps at "
+                f"{SHARED_CAPACITY_PPS / 1e6:.1f}Mpps (§5.2 interconnect limit)"
+            )
+        self._tenants[program.name] = program
+
+    def evict(self, name: str) -> TenantProgram:
+        try:
+            return self._tenants.pop(name)
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {name!r}") from None
+
+    def tenant(self, name: str) -> TenantProgram:
+        try:
+            return self._tenants[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown tenant {name!r}") from None
+
+    @property
+    def tenants(self) -> List[TenantProgram]:
+        return list(self._tenants.values())
+
+    # -- per-tenant activation (the on-demand hook) ----------------------------
+
+    def activate(self, name: str) -> None:
+        self.tenant(name).active = True
+
+    def deactivate(self, name: str) -> None:
+        """Clock-gate a tenant's region (it stays programmed)."""
+        self.tenant(name).active = False
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def logic_fraction_used(self) -> float:
+        return sum(t.logic_fraction for t in self._tenants.values())
+
+    @property
+    def capacity_committed_pps(self) -> float:
+        return sum(t.capacity_share_pps for t in self._tenants.values())
+
+    def set_utilization(self, utilization: float) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        self.utilization = utilization
+
+    # -- power ------------------------------------------------------------------
+
+    def power_w(self) -> float:
+        power = cal.NETFPGA_SHELL_W
+        memories_needed = False
+        for tenant in self._tenants.values():
+            if tenant.active:
+                power += tenant.logic_power_w
+                memories_needed = memories_needed or tenant.uses_external_memories
+            else:
+                # clock-gated region: same residual fraction as §5.1
+                residual = 1.0 - cal.CLOCK_GATING_SAVING_W / cal.LAKE_LOGIC_TOTAL_W
+                power += tenant.logic_power_w * residual
+        if memories_needed:
+            power += cal.MEMORIES_TOTAL_W
+        elif any(t.uses_external_memories for t in self._tenants.values()):
+            # memories present but held in reset while no active tenant needs them
+            power += cal.MEMORIES_TOTAL_W * (1.0 - cal.MEMORY_RESET_SAVING_FRACTION)
+        power += cal.FPGA_DYNAMIC_MAX_W * self.utilization
+        if self.mode is PlatformMode.STANDALONE:
+            power += cal.STANDALONE_PSU_OVERHEAD_W
+        return power
+
+    def marginal_power_w(self, program: TenantProgram) -> float:
+        """Extra watts of adding this tenant to the current card — the §6
+        insight ('adding in-network computing to networking equipment
+        already installed … has a negligible effect') quantified for the
+        FPGA case."""
+        before = self.power_w()
+        self.admit(program)
+        after = self.power_w()
+        self.evict(program.name)
+        return after - before
+
+
+def lake_tenant(name: str = "lake", pe_count: int = cal.LAKE_DEFAULT_PES) -> TenantProgram:
+    """A LaKe-sized tenant (§3.1)."""
+    logic = cal.LAKE_CLASSIFIER_INTERCONNECT_W + pe_count * cal.LAKE_PE_W
+    capacity = min(cal.LAKE_LINE_RATE_PPS, pe_count * cal.LAKE_PE_CAPACITY_PPS)
+    return TenantProgram(
+        name=name,
+        logic_power_w=logic,
+        capacity_share_pps=capacity,
+        uses_external_memories=True,
+    )
+
+
+def p4xos_tenant(name: str = "p4xos") -> TenantProgram:
+    """A P4xos-sized tenant (§3.2) — on-chip memory only."""
+    return TenantProgram(
+        name=name,
+        logic_power_w=cal.P4XOS_LOGIC_W,
+        capacity_share_pps=cal.P4XOS_FPGA_CAPACITY_PPS / 4.0,
+        uses_external_memories=False,
+    )
+
+
+def emu_dns_tenant(name: str = "emu-dns") -> TenantProgram:
+    """An Emu-DNS-sized tenant (§3.3)."""
+    return TenantProgram(
+        name=name,
+        logic_power_w=cal.EMU_DNS_LOGIC_W,
+        capacity_share_pps=cal.EMU_DNS_CAPACITY_PPS,
+        uses_external_memories=False,
+    )

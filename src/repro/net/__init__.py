@@ -1,0 +1,28 @@
+"""Network substrate: packets, links, switches, classifiers.
+
+This package models the data-center plumbing the paper's applications run
+over: UDP-style packets (all three case-study applications are UDP based,
+§3.4), point-to-point links with latency/bandwidth and fault injection, and
+a programmable switch whose forwarding table the Paxos on-demand controller
+rewrites (§9.2).
+"""
+
+from .packet import Packet, TrafficClass
+from .link import Link, LinkFaults
+from .node import Node
+from .switch import ForwardingRule, Switch
+from .classifier import PacketClassifier, ClassifierRule
+from .topology import Topology
+
+__all__ = [
+    "Packet",
+    "TrafficClass",
+    "Link",
+    "LinkFaults",
+    "Node",
+    "ForwardingRule",
+    "Switch",
+    "PacketClassifier",
+    "ClassifierRule",
+    "Topology",
+]

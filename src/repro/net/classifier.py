@@ -1,0 +1,82 @@
+"""Packet classifier — the hardware front-end used by LaKe and Emu DNS.
+
+§3.1: LaKe contains a packet classifier that separates memcached traffic
+(processed on the card) from normal traffic (DMA'd to the host as a plain
+NIC).  §3.3: Emu DNS was amended with the same classifier so it can serve as
+both a NIC and a DNS.  §9.1: the network-controlled on-demand controller is
+"implemented in 40 lines of code within the FPGA's classifier module" — in
+this package the controller hooks the classifier's per-class rate counters.
+
+The classifier has a per-class *offload switch*: when offload is enabled for
+a class, matching packets go to the hardware application; otherwise they go
+to the host path.  Flipping this switch is how a workload shifts between
+software and network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..sim import Simulator
+from .packet import Packet, TrafficClass
+
+PacketHandler = Callable[[Packet], None]
+
+
+@dataclass
+class ClassifierRule:
+    """Routing decision for one traffic class."""
+
+    traffic_class: TrafficClass
+    #: deliver to the on-card application when offload is enabled
+    hardware: PacketHandler
+    #: deliver to the host when offload is disabled (plain NIC path)
+    host: PacketHandler
+    offload_enabled: bool = False
+
+
+class PacketClassifier:
+    """Classifies packets by traffic class and steers hardware vs host.
+
+    Maintains per-class packet counters that rate estimators (and the
+    network-controlled on-demand controller) read.
+    """
+
+    def __init__(self, sim: Simulator, default_host: Optional[PacketHandler] = None):
+        self.sim = sim
+        self._rules: Dict[TrafficClass, ClassifierRule] = {}
+        self._default_host = default_host
+        self.counters: Dict[TrafficClass, int] = {tc: 0 for tc in TrafficClass}
+        self.to_hardware = 0
+        self.to_host = 0
+
+    def add_rule(self, rule: ClassifierRule) -> None:
+        self._rules[rule.traffic_class] = rule
+
+    def set_offload(self, traffic_class: TrafficClass, enabled: bool) -> None:
+        """Enable/disable hardware processing for a class (the shift)."""
+        rule = self._rules.get(traffic_class)
+        if rule is None:
+            raise KeyError(f"no classifier rule for {traffic_class}")
+        rule.offload_enabled = enabled
+
+    def offload_enabled(self, traffic_class: TrafficClass) -> bool:
+        rule = self._rules.get(traffic_class)
+        return bool(rule and rule.offload_enabled)
+
+    def classify(self, packet: Packet) -> None:
+        """Steer one packet."""
+        self.counters[packet.traffic_class] += 1
+        rule = self._rules.get(packet.traffic_class)
+        if rule is None:
+            if self._default_host is not None:
+                self.to_host += 1
+                self._default_host(packet)
+            return
+        if rule.offload_enabled:
+            self.to_hardware += 1
+            rule.hardware(packet)
+        else:
+            self.to_host += 1
+            rule.host(packet)

@@ -1,0 +1,99 @@
+"""Point-to-point links with serialization + propagation delay and faults.
+
+Links model what matters for the paper's experiments: in-rack propagation on
+the order of a microsecond, serialization at 10GE, and (for protocol
+robustness tests) loss / duplication / reordering fault injection used by the
+Paxos property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..units import gbit_per_s
+from ..sim import Simulator
+from .node import Node
+from .packet import Packet
+
+
+@dataclass
+class LinkFaults:
+    """Fault-injection knobs, all probabilities in [0, 1]."""
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    #: extra random delay (us, uniform in [0, reorder_jitter_us]) causing
+    #: effective reordering between back-to-back packets.
+    reorder_jitter_us: float = 0.0
+
+    def validate(self) -> None:
+        for field_name in ("loss", "duplicate"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{field_name} must be in [0,1], got {value}")
+        if self.reorder_jitter_us < 0:
+            raise ConfigurationError("reorder_jitter_us must be >= 0")
+
+
+class Link:
+    """A unidirectional link from anywhere to ``dst``.
+
+    ``latency_us`` is one-way propagation; ``bandwidth_bps`` adds
+    serialization delay (size / bandwidth).  Statistics count delivered,
+    lost, and duplicated packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        dst: Node,
+        latency_us: float = 1.0,
+        bandwidth_bps: float = gbit_per_s(10.0),
+        faults: Optional[LinkFaults] = None,
+        rng: Optional[random.Random] = None,
+        name: str = "",
+    ):
+        if latency_us < 0:
+            raise ConfigurationError("latency_us must be >= 0")
+        if bandwidth_bps <= 0:
+            raise ConfigurationError("bandwidth_bps must be > 0")
+        self.sim = sim
+        self.dst = dst
+        self.latency_us = latency_us
+        self.bandwidth_bps = bandwidth_bps
+        self.faults = faults or LinkFaults()
+        self.faults.validate()
+        if (self.faults.loss or self.faults.duplicate or self.faults.reorder_jitter_us) and rng is None:
+            raise ConfigurationError("fault injection requires an rng")
+        self._rng = rng
+        self.name = name or f"link->{dst.name}"
+        self.delivered = 0
+        self.lost = 0
+        self.duplicated = 0
+
+    def serialization_us(self, packet: Packet) -> float:
+        """Time to put ``packet`` on the wire at this link's bandwidth."""
+        return packet.size_bytes * 8 / self.bandwidth_bps * 1e6
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` toward ``dst`` (subject to faults)."""
+        if self.faults.loss and self._rng.random() < self.faults.loss:
+            self.lost += 1
+            return
+        self._deliver(packet)
+        if self.faults.duplicate and self._rng.random() < self.faults.duplicate:
+            self.duplicated += 1
+            self._deliver(packet.copy())
+
+    def _deliver(self, packet: Packet) -> None:
+        delay = self.latency_us + self.serialization_us(packet)
+        if self.faults.reorder_jitter_us:
+            delay += self._rng.uniform(0.0, self.faults.reorder_jitter_us)
+        packet.hops += 1
+        self.delivered += 1
+        self.sim.schedule(
+            delay, lambda p=packet: self.dst.receive(p), name=f"{self.name}.deliver"
+        )

@@ -1,0 +1,97 @@
+"""Packets.
+
+A :class:`Packet` is the unit moved through the simulated network: a UDP
+datagram with addressing, a traffic class used by packet classifiers (the
+LaKe/Emu classifier separates "application" traffic from "normal" NIC
+traffic, §3.1/§3.3), and an application payload object.
+
+Payloads are plain Python objects (e.g. :class:`repro.apps.paxos.messages.Phase2A`).
+``Packet.copy()`` performs a shallow copy with a fresh identity, which is
+what link-level duplication fault injection uses.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+_packet_ids = itertools.count(1)
+
+
+class TrafficClass(enum.Enum):
+    """Coarse traffic classes understood by packet classifiers."""
+
+    NORMAL = "normal"       # plain NIC traffic, always passed to the host
+    MEMCACHED = "memcached"  # KVS queries (LaKe classifier, §3.1)
+    PAXOS = "paxos"          # consensus messages (P4xos)
+    DNS = "dns"              # DNS queries (Emu DNS classifier, §3.3)
+
+
+@dataclass
+class Packet:
+    """A UDP-style datagram.
+
+    ``size_bytes`` includes headers; it feeds link serialization delay and
+    line-rate math.  ``created_us`` is stamped by the sender and used by
+    latency recorders at the receiver.
+    """
+
+    src: str
+    dst: str
+    traffic_class: TrafficClass
+    payload: Any = None
+    size_bytes: int = 128
+    created_us: float = 0.0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: UDP destination port; applications register on ports.
+    dport: int = 0
+    hops: int = 0
+
+    def copy(self) -> "Packet":
+        """A duplicate with a fresh packet id (used by duplication faults)."""
+        return replace(self, packet_id=next(_packet_ids))
+
+    def age_us(self, now: float) -> float:
+        """Time since the packet was created."""
+        return now - self.created_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(#{self.packet_id} {self.src}->{self.dst}:{self.dport} "
+            f"{self.traffic_class.value} {self.size_bytes}B)"
+        )
+
+
+#: Typical application packet sizes (bytes, with headers).  The memcached
+#: figure matches LaKe's ~13Mpps 10GE line rate for small queries (§4.2).
+DEFAULT_PACKET_SIZES = {
+    TrafficClass.MEMCACHED: 70,
+    TrafficClass.PAXOS: 102,
+    TrafficClass.DNS: 90,
+    TrafficClass.NORMAL: 256,
+}
+
+
+def make_packet(
+    src: str,
+    dst: str,
+    traffic_class: TrafficClass,
+    payload: Any = None,
+    now: float = 0.0,
+    dport: int = 0,
+    size_bytes: Optional[int] = None,
+) -> Packet:
+    """Convenience constructor applying the default per-class packet size."""
+    if size_bytes is None:
+        size_bytes = DEFAULT_PACKET_SIZES[traffic_class]
+    return Packet(
+        src=src,
+        dst=dst,
+        traffic_class=traffic_class,
+        payload=payload,
+        size_bytes=size_bytes,
+        created_us=now,
+        dport=dport,
+    )

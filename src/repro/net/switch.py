@@ -1,0 +1,94 @@
+"""A programmable switch with a rewritable forwarding table.
+
+The Paxos on-demand shift (§9.2) is implemented by a centralized controller
+that "modifies switch forwarding rules to send messages to the new leader".
+:class:`Switch` provides exactly that: destination-based forwarding with
+optional (traffic_class, dport) match rules that take precedence, so a
+controller can redirect e.g. all PAXOS traffic addressed to the logical
+leader onto a different physical node without touching other flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..sim import Simulator
+from .link import Link
+from .node import Node
+from .packet import Packet, TrafficClass
+
+
+@dataclass(frozen=True)
+class ForwardingRule:
+    """An exact-match redirect rule.
+
+    Matches on (traffic_class, logical destination) and rewrites the packet
+    destination to ``next_hop`` before normal destination lookup.
+    """
+
+    traffic_class: TrafficClass
+    logical_dst: str
+    next_hop: str
+
+
+class Switch(Node):
+    """Destination-forwarding switch with redirect rules and counters."""
+
+    def __init__(self, sim: Simulator, name: str = "switch"):
+        super().__init__(sim, name)
+        self._ports: Dict[str, Link] = {}
+        self._rules: Dict[Tuple[TrafficClass, str], ForwardingRule] = {}
+        self.forwarded = 0
+        self.redirected = 0
+        self.dropped_no_route = 0
+        #: per-traffic-class packet counters (controllers read these).
+        self.class_counters: Dict[TrafficClass, int] = {tc: 0 for tc in TrafficClass}
+
+    # -- wiring ----------------------------------------------------------
+
+    def connect(self, node: Node, link: Link) -> None:
+        """Attach a port toward ``node`` over ``link``."""
+        if node.name in self._ports:
+            raise ConfigurationError(f"duplicate port toward {node.name!r}")
+        self._ports[node.name] = link
+
+    @property
+    def ports(self) -> Dict[str, Link]:
+        return dict(self._ports)
+
+    # -- control plane -----------------------------------------------------
+
+    def install_rule(self, rule: ForwardingRule) -> None:
+        """Install (or replace) a redirect rule.  This is the operation the
+        Paxos on-demand controller performs to shift the leader (§9.2)."""
+        if rule.next_hop not in self._ports:
+            raise ConfigurationError(
+                f"rule next_hop {rule.next_hop!r} is not a connected port"
+            )
+        self._rules[(rule.traffic_class, rule.logical_dst)] = rule
+
+    def remove_rule(self, traffic_class: TrafficClass, logical_dst: str) -> Optional[ForwardingRule]:
+        """Remove a redirect rule; returns it, or None if absent."""
+        return self._rules.pop((traffic_class, logical_dst), None)
+
+    def rule_for(self, traffic_class: TrafficClass, logical_dst: str) -> Optional[ForwardingRule]:
+        return self._rules.get((traffic_class, logical_dst))
+
+    # -- data plane --------------------------------------------------------
+
+    def receive(self, packet: Packet) -> None:
+        super().receive(packet)
+        self.class_counters[packet.traffic_class] += 1
+        rule = self._rules.get((packet.traffic_class, packet.dst))
+        target = packet.dst
+        if rule is not None:
+            target = rule.next_hop
+            self.redirected += 1
+        link = self._ports.get(target)
+        if link is None:
+            self.dropped_no_route += 1
+            return
+        self.forwarded += 1
+        link.send(packet)

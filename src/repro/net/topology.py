@@ -1,0 +1,120 @@
+"""Topology builder: nodes, switches and bidirectional wiring.
+
+Experiments build small rack-scale topologies: clients, a ToR switch, the
+server under test, and (for Paxos) acceptor/learner nodes.  ``Topology``
+keeps the wiring in one place and gives tests a convenient registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import random
+
+from ..errors import ConfigurationError
+from ..units import gbit_per_s
+from ..sim import Simulator
+from .link import Link, LinkFaults
+from .node import Node
+from .switch import Switch
+
+
+class Topology:
+    """A registry of nodes plus helpers to wire them together."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._nodes: Dict[str, Node] = {}
+
+    # -- registry -----------------------------------------------------------
+
+    def add(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise ConfigurationError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown node {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    @property
+    def nodes(self) -> Dict[str, Node]:
+        return dict(self._nodes)
+
+    # -- wiring ---------------------------------------------------------------
+
+    def link(
+        self,
+        src_name: str,
+        dst_name: str,
+        latency_us: float = 1.0,
+        bandwidth_bps: float = gbit_per_s(10.0),
+        faults: Optional[LinkFaults] = None,
+        rng: Optional[random.Random] = None,
+    ) -> Link:
+        """Create a unidirectional link src -> dst and attach it.
+
+        If ``src`` is a :class:`Switch` the link becomes a switch port;
+        otherwise it becomes the node's egress.
+        """
+        src = self.node(src_name)
+        dst = self.node(dst_name)
+        link = Link(
+            self.sim,
+            dst,
+            latency_us=latency_us,
+            bandwidth_bps=bandwidth_bps,
+            faults=faults,
+            rng=rng,
+            name=f"{src_name}->{dst_name}",
+        )
+        if isinstance(src, Switch):
+            src.connect(dst, link)
+        else:
+            src.attach_egress(link.send)
+        return link
+
+    def connect_via_switch(
+        self,
+        switch_name: str,
+        node_name: str,
+        latency_us: float = 1.0,
+        bandwidth_bps: float = gbit_per_s(10.0),
+        faults: Optional[LinkFaults] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        """Bidirectional attachment of a node to a switch (two links)."""
+        self.link(
+            node_name, switch_name,
+            latency_us=latency_us, bandwidth_bps=bandwidth_bps,
+            faults=faults, rng=rng,
+        )
+        self.link(
+            switch_name, node_name,
+            latency_us=latency_us, bandwidth_bps=bandwidth_bps,
+            faults=faults, rng=rng,
+        )
+
+
+def star_topology(
+    sim: Simulator,
+    switch: Switch,
+    nodes,
+    latency_us: float = 1.0,
+    bandwidth_bps: float = gbit_per_s(10.0),
+) -> Topology:
+    """Wire ``nodes`` to ``switch`` in a star (typical ToR layout)."""
+    topo = Topology(sim)
+    topo.add(switch)
+    for node in nodes:
+        topo.add(node)
+        topo.connect_via_switch(
+            switch.name, node.name, latency_us=latency_us, bandwidth_bps=bandwidth_bps
+        )
+    return topo

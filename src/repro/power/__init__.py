@@ -1,0 +1,12 @@
+"""Power measurement and energy accounting.
+
+* :mod:`repro.power.meter` — the wall power meter (SHW 3A, §4.1) as a
+  periodic sampler over any ``power_w()`` probe.
+* :mod:`repro.power.energy` — the §8 energy model
+  ``E = Pd(f)·Td(W,f) + Ps·Ts + Pi·Ti`` and ops/W metrics.
+"""
+
+from .meter import PowerMeter
+from .energy import EnergyBreakdown, NiccoliniEnergyModel, ops_per_watt
+
+__all__ = ["PowerMeter", "EnergyBreakdown", "NiccoliniEnergyModel", "ops_per_watt"]

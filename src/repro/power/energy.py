@@ -1,0 +1,97 @@
+"""The §8 energy model (after Niccolini et al. [60]).
+
+    E = Pd(f) · Td(W, f)  +  Ps · Ts  +  Pi · Ti
+
+where ``Pd`` is the power while actively processing, ``Td`` the active time
+for ``W`` packets at frequency ``f``, ``Ps``/``Ts`` the sleep-transition
+power/time and ``Pi``/``Ti`` the idle power/time.  Packet rate is
+``R = W / Td``.
+
+In-network computing should be used when ``E_S`` (software) exceeds
+``E_N`` (network).  :mod:`repro.core.energy_model` builds the tipping-point
+analysis on top of this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """The three terms of the §8 model, in joules."""
+
+    active_j: float
+    sleep_transition_j: float
+    idle_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.sleep_transition_j + self.idle_j
+
+
+class NiccoliniEnergyModel:
+    """Evaluate E for a device described by power functions.
+
+    ``active_power_w(rate_pps)`` is ``Pd`` as a function of the processed
+    packet rate (the paper's curves from §4); ``idle_power_w`` is ``Pi``;
+    ``sleep_power_w``/``sleep_transition_s`` describe ``Ps``/``Ts``.
+    """
+
+    def __init__(
+        self,
+        active_power_w: Callable[[float], float],
+        idle_power_w: float,
+        sleep_power_w: float = 0.0,
+        sleep_transition_s: float = 0.0,
+    ):
+        if idle_power_w < 0 or sleep_power_w < 0 or sleep_transition_s < 0:
+            raise ConfigurationError("power/time parameters must be >= 0")
+        self._active_power_w = active_power_w
+        self.idle_power_w = idle_power_w
+        self.sleep_power_w = sleep_power_w
+        self.sleep_transition_s = sleep_transition_s
+
+    def active_power_w(self, rate_pps: float) -> float:
+        if rate_pps < 0:
+            raise ConfigurationError("rate must be >= 0")
+        return self._active_power_w(rate_pps)
+
+    def dynamic_power_w(self, rate_pps: float) -> float:
+        """Pd(R) − Pi: the §6/§8 'absolute dynamic power consumption'."""
+        return self.active_power_w(rate_pps) - self.idle_power_w
+
+    def energy(
+        self,
+        packets: float,
+        rate_pps: float,
+        idle_s: float = 0.0,
+        sleep_transitions: int = 0,
+    ) -> EnergyBreakdown:
+        """Energy to process ``packets`` at ``rate_pps``, plus idle time and
+        sleep transitions."""
+        if packets < 0 or idle_s < 0 or sleep_transitions < 0:
+            raise ConfigurationError("packets/idle_s/transitions must be >= 0")
+        if packets > 0 and rate_pps <= 0:
+            raise ConfigurationError("positive work requires a positive rate")
+        active_s = packets / rate_pps if packets > 0 else 0.0
+        return EnergyBreakdown(
+            active_j=self.active_power_w(rate_pps) * active_s if packets > 0 else 0.0,
+            sleep_transition_j=self.sleep_power_w
+            * self.sleep_transition_s
+            * sleep_transitions,
+            idle_j=self.idle_power_w * idle_s,
+        )
+
+
+def ops_per_watt(rate_pps: float, power_w: float) -> float:
+    """Operations per watt — the §6 efficiency metric (software 10K's/W,
+    FPGA 100K's/W, ASIC 10M's/W for Paxos messages)."""
+    if power_w <= 0:
+        raise ConfigurationError("power must be positive")
+    if rate_pps < 0:
+        raise ConfigurationError("rate must be >= 0")
+    return rate_pps / power_w

@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: an event heap, a clock in microseconds,
+callback scheduling, and optional generator-based processes.  Everything in
+the network/host/hardware substrates builds on :class:`Simulator`.
+"""
+
+from .kernel import Event, Simulator
+from .process import Process
+from .queues import FifoQueue, QueueStats
+from .recorder import LatencyRecorder, TimeSeries, percentile
+from .rng import RngStreams
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "FifoQueue",
+    "QueueStats",
+    "LatencyRecorder",
+    "TimeSeries",
+    "percentile",
+    "RngStreams",
+]

@@ -1,0 +1,210 @@
+"""Event-driven simulator core.
+
+Time is a float in **microseconds** (see :mod:`repro.units`).  Events are
+callbacks ordered by (time, sequence), so same-time events run in the order
+they were scheduled — a property several protocol tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+from ..errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are returned by :meth:`Simulator.schedule` and can be cancelled.
+    Cancellation is lazy: the heap entry stays, but the callback is skipped.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "name")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.name = name
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call multiple times."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event({self.name!r} @ {self.time:.3f}us, {state})"
+
+
+class Simulator:
+    """Discrete-event simulator with a microsecond clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10.0, lambda: print("at t=10us"))
+        sim.run_until(100.0)
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._stopped = False
+        self._executed = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of callbacks executed so far (observability/testing)."""
+        return self._executed
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    # -- scheduling ----------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], name: str = "event"
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(self._now + delay, next(self._seq), callback, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], name: str = "event"
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = Event(time, next(self._seq), callback, name)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        name: str = "periodic",
+        jitter: float = 0.0,
+        rng=None,
+    ) -> "PeriodicHandle":
+        """Run ``callback`` every ``interval`` microseconds until cancelled.
+
+        ``jitter`` (a fraction of the interval) requires ``rng`` and spreads
+        firings uniformly in ``interval * (1 ± jitter)``.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an rng")
+        handle = PeriodicHandle()
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if handle.cancelled:  # callback may cancel the loop
+                return
+            delay = interval
+            if jitter:
+                delay *= 1.0 + rng.uniform(-jitter, jitter)
+            handle.event = self.schedule(delay, fire, name)
+
+        handle.event = self.schedule(interval, fire, name)
+        return handle
+
+    # -- running -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, time: float, max_events: Optional[int] = None) -> None:
+        """Run events until the clock reaches ``time`` (inclusive of events
+        scheduled exactly at ``time``).  The clock is advanced to ``time``
+        even if the event heap drains first.
+        """
+        if self._running:
+            raise SimulationError("run_until is not re-entrant")
+        if time < self._now:
+            raise SimulationError(f"cannot run backwards to t={time}")
+        self._running = True
+        budget = max_events
+        try:
+            while self._heap:
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if nxt.time > time:
+                    break
+                if budget is not None:
+                    if budget <= 0:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} before t={time}"
+                        )
+                    budget -= 1
+                self.step()
+            self._now = max(self._now, time)
+        finally:
+            self._running = False
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the event heap is empty (bounded by ``max_events``)."""
+        if self._running:
+            raise SimulationError("run is not re-entrant")
+        self._running = True
+        try:
+            for _ in range(max_events):
+                if not self.step():
+                    return
+            raise SimulationError(f"exceeded max_events={max_events}")
+        finally:
+            self._running = False
+
+
+class PeriodicHandle:
+    """Handle returned by :meth:`Simulator.call_every`."""
+
+    __slots__ = ("event", "cancelled")
+
+    def __init__(self) -> None:
+        self.event: Optional[Event] = None
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the periodic callback."""
+        self.cancelled = True
+        if self.event is not None:
+            self.event.cancel()

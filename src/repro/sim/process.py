@@ -1,0 +1,74 @@
+"""Generator-based processes on top of the event kernel.
+
+A process is a Python generator that yields delays (microseconds).  The
+kernel resumes it after each delay.  Processes keep sequential protocol
+logic (e.g. a closed-loop client: send, wait, receive, think) readable
+without hand-written state machines.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..errors import SimulationError
+from .kernel import Simulator
+
+ProcessGenerator = Generator[float, None, None]
+
+
+class Process:
+    """Drives a generator that yields microsecond delays.
+
+    ::
+
+        def worker():
+            while True:
+                do_work()
+                yield 100.0   # sleep 100us
+
+        Process(sim, worker(), name="worker")
+    """
+
+    def __init__(self, sim: Simulator, gen: ProcessGenerator, name: str = "process"):
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.stopped = False
+        self._pending = None
+        self._step()
+
+    def stop(self) -> None:
+        """Stop the process; its generator is closed and pending wake
+        cancelled.  Idempotent."""
+        if self.stopped or self.finished:
+            self.stopped = True
+            return
+        self.stopped = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._gen.close()
+
+    def _step(self) -> None:
+        if self.stopped:
+            return
+        self._pending = None
+        try:
+            delay = next(self._gen)
+        except StopIteration:
+            self.finished = True
+            return
+        if delay is None or delay < 0:
+            raise SimulationError(
+                f"process {self.name!r} yielded invalid delay {delay!r}"
+            )
+        self._pending = self._sim.schedule(delay, self._step, name=self.name)
+
+
+def sleep_until(sim: Simulator, time: float) -> float:
+    """Delay value that wakes a process at absolute time ``time``."""
+    remaining = time - sim.now
+    if remaining < 0:
+        raise SimulationError(f"sleep_until target {time} is in the past")
+    return remaining

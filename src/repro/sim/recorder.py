@@ -1,0 +1,175 @@
+"""Measurement recorders: time series and latency statistics.
+
+These play the role of the paper's instrumentation — the SHW 3A wall power
+meter sampled once a second, hardware throughput counters on the LaKe card,
+and the Endace DAG card capturing per-packet latency (§4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import to_seconds
+from .kernel import Simulator
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (``pct`` in [0, 100]) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"pct must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if pct == 0.0:
+        return ordered[0]
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class Sample:
+    """One (time, value) measurement."""
+
+    time_us: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only (time, value) series with window queries.
+
+    Used for power meters, throughput counters and controller telemetry.
+    """
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time_us: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self._times and time_us < self._times[-1]:
+            raise ConfigurationError(
+                f"time series {self.name!r} got out-of-order sample"
+            )
+        self._times.append(time_us)
+        self._values.append(value)
+
+    @property
+    def times(self) -> List[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> List[float]:
+        return list(self._values)
+
+    def last(self) -> Optional[Sample]:
+        if not self._times:
+            return None
+        return Sample(self._times[-1], self._values[-1])
+
+    def window(self, start_us: float, end_us: float) -> List[Sample]:
+        """Samples with start <= time < end."""
+        lo = bisect_right(self._times, start_us - 1e-12)
+        hi = bisect_right(self._times, end_us - 1e-12)
+        return [Sample(t, v) for t, v in zip(self._times[lo:hi], self._values[lo:hi])]
+
+    def mean(self, start_us: Optional[float] = None, end_us: Optional[float] = None) -> float:
+        """Arithmetic mean of samples in the window (whole series by default)."""
+        if start_us is None and end_us is None:
+            values = self._values
+        else:
+            samples = self.window(
+                start_us if start_us is not None else float("-inf"),
+                end_us if end_us is not None else float("inf"),
+            )
+            values = [s.value for s in samples]
+        if not values:
+            raise ValueError(f"no samples in window for {self.name!r}")
+        return sum(values) / len(values)
+
+    def integrate_seconds(self) -> float:
+        """Trapezoidal integral of value over time, time in **seconds**.
+
+        Integrating a power (W) series yields energy in joules.
+        """
+        total = 0.0
+        for i in range(1, len(self._times)):
+            dt = to_seconds(self._times[i] - self._times[i - 1])
+            total += 0.5 * (self._values[i] + self._values[i - 1]) * dt
+        return total
+
+
+class LatencyRecorder:
+    """Collects per-request latencies and reports distribution statistics."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self._samples: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ConfigurationError("negative latency recorded")
+        self._samples.append(latency_us)
+
+    def extend(self, values: Sequence[float]) -> None:
+        for v in values:
+            self.record(v)
+
+    @property
+    def samples(self) -> List[float]:
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("no latency samples")
+        return sum(self._samples) / len(self._samples)
+
+    def median(self) -> float:
+        return percentile(self._samples, 50.0)
+
+    def p99(self) -> float:
+        return percentile(self._samples, 99.0)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+class PeriodicSampler:
+    """Samples a probe function periodically into a :class:`TimeSeries`.
+
+    Mirrors the paper's once-a-second wall-power sampling (§4.1), but the
+    interval is configurable so transition experiments (Figures 6/7) can
+    sample at millisecond granularity.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        interval_us: float,
+        name: str = "sampler",
+    ):
+        if interval_us <= 0:
+            raise ConfigurationError("sampler interval must be positive")
+        self.series = TimeSeries(name)
+        self._probe = probe
+        # Record an initial sample at t=now, then periodically.
+        self.series.record(sim.now, probe())
+        self._handle = sim.call_every(interval_us, self._tick, name=name)
+        self._sim = sim
+
+    def _tick(self) -> None:
+        self.series.record(self._sim.now, self._probe())
+
+    def stop(self) -> None:
+        self._handle.cancel()

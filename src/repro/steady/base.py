@@ -1,0 +1,176 @@
+"""Steady-state model base classes.
+
+A :class:`SteadyModel` answers, for one (application, platform) pair, the
+questions the paper's Figure 3 sweeps ask: what does the system draw at a
+given offered load, what does it actually serve, and what is the request
+latency there.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import CapacityError, ConfigurationError
+
+
+class SteadyModel:
+    """Base class: a named curve with a capacity."""
+
+    def __init__(self, name: str, capacity_pps: float):
+        if capacity_pps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.name = name
+        self.capacity_pps = capacity_pps
+
+    # -- throughput ----------------------------------------------------------
+
+    def achieved_pps(self, offered_pps: float) -> float:
+        """Served rate for an offered rate (saturates at capacity)."""
+        if offered_pps < 0:
+            raise ConfigurationError("offered rate must be >= 0")
+        return min(offered_pps, self.capacity_pps)
+
+    def utilization(self, offered_pps: float) -> float:
+        return self.achieved_pps(offered_pps) / self.capacity_pps
+
+    # -- interface ------------------------------------------------------------
+
+    def power_at(self, offered_pps: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def latency_at(self, offered_pps: float) -> float:
+        """Median request latency (µs); default M/M/1-style inflation of the
+        low-load latency toward saturation, capped at 10×."""
+        base = self.base_latency_us()
+        rho = min(0.99, self.utilization(offered_pps))
+        return min(base * 10.0, base / (1.0 - rho) if rho < 1.0 else base * 10.0)
+
+    def base_latency_us(self) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    def ops_per_watt(self, offered_pps: float) -> float:
+        power = self.power_at(offered_pps)
+        if power <= 0:
+            raise CapacityError(f"{self.name}: non-positive power")
+        return self.achieved_pps(offered_pps) / power
+
+    def dynamic_power_w(self, offered_pps: float) -> float:
+        """Power above idle at this load (the §6/§8 dynamic component)."""
+        return self.power_at(offered_pps) - self.power_at(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, cap={self.capacity_pps:.0f}pps)"
+
+
+class SoftwareCurveModel(SteadyModel):
+    """A software system: P = idle + (peak−idle)·u^α, u = served/capacity.
+
+    ``poly_w``/``poly_exp`` add the near-saturation term used for libpaxos
+    (see repro.calibration); with ``poly_w=0`` this is the plain α-curve of
+    memcached and NSD.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_pps: float,
+        idle_w: float,
+        peak_w: float,
+        alpha: float = 1.0,
+        poly_w: float = 0.0,
+        poly_exp: float = 4.0,
+        latency_us: float = 50.0,
+    ):
+        super().__init__(name, capacity_pps)
+        if peak_w < idle_w:
+            raise ConfigurationError("peak_w must be >= idle_w")
+        self.idle_w = idle_w
+        self.peak_w = peak_w
+        self.alpha = alpha
+        self.poly_w = poly_w
+        self.poly_exp = poly_exp
+        self._latency_us = latency_us
+
+    def power_at(self, offered_pps: float) -> float:
+        u = self.utilization(offered_pps)
+        linear_span = self.peak_w - self.idle_w - self.poly_w
+        return (
+            self.idle_w
+            + linear_span * (u ** self.alpha)
+            + self.poly_w * (u ** self.poly_exp)
+        )
+
+    def base_latency_us(self) -> float:
+        return self._latency_us
+
+
+class HardwareCardModel(SteadyModel):
+    """An in-network design: host (optional) + card with ~flat power.
+
+    ``card_power_w()`` is probed live, so §5.1 state changes (clock gating,
+    memory reset) show up in the curve; dynamic power is the card's
+    utilization-scaled adder plus, for LaKe, the host-side miss handling.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity_pps: float,
+        card_power_w: Callable[[], float],
+        card_dynamic_max_w: float,
+        host_idle_w: float = 0.0,
+        host_miss_model: Optional[Callable[[float], float]] = None,
+        latency_us: float = 2.0,
+    ):
+        super().__init__(name, capacity_pps)
+        self._card_power_w = card_power_w
+        self.card_dynamic_max_w = card_dynamic_max_w
+        self.host_idle_w = host_idle_w
+        self._host_miss_model = host_miss_model
+        self._latency_us = latency_us
+
+    def power_at(self, offered_pps: float) -> float:
+        u = self.utilization(offered_pps)
+        power = self.host_idle_w + self._card_power_w() + self.card_dynamic_max_w * u
+        if self._host_miss_model is not None:
+            power += self._host_miss_model(self.achieved_pps(offered_pps))
+        return power
+
+    def latency_at(self, offered_pps: float) -> float:
+        # Fully pipelined: latency is flat with load (§9.5).
+        return self._latency_us
+
+    def base_latency_us(self) -> float:
+        return self._latency_us
+
+
+def find_crossover(
+    software: SteadyModel,
+    hardware: SteadyModel,
+    max_pps: Optional[float] = None,
+    tolerance_pps: float = 100.0,
+) -> Optional[float]:
+    """The §8 tipping point: lowest rate where hardware power <= software.
+
+    Returns None if the hardware never becomes cheaper below ``max_pps``.
+    Bisection over the (monotone-difference) power curves.
+    """
+    hi = max_pps if max_pps is not None else min(
+        software.capacity_pps, hardware.capacity_pps
+    )
+    lo = 0.0
+
+    def hw_wins(rate: float) -> bool:
+        return hardware.power_at(rate) <= software.power_at(rate)
+
+    if hw_wins(lo):
+        return 0.0
+    if not hw_wins(hi):
+        return None
+    while hi - lo > tolerance_pps:
+        mid = (lo + hi) / 2.0
+        if hw_wins(mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi

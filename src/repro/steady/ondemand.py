@@ -1,0 +1,124 @@
+"""Steady-state on-demand curves — the Figure 5 series.
+
+An :class:`OnDemandModel` composes a software model, a hardware model, and
+a shift threshold (the controller's shift-up rate): below the threshold the
+workload runs in software with the card held in its §9.2 low-power
+configuration (memories in reset, logic clock-gated); at and above it, the
+workload runs in hardware.  "At low utilization power consumption is
+derived from the properties of the software-based system.  As utilization
+increases, processing is shifted to the network, and the power consumption
+changes little with utilization."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.fpga import PlatformMode, make_emu_dns_fpga, make_lake_fpga, make_p4xos_fpga
+from .base import SteadyModel
+from .dns import emu_in_server_model, nsd_model
+from .kvs import lake_in_server_model, memcached_model
+from .paxos import PaxosRole, libpaxos_model, p4xos_in_server_model
+
+
+def _gated_card_power_w(design: str) -> float:
+    """Card power in the §9.2 standby configuration."""
+    if design == "lake":
+        card = make_lake_fpga(mode=PlatformMode.IN_SERVER)
+        card.clock_gate_all_logic()
+        card.reset_memories()
+    elif design == "p4xos":
+        card = make_p4xos_fpga(mode=PlatformMode.IN_SERVER)
+        card.clock_gate_all_logic()
+    elif design == "emu-dns":
+        card = make_emu_dns_fpga(mode=PlatformMode.IN_SERVER)
+        card.clock_gate_all_logic()
+    else:
+        raise ConfigurationError(f"unknown design {design!r}")
+    return card.power_w()
+
+
+class OnDemandModel(SteadyModel):
+    """Power of a workload managed by in-network computing on demand."""
+
+    def __init__(
+        self,
+        name: str,
+        software: SteadyModel,
+        hardware: SteadyModel,
+        shift_threshold_pps: float,
+        standby_card_w: float,
+        software_has_nic: bool = True,
+    ):
+        if shift_threshold_pps <= 0:
+            raise ConfigurationError("shift threshold must be positive")
+        super().__init__(name, capacity_pps=hardware.capacity_pps)
+        self.software = software
+        self.hardware = hardware
+        self.shift_threshold_pps = shift_threshold_pps
+        self.standby_card_w = standby_card_w
+        self.software_has_nic = software_has_nic
+
+    def in_hardware(self, offered_pps: float) -> bool:
+        return offered_pps >= self.shift_threshold_pps
+
+    def power_at(self, offered_pps: float) -> float:
+        if self.in_hardware(offered_pps):
+            return self.hardware.power_at(offered_pps)
+        # Software phase.  The card replaces the NIC (LaKe/Emu setups), so
+        # the software-model power minus its NIC share plus the standby
+        # card; for P4xos (separate card) the NIC stays.
+        power = self.software.power_at(offered_pps)
+        if self.software_has_nic:
+            power -= cal.NIC_MELLANOX_CX311A_IDLE_W
+        return power + self.standby_card_w
+
+    def latency_at(self, offered_pps: float) -> float:
+        model = self.hardware if self.in_hardware(offered_pps) else self.software
+        return model.latency_at(offered_pps)
+
+    def base_latency_us(self) -> float:
+        return self.software.base_latency_us()
+
+    def saving_vs_software_w(self, offered_pps: float) -> float:
+        """How much on-demand saves over software-only at this load (§1:
+        "saves up to 50% of the power compared with software-based
+        solutions" at high load)."""
+        return self.software.power_at(offered_pps) - self.power_at(offered_pps)
+
+
+def make_ondemand_model(app: str) -> OnDemandModel:
+    """On-demand model for one of the three applications, with the §4
+    crossover as the shift threshold."""
+    if app == "kvs":
+        return OnDemandModel(
+            name="KVS (On demand)",
+            software=memcached_model(),
+            hardware=lake_in_server_model(),
+            shift_threshold_pps=cal.NETCTL_KVS_UP_PPS,
+            standby_card_w=_gated_card_power_w("lake"),
+        )
+    if app == "paxos":
+        return OnDemandModel(
+            name="Paxos (On demand)",
+            software=libpaxos_model(PaxosRole.LEADER),
+            hardware=p4xos_in_server_model(PaxosRole.LEADER),
+            shift_threshold_pps=cal.NETCTL_PAXOS_UP_PPS,
+            standby_card_w=_gated_card_power_w("p4xos"),
+        )
+    if app == "dns":
+        return OnDemandModel(
+            name="DNS (On demand)",
+            software=nsd_model(),
+            hardware=emu_in_server_model(),
+            shift_threshold_pps=cal.NETCTL_DNS_UP_PPS,
+            standby_card_w=_gated_card_power_w("emu-dns"),
+        )
+    raise ConfigurationError(f"unknown app {app!r}; choose kvs, paxos, or dns")
+
+
+def ondemand_models() -> Dict[str, OnDemandModel]:
+    """The Figure 5 curve set."""
+    return {app: make_ondemand_model(app) for app in ("kvs", "paxos", "dns")}

@@ -1,0 +1,55 @@
+"""Workload generators and trace models.
+
+* :mod:`repro.workloads.osnt` — OSNT-style rate-controlled offered load
+  (§4.1: "We used OSNT to send traffic, which enabled us to control data
+  rates at very fine granularities").
+* :mod:`repro.workloads.etc` — the Facebook "ETC" key-value workload [7]
+  (Zipf key popularity, small values, high GET ratio) used by the Figure 6
+  experiment.
+* :mod:`repro.workloads.colocated` — the ChainerMN-style co-located CPU
+  workload of Figure 6.
+* :mod:`repro.workloads.dynamo` — Facebook Dynamo power-variation trace
+  synthesis + the §9.3 variation-percentile analysis.
+* :mod:`repro.workloads.google_trace` — Google cluster trace synthesis +
+  the §9.3 offload-candidate analysis.
+"""
+
+from .osnt import RateSchedule, RampSchedule, StepSchedule
+from .etc import EtcWorkload
+from .colocated import ChainerMNWorkload
+from .dynamo import DynamoTraceSynthesizer, PowerVariationAnalysis, analyze_power_variation
+from .google_trace import (
+    GoogleTraceSynthesizer,
+    GoogleTraceAnalysis,
+    Task,
+    analyze_offload_candidates,
+)
+from .replay import (
+    ReplayResult,
+    compare_policies,
+    predictive_policy,
+    replay_trace,
+    static_policy,
+    threshold_policy,
+)
+
+__all__ = [
+    "RateSchedule",
+    "RampSchedule",
+    "StepSchedule",
+    "EtcWorkload",
+    "ChainerMNWorkload",
+    "DynamoTraceSynthesizer",
+    "PowerVariationAnalysis",
+    "analyze_power_variation",
+    "GoogleTraceSynthesizer",
+    "GoogleTraceAnalysis",
+    "Task",
+    "analyze_offload_candidates",
+    "ReplayResult",
+    "compare_policies",
+    "predictive_policy",
+    "replay_trace",
+    "static_policy",
+    "threshold_policy",
+]

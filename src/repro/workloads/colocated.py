@@ -1,0 +1,63 @@
+"""Co-located CPU workloads.
+
+Figure 6 runs "ChainerMN (Chainer v4.4.0), a deep learning framework …
+as a second workload on the host, passing traffic through the same LaKe
+card.  CPU power consumption is read from RAPL, and is increased due to
+ChainerMN."  The co-located job matters to the host controller because it
+inflates RAPL power: "Monitoring the power consumption alone is not
+sufficient, as a high power consumption can be triggered by multiple
+applications running on the same host" (§9.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigurationError
+from ..sim import Simulator
+
+
+class ChainerMNWorkload:
+    """A CPU-burning co-located job registered on a server's CPU account."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server,
+        cores: float = 2.0,
+        utilization: float = 0.95,
+        app_name: str = "chainermn",
+    ):
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        self.sim = sim
+        self.server = server
+        self.cores = cores
+        self.utilization = utilization
+        self.app_name = app_name
+        self.running = False
+        self.started_at_us: Optional[float] = None
+        self.stopped_at_us: Optional[float] = None
+
+    def start(self) -> None:
+        """Begin training: the cores go busy."""
+        if self.running:
+            return
+        self.server.cpu.set_load(self.app_name, self.cores, self.utilization)
+        self.running = True
+        self.started_at_us = self.sim.now
+
+    def stop(self) -> None:
+        """Training ends (the second Figure 6 transition trigger)."""
+        if not self.running:
+            return
+        self.server.cpu.clear_load(self.app_name)
+        self.running = False
+        self.stopped_at_us = self.sim.now
+
+    def schedule(self, start_us: float, stop_us: float) -> None:
+        """Run the job over an absolute [start, stop) window."""
+        if stop_us <= start_us:
+            raise ConfigurationError("stop must come after start")
+        self.sim.schedule_at(start_us, self.start, name=f"{self.app_name}.start")
+        self.sim.schedule_at(stop_us, self.stop, name=f"{self.app_name}.stop")

@@ -1,0 +1,125 @@
+"""The Facebook "ETC" key-value workload (Atikoglu et al. [7]).
+
+§9.2 drives the Figure 6 transition experiment with "a mutilate based
+memcached client, using the Facebook 'ETC' arrival distribution".  The
+published characteristics we reproduce:
+
+* key popularity is heavily skewed (Zipf-like; a small fraction of keys
+  receives most requests — the paper's §5.3 cites 3%–35% unique keys
+  requested per hour);
+* values are small (tens to hundreds of bytes dominate);
+* the mix is read-dominated (ETC is ~97% GET).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+from ..errors import ConfigurationError
+
+
+class ZipfSampler:
+    """Zipf(s) over ranks 1..n with O(1) amortized sampling.
+
+    Uses the rejection-inversion method of Hörmann & Derflinger, which is
+    exact for the Zipf distribution and avoids materializing the CDF (the
+    keyspaces here reach millions of keys).
+    """
+
+    def __init__(self, n: int, s: float, rng: random.Random):
+        if n < 1:
+            raise ConfigurationError("n must be >= 1")
+        if s <= 0 or s == 1.0:
+            # s=1 has a removable singularity in H below; nudge it.
+            s = 1.0000001 if s == 1.0 else s
+        if s <= 0:
+            raise ConfigurationError("s must be positive")
+        self.n = n
+        self.s = s
+        self._rng = rng
+        self._h_x1 = self._h(1.5) - 1.0
+        self._h_n = self._h(n + 0.5)
+
+    def _h(self, x: float) -> float:
+        return (x ** (1.0 - self.s)) / (1.0 - self.s)
+
+    def _h_inv(self, x: float) -> float:
+        return (x * (1.0 - self.s)) ** (1.0 / (1.0 - self.s))
+
+    def sample(self) -> int:
+        """A rank in 1..n, rank 1 most popular."""
+        while True:
+            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
+            x = self._h_inv(u)
+            k = int(x + 0.5)
+            k = min(max(k, 1), self.n)
+            if k - x <= 1.0 or u >= self._h(k + 0.5) - math.exp(
+                -self.s * math.log(k)
+            ):
+                return k
+
+
+#: ETC value-size distribution: (upper bound bytes, cumulative probability).
+#: A coarse fit of the Atikoglu et al. ETC size CDF: dominated by <320B.
+_ETC_VALUE_SIZE_CDF = [
+    (16, 0.10),
+    (32, 0.30),
+    (64, 0.55),
+    (128, 0.75),
+    (320, 0.90),
+    (1024, 0.97),
+    (4096, 1.00),
+]
+
+
+class EtcWorkload:
+    """Key/value/op samplers with ETC-like statistics."""
+
+    GET_FRACTION = 0.97
+
+    def __init__(
+        self,
+        keyspace: int = 1_000_000,
+        zipf_s: float = 0.99,
+        seed: int = 7,
+    ):
+        if keyspace < 1:
+            raise ConfigurationError("keyspace must be >= 1")
+        self._rng = random.Random(seed)
+        self._zipf = ZipfSampler(keyspace, zipf_s, self._rng)
+        self.keyspace = keyspace
+
+    # -- samplers (pass directly to the clients) ----------------------------
+
+    def key(self) -> str:
+        return f"key:{self._zipf.sample():08d}"
+
+    def value(self) -> bytes:
+        u = self._rng.random()
+        for size, cum in _ETC_VALUE_SIZE_CDF:
+            if u <= cum:
+                return b"v" * size
+        return b"v" * _ETC_VALUE_SIZE_CDF[-1][0]  # pragma: no cover
+
+    @property
+    def set_fraction(self) -> float:
+        return 1.0 - self.GET_FRACTION
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    # -- warm-up helpers -----------------------------------------------------
+
+    def hot_keys(self, count: int) -> List[str]:
+        """The ``count`` most popular keys (for preloading stores)."""
+        if count < 0:
+            raise ConfigurationError("count must be >= 0")
+        return [f"key:{rank:08d}" for rank in range(1, min(count, self.keyspace) + 1)]
+
+    def preload(self, store_set, count: int) -> None:
+        """Populate a store with the hot keys via ``store_set(key, value)``."""
+        for key in self.hot_keys(count):
+            store_set(key, self.value())

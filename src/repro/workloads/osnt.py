@@ -1,0 +1,90 @@
+"""OSNT-style offered-load schedules.
+
+§4.1's methodology is a slow sweep: "starting with an idle system, and then
+gradually increasing the query rate until reaching peak performance".
+A :class:`RateSchedule` describes offered load as a function of time; the
+drivers apply it to a client's ``set_rate``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..sim import Simulator
+
+
+class RateSchedule:
+    """Piecewise-constant offered load: a list of (start_us, rate_pps)."""
+
+    def __init__(self, steps: Sequence[Tuple[float, float]]):
+        if not steps:
+            raise ConfigurationError("schedule needs at least one step")
+        times = [t for t, _ in steps]
+        if times != sorted(times):
+            raise ConfigurationError("schedule steps must be time-ordered")
+        if any(r < 0 for _, r in steps):
+            raise ConfigurationError("rates must be >= 0")
+        if times[0] != 0.0:
+            steps = [(0.0, 0.0)] + list(steps)
+        self._times = [t for t, _ in steps]
+        self._rates = [r for _, r in steps]
+
+    def rate_at(self, time_us: float) -> float:
+        """Offered rate at ``time_us``."""
+        idx = bisect_right(self._times, time_us) - 1
+        return self._rates[max(0, idx)]
+
+    @property
+    def steps(self) -> List[Tuple[float, float]]:
+        return list(zip(self._times, self._rates))
+
+    def apply(self, sim: Simulator, set_rate) -> None:
+        """Schedule ``set_rate(rate)`` calls at each step boundary."""
+        for time_us, rate in zip(self._times, self._rates):
+            if time_us <= sim.now:
+                set_rate(rate)
+            else:
+                sim.schedule_at(
+                    time_us, lambda r=rate: set_rate(r), name="rate-schedule"
+                )
+
+    @property
+    def end_us(self) -> float:
+        return self._times[-1]
+
+
+def RampSchedule(
+    start_rate_pps: float,
+    end_rate_pps: float,
+    duration_us: float,
+    steps: int = 20,
+) -> RateSchedule:
+    """The §4.1 sweep: rate ramping from start to end over ``duration_us``."""
+    if steps < 1:
+        raise ConfigurationError("steps must be >= 1")
+    if duration_us <= 0:
+        raise ConfigurationError("duration must be positive")
+    points = []
+    for i in range(steps):
+        t = duration_us * i / steps
+        rate = start_rate_pps + (end_rate_pps - start_rate_pps) * i / max(1, steps - 1)
+        points.append((t, rate))
+    return RateSchedule(points)
+
+
+def StepSchedule(
+    phases: Sequence[Tuple[float, float]],
+) -> RateSchedule:
+    """Phases given as (duration_us, rate) pairs, e.g. the Figure 6 trace:
+    low load, then sustained high load, then low again."""
+    points = []
+    t = 0.0
+    for duration, rate in phases:
+        if duration <= 0:
+            raise ConfigurationError("phase durations must be positive")
+        points.append((t, rate))
+        t += duration
+    return RateSchedule(points)

@@ -1,0 +1,152 @@
+"""Trace-driven placement replay — the §8 energy model over real load traces.
+
+Users point this at their own (duration, rate) load trace to answer the
+paper's operational question: *how much energy would in-network computing
+on demand have saved on my workload?*  Three policies are provided; custom
+policies are any callable ``(rate_pps, in_hardware) -> bool``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..steady.base import SteadyModel
+
+PlacementPolicy = Callable[[float, bool], bool]
+
+
+def static_policy(hardware: bool) -> PlacementPolicy:
+    """Always-software or always-hardware."""
+    return lambda rate_pps, in_hardware: hardware
+
+
+def threshold_policy(up_pps: float, down_pps: float) -> PlacementPolicy:
+    """The §9.1 dual-threshold rule."""
+    if up_pps <= down_pps:
+        raise ConfigurationError("up_pps must exceed down_pps")
+
+    def decide(rate_pps: float, in_hardware: bool) -> bool:
+        if in_hardware:
+            return rate_pps > down_pps
+        return rate_pps >= up_pps
+
+    return decide
+
+
+def predictive_policy(
+    software: SteadyModel,
+    hardware: SteadyModel,
+    standby_card_w: float,
+    margin_w: float = 2.0,
+) -> PlacementPolicy:
+    """The PEAS-style rule: shift when the predicted saving clears a margin."""
+
+    def decide(rate_pps: float, in_hardware: bool) -> bool:
+        software_w = software.power_at(min(rate_pps, software.capacity_pps))
+        hardware_w = hardware.power_at(min(rate_pps, hardware.capacity_pps))
+        saving = software_w + standby_card_w - hardware_w
+        if in_hardware:
+            return saving > -margin_w
+        return saving >= margin_w
+
+    return decide
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of replaying one trace under one policy."""
+
+    energy_j: float
+    shifts: int
+    time_in_hardware_s: float
+    total_time_s: float
+    #: (elapsed_s, rate_pps, in_hardware, power_w) per trace segment
+    segments: List[Tuple[float, float, bool, float]] = field(default_factory=list)
+
+    @property
+    def mean_power_w(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.energy_j / self.total_time_s
+
+    @property
+    def hardware_fraction(self) -> float:
+        if self.total_time_s <= 0:
+            return 0.0
+        return self.time_in_hardware_s / self.total_time_s
+
+
+def replay_trace(
+    trace: Sequence[Tuple[float, float]],
+    software: SteadyModel,
+    hardware: SteadyModel,
+    policy: PlacementPolicy,
+    standby_card_w: float = 0.0,
+    initial_hardware: bool = False,
+) -> ReplayResult:
+    """Integrate energy over a (duration_s, rate_pps) trace.
+
+    While in software, the system pays the software model's power plus the
+    §9.2 standby card cost; while in hardware, the hardware model's power.
+    The policy is evaluated once per trace segment (the paper's controllers
+    average over seconds; traces are assumed at that granularity or coarser).
+    """
+    if not trace:
+        raise ConfigurationError("empty trace")
+    in_hardware = initial_hardware
+    energy = 0.0
+    shifts = 0
+    hardware_s = 0.0
+    total_s = 0.0
+    segments = []
+    for duration_s, rate_pps in trace:
+        if duration_s <= 0:
+            raise ConfigurationError("segment durations must be positive")
+        if rate_pps < 0:
+            raise ConfigurationError("rates must be >= 0")
+        want_hardware = policy(rate_pps, in_hardware)
+        if want_hardware != in_hardware:
+            shifts += 1
+            in_hardware = want_hardware
+        if in_hardware:
+            power = hardware.power_at(min(rate_pps, hardware.capacity_pps))
+            hardware_s += duration_s
+        else:
+            power = (
+                software.power_at(min(rate_pps, software.capacity_pps))
+                + standby_card_w
+            )
+        energy += power * duration_s
+        total_s += duration_s
+        segments.append((duration_s, rate_pps, in_hardware, power))
+    return ReplayResult(
+        energy_j=energy,
+        shifts=shifts,
+        time_in_hardware_s=hardware_s,
+        total_time_s=total_s,
+        segments=segments,
+    )
+
+
+def compare_policies(
+    trace: Sequence[Tuple[float, float]],
+    software: SteadyModel,
+    hardware: SteadyModel,
+    standby_card_w: float = 0.0,
+    policies=None,
+):
+    """Replay a trace under a set of named policies; returns {name: result}."""
+    if policies is None:
+        policies = {
+            "always-software": static_policy(False),
+            "always-hardware": static_policy(True),
+            "predictive": predictive_policy(software, hardware, standby_card_w),
+        }
+    return {
+        name: replay_trace(
+            trace, software, hardware, policy, standby_card_w=standby_card_w
+        )
+        for name, policy in policies.items()
+    }

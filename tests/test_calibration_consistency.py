@@ -1,0 +1,112 @@
+"""Internal consistency of the calibration constants.
+
+These tests pin the arithmetic relations the paper states between its own
+numbers, so a future calibration edit cannot silently break one anchor
+while fixing another.
+"""
+
+import pytest
+
+from repro import calibration as cal
+
+
+def test_lake_card_decomposition():
+    """LaKe card = shell + logic + memories (§5 additive structure)."""
+    assert cal.LAKE_CARD_W == pytest.approx(
+        cal.NETFPGA_SHELL_W + cal.LAKE_LOGIC_TOTAL_W + cal.MEMORIES_TOTAL_W
+    )
+
+
+def test_lake_system_anchor():
+    """Idle no-NIC server + LaKe card = the §4.2 59W system."""
+    assert cal.I7_IDLE_NO_NIC_W + cal.LAKE_CARD_W == pytest.approx(59.0)
+
+
+def test_p4xos_10w_below_lake():
+    assert cal.LAKE_CARD_W - cal.P4XOS_CARD_W == pytest.approx(10.0)
+
+
+def test_p4xos_standalone_consistency():
+    assert cal.P4XOS_CARD_W + cal.STANDALONE_PSU_OVERHEAD_W == pytest.approx(
+        cal.P4XOS_STANDALONE_IDLE_W
+    )
+
+
+def test_emu_system_anchor():
+    """§4.4: Emu DNS draws about 48W in-server."""
+    assert cal.I7_IDLE_NO_NIC_W + cal.EMU_DNS_CARD_W == pytest.approx(48.0)
+
+
+def test_lake_logic_decomposition():
+    assert (
+        cal.LAKE_CLASSIFIER_INTERCONNECT_W + cal.LAKE_DEFAULT_PES * cal.LAKE_PE_W
+    ) == pytest.approx(cal.LAKE_LOGIC_TOTAL_W)
+
+
+def test_memories_no_less_than_10w():
+    """§5.1 in so many words."""
+    assert cal.MEMORIES_TOTAL_W >= 10.0
+    assert cal.MEMORIES_TOTAL_W == pytest.approx(cal.DRAM_4GB_W + cal.SRAM_18MB_W)
+
+
+def test_nic_share_keeps_idle_anchor():
+    assert cal.I7_IDLE_NO_NIC_W + cal.NIC_MELLANOX_CX311A_IDLE_W == pytest.approx(
+        cal.I7_IDLE_W
+    )
+
+
+def test_onchip_capacity_ratios():
+    assert cal.DRAM_VALUE_ENTRIES // cal.ONCHIP_VALUE_ENTRIES >= 60_000
+    assert cal.SRAM_FREELIST_ENTRIES // cal.ONCHIP_FREELIST_ENTRIES >= 30_000
+
+
+def test_latency_chain():
+    """§5.3: miss ≈ ×10 on-chip hit; L2 sits between."""
+    assert cal.LAKE_MISS_MEDIAN_US / cal.LAKE_L1_HIT_US == pytest.approx(10.0, rel=0.05)
+    assert cal.LAKE_L1_HIT_US < cal.LAKE_L2_HIT_MEDIAN_US < cal.LAKE_MISS_MEDIAN_US
+    assert cal.LAKE_MISS_P99_US > cal.LAKE_MISS_MEDIAN_US
+
+
+def test_controller_threshold_hysteresis():
+    assert cal.NETCTL_KVS_UP_PPS > cal.NETCTL_KVS_DOWN_PPS
+    assert cal.NETCTL_PAXOS_UP_PPS > cal.NETCTL_PAXOS_DOWN_PPS
+    assert cal.NETCTL_DNS_UP_PPS > cal.NETCTL_DNS_DOWN_PPS
+    assert cal.HOSTCTL_POWER_UP_W > cal.HOSTCTL_POWER_DOWN_W
+
+
+def test_xeon_ladder_ordering():
+    assert (
+        cal.XEON_2660_IDLE_W
+        < cal.XEON_2660_ONE_CORE_10PCT_W
+        < cal.XEON_2660_ONE_CORE_W
+        < cal.XEON_2660_FULL_LOAD_W
+    )
+
+
+def test_dns_capacities_comparable():
+    """§4.4: Emu's peak is 'comparable' to the software's."""
+    ratio = cal.EMU_DNS_CAPACITY_PPS / cal.NSD_CAPACITY_PPS
+    assert 0.9 < ratio < 1.2
+
+
+def test_ops_per_watt_orders_of_magnitude():
+    orders = cal.OPS_PER_WATT_ORDER
+    assert orders["software"] < orders["fpga"] < orders["asic"]
+    assert orders["asic"] / orders["software"] == pytest.approx(1000.0)
+
+
+def test_tofino_span_fits_20pct_with_p4xos():
+    worst = cal.TOFINO_L2_FULL_LOAD_NORMALIZED * (
+        1.0 + cal.TOFINO_P4XOS_OVERHEAD_FRACTION
+    )
+    assert worst / cal.TOFINO_IDLE_NORMALIZED - 1.0 < 0.20
+
+
+def test_diag_more_than_twice_p4xos():
+    assert cal.TOFINO_DIAG_OVERHEAD_FRACTION > 2 * cal.TOFINO_P4XOS_OVERHEAD_FRACTION
+
+
+def test_server_calibrations():
+    assert cal.I7_6700K.cores == 4
+    assert cal.XEON_E5_2660.cores == 28
+    assert cal.XEON_E5_2660.idle_w == 56.0

@@ -1,0 +1,42 @@
+"""The ``python -m repro`` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import _EXPERIMENTS, build_parser, main
+
+
+def test_catalogue_covers_every_figure_and_section():
+    expected = {
+        "figure3a", "figure3b", "figure3c", "figure4", "figure5",
+        "figure6", "figure7",
+        "section5", "section6", "section7", "section8", "section9.3",
+        "section10",
+    }
+    assert set(_EXPERIMENTS) == expected
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure3a" in out
+    assert "section10" in out
+
+
+@pytest.mark.parametrize(
+    "name", ["figure3a", "figure4", "section6", "section7", "section8"]
+)
+def test_analytic_experiments_render(capsys, name):
+    assert main([name]) == 0
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3
+
+
+def test_figure7_with_duration(capsys):
+    assert main(["figure7", "--duration", "0.8"]) == 0
+    out = capsys.readouterr().out
+    assert "Paxos leader" in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["nonexistent"])

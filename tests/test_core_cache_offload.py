@@ -1,0 +1,56 @@
+"""§9.4 hit:miss switch-cache offload efficiency."""
+
+import pytest
+
+from repro.core.energy_model import CacheOffloadEfficiency, cache_offload_efficiency
+from repro.errors import ConfigurationError
+from repro.steady import kvs_models
+from repro.units import kpps
+
+
+@pytest.fixture(scope="module")
+def software():
+    return kvs_models()["memcached"]
+
+
+def test_full_hit_saves_nearly_everything(software):
+    eff = cache_offload_efficiency(software, hit_ratio=1.0, rate_pps=kpps(500))
+    assert eff.host_dynamic_w == pytest.approx(0.0)
+    assert eff.saving_fraction > 0.95  # switch watts are negligible (§9.4)
+
+
+def test_zero_hit_saves_nothing(software):
+    eff = cache_offload_efficiency(software, hit_ratio=0.0, rate_pps=kpps(500))
+    assert eff.power_saving_w == pytest.approx(0.0, abs=1e-9)
+
+
+def test_saving_monotone_in_hit_ratio(software):
+    """§9.4: 'it is a function of hit:miss ratio to define the efficiency
+    of offloading on-demand.'"""
+    savings = [
+        cache_offload_efficiency(software, h, kpps(500)).power_saving_w
+        for h in (0.0, 0.25, 0.5, 0.75, 1.0)
+    ]
+    assert savings == sorted(savings)
+
+
+def test_host_near_saturation_with_low_hit_ratio(software):
+    """§9.4: 'the host may still consume significant power, possibly close
+    to the saturation point' — low hit ratios barely relieve it."""
+    eff = cache_offload_efficiency(software, hit_ratio=0.2, rate_pps=kpps(900))
+    assert eff.host_dynamic_w > 0.8 * eff.host_only_dynamic_w
+
+
+def test_switch_cost_scales_with_served_rate(software):
+    low = cache_offload_efficiency(software, 0.5, kpps(100))
+    high = cache_offload_efficiency(software, 0.5, kpps(1000))
+    assert high.switch_dynamic_w == pytest.approx(10 * low.switch_dynamic_w)
+    # and it stays below 1W even at 1Mqps total (§9.4)
+    assert high.switch_dynamic_w < 1.0
+
+
+def test_validation(software):
+    with pytest.raises(ConfigurationError):
+        cache_offload_efficiency(software, hit_ratio=1.5, rate_pps=1.0)
+    with pytest.raises(ConfigurationError):
+        cache_offload_efficiency(software, hit_ratio=0.5, rate_pps=-1.0)

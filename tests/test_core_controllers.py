@@ -1,0 +1,218 @@
+"""Network- and host-controlled on-demand controllers (§9.1)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.core import (
+    HostController,
+    HostControllerConfig,
+    NetworkController,
+    NetworkControllerConfig,
+    OnDemandService,
+    Placement,
+)
+from repro.errors import ConfigurationError
+from repro.host import make_i7_server
+from repro.net import ClassifierRule, PacketClassifier, TrafficClass
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+from repro.units import SEC, kpps, msec, sec
+from repro.workloads.colocated import ChainerMNWorkload
+
+
+def _classifier(sim):
+    classifier = PacketClassifier(sim)
+    classifier.add_rule(
+        ClassifierRule(
+            TrafficClass.MEMCACHED, hardware=lambda p: None, host=lambda p: None
+        )
+    )
+    return classifier
+
+
+class TrafficDriver:
+    """Feeds the classifier synthetic traffic at a controllable rate."""
+
+    def __init__(self, sim, classifier, tick_us=msec(10.0)):
+        self.sim = sim
+        self.classifier = classifier
+        self.rate_pps = 0.0
+        self._tick_us = tick_us
+        sim.call_every(tick_us, self._tick)
+
+    def _tick(self):
+        count = int(self.rate_pps * self._tick_us / SEC)
+        for _ in range(count):
+            self.classifier.classify(
+                make_packet("c", "s", TrafficClass.MEMCACHED, now=self.sim.now)
+            )
+
+
+def _network_setup(up=kpps(80), down=kpps(50), window_s=0.5):
+    sim = Simulator()
+    classifier = _classifier(sim)
+    service = OnDemandService(
+        sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED
+    )
+    config = NetworkControllerConfig(
+        up_rate_pps=up,
+        down_rate_pps=down,
+        up_window_us=sec(window_s),
+        down_window_us=sec(window_s),
+        tick_us=msec(50.0),
+    )
+    controller = NetworkController(
+        sim, classifier, TrafficClass.MEMCACHED, service, config
+    )
+    driver = TrafficDriver(sim, classifier)
+    return sim, classifier, service, controller, driver
+
+
+class TestNetworkController:
+    def test_shift_up_on_sustained_high_rate(self):
+        sim, classifier, service, controller, driver = _network_setup()
+        driver.rate_pps = kpps(120)
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+        assert classifier.offload_enabled(TrafficClass.MEMCACHED)
+
+    def test_no_shift_below_threshold(self):
+        sim, classifier, service, controller, driver = _network_setup()
+        driver.rate_pps = kpps(40)
+        sim.run_until(sec(3.0))
+        assert not service.in_hardware
+
+    def test_requires_sustained_load(self):
+        """A burst shorter than the averaging period must not trigger."""
+        sim, classifier, service, controller, driver = _network_setup(window_s=1.0)
+        driver.rate_pps = kpps(200)
+        sim.schedule_at(msec(200.0), lambda: setattr(driver, "rate_pps", kpps(10)))
+        sim.run_until(sec(3.0))
+        assert not service.in_hardware
+
+    def test_shift_back_on_low_rate(self):
+        sim, classifier, service, controller, driver = _network_setup()
+        driver.rate_pps = kpps(120)
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+        driver.rate_pps = kpps(10)
+        sim.run_until(sec(5.0))
+        assert not service.in_hardware
+        assert len(service.shifts) == 2
+
+    def test_hysteresis_band_holds_state(self):
+        """Rates between down and up thresholds hold the current placement."""
+        sim, classifier, service, controller, driver = _network_setup()
+        driver.rate_pps = kpps(120)
+        sim.run_until(sec(2.0))
+        driver.rate_pps = kpps(65)  # inside the 50..80 band
+        sim.run_until(sec(6.0))
+        assert service.in_hardware
+        assert len(service.shifts) == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            NetworkControllerConfig(up_rate_pps=10.0, down_rate_pps=20.0)
+
+    def test_rate_telemetry_recorded(self):
+        sim, classifier, service, controller, driver = _network_setup()
+        driver.rate_pps = kpps(30)
+        sim.run_until(sec(1.0))
+        assert len(controller.rate_series) > 0
+
+
+def _host_setup():
+    sim = Simulator()
+    server = make_i7_server(sim)
+    classifier = _classifier(sim)
+    service = OnDemandService(
+        sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED
+    )
+    server.start_rapl(update_interval_us=msec(10.0))
+    config = HostControllerConfig(
+        window_us=sec(0.5), tick_us=msec(50.0), rate_down_pps=kpps(50)
+    )
+    controller = HostController(
+        sim, server, service, config=config,
+        classifier=classifier, traffic_class=TrafficClass.MEMCACHED,
+    )
+    return sim, server, classifier, service, controller
+
+
+class TestHostController:
+    def test_shift_up_needs_power_and_cpu(self):
+        sim, server, classifier, service, controller = _host_setup()
+        job = ChainerMNWorkload(sim, server, cores=3.0, utilization=0.95)
+        job.start()
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+
+    def test_power_alone_insufficient(self):
+        """§9.1: 'Monitoring the power consumption alone is not sufficient'
+        — our config also requires CPU utilization above the threshold."""
+        sim, server, classifier, service, controller = _host_setup()
+        # high power threshold crossed artificially is impossible without
+        # CPU in this model; instead verify low CPU keeps placement
+        server.cpu.set_load("light", 1.0, 0.3)
+        sim.run_until(sec(2.0))
+        assert not service.in_hardware
+
+    def test_shift_back_needs_network_feedback(self):
+        """§9.1: shifting back requires the packet rate from the network."""
+        sim, server, classifier, service, controller = _host_setup()
+        job = ChainerMNWorkload(sim, server, cores=3.0, utilization=0.95)
+        job.start()
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+        # traffic too high to shift back even though the host calmed down
+        driver = TrafficDriver(sim, classifier)
+        driver.rate_pps = kpps(120)
+        job.stop()
+        sim.run_until(sec(4.0))
+        assert service.in_hardware
+        # once traffic drops below the rate threshold, it shifts back
+        driver.rate_pps = kpps(5)
+        sim.run_until(sec(7.0))
+        assert not service.in_hardware
+
+    def test_controller_overhead_registered(self):
+        """§9.1: the controller itself costs ~0.3% CPU."""
+        sim, server, classifier, service, controller = _host_setup()
+        assert server.cpu.app_utilization("hostctl") == pytest.approx(
+            cal.HOSTCTL_CPU_OVERHEAD_FRACTION / server.cpu.total_cores
+        )
+
+    def test_stop_clears_overhead(self):
+        sim, server, classifier, service, controller = _host_setup()
+        controller.stop()
+        assert "hostctl" not in server.cpu.apps
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            HostControllerConfig(power_up_w=10.0, power_down_w=20.0)
+        with pytest.raises(ConfigurationError):
+            HostControllerConfig(cpu_up=0.1, cpu_down=0.2)
+
+
+class TestOnDemandService:
+    def test_shift_records_and_flips_classifier(self):
+        sim = Simulator()
+        classifier = _classifier(sim)
+        calls = []
+        service = OnDemandService(
+            sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED,
+            to_hardware=lambda: calls.append("hw"),
+            to_software=lambda: calls.append("sw"),
+        )
+        assert service.shift_to_hardware("test")
+        assert not service.shift_to_hardware("again")  # idempotent
+        assert service.shift_to_software("test")
+        assert calls == ["hw", "sw"]
+        assert [s.to for s in service.shifts] == [Placement.HARDWARE, Placement.SOFTWARE]
+        assert len(service.shift_times_us()) == 2
+
+    def test_initial_placement(self):
+        sim = Simulator()
+        service = OnDemandService(sim, "x", initial=Placement.HARDWARE)
+        assert service.in_hardware
+        assert not service.shift_to_hardware()

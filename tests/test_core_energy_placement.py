@@ -1,0 +1,115 @@
+"""§8 energy analysis and the §10 placement advisor."""
+
+import pytest
+
+from repro.core import tipping_point, tor_switch_analysis
+from repro.core.energy_model import programmable_adoption_penalty_w
+from repro.core.placement import ApplicationProfile, PlacementAdvisor
+from repro.errors import ConfigurationError
+from repro.steady import kvs_models
+from repro.units import kpps, mpps
+from repro.workloads.dynamo import PowerVariationAnalysis
+
+
+class TestTippingPoint:
+    def test_kvs_tipping(self):
+        models = kvs_models()
+        analysis = tipping_point(models["memcached"], models["lake"])
+        assert analysis.hardware_ever_wins
+        assert analysis.crossover_pps == pytest.approx(kpps(80), rel=0.15)
+        assert analysis.software_idle_w < analysis.hardware_idle_w
+
+    def test_describe(self):
+        models = kvs_models()
+        text = tipping_point(models["memcached"], models["lake"]).describe()
+        assert "Kpps" in text
+
+    def test_adoption_penalty_zero(self):
+        """§6/§9.4: programmable switches cost nothing extra at idle."""
+        assert programmable_adoption_penalty_w() == 0.0
+
+
+class TestTorSwitch:
+    def test_crossover_effectively_zero(self):
+        analysis = tor_switch_analysis(kvs_models()["memcached"])
+        assert analysis.switch_always_wins
+        assert analysis.crossover_pps < 1000.0
+
+    def test_server_dynamic_power_dwarfs_switch(self):
+        """§9.4: a million queries draw <1W on the switch, unparalleled by
+        the CPU."""
+        analysis = tor_switch_analysis(kvs_models()["memcached"])
+        assert analysis.server_dynamic_w_per_mqps > 50 * analysis.switch_w_per_mqps
+
+    def test_nodes_validated(self):
+        with pytest.raises(ConfigurationError):
+            tor_switch_analysis(kvs_models()["memcached"], nodes_served=0)
+
+
+class TestPlacementAdvisor:
+    def test_low_rate_stays_on_server(self):
+        advisor = PlacementAdvisor()
+        best = advisor.best(ApplicationProfile("tiny", peak_rate_pps=kpps(10)))
+        assert best.platform == "server"
+
+    def test_extreme_rate_needs_switch(self):
+        """§3.2/§10: billions of messages/second only fit the switch ASIC."""
+        advisor = PlacementAdvisor()
+        best = advisor.best(
+            ApplicationProfile("paxos", peak_rate_pps=100e6, latency_sensitive=True)
+        )
+        assert best.platform == "switch-asic"
+
+    def test_large_state_disqualifies_switch(self):
+        """§10: switches have limited resources per Gbps."""
+        advisor = PlacementAdvisor()
+        ranked = advisor.recommend(
+            ApplicationProfile(
+                "bigkvs", peak_rate_pps=mpps(60.0), state_bytes=4 << 30
+            )
+        )
+        platforms = [r.platform for r in ranked]
+        assert platforms.index("switch-asic") > platforms.index("fpga-nic")
+
+    def test_traffic_not_through_switch_penalized(self):
+        advisor = PlacementAdvisor()
+        through = advisor.recommend(
+            ApplicationProfile("a", peak_rate_pps=mpps(60.0), traffic_through_switch=True)
+        )
+        not_through = advisor.recommend(
+            ApplicationProfile("a", peak_rate_pps=mpps(60.0), traffic_through_switch=False)
+        )
+        score = {r.platform: r.score for r in through}["switch-asic"]
+        score2 = {r.platform: r.score for r in not_through}["switch-asic"]
+        assert score2 < score
+
+    def test_high_power_variance_favors_server(self):
+        """§9.3: large variance makes on-demand INC risky."""
+        advisor = PlacementAdvisor()
+        volatile = PowerVariationAnalysis(window_s=60.0, median=0.37, p99=0.62)
+        best = advisor.best(
+            ApplicationProfile(
+                "web", peak_rate_pps=kpps(200), power_variation=volatile
+            )
+        )
+        assert best.platform == "server"
+
+    def test_flexibility_favors_fpga(self):
+        advisor = PlacementAdvisor()
+        ranked = advisor.recommend(
+            ApplicationProfile(
+                "exotic", peak_rate_pps=mpps(5.0), needs_flexibility=True,
+                latency_sensitive=True,
+            )
+        )
+        assert ranked[0].platform == "fpga-nic"
+
+    def test_every_recommendation_has_reasons(self):
+        advisor = PlacementAdvisor()
+        for rec in advisor.recommend(ApplicationProfile("x", peak_rate_pps=mpps(1.0))):
+            assert rec.reasons
+
+    def test_negative_rate_rejected(self):
+        advisor = PlacementAdvisor()
+        with pytest.raises(ConfigurationError):
+            advisor.recommend(ApplicationProfile("x", peak_rate_pps=-1.0))

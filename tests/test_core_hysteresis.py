@@ -1,0 +1,67 @@
+"""Dual-threshold hysteresis (§9.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HysteresisSwitch, Thresholds
+from repro.errors import ConfigurationError
+
+
+def test_thresholds_validated():
+    with pytest.raises(ConfigurationError):
+        Thresholds(up=10.0, down=10.0)
+    with pytest.raises(ConfigurationError):
+        Thresholds(up=5.0, down=10.0)
+
+
+def test_basic_transitions():
+    switch = HysteresisSwitch(Thresholds(up=100.0, down=50.0))
+    assert not switch.update(60.0)     # in the band, stays low
+    assert switch.update(100.0)        # crosses up
+    assert switch.state
+    assert not switch.update(60.0)     # in the band, stays high
+    assert switch.update(50.0)         # crosses down
+    assert not switch.state
+
+
+def test_band_prevents_flapping():
+    """A signal oscillating inside the band causes zero transitions."""
+    switch = HysteresisSwitch(Thresholds(up=100.0, down=50.0))
+    switch.update(120.0)  # go high
+    for value in (70.0, 90.0, 60.0, 99.0, 51.0) * 10:
+        switch.update(value)
+    assert switch.transitions == 1
+
+
+def test_transition_counters():
+    switch = HysteresisSwitch(Thresholds(up=10.0, down=5.0))
+    for value in (20.0, 1.0, 20.0, 1.0):
+        switch.update(value)
+    assert switch.ups == 2
+    assert switch.downs == 2
+
+
+@given(
+    signal=st.lists(st.floats(0.0, 200.0), min_size=1, max_size=200),
+    up=st.floats(60.0, 150.0),
+    down=st.floats(10.0, 59.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_transitions_bounded_by_band_crossings(signal, up, down):
+    """Transitions can never exceed the number of times the signal actually
+    crosses the full band width — the anti-flapping guarantee."""
+    switch = HysteresisSwitch(Thresholds(up=up, down=down))
+    for value in signal:
+        switch.update(value)
+    # count band crossings of the raw signal
+    crossings = 0
+    state = False
+    for value in signal:
+        if not state and value >= up:
+            state = True
+            crossings += 1
+        elif state and value <= down:
+            state = False
+            crossings += 1
+    assert switch.transitions == crossings

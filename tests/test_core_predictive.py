@@ -1,0 +1,122 @@
+"""PEAS-inspired model-predictive controller (§9.1 future work)."""
+
+import pytest
+
+from repro.core.ondemand import OnDemandService
+from repro.core.predictive_controller import (
+    PredictiveController,
+    PredictiveControllerConfig,
+)
+from repro.errors import ConfigurationError
+from repro.net import ClassifierRule, PacketClassifier, TrafficClass
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+from repro.steady import kvs_models
+from repro.units import SEC, kpps, msec, sec
+
+
+def _setup(margin_w=2.0, window_s=0.5):
+    sim = Simulator()
+    classifier = PacketClassifier(sim)
+    classifier.add_rule(
+        ClassifierRule(TrafficClass.MEMCACHED, hardware=lambda p: None, host=lambda p: None)
+    )
+    service = OnDemandService(
+        sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED
+    )
+    models = kvs_models()
+    controller = PredictiveController(
+        sim,
+        classifier,
+        TrafficClass.MEMCACHED,
+        service,
+        software_model=models["memcached"],
+        hardware_model=models["lake"],
+        standby_card_w=17.9,
+        config=PredictiveControllerConfig(
+            margin_w=margin_w, window_us=sec(window_s), tick_us=msec(50.0)
+        ),
+    )
+    return sim, classifier, service, controller
+
+
+def _drive(sim, classifier, rate_pps):
+    state = {"rate": rate_pps}
+
+    def tick():
+        for _ in range(int(state["rate"] * msec(10.0) / SEC)):
+            classifier.classify(
+                make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now)
+            )
+
+    sim.call_every(msec(10.0), tick)
+    return state
+
+
+def _dead_band_rate(controller, margin_w=2.0):
+    """A rate whose predicted saving falls inside the hysteresis band."""
+    for rate in range(0, 20_000, 200):
+        saving = controller.predicted_saving_w(float(rate))
+        if -margin_w * 0.8 < saving < margin_w * 0.8:
+            return float(rate)
+    raise AssertionError("no dead-band rate found; margin too narrow")
+
+
+class TestDecision:
+    def test_predicted_saving_sign(self):
+        _, _, _, controller = _setup()
+        # with the card present either way (standby 17.9W), hardware wins
+        # even at modest rates; at true zero the gated card still loses
+        assert controller.predicted_saving_w(kpps(100)) > 0.0
+        assert controller.predicted_saving_w(0.0) < 0.0
+
+    def test_margin_blocks_marginal_shifts(self):
+        _, _, _, controller = _setup(margin_w=50.0)
+        # saving exists but is below the huge margin -> stay in software
+        assert not controller.decide(kpps(100))
+
+    def test_hysteresis_from_asymmetric_costs(self):
+        _, _, service, controller = _setup(margin_w=2.0)
+        # find a rate whose saving sits inside the dead band: decide() must
+        # then keep whatever the current placement is
+        rate = _dead_band_rate(controller)
+        assert not controller.decide(rate)          # software stays
+        service.shift_to_hardware("force")
+        assert controller.decide(rate)              # hardware stays too
+
+
+class TestClosedLoop:
+    def test_shifts_up_under_load(self):
+        sim, classifier, service, controller = _setup()
+        _drive(sim, classifier, kpps(150))
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+        assert "predicted saving" in service.shifts[0].reason
+
+    def test_shifts_back_at_idle(self):
+        sim, classifier, service, controller = _setup()
+        state = _drive(sim, classifier, kpps(150))
+        sim.run_until(sec(2.0))
+        assert service.in_hardware
+        state["rate"] = 0.0
+        sim.run_until(sec(5.0))
+        assert not service.in_hardware
+
+    def test_no_flapping_in_dead_band(self):
+        sim, classifier, service, controller = _setup()
+        _drive(sim, classifier, _dead_band_rate(controller))
+        sim.run_until(sec(5.0))
+        assert len(service.shifts) == 0
+
+    def test_prediction_telemetry(self):
+        sim, classifier, service, controller = _setup()
+        _drive(sim, classifier, kpps(50))
+        sim.run_until(sec(2.0))
+        assert len(controller.prediction_series) > 0
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        PredictiveControllerConfig(margin_w=-1.0)
+    with pytest.raises(ConfigurationError):
+        PredictiveControllerConfig(expected_residence_s=0.0)

@@ -1,0 +1,98 @@
+"""§9.2 shift strategies: reset+gate vs keep-warm vs partial reconfiguration."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.core.shift_strategy import (
+    PARTIAL_RECONFIG_HALT_S,
+    ShiftStrategy,
+    ShiftStrategyModel,
+    StrategyAssessment,
+)
+from repro.errors import ConfigurationError
+from repro.units import kpps
+
+
+@pytest.fixture
+def model():
+    return ShiftStrategyModel()
+
+
+def test_standby_power_ordering(model):
+    """Partial reconfig < reset+gate < keep-warm, per §9.2's trade-off."""
+    assert (
+        model.standby_power_w(ShiftStrategy.PARTIAL_RECONFIGURATION)
+        < model.standby_power_w(ShiftStrategy.RESET_AND_GATE)
+        < model.standby_power_w(ShiftStrategy.KEEP_WARM)
+    )
+
+
+def test_keep_warm_equals_active_card(model):
+    assert model.standby_power_w(ShiftStrategy.KEEP_WARM) == pytest.approx(
+        cal.LAKE_CARD_W
+    )
+
+
+def test_gated_matches_section5_arithmetic(model):
+    expected = (
+        cal.NETFPGA_SHELL_W
+        + cal.LAKE_LOGIC_TOTAL_W
+        - cal.CLOCK_GATING_SAVING_W
+        + cal.MEMORIES_TOTAL_W * 0.6
+    )
+    assert model.standby_power_w(ShiftStrategy.RESET_AND_GATE) == pytest.approx(expected)
+
+
+def test_warmup_only_for_cold_strategies(model):
+    assert model.warmup_s(ShiftStrategy.KEEP_WARM, kpps(100)) == 0.0
+    cold = model.warmup_s(ShiftStrategy.RESET_AND_GATE, kpps(100))
+    assert cold > 0.0
+    # warm-up shrinks as rate grows (the hot set re-fetches faster)
+    assert model.warmup_s(ShiftStrategy.RESET_AND_GATE, kpps(400)) < cold
+
+
+def test_only_partial_reconfig_halts_traffic(model):
+    """§9.2: partial reconfiguration 'may result in a momentary traffic
+    halt'."""
+    assert model.traffic_halt_s(ShiftStrategy.PARTIAL_RECONFIGURATION) == pytest.approx(
+        PARTIAL_RECONFIG_HALT_S
+    )
+    assert model.traffic_halt_s(ShiftStrategy.RESET_AND_GATE) == 0.0
+    assert model.traffic_halt_s(ShiftStrategy.KEEP_WARM) == 0.0
+
+
+def test_paper_choice_is_reset_and_gate(model):
+    """§9.2: 'We therefore choose the approach that keeps LaKe programmed
+    but inactive' — cheapest strategy among those that never halt traffic."""
+    choice = model.paper_choice(standby_s=600.0, rate_at_shift_pps=kpps(100))
+    assert choice is ShiftStrategy.RESET_AND_GATE
+
+
+def test_assess_all_sorted_by_energy(model):
+    assessments = model.assess_all(standby_s=100.0, rate_at_shift_pps=kpps(100))
+    energies = [a.standby_energy_j for a in assessments]
+    assert energies == sorted(energies)
+    assert assessments[0].strategy is ShiftStrategy.PARTIAL_RECONFIGURATION
+
+
+def test_no_strategy_dominates_all(model):
+    """The §9.2 trade-off is real: each strategy loses on some axis."""
+    assessments = {
+        a.strategy: a for a in model.assess_all(600.0, kpps(100))
+    }
+    keep_warm = assessments[ShiftStrategy.KEEP_WARM]
+    gated = assessments[ShiftStrategy.RESET_AND_GATE]
+    partial = assessments[ShiftStrategy.PARTIAL_RECONFIGURATION]
+    assert not keep_warm.dominates(gated)       # loses on energy
+    assert not partial.dominates(gated)         # loses on halt
+    assert not gated.dominates(keep_warm)       # loses on warm-up
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        ShiftStrategyModel(active_card_w=10.0, gated_card_w=20.0, nic_only_w=5.0)
+    model = ShiftStrategyModel()
+    with pytest.raises(ConfigurationError):
+        model.warmup_s(ShiftStrategy.RESET_AND_GATE, 0.0)
+    with pytest.raises(ConfigurationError):
+        model.assess(ShiftStrategy.KEEP_WARM, standby_s=-1.0, rate_at_shift_pps=1.0)

@@ -1,0 +1,98 @@
+"""Sliding-window estimators, including property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlidingWindowMean, SlidingWindowRate
+from repro.errors import ConfigurationError
+from repro.units import sec
+
+
+class TestRateWindow:
+    def test_rate_over_window(self):
+        window = SlidingWindowRate(sec(1.0))
+        for ms in range(0, 1000, 10):
+            window.observe(ms * 1000.0, 5)  # 5 events every 10ms = 500/s
+        assert window.rate_pps(sec(1.0)) == pytest.approx(500.0, rel=0.05)
+
+    def test_old_events_evicted(self):
+        window = SlidingWindowRate(sec(1.0))
+        window.observe(0.0, 1000)
+        assert window.rate_pps(sec(0.5)) == pytest.approx(1000.0)
+        assert window.rate_pps(sec(2.0)) == 0.0
+
+    def test_burst_decays(self):
+        window = SlidingWindowRate(sec(1.0))
+        window.observe(0.0, 100)
+        window.observe(sec(0.9), 100)
+        assert window.rate_pps(sec(0.95)) == pytest.approx(200.0)
+        assert window.rate_pps(sec(1.5)) == pytest.approx(100.0)
+
+    def test_out_of_order_rejected(self):
+        window = SlidingWindowRate(sec(1.0))
+        window.observe(100.0)
+        with pytest.raises(ConfigurationError):
+            window.observe(50.0)
+
+    def test_reset(self):
+        window = SlidingWindowRate(sec(1.0))
+        window.observe(0.0, 10)
+        window.reset()
+        assert window.rate_pps(1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowRate(0.0)
+        window = SlidingWindowRate(1.0)
+        with pytest.raises(ConfigurationError):
+            window.observe(0.0, -1)
+
+    @given(
+        counts=st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        window_us=st.floats(10.0, 1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rate_never_negative_and_bounded(self, counts, window_us):
+        window = SlidingWindowRate(window_us)
+        t = 0.0
+        total = 0
+        for count in counts:
+            window.observe(t, count)
+            total += count
+            rate = window.rate_pps(t)
+            assert rate >= 0.0
+            # never more events in the window than ever observed
+            assert window.count(t) <= total
+            t += 1.0
+
+
+class TestMeanWindow:
+    def test_mean(self):
+        window = SlidingWindowMean(sec(1.0))
+        window.observe(0.0, 10.0)
+        window.observe(sec(0.5), 20.0)
+        assert window.mean(sec(0.6)) == pytest.approx(15.0)
+
+    def test_eviction(self):
+        window = SlidingWindowMean(sec(1.0))
+        window.observe(0.0, 100.0)
+        window.observe(sec(1.5), 10.0)
+        assert window.mean(sec(1.5)) == pytest.approx(10.0)
+
+    def test_empty_mean_zero(self):
+        window = SlidingWindowMean(sec(1.0))
+        assert window.mean(0.0) == 0.0
+
+    def test_full_requires_span(self):
+        """Controllers wait for a full window — the §9.1 'sustained' rule."""
+        window = SlidingWindowMean(sec(3.0))
+        window.observe(0.0, 1.0)
+        assert not window.full(sec(1.0))
+        window.observe(sec(2.8), 1.0)
+        assert window.full(sec(2.8))
+
+    def test_full_after_eviction(self):
+        window = SlidingWindowMean(sec(1.0))
+        window.observe(0.0, 1.0)
+        assert not window.full(sec(5.0))  # the old sample was evicted

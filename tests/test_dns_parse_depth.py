@@ -1,0 +1,79 @@
+"""§9.2: DNS names deeper than the data-plane parser supports."""
+
+import pytest
+
+from repro.apps.dns import ARecord, DnsQuery, DnsRcode, EmuDns, SoftwareNsd
+from repro.apps.dns.emu import MAX_PARSE_LABELS
+from repro.host import make_i7_server
+from repro.hw.fpga import make_emu_dns_fpga
+from repro.net.packet import TrafficClass, make_packet
+from repro.sim import Simulator
+
+DEEP_NAME = ".".join(["x"] * (MAX_PARSE_LABELS + 2))
+SHALLOW_NAME = "web.rack.corp"
+
+
+def _setup(with_fallback=True):
+    sim = Simulator()
+    server = make_i7_server(sim, nic=None)
+    nsd = SoftwareNsd(sim, server) if with_fallback else None
+    emu = EmuDns(
+        sim, make_emu_dns_fpga(), server, fallback=nsd
+    )
+    zones = [emu.zone] + ([nsd.zone] if nsd else [])
+    for zone in zones:
+        zone.add(ARecord(SHALLOW_NAME, "10.0.0.1"))
+        zone.add(ARecord(DEEP_NAME, "10.0.0.2"))
+    return sim, emu, nsd
+
+
+def _query(name):
+    return make_packet(
+        "c", "s", TrafficClass.DNS, payload=DnsQuery(name), now=0.0
+    )
+
+
+def test_shallow_names_served_in_hardware():
+    _, emu, _ = _setup()
+    response = emu.handle_request(_query(SHALLOW_NAME))
+    assert response.rcode is DnsRcode.NOERROR
+    assert emu.deep_query_fallbacks == 0
+
+
+def test_deep_names_fall_back_to_software():
+    """§9.2: 'in the worst case scenario, those queries could be treated as
+    iterative requests' — here: punted to the host server."""
+    _, emu, nsd = _setup()
+    response = emu.handle_request(_query(DEEP_NAME))
+    assert response.rcode is DnsRcode.NOERROR
+    assert response.record.ipv4 == "10.0.0.2"
+    assert emu.deep_query_fallbacks == 1
+
+
+def test_deep_names_charge_software_cpu():
+    _, emu, nsd = _setup()
+    before = nsd.util._busy_us
+    emu.handle_request(_query(DEEP_NAME))
+    assert nsd.util._busy_us > before
+
+
+def test_deep_names_pay_software_latency():
+    _, emu, _ = _setup()
+    shallow = emu.request_latency_us(_query(SHALLOW_NAME))
+    deep = emu.request_latency_us(_query(DEEP_NAME))
+    assert deep > 10 * shallow
+
+
+def test_without_fallback_deep_names_answer_notimp():
+    _, emu, _ = _setup(with_fallback=False)
+    response = emu.handle_request(_query(DEEP_NAME))
+    assert response.rcode is DnsRcode.NOTIMP
+
+
+def test_boundary_depth_served_in_hardware():
+    _, emu, _ = _setup()
+    at_limit = ".".join(["y"] * MAX_PARSE_LABELS)
+    emu.zone.add(ARecord(at_limit, "10.0.0.3"))
+    response = emu.handle_request(_query(at_limit))
+    assert response.rcode is DnsRcode.NOERROR
+    assert emu.deep_query_fallbacks == 0

@@ -1,0 +1,226 @@
+"""Figure/table runners: each must reproduce its paper claims."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.experiments import figures
+from repro.units import kpps
+
+
+class TestFigure3:
+    def test_figure3a_crossover_and_render(self):
+        result = figures.figure3a(steps=11)
+        assert result.crossover_pps == pytest.approx(kpps(80), rel=0.15)
+        text = result.render()
+        assert "crossover" in text
+        assert "memcached" in text
+
+    def test_figure3a_lake_flat(self):
+        result = figures.figure3a(steps=11)
+        lake = result.series["lake"]
+        assert lake[-1].power_w - lake[0].power_w < 1.0
+
+    def test_figure3b_series_and_crossover(self):
+        result = figures.figure3b(steps=11)
+        assert set(result.series) == {"libpaxos", "dpdk", "p4xos", "p4xos-standalone"}
+        assert result.crossover_pps == pytest.approx(kpps(150), rel=0.1)
+
+    def test_figure3b_dpdk_flat_high(self):
+        result = figures.figure3b(steps=11)
+        dpdk = result.series["dpdk"]
+        assert dpdk[0].power_w > 60.0
+        assert dpdk[-1].power_w - dpdk[0].power_w < 8.0
+
+    def test_figure3c_crossover(self):
+        result = figures.figure3c(steps=11)
+        assert kpps(100) < result.crossover_pps < kpps(200)
+
+    def test_figure3c_software_peaks_at_2x_emu(self):
+        result = figures.figure3c(steps=11)
+        nsd_peak = max(p.power_w for p in result.series["nsd"])
+        emu_peak = max(p.power_w for p in result.series["emu"])
+        assert nsd_peak / emu_peak == pytest.approx(2.0, rel=0.05)
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.figure4()
+
+    def test_all_nine_bars(self, result):
+        assert len(result.bars) == 9
+
+    def test_lake_is_highest_card_config(self, result):
+        lake = result.bar("LaKe")
+        for name, value in result.bars:
+            if name not in ("LaKe", "Server no cards"):
+                assert value <= lake
+
+    def test_memories_dominate(self, result):
+        """§5.1: 'The biggest contributor to power consumption is the
+        external memories — no less than 10W.'"""
+        assert result.bar("LaKe") - result.bar("No mem") >= 10.0
+
+    def test_reset_saves_40pct_of_memories(self, result):
+        saving = result.bar("LaKe") - result.bar("Reset mem")
+        assert saving == pytest.approx(cal.MEMORIES_TOTAL_W * 0.4, rel=0.01)
+
+    def test_clock_gating_saves_under_1w(self, result):
+        saving = result.bar("LaKe") - result.bar("Clk gating")
+        assert 0.0 < saving < 1.0
+
+    def test_pe_cost(self, result):
+        saving = result.bar("No mem") - result.bar("1 PE & no mem")
+        assert saving == pytest.approx(4 * cal.LAKE_PE_W, rel=0.01)
+
+    def test_server_roughly_equivalent_to_lake_standalone(self, result):
+        """§5.1: idle no-card server ≈ standalone idle LaKe (within ~30%
+        in our calibration; see EXPERIMENTS.md)."""
+        ratio = result.bar("Server no cards") / result.bar("LaKe")
+        assert 0.7 < ratio < 1.4
+
+    def test_render(self, result):
+        text = result.render()
+        assert "Reset mem & clk gating" in text
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.figure5(steps=13)
+
+    def test_six_series(self, result):
+        assert len(result.series) == 6
+
+    def test_ondemand_saves_at_high_load(self, result):
+        for app in ("kvs", "dns"):
+            ondemand = result.series[f"{app} (On demand)"]
+            software = result.series[f"{app} (SW)"]
+            assert ondemand[-1].power_w < software[-1].power_w
+
+    def test_kvs_saving_about_half(self, result):
+        assert result.savings_at_peak["kvs"] == pytest.approx(0.49, abs=0.05)
+
+    def test_render(self, result):
+        assert "On demand" in result.render()
+
+
+class TestSection5:
+    def test_latency_table_matches_calibration(self):
+        result = figures.section5_memories(samples=5000)
+        rows = {row[0]: row for row in result.latency_rows}
+        l2 = rows["L2 hit (DRAM)"]
+        assert l2[1] == pytest.approx(cal.LAKE_L2_HIT_MEDIAN_US, rel=0.1)
+        miss = rows["miss (software)"]
+        assert miss[1] == pytest.approx(cal.LAKE_MISS_MEDIAN_US, rel=0.1)
+
+    def test_miss_is_10x_onchip(self):
+        """§5.3: a hardware miss is ×10 an on-chip hit."""
+        result = figures.section5_memories(samples=5000)
+        rows = {row[0]: row for row in result.latency_rows}
+        assert rows["miss (software)"][1] / rows["L1 hit (on-chip)"][1] > 8.0
+
+    def test_render(self):
+        assert "DRAM" in figures.section5_memories(samples=100).render()
+
+
+class TestSection6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.section6_asic()
+
+    def test_p4xos_overhead(self, result):
+        assert result.p4xos_overhead_full_load <= 0.02 + 1e-9
+
+    def test_diag_over_twice_p4xos(self, result):
+        """§6: diag.p4 takes more than twice P4xos's overhead."""
+        assert result.diag_overhead_full_load > 2 * result.p4xos_overhead_full_load
+
+    def test_span_under_20pct(self, result):
+        assert result.power_span_fraction < 0.20
+
+    def test_ops_per_watt_orders(self, result):
+        assert 1e4 <= result.ops_per_watt["software"] < 1e5
+        assert 1e5 <= result.ops_per_watt["fpga"] < 1e6
+        assert result.ops_per_watt["asic"] >= 1e7
+
+    def test_dynamic_ratio_about_one_third(self, result):
+        """§6: ASIC dynamic power at 10% util ≈ 1/3 of the server's at
+        180Kpps."""
+        assert result.dynamic_ratio_vs_server == pytest.approx(1 / 3, rel=0.35)
+
+    def test_render(self, result):
+        assert "Tofino" in result.render()
+
+
+class TestSection7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.section7_server()
+
+    def test_paper_anchors(self, result):
+        assert result.total("idle") == pytest.approx(56.0)
+        assert result.total("1 core @10%") == pytest.approx(86.0)
+        assert result.total("1 core @100%") == pytest.approx(91.0)
+        assert result.total("28 cores @100%") == pytest.approx(134.0)
+
+    def test_socket_breakdown_sums(self, result):
+        for row in result.rows:
+            assert row[1] == pytest.approx(row[2] + row[3], rel=0.01)
+
+    def test_render(self, result):
+        assert "RAPL" in result.render()
+
+
+class TestSection8:
+    def test_all_three_apps_have_crossovers(self):
+        result = figures.section8_tipping()
+        assert len(result.tipping_points) == 3
+        for tp in result.tipping_points:
+            assert tp.hardware_ever_wins
+            assert kpps(50) < tp.crossover_pps < kpps(350)
+
+    def test_tor_switch_crossover_near_zero(self):
+        """§9.4: on a ToR switch the tipping point is at R ≈ 0."""
+        result = figures.section8_tipping()
+        assert result.tor.switch_always_wins
+
+    def test_render(self):
+        assert "crossover" in figures.section8_tipping().render()
+
+
+class TestSection93:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figures.section93_traces(trace_seconds=800)
+
+    def test_dynamo_rows(self, result):
+        assert len(result.dynamo_rows) == 3
+        classes = [row[0] for row in result.dynamo_rows]
+        assert classes == ["rack", "caching", "web"]
+
+    def test_google_candidate_cores(self, result):
+        rows = {row[0]: row for row in result.google_rows}
+        synthesized = rows["candidate cores per node"][1]
+        assert synthesized == pytest.approx(7.7, rel=0.35)
+
+    def test_render(self, result):
+        assert "Dynamo" in result.render()
+
+
+class TestSection10:
+    def test_smartnic_rows(self):
+        result = figures.section10_platforms()
+        assert len(result.smartnic_rows) == 4
+
+    def test_rankings_follow_paper_logic(self):
+        result = figures.section10_platforms()
+        # very high rate Paxos: the switch ASIC should rank first (§10)
+        paxos_ranking = [p for p, _ in result.recommendations["Paxos @ 100Mpps"]]
+        assert paxos_ranking[0] == "switch-asic"
+        # low-rate DNS: the server should rank highly
+        dns_ranking = [p for p, _ in result.recommendations["DNS @ 50Kpps"]]
+        assert dns_ranking[0] == "server"
+
+    def test_render(self):
+        assert "platform" in figures.section10_platforms().render()

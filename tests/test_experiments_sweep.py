@@ -1,0 +1,51 @@
+"""Sweep harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.sweep import SweepPoint, linspace_rates, sweep_model, sweep_models
+from repro.steady import kvs_models
+from repro.units import kpps, mpps
+
+
+def test_linspace_rates():
+    rates = linspace_rates(mpps(1.0), steps=5)
+    assert rates == [0.0, 250_000.0, 500_000.0, 750_000.0, 1_000_000.0]
+
+
+def test_linspace_validation():
+    with pytest.raises(ConfigurationError):
+        linspace_rates(0.0)
+    with pytest.raises(ConfigurationError):
+        linspace_rates(100.0, steps=1)
+
+
+def test_sweep_model_points():
+    model = kvs_models()["memcached"]
+    points = sweep_model(model, [0.0, kpps(100), mpps(2.0)])
+    assert len(points) == 3
+    assert points[0].power_w == pytest.approx(39.0)
+    # beyond capacity: achieved saturates, offered recorded as offered
+    assert points[2].offered_pps == mpps(2.0)
+    assert points[2].achieved_pps == model.capacity_pps
+
+
+def test_sweep_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        sweep_model(kvs_models()["memcached"], [])
+
+
+def test_sweep_models_shares_rates():
+    models = kvs_models()
+    swept = sweep_models(models, linspace_rates(mpps(1.0), steps=4))
+    assert set(swept) == set(models)
+    lengths = {len(points) for points in swept.values()}
+    assert lengths == {4}
+
+
+def test_ops_per_watt_computed():
+    model = kvs_models()["lake"]
+    (point,) = sweep_model(model, [mpps(10.0)])
+    assert point.ops_per_watt == pytest.approx(
+        point.achieved_pps / point.power_w
+    )

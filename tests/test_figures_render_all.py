@@ -1,0 +1,41 @@
+"""Every experiment runner renders non-trivial, well-formed text.
+
+Catches regressions in the reporting layer across the whole catalogue
+without asserting exact formatting.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+RUNNERS = [
+    ("figure3a", lambda: figures.figure3a(steps=7)),
+    ("figure3b", lambda: figures.figure3b(steps=7)),
+    ("figure3c", lambda: figures.figure3c(steps=7)),
+    ("figure4", figures.figure4),
+    ("figure5", lambda: figures.figure5(steps=7)),
+    ("section5", lambda: figures.section5_memories(samples=500)),
+    ("section6", figures.section6_asic),
+    ("section7", figures.section7_server),
+    ("section8", figures.section8_tipping),
+    ("section93", lambda: figures.section93_traces(trace_seconds=400)),
+    ("section10", figures.section10_platforms),
+]
+
+
+@pytest.mark.parametrize("name,runner", RUNNERS, ids=[n for n, _ in RUNNERS])
+def test_render_well_formed(name, runner):
+    text = runner().render()
+    lines = text.splitlines()
+    assert len(lines) >= 4
+    # the table header separator is present somewhere
+    assert any(set(line.strip()) <= {"-", " "} and "-" in line for line in lines)
+    # no accidental repr leakage
+    assert "object at 0x" not in text
+
+
+@pytest.mark.parametrize("name,runner", RUNNERS, ids=[n for n, _ in RUNNERS])
+def test_runners_are_pure(name, runner):
+    """Running twice gives identical output (no hidden global state)."""
+    assert runner().render() == runner().render()

@@ -1,0 +1,76 @@
+"""CPU accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.host import CpuAccount
+
+
+def test_utilization_aggregates_apps():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 2, 0.5)   # 1 busy core
+    cpu.set_load("b", 1, 1.0)   # 1 busy core
+    assert cpu.busy_cores == pytest.approx(2.0)
+    assert cpu.utilization == pytest.approx(0.5)
+
+
+def test_replacing_allocation():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 4, 1.0)
+    cpu.set_load("a", 1, 0.5)
+    assert cpu.busy_cores == pytest.approx(0.5)
+
+
+def test_clear_load():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 2, 1.0)
+    cpu.clear_load("a")
+    assert cpu.utilization == 0.0
+    cpu.clear_load("a")  # idempotent
+
+
+def test_active_cores_counts_any_activity():
+    cpu = CpuAccount(28)
+    cpu.set_load("a", 1, 0.1)
+    assert cpu.active_cores == pytest.approx(1.0)
+    cpu.set_load("b", 3, 0.01)
+    assert cpu.active_cores == pytest.approx(4.0)
+
+
+def test_idle_apps_do_not_activate_cores():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 2, 0.0)
+    assert cpu.active_cores == 0.0
+
+
+def test_busy_cores_capped_at_physical():
+    cpu = CpuAccount(2)
+    cpu.set_load("a", 2, 1.0)
+    cpu.set_load("b", 2, 1.0)
+    assert cpu.busy_cores == 2.0
+    assert cpu.utilization == 1.0
+
+
+def test_app_utilization():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 2, 0.5)
+    assert cpu.app_utilization("a") == pytest.approx(0.25)
+    assert cpu.app_utilization("missing") == 0.0
+
+
+def test_invalid_parameters_rejected():
+    cpu = CpuAccount(4)
+    with pytest.raises(ConfigurationError):
+        cpu.set_load("a", 5, 1.0)
+    with pytest.raises(ConfigurationError):
+        cpu.set_load("a", 1, 1.5)
+    with pytest.raises(ConfigurationError):
+        CpuAccount(0)
+
+
+def test_app_allocation_lookup():
+    cpu = CpuAccount(4)
+    cpu.set_load("a", 1, 0.7)
+    assert cpu.app_allocation("a").utilization == 0.7
+    with pytest.raises(ConfigurationError):
+        cpu.app_allocation("b")

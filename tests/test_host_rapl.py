@@ -1,0 +1,87 @@
+"""RAPL counter model."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerModelError
+from repro.host import make_i7_server, make_xeon_2660_server
+from repro.host.rapl import RaplDomain, RaplPowerEstimator, RaplReader
+from repro.sim import Simulator
+from repro.units import sec
+
+
+def test_energy_integrates_constant_power():
+    sim = Simulator()
+    reader = RaplReader(sim, {RaplDomain.PACKAGE_0: lambda: 50.0})
+    sim.run_until(sec(10.0))
+    assert reader.energy_j(RaplDomain.PACKAGE_0) == pytest.approx(500.0, rel=0.01)
+
+
+def test_energy_counter_monotonic():
+    sim = Simulator()
+    reader = RaplReader(sim, {RaplDomain.PACKAGE_0: lambda: 30.0})
+    last = 0.0
+    for step in range(1, 6):
+        sim.run_until(sec(step))
+        energy = reader.energy_j(RaplDomain.PACKAGE_0)
+        assert energy >= last
+        last = energy
+
+
+def test_unknown_domain_raises():
+    sim = Simulator()
+    reader = RaplReader(sim, {RaplDomain.PACKAGE_0: lambda: 1.0})
+    with pytest.raises(PowerModelError):
+        reader.energy_j(RaplDomain.PACKAGE_1)
+
+
+def test_needs_probes():
+    with pytest.raises(PowerModelError):
+        RaplReader(Simulator(), {})
+
+
+def test_power_estimator_differences_reads():
+    sim = Simulator()
+    reader = RaplReader(sim, {RaplDomain.PACKAGE_0: lambda: 40.0})
+    est = RaplPowerEstimator(reader, RaplDomain.PACKAGE_0, sim)
+    assert est.read_power_w() is None  # first read establishes baseline
+    sim.run_until(sec(2.0))
+    assert est.read_power_w() == pytest.approx(40.0, rel=0.02)
+
+
+def test_estimator_tracks_power_change():
+    sim = Simulator()
+    level = {"w": 40.0}
+    reader = RaplReader(sim, {RaplDomain.PACKAGE_0: lambda: level["w"]})
+    est = RaplPowerEstimator(reader, RaplDomain.PACKAGE_0, sim)
+    est.read_power_w()
+    sim.run_until(sec(1.0))
+    est.read_power_w()
+    level["w"] = 90.0
+    sim.run_until(sec(2.0))
+    assert est.read_power_w() == pytest.approx(90.0, rel=0.05)
+
+
+def test_server_rapl_integration():
+    sim = Simulator()
+    server = make_xeon_2660_server(sim)
+    server.start_rapl()
+    server.cpu.set_load("x", 1, 1.0)
+    sim.run_until(sec(1.0))
+    # 91W for ~1s (idle->active step happened at t=0)
+    energy = server.rapl.energy_j(RaplDomain.PACKAGE_0) + server.rapl.energy_j(
+        RaplDomain.PACKAGE_1
+    )
+    assert energy == pytest.approx(91.0, rel=0.05)
+
+
+def test_rapl_unstarted_raises():
+    server = make_i7_server(Simulator())
+    with pytest.raises(ConfigurationError):
+        _ = server.rapl
+
+
+def test_i7_has_single_package():
+    sim = Simulator()
+    server = make_i7_server(sim)
+    reader = server.start_rapl()
+    assert reader.domains() == [RaplDomain.PACKAGE_0]

@@ -1,0 +1,143 @@
+"""Server power models against the paper's anchors."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.host import (
+    NIC_INTEL_X520,
+    NIC_MELLANOX_CX311A,
+    make_i7_server,
+    make_xeon_2637_server,
+    make_xeon_2660_server,
+)
+from repro.sim import Simulator
+
+
+class TestI7:
+    def test_idle_with_nic_is_39w(self):
+        """§4.2: idle server draws 39W."""
+        server = make_i7_server(Simulator())
+        assert server.wall_power_w() == pytest.approx(cal.I7_IDLE_W)
+
+    def test_idle_without_nic(self):
+        server = make_i7_server(Simulator(), nic=None)
+        assert server.wall_power_w() == pytest.approx(cal.I7_IDLE_NO_NIC_W)
+
+    def test_power_rises_with_load(self):
+        server = make_i7_server(Simulator())
+        idle = server.wall_power_w()
+        server.cpu.set_load("memcached", 4, 0.5)
+        mid = server.wall_power_w()
+        server.cpu.set_load("memcached", 4, 1.0)
+        full = server.wall_power_w()
+        assert idle < mid < full
+
+    def test_peak_near_115w(self):
+        server = make_i7_server(Simulator())
+        server.cpu.set_load("memcached", 4, 1.0)
+        assert server.wall_power_w() == pytest.approx(cal.I7_MEMCACHED_PEAK_W, abs=2.0)
+
+    def test_concave_curve_jumps_at_low_load(self):
+        """§7's observation, reproduced on the i7: low load costs
+        disproportionate power."""
+        server = make_i7_server(Simulator())
+        idle = server.platform_power_w()
+        server.cpu.set_load("x", 4, 0.1)
+        low = server.platform_power_w()
+        dynamic_span = cal.I7_MEMCACHED_PEAK_W - cal.NIC_MELLANOX_CX311A_IDLE_W - cal.I7_IDLE_NO_NIC_W
+        assert (low - idle) > 0.2 * dynamic_span
+
+    def test_installed_card_adds_power(self):
+        server = make_i7_server(Simulator(), nic=None)
+        server.install_card(lambda: 23.0)
+        assert server.wall_power_w() == pytest.approx(cal.I7_IDLE_NO_NIC_W + 23.0)
+
+    def test_lake_system_idles_at_59w(self):
+        """§4.2: LaKe (server + card, NIC removed) idles at 59W."""
+        from repro.hw.fpga import make_lake_fpga
+
+        server = make_i7_server(Simulator(), nic=None)
+        card = make_lake_fpga()
+        server.install_card(card.power_w)
+        assert server.wall_power_w() == pytest.approx(59.0)
+
+
+class TestXeon2660:
+    @pytest.fixture
+    def server(self):
+        return make_xeon_2660_server(Simulator())
+
+    def test_idle_56w_split_evenly(self, server):
+        assert server.platform_power_w() == pytest.approx(cal.XEON_2660_IDLE_W)
+        assert server.socket_power_w(0) == pytest.approx(28.0)
+        assert server.socket_power_w(1) == pytest.approx(28.0)
+
+    def test_single_core_jumps_to_91w(self, server):
+        server.cpu.set_load("x", 1, 1.0)
+        assert server.platform_power_w() == pytest.approx(cal.XEON_2660_ONE_CORE_W)
+
+    def test_single_core_10pct_is_86w(self, server):
+        server.cpu.set_load("x", 1, 0.1)
+        assert server.platform_power_w() == pytest.approx(
+            cal.XEON_2660_ONE_CORE_10PCT_W
+        )
+
+    def test_full_load_134w(self, server):
+        server.cpu.set_load("x", 28, 1.0)
+        assert server.platform_power_w() == pytest.approx(cal.XEON_2660_FULL_LOAD_W)
+
+    def test_extra_core_costs_1_to_2w(self, server):
+        """§7: 'the overhead of an additional core running is small, in the
+        order of 1W-2W'."""
+        server.cpu.set_load("x", 1, 1.0)
+        one = server.platform_power_w()
+        server.cpu.set_load("x", 2, 1.0)
+        two = server.platform_power_w()
+        assert 1.0 <= (two - one) <= 2.0
+
+    def test_activation_hits_both_sockets(self, server):
+        """§7: the second socket's power rises almost equally."""
+        server.cpu.set_load("x", 1, 1.0)
+        assert server.socket_power_w(1) > 28.0
+        ratio = server.socket_power_w(1) / server.socket_power_w(0)
+        assert 0.7 < ratio < 1.0
+
+    def test_invalid_socket(self, server):
+        with pytest.raises(ConfigurationError):
+            server.socket_power_w(2)
+
+
+class TestXeon2637:
+    def test_idle_83w(self):
+        """§5.4: idle without NIC is 83W."""
+        server = make_xeon_2637_server(Simulator())
+        assert server.platform_power_w() == pytest.approx(83.0)
+
+    def test_idle_exceeds_lake_full_load(self):
+        """§5.4: Xeon idle (83W) is 20W more than LaKe at full load."""
+        from repro.hw.fpga import make_lake_fpga
+
+        card = make_lake_fpga()
+        card.set_utilization(1.0)
+        lake_standalone_full = card.power_w() + cal.STANDALONE_PSU_OVERHEAD_W
+        server = make_xeon_2637_server(Simulator())
+        assert server.platform_power_w() > lake_standalone_full
+
+
+def test_nic_power_scales_with_utilization():
+    server = make_i7_server(Simulator(), nic=NIC_MELLANOX_CX311A)
+    idle = server.wall_power_w()
+    server.set_nic_utilization(1.0)
+    assert server.wall_power_w() > idle
+
+
+def test_nic_utilization_validated():
+    server = make_i7_server(Simulator())
+    with pytest.raises(ConfigurationError):
+        server.set_nic_utilization(1.5)
+
+
+def test_intel_nic_lower_peak_rate():
+    """§4.2: the Intel X520 caps host throughput lower than the Mellanox."""
+    assert NIC_INTEL_X520.host_peak_pps < NIC_MELLANOX_CX311A.host_peak_pps

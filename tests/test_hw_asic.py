@@ -1,0 +1,94 @@
+"""Tofino ASIC model (§6)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.asic import TofinoProgram, TofinoSwitch, snake_connectivity
+
+
+def test_idle_power_identical_across_programs():
+    """§6: idle power is the same with and without P4xos."""
+    l2 = TofinoSwitch(TofinoProgram.L2_FORWARDING)
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    assert l2.power_normalized(0.0) == p4.power_normalized(0.0)
+
+
+def test_p4xos_overhead_at_most_2_percent():
+    """§6: running P4xos adds no more than 2%."""
+    l2 = TofinoSwitch(TofinoProgram.L2_FORWARDING)
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    for u in (0.1, 0.5, 1.0):
+        overhead = p4.power_normalized(u) / l2.power_normalized(u) - 1.0
+        assert overhead <= 0.02 + 1e-9
+
+
+def test_diag_overhead_4_8_percent_at_full_load():
+    """§6: diag.p4 takes 4.8% more than L2 forwarding, over twice P4xos."""
+    l2 = TofinoSwitch(TofinoProgram.L2_FORWARDING)
+    diag = TofinoSwitch(TofinoProgram.DIAG)
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    diag_overhead = diag.power_normalized(1.0) / l2.power_normalized(1.0) - 1.0
+    p4_overhead = p4.power_normalized(1.0) / l2.power_normalized(1.0) - 1.0
+    assert diag_overhead == pytest.approx(0.048, abs=0.002)
+    assert diag_overhead > 2 * p4_overhead
+
+
+def test_min_max_span_under_20_percent():
+    """§6: min<->max consumption differs by less than 20%."""
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    span = p4.power_normalized(1.0) / p4.power_normalized(0.0) - 1.0
+    assert span < 0.20
+
+
+def test_power_monotone_in_utilization():
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    values = [p4.power_normalized(u / 10) for u in range(11)]
+    assert values == sorted(values)
+
+
+def test_capacity_2_5b_messages():
+    """§3.2: over 2.5B consensus messages/second."""
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    assert p4.p4xos_capacity_pps >= 2.5e9
+
+
+def test_ops_per_watt_order_of_magnitude():
+    """§6: the ASIC easily achieves 10M's of messages per watt."""
+    p4 = TofinoSwitch(TofinoProgram.L2_PLUS_P4XOS)
+    assert p4.ops_per_watt(1.0) >= 1e7
+
+
+def test_ops_per_watt_requires_p4xos_program():
+    l2 = TofinoSwitch(TofinoProgram.L2_FORWARDING)
+    with pytest.raises(ConfigurationError):
+        l2.ops_per_watt()
+
+
+def test_bandwidth_config():
+    """§6: 1.28Tbps as 32x40G."""
+    switch = TofinoSwitch()
+    assert switch.bandwidth_tbps == pytest.approx(1.28)
+
+
+def test_snake_exercises_all_ports():
+    pairs = snake_connectivity(32)
+    assert len(pairs) == 32
+    outputs = {a for a, _ in pairs}
+    inputs = {b for _, b in pairs}
+    assert outputs == inputs == set(range(32))
+
+
+def test_reprogram_does_not_change_idle():
+    switch = TofinoSwitch(TofinoProgram.L2_FORWARDING)
+    idle_before = switch.power_w(0.0)
+    switch.load_program(TofinoProgram.L2_PLUS_P4XOS)
+    assert switch.power_w(0.0) == idle_before
+
+
+def test_utilization_validated():
+    switch = TofinoSwitch()
+    with pytest.raises(ConfigurationError):
+        switch.set_utilization(-0.1)
+    with pytest.raises(ConfigurationError):
+        switch.power_normalized(1.5)

@@ -1,0 +1,144 @@
+"""NetFPGA platform model: Figure 4 semantics and §5.1 anchors."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.fpga import (
+    FpgaModule,
+    ModuleState,
+    PlatformMode,
+    make_emu_dns_fpga,
+    make_lake_fpga,
+    make_p4xos_fpga,
+    make_reference_nic,
+)
+
+
+class TestCardAnchors:
+    def test_lake_card_23w(self):
+        assert make_lake_fpga().power_w() == pytest.approx(cal.LAKE_CARD_W)
+
+    def test_p4xos_10w_below_lake(self):
+        """§4.3: P4xos base power is 10W lower than LaKe."""
+        lake = make_lake_fpga().power_w()
+        p4xos = make_p4xos_fpga().power_w()
+        assert lake - p4xos == pytest.approx(10.0)
+
+    def test_p4xos_standalone_18_2w(self):
+        """§4.3: standalone P4xos idles at 18.2W."""
+        card = make_p4xos_fpga(mode=PlatformMode.STANDALONE)
+        assert card.power_w() == pytest.approx(18.2)
+
+    def test_p4xos_standalone_dynamic_at_most_1_2w(self):
+        """§4.3: dynamic power at max load is no more than 1.2W."""
+        card = make_p4xos_fpga(mode=PlatformMode.STANDALONE)
+        idle = card.power_w()
+        card.set_utilization(1.0)
+        assert card.power_w() - idle <= 1.2 + 1e-9
+
+    def test_lake_logic_overhead_2_2w(self):
+        """§5.2: LaKe's logic adds 2.2W over the reference NIC."""
+        lake_no_mem = make_lake_fpga(with_external_memories=False)
+        ref = make_reference_nic()
+        assert lake_no_mem.power_w() - ref.power_w() == pytest.approx(2.2)
+
+    def test_memories_cost_10_8w(self):
+        """§5.3: DRAM 4.8W + SRAM 6W ('no less than 10W', §5.1)."""
+        full = make_lake_fpga()
+        assert full.memory_power_w() == pytest.approx(10.8)
+        assert full.memory_power_w() >= 10.0
+
+
+class TestPowerSaving:
+    def test_memory_reset_saves_40_percent(self):
+        card = make_lake_fpga()
+        before = card.memory_power_w()
+        card.reset_memories()
+        assert card.memory_power_w() == pytest.approx(before * 0.6)
+
+    def test_clock_gating_saves_under_1w(self):
+        """§5.1: clock gating LaKe logic earns <1W."""
+        card = make_lake_fpga()
+        before = card.power_w()
+        card.clock_gate_all_logic()
+        saving = before - card.power_w()
+        assert 0.0 < saving < 1.0
+        assert saving == pytest.approx(cal.CLOCK_GATING_SAVING_W, abs=0.05)
+
+    def test_pe_removal_saves_quarter_watt(self):
+        """§5.1: each PE contributes about 0.25W."""
+        card = make_lake_fpga()
+        before = card.power_w()
+        card.remove_module("pe0")
+        assert before - card.power_w() == pytest.approx(cal.LAKE_PE_W)
+
+    def test_power_gating_unsupported_on_virtex7(self):
+        card = make_lake_fpga()
+        with pytest.raises(ConfigurationError):
+            card.power_gate_module("pe0")
+
+    def test_memory_clock_gating_unsupported(self):
+        """§5.1: clock/power gating of the memory interfaces unsupported."""
+        card = make_lake_fpga()
+        with pytest.raises(ConfigurationError):
+            card.dram.clock_gate()
+        with pytest.raises(ConfigurationError):
+            card.sram.power_gate()
+
+    def test_gated_standby_configuration(self):
+        """§9.2: memories in reset + logic clock-gated; the gap over a plain
+        NIC is the standby cost of keeping LaKe programmed."""
+        card = make_lake_fpga()
+        card.reset_memories()
+        card.clock_gate_all_logic()
+        gap = card.power_w() - make_reference_nic().power_w()
+        # our component arithmetic yields ~7.9W (paper quotes ~5W; the
+        # deviation is documented in calibration.py / EXPERIMENTS.md)
+        assert 4.0 < gap < 9.0
+
+    def test_reactivation_restores_power(self):
+        card = make_lake_fpga()
+        before = card.power_w()
+        card.reset_memories()
+        card.clock_gate_all_logic()
+        card.activate_memories()
+        card.activate_all_logic()
+        assert card.power_w() == pytest.approx(before)
+
+    def test_removed_module_cannot_reactivate(self):
+        card = make_lake_fpga()
+        card.remove_module("pe0")
+        with pytest.raises(ConfigurationError):
+            card.activate_module("pe0")
+
+
+class TestConstruction:
+    def test_pe_count_configurable(self):
+        """§3.1: 'The number of PEs is scalable and configurable.'"""
+        one = make_lake_fpga(pe_count=1)
+        five = make_lake_fpga(pe_count=5)
+        assert five.power_w() - one.power_w() == pytest.approx(4 * cal.LAKE_PE_W)
+
+    def test_pe_count_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_lake_fpga(pe_count=-1)
+
+    def test_duplicate_module_rejected(self):
+        card = make_p4xos_fpga()
+        with pytest.raises(ConfigurationError):
+            card.add_module(FpgaModule("p4xos-core", 1.0))
+
+    def test_emu_dns_in_server_power(self):
+        """§4.4: Emu DNS system draws ~48W => card = 12W."""
+        assert make_emu_dns_fpga().power_w() == pytest.approx(cal.EMU_DNS_CARD_W)
+
+    def test_standalone_adds_psu_overhead(self):
+        in_server = make_lake_fpga().power_w()
+        standalone = make_lake_fpga(mode=PlatformMode.STANDALONE).power_w()
+        assert standalone - in_server == pytest.approx(cal.STANDALONE_PSU_OVERHEAD_W)
+
+    def test_utilization_validation(self):
+        card = make_lake_fpga()
+        with pytest.raises(ConfigurationError):
+            card.set_utilization(2.0)

@@ -1,0 +1,72 @@
+"""Memory models (§5.3)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.memory import BramBank, DramChannel, MemoryState, SramBank
+
+
+def test_dram_power_and_capacity():
+    dram = DramChannel()
+    assert dram.power_w() == pytest.approx(4.8)
+    assert dram.value_entries == 33_000_000
+    assert dram.hash_entries == 268_000_000
+
+
+def test_sram_power_and_capacity():
+    sram = SramBank()
+    assert sram.power_w() == pytest.approx(6.0)
+    assert sram.freelist_entries == 4_700_000
+
+
+def test_onchip_capacity_ratios():
+    """§5.3: external memories hold x65k values / x32k freelist entries."""
+    assert DramChannel.value_entries // BramBank.value_entries >= 60_000
+    assert SramBank.freelist_entries // BramBank.freelist_entries >= 30_000
+
+
+def test_reset_saves_40_percent():
+    dram = DramChannel()
+    dram.hold_in_reset()
+    assert dram.power_w() == pytest.approx(4.8 * 0.6)
+    assert not dram.usable
+
+
+def test_activate_restores():
+    dram = DramChannel()
+    dram.hold_in_reset()
+    dram.activate()
+    assert dram.power_w() == pytest.approx(4.8)
+    assert dram.usable
+
+
+def test_removed_memory_draws_nothing():
+    sram = SramBank()
+    sram.remove()
+    assert sram.power_w() == 0.0
+    with pytest.raises(ConfigurationError):
+        sram.activate()
+    with pytest.raises(ConfigurationError):
+        sram.hold_in_reset()
+
+
+def test_gating_unsupported():
+    for memory in (DramChannel(), SramBank()):
+        with pytest.raises(ConfigurationError):
+            memory.clock_gate()
+        with pytest.raises(ConfigurationError):
+            memory.power_gate()
+
+
+def test_l2_hit_latency_decomposition():
+    """§5.3: off-chip hit 1.67µs = on-chip 1.4µs + DRAM access."""
+    assert cal.LAKE_L1_HIT_US + DramChannel.access_latency_us == pytest.approx(
+        cal.LAKE_L2_HIT_MEDIAN_US
+    )
+
+
+def test_bram_custom_capacity():
+    assert BramBank(value_entries=128).value_entries == 128
+    with pytest.raises(ConfigurationError):
+        BramBank(value_entries=0)

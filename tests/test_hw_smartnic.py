@@ -1,0 +1,60 @@
+"""SmartNIC archetypes (§10)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.smartnic import SMARTNIC_ARCHETYPES, SmartNic, SmartNicArchitecture
+
+
+def test_all_archetypes_within_pcie_envelope():
+    """§10: SmartNICs typically limit to 25W from the PCIe slot."""
+    for nic in SMARTNIC_ARCHETYPES.values():
+        assert nic.peak_w <= cal.SMARTNIC_PCIE_POWER_CAP_W
+
+
+def test_accelnet_matches_paper():
+    """§10: AccelNet consumes 17-19W standalone, ~4Mpps/W."""
+    nic = SMARTNIC_ARCHETYPES["accelnet-fpga"]
+    assert nic.idle_w == pytest.approx(17.0)
+    assert nic.peak_w == pytest.approx(19.0)
+    assert nic.mpps_per_w == pytest.approx(4.0)
+
+
+def test_power_interpolates():
+    nic = SMARTNIC_ARCHETYPES["accelnet-fpga"]
+    assert nic.power_w(0.0) == nic.idle_w
+    assert nic.power_w(1.0) == nic.peak_w
+    assert nic.idle_w < nic.power_w(0.5) < nic.peak_w
+
+
+def test_ops_per_watt_millions():
+    """§10: SmartNICs achieve millions of operations per watt."""
+    for nic in SMARTNIC_ARCHETYPES.values():
+        assert nic.ops_per_watt(1.0) > 1e6
+
+
+def test_over_envelope_rejected():
+    with pytest.raises(ConfigurationError):
+        SmartNic(
+            name="too-hot",
+            architecture=SmartNicArchitecture.FPGA,
+            idle_w=20.0,
+            peak_w=40.0,
+            mpps_per_w=1.0,
+            port_gbps=100.0,
+            flexibility=1,
+            maturity=1,
+        )
+
+
+def test_four_architectural_approaches():
+    """§10 names four architectures; all are represented."""
+    architectures = {nic.architecture for nic in SMARTNIC_ARCHETYPES.values()}
+    assert architectures == set(SmartNicArchitecture)
+
+
+def test_utilization_validated():
+    nic = SMARTNIC_ARCHETYPES["asic-smartnic"]
+    with pytest.raises(ConfigurationError):
+        nic.power_w(1.1)

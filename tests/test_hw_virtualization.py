@@ -1,0 +1,113 @@
+"""Data-plane virtualization (§2 future work, P4Visor-style)."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.fpga import PlatformMode
+from repro.hw.virtualization import (
+    SHARED_CAPACITY_PPS,
+    TENANT_LOGIC_BUDGET,
+    TenantProgram,
+    VirtualizedCard,
+    emu_dns_tenant,
+    lake_tenant,
+    p4xos_tenant,
+)
+
+
+def test_co_residence_of_all_three_apps():
+    """A 2-PE LaKe, P4xos, and Emu DNS fit on one card together."""
+    card = VirtualizedCard()
+    card.admit(lake_tenant(pe_count=2))
+    card.admit(p4xos_tenant())
+    card.admit(emu_dns_tenant())
+    assert len(card.tenants) == 3
+    assert card.logic_fraction_used < TENANT_LOGIC_BUDGET
+    assert card.capacity_committed_pps <= SHARED_CAPACITY_PPS
+
+
+def test_capacity_admission_control():
+    """A full-line-rate LaKe leaves no interconnect headroom (§5.2)."""
+    card = VirtualizedCard()
+    card.admit(lake_tenant(pe_count=5))  # commits the 13Mpps line rate
+    with pytest.raises(ConfigurationError):
+        card.admit(p4xos_tenant())
+
+
+def test_logic_budget_admission_control():
+    card = VirtualizedCard()
+    with pytest.raises(ConfigurationError):
+        card.admit(
+            TenantProgram("huge", logic_power_w=60.0, capacity_share_pps=1e6)
+        )
+
+
+def test_duplicate_tenant_rejected():
+    card = VirtualizedCard()
+    card.admit(p4xos_tenant())
+    with pytest.raises(ConfigurationError):
+        card.admit(p4xos_tenant())
+
+
+def test_power_is_additive_over_shell():
+    card = VirtualizedCard()
+    shell_only = card.power_w()
+    assert shell_only == pytest.approx(cal.NETFPGA_SHELL_W)
+    card.admit(p4xos_tenant())
+    assert card.power_w() == pytest.approx(
+        cal.NETFPGA_SHELL_W + cal.P4XOS_LOGIC_W
+    )
+
+
+def test_memories_shared_and_gated():
+    card = VirtualizedCard()
+    card.admit(lake_tenant(pe_count=2))
+    card.admit(emu_dns_tenant())
+    with_mem = card.power_w()
+    # deactivating LaKe puts the (now unneeded) memories into reset
+    card.deactivate("lake")
+    without = card.power_w()
+    assert with_mem - without > cal.MEMORIES_TOTAL_W * cal.MEMORY_RESET_SAVING_FRACTION
+
+
+def test_deactivated_tenant_keeps_residual_power():
+    """Clock-gated region: same residual as §5.1."""
+    card = VirtualizedCard()
+    card.admit(p4xos_tenant())
+    active = card.power_w()
+    card.deactivate("p4xos")
+    gated = card.power_w()
+    assert 0.0 < active - gated < cal.P4XOS_LOGIC_W
+
+
+def test_marginal_power_of_extra_tenant_is_small():
+    """The §6 insight carried to the FPGA: adding a program to an
+    already-deployed card costs only its logic watts."""
+    card = VirtualizedCard()
+    card.admit(lake_tenant(pe_count=2))
+    marginal = card.marginal_power_w(emu_dns_tenant())
+    assert marginal == pytest.approx(cal.EMU_DNS_LOGIC_W)
+    assert marginal < 0.1 * card.power_w()
+
+
+def test_evict_returns_and_removes():
+    card = VirtualizedCard()
+    card.admit(p4xos_tenant())
+    tenant = card.evict("p4xos")
+    assert tenant.name == "p4xos"
+    with pytest.raises(ConfigurationError):
+        card.evict("p4xos")
+
+
+def test_standalone_mode_adds_psu():
+    in_server = VirtualizedCard().power_w()
+    standalone = VirtualizedCard(mode=PlatformMode.STANDALONE).power_w()
+    assert standalone - in_server == pytest.approx(cal.STANDALONE_PSU_OVERHEAD_W)
+
+
+def test_tenant_validation():
+    with pytest.raises(ConfigurationError):
+        TenantProgram("bad", logic_power_w=-1.0, capacity_share_pps=1.0)
+    with pytest.raises(ConfigurationError):
+        TenantProgram("bad", logic_power_w=1.0, capacity_share_pps=0.0)

@@ -1,0 +1,136 @@
+"""End-to-end: KVS on the DES with the *network-controlled* controller —
+the §9.1 counterpart of Figure 6 (which uses the host controller).
+
+Also validates the analytic steady layer against the DES at an overlapping
+operating point.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.kvs import KvsClient, LakeKvs, SoftwareMemcached
+from repro.core import NetworkController, NetworkControllerConfig, OnDemandService
+from repro.host import make_i7_server
+from repro.hw.fpga import make_lake_fpga
+from repro.net import ClassifierRule, PacketClassifier, Switch, Topology, TrafficClass
+from repro.sim import RngStreams, Simulator
+from repro.steady import kvs_models
+from repro.units import kpps, msec, sec
+from repro.workloads import EtcWorkload
+
+
+def _build(seed=3, keyspace=5_000):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    server = make_i7_server(sim, name="kvs-server", nic=None)
+    card = make_lake_fpga()
+    server.install_card(card.power_w)
+    memcached = SoftwareMemcached(sim, server)
+    lake = LakeKvs(sim, card, server, memcached, rng=streams.get("lake"))
+    lake.disable(power_save=True)
+
+    classifier = PacketClassifier(sim)
+    classifier.add_rule(
+        ClassifierRule(TrafficClass.MEMCACHED, hardware=lake.offer, host=memcached.offer)
+    )
+    server.set_packet_handler(classifier.classify)
+
+    etc = EtcWorkload(keyspace=keyspace, seed=seed)
+    etc.preload(memcached.store.set, count=keyspace)
+
+    topo = Topology(sim)
+    switch = Switch(sim, "tor")
+    topo.add(switch)
+    topo.add(server)
+    client = KvsClient(
+        sim, "client", "kvs-server",
+        key_sampler=etc.key, value_sampler=etc.value,
+        set_fraction=etc.set_fraction, rng=streams.get("arrivals"),
+    )
+    topo.add(client)
+    topo.connect_via_switch("tor", "kvs-server")
+    topo.connect_via_switch("tor", "client")
+
+    service = OnDemandService(
+        sim, "kvs", classifier=classifier, traffic_class=TrafficClass.MEMCACHED,
+        to_hardware=lake.enable,
+        to_software=lambda: lake.disable(power_save=True),
+    )
+    config = NetworkControllerConfig(
+        up_rate_pps=kpps(80), down_rate_pps=kpps(50),
+        up_window_us=sec(0.5), down_window_us=sec(0.5), tick_us=msec(50.0),
+    )
+    controller = NetworkController(
+        sim, classifier, TrafficClass.MEMCACHED, service, config
+    )
+    return sim, server, card, lake, client, service, controller
+
+
+def test_network_controller_shifts_on_rate():
+    sim, server, card, lake, client, service, controller = _build()
+    client.set_rate(kpps(120))
+    sim.run_until(sec(1.5))
+    assert service.in_hardware
+    assert lake.enabled
+    # hardware is actually serving (classifier steering works end-to-end)
+    assert lake.rx > 0
+
+
+def test_shift_back_when_load_drops():
+    sim, server, card, lake, client, service, controller = _build()
+    client.set_rate(kpps(120))
+    sim.run_until(sec(1.5))
+    assert service.in_hardware
+    client.set_rate(kpps(10))
+    sim.run_until(sec(4.0))
+    assert not service.in_hardware
+    # §9.2 power-save standby: memories reset + clock gated
+    assert card.power_w() < cal.LAKE_CARD_W
+
+
+def test_no_requests_lost_across_shift():
+    sim, server, card, lake, client, service, controller = _build()
+    client.set_rate(kpps(60))
+    sim.run_until(sec(0.3))
+    client.set_rate(kpps(120))
+    sim.run_until(sec(2.0))
+    client.stop()
+    sim.run_until(sec(2.1))
+    # every request answered (no drops at these rates)
+    assert client.responses == client.tx_packets
+
+
+def test_wall_power_drops_when_offloaded_vs_software_at_high_rate():
+    """The point of the paper: above the crossover, hardware placement
+    draws less wall power than software placement at the same rate."""
+    sim, server, card, lake, client, service, controller = _build()
+    client.set_rate(kpps(200))
+    sim.run_until(msec(900.0))  # still in software (window not elapsed)
+    software_power = server.wall_power_w()
+    sim.run_until(sec(3.0))     # now offloaded
+    hardware_power = server.wall_power_w()
+    assert service.in_hardware
+    assert hardware_power < software_power
+
+
+def test_des_power_matches_steady_model_in_software():
+    """Cross-layer check: the DES server at a steady software load matches
+    the analytic memcached curve within tolerance."""
+    sim, server, card, lake, client, service, controller = _build()
+    rate = kpps(40)  # below the shift threshold: stays in software
+    client.set_rate(rate)
+    sim.run_until(sec(1.0))
+    assert not service.in_hardware
+    des_power = server.wall_power_w() - card.power_w()  # host share
+    analytic = kvs_models()["memcached"].power_at(rate)
+    # the analytic curve includes a 3W NIC; the DES host has none
+    assert des_power == pytest.approx(analytic - 3.0, rel=0.12)
+
+
+def test_des_latency_matches_steady_model():
+    sim, server, card, lake, client, service, controller = _build()
+    client.set_rate(kpps(20))
+    sim.run_until(sec(1.0))
+    median = client.latency.median()
+    analytic = kvs_models()["memcached"].latency_at(kpps(20))
+    assert median == pytest.approx(analytic, rel=0.5)

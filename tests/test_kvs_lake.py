@@ -1,0 +1,169 @@
+"""LaKe: layered caching, miss path, on-demand hooks."""
+
+import random
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.kvs import KvsOp, KvsRequest, KvsStatus, LakeKvs, SoftwareMemcached
+from repro.apps.kvs.lake import sample_latency
+from repro.host import make_i7_server
+from repro.hw.fpga import make_lake_fpga
+from repro.hw.memory import MemoryState
+from repro.net.packet import TrafficClass, make_packet
+from repro.sim import Simulator
+
+
+def _lake(l1_entries=4):
+    sim = Simulator()
+    server = make_i7_server(sim, name="srv", nic=None)
+    card = make_lake_fpga()
+    server.install_card(card.power_w)
+    software = SoftwareMemcached(sim, server)
+    lake = LakeKvs(sim, card, server, software, l1_entries=l1_entries)
+    return sim, server, card, software, lake
+
+
+def _get(key):
+    return make_packet("client", "srv", TrafficClass.MEMCACHED,
+                       payload=KvsRequest(KvsOp.GET, key))
+
+
+def _set(key, value=b"v"):
+    return make_packet("client", "srv", TrafficClass.MEMCACHED,
+                       payload=KvsRequest(KvsOp.SET, key, value=value))
+
+
+class TestCacheHierarchy:
+    def test_set_populates_both_levels_and_software(self):
+        sim, server, card, software, lake = _lake()
+        response = lake.handle_request(_set("k"))
+        assert response.status is KvsStatus.STORED
+        assert "k" in lake.l1 and "k" in lake.l2
+        assert software.store.get("k") == b"v"
+
+    def test_miss_fills_caches(self):
+        sim, server, card, software, lake = _lake()
+        software.store.set("cold", b"x")
+        response = lake.handle_request(_get("cold"))
+        assert response.status is KvsStatus.HIT
+        assert response.served_by == "software"
+        assert lake.miss_forwards == 1
+        # second access is an L1 hit
+        response2 = lake.handle_request(_get("cold"))
+        assert response2.served_by == "l1"
+
+    def test_l1_eviction_falls_back_to_l2(self):
+        sim, server, card, software, lake = _lake(l1_entries=2)
+        for key in ("a", "b", "c"):
+            lake.handle_request(_set(key))
+        # "a" was evicted from the 2-entry L1 but lives in L2
+        assert "a" not in lake.l1
+        response = lake.handle_request(_get("a"))
+        assert response.served_by == "l2"
+        # L2 hit promotes back into L1
+        assert "a" in lake.l1
+
+    def test_delete_clears_all_levels(self):
+        sim, server, card, software, lake = _lake()
+        lake.handle_request(_set("k"))
+        lake.handle_request(
+            make_packet("c", "srv", TrafficClass.MEMCACHED,
+                        payload=KvsRequest(KvsOp.DELETE, "k"))
+        )
+        assert "k" not in lake.l1 and "k" not in lake.l2
+        assert software.store.get("k") is None
+
+    def test_true_miss_returns_miss(self):
+        sim, server, card, software, lake = _lake()
+        response = lake.handle_request(_get("absent"))
+        assert response.status is KvsStatus.MISS
+
+    def test_miss_charges_software_cpu(self):
+        sim, server, card, software, lake = _lake()
+        software.store.set("cold", b"x")
+        before = software.util._busy_us
+        lake.handle_request(_get("cold"))
+        assert software.util._busy_us > before
+
+
+class TestLatencyModel:
+    def test_l1_hit_latency(self):
+        sim, server, card, software, lake = _lake()
+        lake.handle_request(_set("k"))
+        latency = lake.request_latency_us(_get("k"))
+        assert cal.LAKE_L1_HIT_US <= latency <= cal.LAKE_L1_HIT_US + 0.2
+
+    def test_miss_latency_around_13_5us(self):
+        sim, server, card, software, lake = _lake()
+        values = [lake.request_latency_us(_get("absent")) for _ in range(500)]
+        values.sort()
+        median = values[len(values) // 2]
+        assert median == pytest.approx(cal.LAKE_MISS_MEDIAN_US, rel=0.1)
+
+    def test_l2_latency_between_l1_and_miss(self):
+        sim, server, card, software, lake = _lake(l1_entries=1)
+        lake.handle_request(_set("a"))
+        lake.handle_request(_set("b"))  # evicts a from L1; a in L2
+        latency = lake.request_latency_us(_get("a"))
+        assert cal.LAKE_L1_HIT_US < latency < cal.LAKE_MISS_MEDIAN_US
+
+
+class TestOnDemandHooks:
+    def test_enable_starts_cold(self):
+        """§9.2: after a shift 'at first all memory accesses will be a miss'."""
+        sim, server, card, software, lake = _lake()
+        lake.handle_request(_set("k"))
+        lake.disable(power_save=True)
+        lake.enable()
+        assert "k" not in lake.l1 and "k" not in lake.l2
+
+    def test_disable_power_save_resets_memories_and_gates_clock(self):
+        sim, server, card, software, lake = _lake()
+        full = card.power_w()
+        lake.disable(power_save=True)
+        assert card.dram.state is MemoryState.RESET
+        assert card.power_w() < full
+
+    def test_disable_without_power_save_keeps_power(self):
+        """Figure 6 runs without gating."""
+        sim, server, card, software, lake = _lake()
+        full = card.power_w()
+        lake.disable(power_save=False)
+        assert card.power_w() == pytest.approx(full)
+
+    def test_enable_restores_memory_state(self):
+        sim, server, card, software, lake = _lake()
+        lake.disable(power_save=True)
+        lake.enable()
+        assert card.dram.state is MemoryState.ACTIVE
+        assert lake.enabled
+
+
+class TestCapacity:
+    def test_capacity_from_pe_count(self):
+        sim = Simulator()
+        server = make_i7_server(sim, nic=None)
+        card = make_lake_fpga(pe_count=2)
+        software = SoftwareMemcached(sim, server)
+        lake = LakeKvs(sim, card, server, software)
+        assert lake.capacity_pps == pytest.approx(2 * cal.LAKE_PE_CAPACITY_PPS)
+
+    def test_five_pes_reach_line_rate(self):
+        """§3.1: 5 PEs are sufficient for 10GE line rate (~13Mpps)."""
+        sim, server, card, software, lake = _lake()
+        assert lake.capacity_pps == pytest.approx(cal.LAKE_LINE_RATE_PPS)
+
+
+def test_sample_latency_percentiles():
+    rng = random.Random(3)
+    values = sorted(sample_latency(rng, 10.0, 20.0) for _ in range(20_000))
+    median = values[len(values) // 2]
+    p99 = values[int(len(values) * 0.99)]
+    assert median == pytest.approx(10.0, rel=0.05)
+    assert p99 == pytest.approx(20.0, rel=0.15)
+
+
+def test_sample_latency_validates():
+    with pytest.raises(Exception):
+        sample_latency(random.Random(0), 10.0, 5.0)

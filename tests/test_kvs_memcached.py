@@ -1,0 +1,97 @@
+"""Software memcached: protocol logic and DES service behaviour."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.kvs import KvsClient, KvsOp, KvsRequest, KvsStatus, SoftwareMemcached
+from repro.host import make_i7_server
+from repro.net import Switch, Topology
+from repro.sim import Simulator
+from repro.units import kpps, sec
+
+
+def _functional():
+    sim = Simulator()
+    server = make_i7_server(sim)
+    return sim, SoftwareMemcached(sim, server)
+
+
+class TestExecute:
+    def test_set_then_get(self):
+        _, mc = _functional()
+        assert mc.execute(KvsRequest(KvsOp.SET, "k", value=b"v")).status is KvsStatus.STORED
+        response = mc.execute(KvsRequest(KvsOp.GET, "k"))
+        assert response.status is KvsStatus.HIT
+        assert response.value == b"v"
+
+    def test_get_missing(self):
+        _, mc = _functional()
+        assert mc.execute(KvsRequest(KvsOp.GET, "nope")).status is KvsStatus.MISS
+
+    def test_delete(self):
+        _, mc = _functional()
+        mc.execute(KvsRequest(KvsOp.SET, "k", value=b"v"))
+        assert mc.execute(KvsRequest(KvsOp.DELETE, "k")).status is KvsStatus.DELETED
+        assert mc.execute(KvsRequest(KvsOp.DELETE, "k")).status is KvsStatus.NOT_FOUND
+
+    def test_capacity_defaults_to_nic(self):
+        _, mc = _functional()
+        assert mc.capacity_pps == cal.MEMCACHED_PEAK_PPS_MELLANOX
+
+
+def _des(rate_pps, duration_s=0.5):
+    sim = Simulator()
+    server = make_i7_server(sim, name="mc-server")
+    mc = SoftwareMemcached(sim, server)
+    server.set_packet_handler(mc.offer)
+    switch = Switch(sim, "tor")
+    topo = Topology(sim)
+    topo.add(switch)
+    topo.add(server)
+    mc.store.set("hot", b"value")
+    client = KvsClient(
+        sim, "client", "mc-server",
+        key_sampler=lambda: "hot", value_sampler=lambda: b"v",
+    )
+    topo.add(client)
+    topo.connect_via_switch("tor", "mc-server")
+    topo.connect_via_switch("tor", "client")
+    client.set_rate(rate_pps)
+    sim.run_until(sec(duration_s))
+    return sim, server, mc, client
+
+
+class TestDesService:
+    def test_all_requests_answered_below_capacity(self):
+        _, _, mc, client = _des(kpps(20))
+        assert client.responses == pytest.approx(20_000 * 0.5, rel=0.05)
+        assert client.hits == client.responses
+
+    def test_latency_matches_calibration(self):
+        _, _, _, client = _des(kpps(10))
+        # stack 14µs + ~1µs service + ~4µs links
+        assert client.latency.median() == pytest.approx(
+            cal.MEMCACHED_SW_MEDIAN_US, rel=0.4
+        )
+
+    def test_cpu_load_registered(self):
+        _, server, mc, _ = _des(kpps(50))
+        assert server.cpu.app_utilization("memcached") > 0.0
+
+    def test_power_rises_with_rate(self):
+        _, s1, _, _ = _des(kpps(5))
+        _, s2, _, _ = _des(kpps(200))
+        assert s2.wall_power_w() > s1.wall_power_w()
+
+    def test_queue_drops_over_capacity(self):
+        _, _, mc, client = _des(rate_pps=3_000_000, duration_s=0.05)
+        assert mc.queue.stats.dropped > 0
+
+
+def test_stop_clears_cpu_load():
+    sim = Simulator()
+    server = make_i7_server(sim)
+    mc = SoftwareMemcached(sim, server)
+    assert "memcached" in server.cpu.apps
+    mc.stop()
+    assert "memcached" not in server.cpu.apps

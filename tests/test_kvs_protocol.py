@@ -1,0 +1,57 @@
+"""KVS protocol validation."""
+
+import pytest
+
+from repro.apps.kvs import KvsOp, KvsRequest, KvsResponse, KvsStatus
+from repro.errors import ProtocolError
+
+
+def test_get_request():
+    r = KvsRequest(KvsOp.GET, "key1")
+    assert r.value is None
+    assert r.size_bytes > len("key1")
+
+
+def test_set_requires_value():
+    with pytest.raises(ProtocolError):
+        KvsRequest(KvsOp.SET, "key1")
+
+
+def test_get_must_not_carry_value():
+    with pytest.raises(ProtocolError):
+        KvsRequest(KvsOp.GET, "key1", value=b"x")
+
+
+def test_empty_key_rejected():
+    with pytest.raises(ProtocolError):
+        KvsRequest(KvsOp.GET, "")
+
+
+def test_key_length_limit():
+    with pytest.raises(ProtocolError):
+        KvsRequest(KvsOp.GET, "k" * 251)
+    KvsRequest(KvsOp.GET, "k" * 250)  # at the limit is fine
+
+
+def test_set_size_includes_value():
+    small = KvsRequest(KvsOp.SET, "k", value=b"x")
+    big = KvsRequest(KvsOp.SET, "k", value=b"x" * 100)
+    assert big.size_bytes - small.size_bytes == 99
+
+
+def test_hit_requires_value():
+    with pytest.raises(ProtocolError):
+        KvsResponse(KvsStatus.HIT, "k")
+
+
+def test_miss_must_not_carry_value():
+    with pytest.raises(ProtocolError):
+        KvsResponse(KvsStatus.MISS, "k", value=b"x")
+
+
+def test_valid_responses():
+    KvsResponse(KvsStatus.HIT, "k", value=b"v")
+    KvsResponse(KvsStatus.MISS, "k")
+    KvsResponse(KvsStatus.STORED, "k")
+    KvsResponse(KvsStatus.DELETED, "k")
+    KvsResponse(KvsStatus.NOT_FOUND, "k")

@@ -1,0 +1,121 @@
+"""LRU store semantics, including hypothesis-checked invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kvs import LruStore
+from repro.errors import ConfigurationError
+
+
+def test_get_set_delete():
+    store = LruStore(10)
+    store.set("a", b"1")
+    assert store.get("a") == b"1"
+    assert store.delete("a")
+    assert store.get("a") is None
+    assert not store.delete("a")
+
+
+def test_eviction_order_is_lru():
+    store = LruStore(2)
+    store.set("a", b"1")
+    store.set("b", b"2")
+    store.get("a")           # refresh a
+    store.set("c", b"3")     # evicts b
+    assert "a" in store and "c" in store and "b" not in store
+    assert store.evictions == 1
+
+
+def test_overwrite_does_not_evict():
+    store = LruStore(2)
+    store.set("a", b"1")
+    store.set("b", b"2")
+    store.set("a", b"new")
+    assert len(store) == 2
+    assert store.evictions == 0
+    assert store.get("a") == b"new"
+
+
+def test_hit_ratio():
+    store = LruStore(10)
+    store.set("a", b"1")
+    store.get("a")
+    store.get("a")
+    store.get("missing")
+    assert store.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_bytes_accounting():
+    store = LruStore(10)
+    store.set("a", b"12345")
+    assert store.bytes_stored == 5
+    store.set("a", b"12")
+    assert store.bytes_stored == 2
+    store.delete("a")
+    assert store.bytes_stored == 0
+
+
+def test_clear():
+    store = LruStore(10)
+    store.set("a", b"1")
+    store.clear()
+    assert len(store) == 0
+    assert store.bytes_stored == 0
+
+
+def test_lru_key():
+    store = LruStore(10)
+    assert store.lru_key() is None
+    store.set("a", b"1")
+    store.set("b", b"2")
+    store.get("a")
+    assert store.lru_key() == "b"
+
+
+def test_capacity_validated():
+    with pytest.raises(ConfigurationError):
+        LruStore(0)
+
+
+# -- property-based invariants -------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["get", "set", "delete"]),
+        st.integers(min_value=0, max_value=20).map(lambda i: f"k{i}"),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=_ops, capacity=st.integers(min_value=1, max_value=8))
+@settings(max_examples=100, deadline=None)
+def test_lru_invariants(ops, capacity):
+    store = LruStore(capacity)
+    shadow = {}
+    for op, key in ops:
+        if op == "set":
+            store.set(key, key.encode())
+            shadow[key] = key.encode()
+        elif op == "get":
+            value = store.get(key)
+            if value is not None:
+                # never returns a value that was not stored
+                assert shadow.get(key) == value
+        else:
+            store.delete(key)
+            shadow.pop(key, None)
+        # capacity invariant
+        assert len(store) <= capacity
+        # byte accounting is never negative
+        assert store.bytes_stored >= 0
+
+
+@given(keys=st.lists(st.integers(0, 100).map(str), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_most_recent_key_always_present(keys):
+    store = LruStore(3)
+    for key in keys:
+        store.set(key, b"v")
+        assert key in store  # the most recently set key survives

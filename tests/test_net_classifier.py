@@ -1,0 +1,70 @@
+"""Packet classifier: the hardware/host steering point (§3.1/§9.1)."""
+
+import pytest
+
+from repro.net import ClassifierRule, PacketClassifier, TrafficClass
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+
+
+def _classifier():
+    sim = Simulator()
+    hw, host, default = [], [], []
+    clf = PacketClassifier(sim, default_host=default.append)
+    clf.add_rule(
+        ClassifierRule(TrafficClass.MEMCACHED, hardware=hw.append, host=host.append)
+    )
+    return sim, clf, hw, host, default
+
+
+def test_offload_disabled_goes_to_host():
+    sim, clf, hw, host, default = _classifier()
+    clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    assert len(host) == 1 and len(hw) == 0
+
+
+def test_offload_enabled_goes_to_hardware():
+    sim, clf, hw, host, default = _classifier()
+    clf.set_offload(TrafficClass.MEMCACHED, True)
+    clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    assert len(hw) == 1 and len(host) == 0
+
+
+def test_shift_mid_stream():
+    sim, clf, hw, host, default = _classifier()
+    clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    clf.set_offload(TrafficClass.MEMCACHED, True)
+    clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    clf.set_offload(TrafficClass.MEMCACHED, False)
+    clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    assert len(host) == 2 and len(hw) == 1
+
+
+def test_unmatched_class_uses_default_host():
+    """Non-application traffic passes through as plain NIC traffic (§3.1)."""
+    sim, clf, hw, host, default = _classifier()
+    clf.classify(make_packet("c", "s", TrafficClass.NORMAL, now=sim.now))
+    assert len(default) == 1
+
+
+def test_counters_count_all_traffic():
+    sim, clf, hw, host, default = _classifier()
+    for _ in range(5):
+        clf.classify(make_packet("c", "s", TrafficClass.MEMCACHED, now=sim.now))
+    clf.classify(make_packet("c", "s", TrafficClass.NORMAL, now=sim.now))
+    assert clf.counters[TrafficClass.MEMCACHED] == 5
+    assert clf.counters[TrafficClass.NORMAL] == 1
+
+
+def test_set_offload_unknown_class_raises():
+    sim, clf, hw, host, default = _classifier()
+    with pytest.raises(KeyError):
+        clf.set_offload(TrafficClass.DNS, True)
+
+
+def test_offload_enabled_query():
+    sim, clf, hw, host, default = _classifier()
+    assert not clf.offload_enabled(TrafficClass.MEMCACHED)
+    clf.set_offload(TrafficClass.MEMCACHED, True)
+    assert clf.offload_enabled(TrafficClass.MEMCACHED)
+    assert not clf.offload_enabled(TrafficClass.DNS)

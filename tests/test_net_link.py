@@ -1,0 +1,90 @@
+"""Link delays and fault injection."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Link, LinkFaults, TrafficClass
+from repro.net.node import SinkNode
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+from repro.units import gbit_per_s
+
+
+def _setup(latency_us=1.0, bandwidth=gbit_per_s(10.0), faults=None, rng=None):
+    sim = Simulator()
+    sink = SinkNode(sim)
+    link = Link(sim, sink, latency_us=latency_us, bandwidth_bps=bandwidth,
+                faults=faults, rng=rng)
+    return sim, sink, link
+
+
+def test_delivery_after_propagation_and_serialization():
+    sim, sink, link = _setup(latency_us=2.0)
+    p = make_packet("a", "sink", TrafficClass.NORMAL, size_bytes=1250, now=sim.now)
+    link.send(p)
+    # serialization: 1250B * 8 / 10G = 1us; total 3us
+    sim.run_until(2.9)
+    assert sink.received == []
+    sim.run_until(3.1)
+    assert len(sink.received) == 1
+
+
+def test_fifo_delivery_without_jitter():
+    sim, sink, link = _setup()
+    for i in range(10):
+        link.send(make_packet("a", "sink", TrafficClass.NORMAL, payload=i, now=sim.now))
+    sim.run()
+    assert [p.payload for p in sink.received] == list(range(10))
+
+
+def test_loss_fault():
+    rng = random.Random(1)
+    sim, sink, link = _setup(faults=LinkFaults(loss=1.0), rng=rng)
+    link.send(make_packet("a", "sink", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert sink.received == []
+    assert link.lost == 1
+
+
+def test_duplicate_fault():
+    rng = random.Random(1)
+    sim, sink, link = _setup(faults=LinkFaults(duplicate=1.0), rng=rng)
+    link.send(make_packet("a", "sink", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(sink.received) == 2
+    assert sink.received[0].packet_id != sink.received[1].packet_id
+
+
+def test_partial_loss_statistics():
+    rng = random.Random(7)
+    sim, sink, link = _setup(faults=LinkFaults(loss=0.5), rng=rng)
+    for _ in range(1000):
+        link.send(make_packet("a", "sink", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert 350 < len(sink.received) < 650
+    assert link.lost + link.delivered == 1000
+
+
+def test_faults_require_rng():
+    with pytest.raises(ConfigurationError):
+        _setup(faults=LinkFaults(loss=0.1), rng=None)
+
+
+def test_invalid_fault_probability():
+    with pytest.raises(ConfigurationError):
+        _setup(faults=LinkFaults(loss=1.5), rng=random.Random(0))
+
+
+def test_negative_latency_rejected():
+    with pytest.raises(ConfigurationError):
+        _setup(latency_us=-1.0)
+
+
+def test_hop_count_increments():
+    sim, sink, link = _setup()
+    p = make_packet("a", "sink", TrafficClass.NORMAL, now=sim.now)
+    link.send(p)
+    sim.run()
+    assert sink.received[0].hops == 1

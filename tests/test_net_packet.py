@@ -1,0 +1,38 @@
+"""Packet model."""
+
+from repro.net import Packet, TrafficClass
+from repro.net.packet import DEFAULT_PACKET_SIZES, make_packet
+
+
+def test_packet_ids_unique():
+    a = make_packet("a", "b", TrafficClass.NORMAL)
+    b = make_packet("a", "b", TrafficClass.NORMAL)
+    assert a.packet_id != b.packet_id
+
+
+def test_copy_gets_fresh_identity():
+    p = make_packet("a", "b", TrafficClass.PAXOS, payload={"k": 1})
+    c = p.copy()
+    assert c.packet_id != p.packet_id
+    assert c.payload is p.payload
+    assert c.dst == p.dst
+
+
+def test_default_sizes_applied_per_class():
+    for tc, size in DEFAULT_PACKET_SIZES.items():
+        assert make_packet("a", "b", tc).size_bytes == size
+
+
+def test_explicit_size_overrides_default():
+    p = make_packet("a", "b", TrafficClass.DNS, size_bytes=999)
+    assert p.size_bytes == 999
+
+
+def test_age():
+    p = make_packet("a", "b", TrafficClass.NORMAL, now=100.0)
+    assert p.age_us(150.0) == 50.0
+
+
+def test_memcached_packets_small_enough_for_line_rate():
+    # LaKe's 13Mpps line-rate claim requires ~70B queries (§4.2)
+    assert DEFAULT_PACKET_SIZES[TrafficClass.MEMCACHED] <= 80

@@ -1,0 +1,95 @@
+"""Switch forwarding and the §9.2 redirect rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ForwardingRule, Link, Switch, TrafficClass
+from repro.net.node import SinkNode
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+
+
+def _star():
+    sim = Simulator()
+    switch = Switch(sim)
+    nodes = {}
+    for name in ("a", "b", "c"):
+        node = SinkNode(sim, name)
+        switch.connect(node, Link(sim, node, name=f"sw->{name}"))
+        nodes[name] = node
+    return sim, switch, nodes
+
+
+def test_destination_forwarding():
+    sim, switch, nodes = _star()
+    switch.receive(make_packet("a", "b", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(nodes["b"].received) == 1
+    assert len(nodes["c"].received) == 0
+
+
+def test_unknown_destination_dropped():
+    sim, switch, nodes = _star()
+    switch.receive(make_packet("a", "nowhere", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert switch.dropped_no_route == 1
+
+
+def test_redirect_rule_rewrites_target():
+    sim, switch, nodes = _star()
+    switch.install_rule(ForwardingRule(TrafficClass.PAXOS, "paxos-leader", "c"))
+    switch.receive(make_packet("a", "paxos-leader", TrafficClass.PAXOS, now=sim.now))
+    sim.run()
+    assert len(nodes["c"].received) == 1
+    assert switch.redirected == 1
+
+
+def test_rule_only_matches_its_class():
+    sim, switch, nodes = _star()
+    switch.install_rule(ForwardingRule(TrafficClass.PAXOS, "b", "c"))
+    switch.receive(make_packet("a", "b", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(nodes["b"].received) == 1
+    assert len(nodes["c"].received) == 0
+
+
+def test_rule_replacement_shifts_leader():
+    """The §9.2 shift: replace the rule, traffic moves."""
+    sim, switch, nodes = _star()
+    switch.install_rule(ForwardingRule(TrafficClass.PAXOS, "paxos-leader", "b"))
+    switch.receive(make_packet("x", "paxos-leader", TrafficClass.PAXOS, now=sim.now))
+    switch.install_rule(ForwardingRule(TrafficClass.PAXOS, "paxos-leader", "c"))
+    switch.receive(make_packet("x", "paxos-leader", TrafficClass.PAXOS, now=sim.now))
+    sim.run()
+    assert len(nodes["b"].received) == 1
+    assert len(nodes["c"].received) == 1
+
+
+def test_rule_to_unknown_port_rejected():
+    sim, switch, nodes = _star()
+    with pytest.raises(ConfigurationError):
+        switch.install_rule(ForwardingRule(TrafficClass.PAXOS, "x", "nowhere"))
+
+
+def test_remove_rule():
+    sim, switch, nodes = _star()
+    rule = ForwardingRule(TrafficClass.PAXOS, "x", "b")
+    switch.install_rule(rule)
+    assert switch.remove_rule(TrafficClass.PAXOS, "x") == rule
+    assert switch.remove_rule(TrafficClass.PAXOS, "x") is None
+
+
+def test_class_counters():
+    sim, switch, nodes = _star()
+    for _ in range(3):
+        switch.receive(make_packet("a", "b", TrafficClass.DNS, now=sim.now))
+    switch.receive(make_packet("a", "b", TrafficClass.NORMAL, now=sim.now))
+    assert switch.class_counters[TrafficClass.DNS] == 3
+    assert switch.class_counters[TrafficClass.NORMAL] == 1
+
+
+def test_duplicate_port_rejected():
+    sim, switch, nodes = _star()
+    extra = SinkNode(sim, "a")
+    with pytest.raises(ConfigurationError):
+        switch.connect(extra, Link(sim, extra))

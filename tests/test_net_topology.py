@@ -1,0 +1,57 @@
+"""Topology wiring."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import Switch, Topology, TrafficClass
+from repro.net.node import SinkNode
+from repro.net.packet import make_packet
+from repro.net.topology import star_topology
+from repro.sim import Simulator
+
+
+def test_duplicate_node_rejected():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add(SinkNode(sim, "a"))
+    with pytest.raises(ConfigurationError):
+        topo.add(SinkNode(sim, "a"))
+
+
+def test_unknown_node_lookup_raises():
+    topo = Topology(Simulator())
+    with pytest.raises(ConfigurationError):
+        topo.node("missing")
+
+
+def test_bidirectional_star_delivery():
+    sim = Simulator()
+    switch = Switch(sim, "tor")
+    a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+    star_topology(sim, switch, [a, b])
+    a.send(make_packet("a", "b", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(b.received) == 1
+    b.send(make_packet("b", "a", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(a.received) == 1
+
+
+def test_contains():
+    sim = Simulator()
+    topo = Topology(sim)
+    topo.add(SinkNode(sim, "x"))
+    assert "x" in topo
+    assert "y" not in topo
+
+
+def test_link_from_plain_node_sets_egress():
+    sim = Simulator()
+    topo = Topology(sim)
+    a, b = SinkNode(sim, "a"), SinkNode(sim, "b")
+    topo.add(a)
+    topo.add(b)
+    topo.link("a", "b")
+    a.send(make_packet("a", "b", TrafficClass.NORMAL, now=sim.now))
+    sim.run()
+    assert len(b.received) == 1

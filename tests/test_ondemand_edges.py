@@ -1,0 +1,76 @@
+"""Edge cases of the on-demand service and transition result objects."""
+
+import pytest
+
+from repro.core.ondemand import OnDemandService, Placement
+from repro.errors import PlacementError
+from repro.experiments.transitions import Figure6Result, Figure7Result
+from repro.net import ClassifierRule, PacketClassifier, TrafficClass
+from repro.sim import Simulator
+
+
+def test_classifier_without_traffic_class_raises():
+    sim = Simulator()
+    classifier = PacketClassifier(sim)
+    classifier.add_rule(
+        ClassifierRule(TrafficClass.DNS, hardware=lambda p: None, host=lambda p: None)
+    )
+    service = OnDemandService(sim, "x", classifier=classifier, traffic_class=None)
+    with pytest.raises(PlacementError):
+        service.shift_to_hardware()
+
+
+def test_hooks_optional():
+    sim = Simulator()
+    service = OnDemandService(sim, "bare")
+    assert service.shift_to_hardware("no hooks")
+    assert service.placement is Placement.HARDWARE
+    assert service.shift_to_software()
+
+
+def test_shift_reasons_recorded():
+    sim = Simulator()
+    service = OnDemandService(sim, "x")
+    service.shift_to_hardware("because load")
+    assert service.shifts[0].reason == "because load"
+
+
+def _figure6_stub():
+    return Figure6Result(
+        duration_us=1e6,
+        throughput_series=[(0.0, 100.0), (5e5, 200.0)],
+        latency_series=[(0.0, 10.0), (5e5, None)],
+        power_series=[(0.0, 40.0), (5e5, 50.0)],
+        shift_times_us=[],
+        hw_hits=0,
+        hw_miss_forwards=0,
+        client_responses=2,
+        offered_pps=100.0,
+    )
+
+
+def test_figure6_result_window_helpers():
+    result = _figure6_stub()
+    assert result.mean_throughput_pps(0.0, 1e6) == pytest.approx(150.0)
+    # None latency samples are skipped
+    assert result.mean_latency_us(0.0, 1e6) == pytest.approx(10.0)
+    with pytest.raises(ValueError):
+        result.mean_latency_us(9e5, 1e6)
+    with pytest.raises(ValueError):
+        result.mean_throughput_pps(2e6, 3e6)
+
+
+def test_figure7_result_window_helpers():
+    result = Figure7Result(
+        duration_us=1e6,
+        throughput_series=[(0.0, 1000.0)],
+        latency_series=[(0.0, 400.0)],
+        shift_times_us=[1.0],
+        decided=10,
+        retries=0,
+        stall_us=[100_000.0],
+    )
+    assert result.mean_throughput_pps(0.0, 1e6) == 1000.0
+    assert result.mean_latency_us(0.0, 1e6) == 400.0
+    text = result.render()
+    assert "stalls" in text and "100ms" in text

@@ -1,0 +1,122 @@
+"""Failure injection: Paxos on the DES over lossy/duplicating links.
+
+The client retry timeout and the learner gap fill (§9.2) are exactly the
+mechanisms that must mask loss; these tests drive them with the link-level
+fault injection of :class:`repro.net.link.LinkFaults`.
+"""
+
+import pytest
+
+from repro import calibration as cal
+from repro.apps.paxos import PaxosClient
+from repro.apps.paxos.deployment import (
+    HardwarePaxosRole,
+    LearnerGapScanner,
+    PaxosDeployment,
+    SoftwarePaxosRole,
+    _Directory,
+)
+from repro.apps.paxos.roles import AcceptorState, LeaderState, LearnerState
+from repro.host import make_i7_server
+from repro.net.link import LinkFaults
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.sim import RngStreams, Simulator
+from repro.units import msec, sec
+
+
+def _build(loss=0.0, duplicate=0.0, n_acceptors=3, seed=5):
+    sim = Simulator()
+    streams = RngStreams(seed)
+    topo = Topology(sim)
+    switch = Switch(sim, "tor")
+    topo.add(switch)
+    faults = LinkFaults(loss=loss, duplicate=duplicate)
+    acceptor_names = [f"acceptor{i}" for i in range(n_acceptors)]
+    directory = _Directory(acceptor_names, ["learner0"])
+
+    def connect(name):
+        topo.connect_via_switch(
+            "tor", name, faults=faults, rng=streams.get(f"link.{name}")
+        )
+
+    sw_server = make_i7_server(sim, name="sw-leader")
+    leader = SoftwarePaxosRole(
+        sim, sw_server, LeaderState("sw-leader", 0, n_acceptors), directory,
+        capacity_pps=cal.LIBPAXOS_LEADER_CAPACITY_PPS,
+        stack_latency_us=cal.LIBPAXOS_LEADER_STACK_US,
+    )
+    sw_server.set_packet_handler(leader.offer)
+    topo.add(sw_server)
+    connect("sw-leader")
+
+    for name in acceptor_names:
+        server = make_i7_server(sim, name=name)
+        role = SoftwarePaxosRole(
+            sim, server, AcceptorState(name), directory,
+            capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+            stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
+            app_name=f"acc.{name}",
+        )
+        server.set_packet_handler(role.offer)
+        topo.add(server)
+        connect(name)
+
+    learner_server = make_i7_server(sim, name="learner0")
+    learner = SoftwarePaxosRole(
+        sim, learner_server, LearnerState("learner0", n_acceptors), directory,
+        capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+        stack_latency_us=cal.LIBPAXOS_LEARNER_STACK_US,
+        app_name="learner",
+    )
+    learner_server.set_packet_handler(learner.offer)
+    topo.add(learner_server)
+    connect("learner0")
+    scanner = LearnerGapScanner(sim, learner)
+
+    deployment = PaxosDeployment(switch)
+    deployment.register_leader("sw-leader", leader)
+    deployment.activate_leader("sw-leader")
+
+    client = PaxosClient(sim, "client0", rng=streams.get("client"))
+    topo.add(client)
+    connect("client0")
+    return sim, client, learner, deployment
+
+
+def test_progress_under_5pct_loss():
+    sim, client, learner, deployment = _build(loss=0.05)
+    sim.schedule_at(msec(20), lambda: client.set_rate(1000))
+    sim.run_until(sec(2.0))
+    # most commands decided; retries masked the loss
+    assert client.decided > 1200
+    assert client.retries > 0
+
+
+def test_progress_under_duplication():
+    sim, client, learner, deployment = _build(duplicate=0.2)
+    sim.schedule_at(msec(20), lambda: client.set_rate(1000))
+    sim.run_until(sec(1.0))
+    assert client.decided > 700
+    # duplicates never produce double-acknowledgement
+    assert client.decided <= client.tx_packets
+
+
+def test_delivery_remains_gap_free_under_loss():
+    """The learner's in-order delivery + gap fill keeps the prefix dense."""
+    sim, client, learner, deployment = _build(loss=0.08)
+    sim.schedule_at(msec(20), lambda: client.set_rate(800))
+    client_stop = sec(1.2)
+    sim.schedule_at(client_stop, client.stop)
+    sim.run_until(sec(2.5))
+    state = learner.state
+    assert state.delivered_upto > 500
+    for instance in range(1, state.delivered_upto + 1):
+        assert instance in state.decided
+
+
+def test_loss_free_baseline_has_no_retries():
+    sim, client, learner, deployment = _build(loss=0.0)
+    sim.schedule_at(msec(20), lambda: client.set_rate(1000))
+    sim.run_until(sec(1.0))
+    assert client.retries == 0

@@ -1,0 +1,138 @@
+"""Acceptor-set reconfiguration (§9.2 extension), with hypothesis checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.paxos.reconfiguration import (
+    Configuration,
+    ReconfigurableGroup,
+    StopCommand,
+)
+from repro.errors import ProtocolError
+
+
+def test_normal_operation():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    for i in range(5):
+        assert group.submit(f"cmd{i}") == i + 1
+    assert group.delivered_commands() == [f"cmd{i}" for i in range(5)]
+
+
+def test_reconfigure_replaces_acceptors():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    group.submit("before")
+    config = group.reconfigure(["b0", "b1", "b2"])
+    assert config.epoch == 1
+    assert config.acceptors == ("b0", "b1", "b2")
+    assert group.config is config
+
+
+def test_log_preserved_across_reconfiguration():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    for i in range(4):
+        group.submit(f"old{i}")
+    group.reconfigure(["b0", "b1", "b2"])
+    for i in range(3):
+        group.submit(f"new{i}")
+    assert group.delivered_commands() == [
+        "old0", "old1", "old2", "old3", "new0", "new1", "new2",
+    ]
+
+
+def test_new_epoch_owns_later_instances():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    group.submit("x")
+    config = group.reconfigure(["b0", "b1"])
+    # stop command consumed instance 2; the new epoch starts at 3
+    assert config.first_instance == 3
+    assert group.submit("y") == 3
+
+
+def test_growing_and_shrinking_membership():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    group.submit("a")
+    group.reconfigure(["a0", "a1", "a2", "b0", "b1"])  # grow to 5
+    assert group.config.quorum == 3
+    group.submit("b")
+    group.reconfigure(["b0", "b1", "b2"])  # shrink to 3
+    assert group.config.quorum == 2
+    group.submit("c")
+    assert group.delivered_commands() == ["a", "b", "c"]
+
+
+def test_overlapping_membership():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    group.submit("one")
+    group.reconfigure(["a1", "a2", "c0"])  # keeps two old members
+    group.submit("two")
+    assert group.delivered_commands() == ["one", "two"]
+
+
+def test_state_transfer_makes_new_acceptors_authoritative():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    for i in range(3):
+        group.submit(f"v{i}")
+    group.reconfigure(["b0", "b1", "b2"])
+    # the fresh acceptors carry the transferred log
+    for name in ("b0", "b1", "b2"):
+        acceptor = group.acceptors[name]
+        assert acceptor.last_voted_instance >= 4  # 3 commands + stop
+        assert acceptor.votes[1][1] == "v0"
+
+
+def test_stop_command_excluded_from_delivered():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    group.submit("v")
+    group.reconfigure(["b0", "b1", "b2"])
+    assert all(
+        not isinstance(cmd, StopCommand) for cmd in group.delivered_commands()
+    )
+
+
+def test_empty_new_config_rejected():
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    with pytest.raises(ProtocolError):
+        group.reconfigure([])
+
+
+def test_configuration_validation():
+    with pytest.raises(ProtocolError):
+        Configuration(epoch=-1, acceptors=("a",))
+    with pytest.raises(ProtocolError):
+        Configuration(epoch=0, acceptors=())
+    with pytest.raises(ProtocolError):
+        Configuration(epoch=0, acceptors=("a",), first_instance=0)
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_log_invariant_under_random_reconfigurations(data):
+    """The delivered command sequence is append-only across any schedule of
+    submissions and reconfigurations."""
+    group = ReconfigurableGroup(["a0", "a1", "a2"])
+    submitted = []
+    pool = [f"n{i}" for i in range(12)]  # candidate acceptor names
+    counter = 0
+    for _ in range(data.draw(st.integers(3, 25), label="steps")):
+        action = data.draw(st.sampled_from(["submit", "reconfigure"]), label="a")
+        if action == "submit":
+            counter += 1
+            value = f"cmd{counter}"
+            if group.submit(value) is not None:
+                submitted.append(value)
+        else:
+            size = data.draw(st.integers(1, 5), label="size")
+            members = data.draw(
+                st.lists(st.sampled_from(pool), min_size=size, max_size=size,
+                         unique=True),
+                label="members",
+            )
+            group.reconfigure(members)
+        # invariant: everything submitted so far is delivered, in order
+        assert group.delivered_commands() == submitted
+    # epochs are contiguous and first_instances strictly increase
+    epochs = [c.epoch for c in group.configs]
+    assert epochs == list(range(len(epochs)))
+    firsts = [c.first_instance for c in group.configs]
+    assert firsts == sorted(firsts)

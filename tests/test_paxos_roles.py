@@ -1,0 +1,211 @@
+"""Paxos role state machines (direct-call protocol tests)."""
+
+import pytest
+
+from repro.apps.paxos import (
+    AcceptorState,
+    ClientCommand,
+    ClientRequest,
+    GapRequest,
+    LeaderState,
+    LearnerState,
+    NOOP,
+    Phase1A,
+    Phase2A,
+    majority,
+)
+from repro.errors import ProtocolError
+
+
+def _ready_leader(n_acceptors=3, leader_index=0, acceptors=None):
+    leader = LeaderState(f"L{leader_index}", leader_index, n_acceptors)
+    acceptors = acceptors or [AcceptorState(f"a{i}") for i in range(n_acceptors)]
+    p1a = leader.start_phase1()
+    for acceptor in acceptors:
+        promise = acceptor.handle_phase1a(p1a)
+        if promise is not None:
+            leader.handle_phase1b(promise)
+    return leader, acceptors
+
+
+def test_majority():
+    assert majority(1) == 1
+    assert majority(3) == 2
+    assert majority(5) == 3
+    with pytest.raises(ProtocolError):
+        majority(0)
+
+
+class TestAcceptor:
+    def test_promise_once_per_round(self):
+        acceptor = AcceptorState("a")
+        assert acceptor.handle_phase1a(Phase1A(16, "L")) is not None
+        assert acceptor.handle_phase1a(Phase1A(16, "L")) is None  # duplicate
+        assert acceptor.handle_phase1a(Phase1A(10, "L")) is None  # stale
+
+    def test_vote_records_state(self):
+        acceptor = AcceptorState("a")
+        vote = acceptor.handle_phase2a(Phase2A(16, 1, "v"))
+        assert vote is not None
+        assert vote.last_voted_instance == 1
+        assert acceptor.votes[1] == (16, "v")
+
+    def test_vote_rejected_below_promise(self):
+        acceptor = AcceptorState("a")
+        acceptor.handle_phase1a(Phase1A(32, "L"))
+        assert acceptor.handle_phase2a(Phase2A(16, 1, "v")) is None
+
+    def test_last_voted_piggyback_is_max(self):
+        """§9.2: acceptors piggyback the last-voted-upon sequence number."""
+        acceptor = AcceptorState("a")
+        acceptor.handle_phase2a(Phase2A(16, 5, "v"))
+        vote = acceptor.handle_phase2a(Phase2A(16, 3, "w"))
+        assert vote.last_voted_instance == 5
+
+    def test_recovery_window_bounds_report(self):
+        acceptor = AcceptorState("a", recovery_window=2)
+        for instance in range(1, 6):
+            acceptor.handle_phase2a(Phase2A(16, instance, f"v{instance}"))
+        promise = acceptor.handle_phase1a(Phase1A(32, "L"))
+        assert set(promise.votes) == {4, 5}
+        assert promise.last_voted_instance == 5
+
+    def test_recovery_window_validated(self):
+        with pytest.raises(ProtocolError):
+            AcceptorState("a", recovery_window=0)
+
+
+class TestLeader:
+    def test_not_ready_drops_proposals(self):
+        """§9.2/Figure 7: 'the new leader fails to propose until it learns
+        the latest Paxos instance from the acceptors'."""
+        leader = LeaderState("L", 0, 3)
+        leader.start_phase1()
+        assert leader.propose("v") is None
+        assert leader.dropped_not_ready == 1
+
+    def test_ready_after_quorum(self):
+        leader, _ = _ready_leader()
+        assert leader.ready
+        proposal = leader.propose("v")
+        assert proposal == Phase2A(leader.round, 1, "v")
+
+    def test_instances_monotonic(self):
+        leader, _ = _ready_leader()
+        instances = [leader.propose(f"v{i}").instance for i in range(5)]
+        assert instances == [1, 2, 3, 4, 5]
+
+    def test_takeover_learns_next_instance(self):
+        """§9.2: the new leader learns the most recent not-yet-used
+        sequence number from the acceptors."""
+        leader1, acceptors = _ready_leader(leader_index=0)
+        for i in range(7):
+            proposal = leader1.propose(f"v{i}")
+            for acceptor in acceptors:
+                acceptor.handle_phase2a(proposal)
+        leader2, _ = _ready_leader(leader_index=1, acceptors=acceptors)
+        assert leader2.next_instance == 8
+
+    def test_takeover_reproposes_highest_round_value(self):
+        leader1, acceptors = _ready_leader(leader_index=0)
+        proposal = leader1.propose("old-value")
+        # only one acceptor voted (no decision)
+        acceptors[0].handle_phase2a(proposal)
+        leader2 = LeaderState("L1", 1, 3)
+        p1a = leader2.start_phase1()
+        reproposals = []
+        for acceptor in acceptors:
+            promise = acceptor.handle_phase1a(p1a)
+            reproposals.extend(leader2.handle_phase1b(promise))
+        assert any(
+            p.instance == proposal.instance and p.value == "old-value"
+            for p in reproposals
+        )
+
+    def test_rounds_unique_across_leaders(self):
+        l0 = LeaderState("L0", 0, 3)
+        l1 = LeaderState("L1", 1, 3)
+        l0.start_phase1()
+        l1.start_phase1()
+        assert l0.round != l1.round
+        assert l0.round % 16 == 0
+        assert l1.round % 16 == 1
+
+    def test_successive_rounds_increase(self):
+        leader = LeaderState("L", 0, 3)
+        r1 = leader.start_phase1().round
+        r2 = leader.start_phase1().round
+        assert r2 > r1
+
+    def test_gap_request_fills_noop(self):
+        """§9.2: unfilled instances get a no-op."""
+        leader, acceptors = _ready_leader()
+        leader.propose("a")
+        leader.propose("b")
+        fill = leader.handle_gap_request(GapRequest(1))
+        assert fill is not None and fill.value == "a" or fill.value == NOOP
+
+    def test_gap_request_beyond_assigned_ignored(self):
+        leader, _ = _ready_leader()
+        assert leader.handle_gap_request(GapRequest(99)) is None
+
+    def test_gap_request_reproposes_recovered_value(self):
+        leader1, acceptors = _ready_leader(leader_index=0)
+        proposal = leader1.propose("recoverme")
+        acceptors[0].handle_phase2a(proposal)
+        leader2, _ = _ready_leader(leader_index=1, acceptors=acceptors)
+        fill = leader2.handle_gap_request(GapRequest(proposal.instance))
+        assert fill.value == "recoverme"
+
+    def test_step_down(self):
+        leader, _ = _ready_leader()
+        leader.step_down()
+        assert leader.propose("v") is None
+
+    def test_leader_index_validated(self):
+        with pytest.raises(ProtocolError):
+            LeaderState("L", 16, 3)
+
+
+class TestLearner:
+    def test_quorum_decides(self):
+        learner = LearnerState("l", 3)
+        from repro.apps.paxos import Phase2B
+
+        assert learner.handle_phase2b(Phase2B(16, 1, "a0", "v")) is None
+        decision = learner.handle_phase2b(Phase2B(16, 1, "a1", "v"))
+        assert decision is not None and decision.value == "v"
+
+    def test_duplicate_votes_not_double_counted(self):
+        from repro.apps.paxos import Phase2B
+
+        learner = LearnerState("l", 3)
+        assert learner.handle_phase2b(Phase2B(16, 1, "a0", "v")) is None
+        assert learner.handle_phase2b(Phase2B(16, 1, "a0", "v")) is None
+
+    def test_in_order_delivery(self):
+        from repro.apps.paxos import Phase2B
+
+        learner = LearnerState("l", 1)
+        learner.handle_phase2b(Phase2B(16, 2, "a0", "v2"))
+        assert learner.deliverable() == []  # waiting for instance 1
+        learner.handle_phase2b(Phase2B(16, 1, "a0", "v1"))
+        delivered = learner.deliverable()
+        assert [d.instance for d in delivered] == [1, 2]
+
+    def test_gap_detection_after_timeout(self):
+        from repro.apps.paxos import Phase2B
+
+        learner = LearnerState("l", 1)
+        learner.handle_phase2b(Phase2B(16, 3, "a0", "v3"))
+        assert learner.gaps(now=0.0, timeout=100.0) == []  # first sight
+        gaps = learner.gaps(now=200.0, timeout=100.0)
+        assert {g.instance for g in gaps} == {1, 2}
+
+    def test_conflicting_round_values_detected(self):
+        from repro.apps.paxos import Phase2B
+
+        learner = LearnerState("l", 3)
+        learner.handle_phase2b(Phase2B(16, 1, "a0", "v"))
+        with pytest.raises(ProtocolError):
+            learner.handle_phase2b(Phase2B(16, 1, "a1", "DIFFERENT"))

@@ -1,0 +1,149 @@
+"""Property-based Paxos safety: agreement holds under message loss,
+duplication, reordering, and arbitrary leader changes.
+
+The oracle is a LearnerState fed every delivered Phase2B: it raises
+ProtocolError if any instance ever chooses two different values, and we
+additionally track every (instance, value) decision and assert uniqueness.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.paxos import (
+    AcceptorState,
+    LeaderState,
+    LearnerState,
+    Phase1A,
+    Phase1B,
+    Phase2A,
+    Phase2B,
+)
+
+N_LEADERS = 3
+MAX_STEPS = 120
+
+
+@given(data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_agreement_under_loss_duplication_reordering(data):
+    n_acceptors = data.draw(st.integers(3, 5), label="n_acceptors")
+    acceptors = [AcceptorState(f"a{i}") for i in range(n_acceptors)]
+    leaders = [LeaderState(f"L{i}", i, n_acceptors) for i in range(N_LEADERS)]
+    oracle = LearnerState("oracle", n_acceptors)
+    decided = {}  # instance -> value
+    network = []  # in-flight messages: ("acceptor"|"leader", index, message)
+    value_counter = [0]
+
+    def broadcast_to_acceptors(msg):
+        for i in range(n_acceptors):
+            network.append(("acceptor", i, msg))
+
+    def record_decision(decision):
+        if decision is None:
+            return
+        previous = decided.setdefault(decision.instance, decision.value)
+        assert previous == decision.value, (
+            f"instance {decision.instance} decided {previous!r} "
+            f"and {decision.value!r}"
+        )
+
+    def deliver(entry):
+        kind, idx, msg = entry
+        if kind == "acceptor":
+            acceptor = acceptors[idx]
+            if isinstance(msg, Phase1A):
+                reply = acceptor.handle_phase1a(msg)
+                if reply is not None:
+                    # 1B routes to the leader owning that round
+                    network.append(("leader", msg.round % 16, reply))
+            elif isinstance(msg, Phase2A):
+                vote = acceptor.handle_phase2a(msg)
+                if vote is not None:
+                    record_decision(oracle.handle_phase2b(vote))
+        else:  # leader
+            leader = leaders[idx]
+            if isinstance(msg, Phase1B):
+                for proposal in leader.handle_phase1b(msg):
+                    broadcast_to_acceptors(proposal)
+
+    steps = data.draw(st.integers(20, MAX_STEPS), label="steps")
+    for _ in range(steps):
+        action = data.draw(
+            st.sampled_from(
+                ["takeover", "propose", "deliver", "drop", "duplicate"]
+            ),
+            label="action",
+        )
+        if action == "takeover":
+            leader = leaders[data.draw(st.integers(0, N_LEADERS - 1))]
+            broadcast_to_acceptors(leader.start_phase1())
+        elif action == "propose":
+            leader = leaders[data.draw(st.integers(0, N_LEADERS - 1))]
+            value_counter[0] += 1
+            proposal = leader.propose(f"v{value_counter[0]}")
+            if proposal is not None:
+                broadcast_to_acceptors(proposal)
+        elif network:
+            idx = data.draw(st.integers(0, len(network) - 1), label="msg")
+            if action == "deliver":
+                deliver(network.pop(idx))
+            elif action == "drop":
+                network.pop(idx)
+            else:  # duplicate
+                network.append(network[idx])
+
+    # Drain the network in arbitrary (but deterministic) order: safety must
+    # still hold at quiescence.
+    while network:
+        deliver(network.pop(0))
+
+    # Re-assert agreement from the oracle's own record.
+    for instance, value in oracle.decided.items():
+        assert decided.get(instance) == value
+
+
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_decisions_survive_leader_takeover(data):
+    """Any value decided before a takeover is re-proposed (not replaced) by
+    the new leader."""
+    n_acceptors = 3
+    acceptors = [AcceptorState(f"a{i}") for i in range(n_acceptors)]
+    oracle = LearnerState("oracle", n_acceptors)
+
+    # Leader 0 decides a few instances fully.
+    leader0 = LeaderState("L0", 0, n_acceptors)
+    p1a = leader0.start_phase1()
+    for acceptor in acceptors:
+        leader0.handle_phase1b(acceptor.handle_phase1a(p1a))
+    n_decided = data.draw(st.integers(1, 5), label="n_decided")
+    for i in range(n_decided):
+        proposal = leader0.propose(f"committed{i}")
+        for acceptor in acceptors:
+            oracle.handle_phase2b(acceptor.handle_phase2a(proposal))
+    before = dict(oracle.decided)
+    assert len(before) == n_decided
+
+    # Leader 1 takes over with only a quorum subset responding.
+    leader1 = LeaderState("L1", 1, n_acceptors)
+    p1a = leader1.start_phase1()
+    quorum = data.draw(
+        st.lists(st.integers(0, 2), min_size=2, max_size=3, unique=True),
+        label="quorum",
+    )
+    reproposals = []
+    for idx in quorum:
+        promise = acceptors[idx].handle_phase1a(p1a)
+        if promise is not None:
+            reproposals.extend(leader1.handle_phase1b(promise))
+    for proposal in reproposals:
+        for acceptor in acceptors:
+            vote = acceptor.handle_phase2a(proposal)
+            if vote is not None:
+                oracle.handle_phase2b(vote)
+
+    # nothing previously decided changed
+    for instance, value in before.items():
+        assert oracle.decided[instance] == value
+    # and the new leader proposes beyond the old log
+    assert leader1.next_instance == n_decided + 1

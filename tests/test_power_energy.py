@@ -1,0 +1,99 @@
+"""The §8 energy model and the wall power meter."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power import NiccoliniEnergyModel, PowerMeter, ops_per_watt
+from repro.sim import Simulator
+from repro.units import sec
+
+
+def _model():
+    return NiccoliniEnergyModel(
+        active_power_w=lambda rate: 40.0 + rate / 1e4,
+        idle_power_w=40.0,
+        sleep_power_w=5.0,
+        sleep_transition_s=0.01,
+    )
+
+
+class TestEnergyModel:
+    def test_active_energy(self):
+        # 100k packets at 100kpps = 1s of activity at Pd(100k) = 50W
+        e = _model().energy(packets=100_000, rate_pps=100_000)
+        assert e.active_j == pytest.approx(50.0)
+        assert e.total_j == pytest.approx(50.0)
+
+    def test_idle_energy(self):
+        e = _model().energy(packets=0, rate_pps=0, idle_s=10.0)
+        assert e.idle_j == pytest.approx(400.0)
+
+    def test_sleep_transitions(self):
+        e = _model().energy(packets=0, rate_pps=0, sleep_transitions=4)
+        assert e.sleep_transition_j == pytest.approx(4 * 5.0 * 0.01)
+
+    def test_all_three_terms_sum(self):
+        e = _model().energy(
+            packets=100_000, rate_pps=100_000, idle_s=1.0, sleep_transitions=1
+        )
+        assert e.total_j == pytest.approx(e.active_j + e.idle_j + e.sleep_transition_j)
+
+    def test_dynamic_power(self):
+        assert _model().dynamic_power_w(100_000) == pytest.approx(10.0)
+
+    def test_work_without_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _model().energy(packets=10, rate_pps=0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _model().energy(packets=-1, rate_pps=10)
+        with pytest.raises(ConfigurationError):
+            NiccoliniEnergyModel(lambda r: 1.0, idle_power_w=-1.0)
+
+    def test_slower_processing_of_same_work_costs_more_at_concave_power(self):
+        """Race-to-idle: finishing W packets at a higher rate and idling the
+        remainder beats processing slowly, whenever Pd grows sublinearly."""
+        model = NiccoliniEnergyModel(
+            active_power_w=lambda rate: 40.0 + 30.0 * (rate / 1e6) ** 0.5,
+            idle_power_w=40.0,
+        )
+        work = 1e6
+        fast = model.energy(work, rate_pps=1e6, idle_s=9.0)  # 1s active + 9s idle
+        slow = model.energy(work, rate_pps=1e5, idle_s=0.0)  # 10s active
+        assert fast.total_j < slow.total_j
+
+
+class TestOpsPerWatt:
+    def test_basic(self):
+        assert ops_per_watt(1_000_000, 50.0) == pytest.approx(20_000.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ConfigurationError):
+            ops_per_watt(1.0, 0.0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            ops_per_watt(-1.0, 10.0)
+
+
+class TestPowerMeter:
+    def test_mean_and_energy(self):
+        sim = Simulator()
+        meter = PowerMeter(sim, lambda: 60.0, interval_us=sec(1.0))
+        sim.run_until(sec(10.0))
+        assert meter.mean_power_w() == pytest.approx(60.0)
+        assert meter.energy_j() == pytest.approx(600.0)
+
+    def test_stop(self):
+        sim = Simulator()
+        meter = PowerMeter(sim, lambda: 1.0, interval_us=sec(1.0))
+        sim.run_until(sec(2.0))
+        meter.stop()
+        samples = len(meter.series)
+        sim.run_until(sec(10.0))
+        assert len(meter.series) == samples
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigurationError):
+            PowerMeter(Simulator(), lambda: 1.0, interval_us=0.0)

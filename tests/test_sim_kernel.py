@@ -1,0 +1,141 @@
+"""Discrete-event kernel behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(sim.now))
+    sim.schedule(20.0, lambda: fired.append(sim.now))
+    sim.run_until(15.0)
+    assert fired == [10.0]
+    assert sim.now == 15.0
+    sim.run_until(25.0)
+    assert fired == [10.0, 20.0]
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(30.0, lambda: order.append("c"))
+    sim.schedule(10.0, lambda: order.append("a"))
+    sim.schedule(20.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    order = []
+    for label in "abcde":
+        sim.schedule(5.0, lambda l=label: order.append(l))
+    sim.run()
+    assert order == list("abcde")
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(10.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_nested_scheduling_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def outer():
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+
+    sim.schedule(10.0, outer)
+    sim.run()
+    assert fired == [15.0]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_run_until_backwards_rejected():
+    sim = Simulator()
+    sim.run_until(100.0)
+    with pytest.raises(SimulationError):
+        sim.run_until(50.0)
+
+
+def test_call_every_fires_periodically():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_every(10.0, lambda: fired.append(sim.now))
+    sim.run_until(55.0)
+    assert fired == [10.0, 20.0, 30.0, 40.0, 50.0]
+    handle.cancel()
+    sim.run_until(100.0)
+    assert len(fired) == 5
+
+
+def test_call_every_callback_can_cancel():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_every(10.0, lambda: (fired.append(sim.now), handle.cancel()))
+    sim.run_until(100.0)
+    assert fired == [10.0]
+
+
+def test_call_every_rejects_bad_interval():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_every(0.0, lambda: None)
+
+
+def test_run_bounded_by_max_events():
+    sim = Simulator()
+
+    def reschedule():
+        sim.schedule(1.0, reschedule)
+
+    sim.schedule(1.0, reschedule)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_executed == 5
+
+
+def test_pending_counts_uncancelled():
+    sim = Simulator()
+    e1 = sim.schedule(10.0, lambda: None)
+    sim.schedule(20.0, lambda: None)
+    e1.cancel()
+    assert sim.pending == 1
+
+
+def test_clock_advances_to_run_until_time_with_empty_heap():
+    sim = Simulator()
+    sim.run_until(123.0)
+    assert sim.now == 123.0

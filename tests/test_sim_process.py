@@ -1,0 +1,76 @@
+"""Generator-based process helper."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Process, Simulator
+from repro.sim.process import sleep_until
+
+
+def test_process_runs_with_delays():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        trace.append(sim.now)
+        yield 10.0
+        trace.append(sim.now)
+        yield 5.0
+        trace.append(sim.now)
+
+    proc = Process(sim, worker())
+    sim.run()
+    assert trace == [0.0, 10.0, 15.0]
+    assert proc.finished
+
+
+def test_process_stop_cancels_pending():
+    sim = Simulator()
+    trace = []
+
+    def worker():
+        while True:
+            trace.append(sim.now)
+            yield 10.0
+
+    proc = Process(sim, worker())
+    sim.run_until(35.0)
+    proc.stop()
+    sim.run_until(100.0)
+    assert trace == [0.0, 10.0, 20.0, 30.0]
+    assert proc.stopped
+
+
+def test_process_stop_is_idempotent():
+    sim = Simulator()
+
+    def worker():
+        yield 10.0
+
+    proc = Process(sim, worker())
+    proc.stop()
+    proc.stop()
+    assert proc.stopped
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def worker():
+        yield -5.0
+
+    with pytest.raises(SimulationError):
+        Process(sim, worker())
+
+
+def test_sleep_until_computes_remaining():
+    sim = Simulator()
+    sim.run_until(40.0)
+    assert sleep_until(sim, 100.0) == 60.0
+
+
+def test_sleep_until_past_raises():
+    sim = Simulator()
+    sim.run_until(40.0)
+    with pytest.raises(SimulationError):
+        sleep_until(sim, 10.0)

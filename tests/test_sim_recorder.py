@@ -1,0 +1,123 @@
+"""Time series, latency recorder and percentile math."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import LatencyRecorder, Simulator, TimeSeries, percentile
+from repro.sim.recorder import PeriodicSampler
+from repro.units import sec
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50.0) == 2
+
+    def test_p99_of_100(self):
+        values = list(range(1, 101))
+        assert percentile(values, 99.0) == 99
+
+    def test_p0_is_min_p100_is_max(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 100.0) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_pct_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101.0)
+
+
+class TestTimeSeries:
+    def test_record_and_query(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        ts.record(10.0, 3.0)
+        assert ts.mean() == pytest.approx(2.0)
+        assert ts.last().value == 3.0
+
+    def test_out_of_order_rejected(self):
+        ts = TimeSeries()
+        ts.record(10.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ts.record(5.0, 2.0)
+
+    def test_window_query(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        window = ts.window(3.0, 6.0)
+        assert [s.value for s in window] == [3.0, 4.0, 5.0]
+
+    def test_windowed_mean(self):
+        ts = TimeSeries()
+        for t in range(10):
+            ts.record(float(t), float(t))
+        assert ts.mean(5.0, 8.0) == pytest.approx(6.0)
+
+    def test_mean_empty_window_raises(self):
+        ts = TimeSeries()
+        ts.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ts.mean(100.0, 200.0)
+
+    def test_integrate_constant_power(self):
+        ts = TimeSeries()
+        ts.record(0.0, 50.0)
+        ts.record(sec(10.0), 50.0)
+        # 50W for 10s = 500J
+        assert ts.integrate_seconds() == pytest.approx(500.0)
+
+    def test_integrate_ramp(self):
+        ts = TimeSeries()
+        ts.record(0.0, 0.0)
+        ts.record(sec(10.0), 100.0)
+        assert ts.integrate_seconds() == pytest.approx(500.0)
+
+
+class TestLatencyRecorder:
+    def test_statistics(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert rec.mean() == pytest.approx(22.0)
+        assert rec.median() == 3.0
+        assert len(rec) == 5
+
+    def test_negative_rejected(self):
+        rec = LatencyRecorder()
+        with pytest.raises(ConfigurationError):
+            rec.record(-1.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_reset(self):
+        rec = LatencyRecorder()
+        rec.record(5.0)
+        rec.reset()
+        assert len(rec) == 0
+
+
+class TestPeriodicSampler:
+    def test_samples_at_interval(self):
+        sim = Simulator()
+        value = {"power": 10.0}
+        sampler = PeriodicSampler(sim, lambda: value["power"], 100.0)
+        sim.run_until(250.0)
+        # initial sample at t=0, then t=100, t=200
+        assert len(sampler.series) == 3
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sampler = PeriodicSampler(sim, lambda: 1.0, 100.0)
+        sim.run_until(150.0)
+        sampler.stop()
+        sim.run_until(1000.0)
+        assert len(sampler.series) == 2
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicSampler(Simulator(), lambda: 1.0, 0.0)

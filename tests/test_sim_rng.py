@@ -1,0 +1,40 @@
+"""Deterministic RNG streams."""
+
+from repro.sim import RngStreams
+
+
+def test_same_name_same_stream_object():
+    streams = RngStreams(seed=1)
+    assert streams.get("a") is streams.get("a")
+
+
+def test_deterministic_across_instances():
+    a = RngStreams(seed=42).get("arrivals")
+    b = RngStreams(seed=42).get("arrivals")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_streams_are_independent():
+    streams = RngStreams(seed=42)
+    keys = streams.get("keys")
+    _ = [keys.random() for _ in range(100)]  # consuming one stream...
+    arrivals = RngStreams(seed=42).get("arrivals")
+    arrivals_after = streams.get("arrivals")
+    # ...does not perturb the other
+    assert [arrivals.random() for _ in range(10)] == [
+        arrivals_after.random() for _ in range(10)
+    ]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).get("x")
+    b = RngStreams(seed=2).get("x")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_fork_is_deterministic_and_distinct():
+    parent = RngStreams(seed=5)
+    f1 = parent.fork("worker")
+    f2 = RngStreams(seed=5).fork("worker")
+    assert f1.seed == f2.seed
+    assert f1.seed != parent.seed

@@ -1,0 +1,184 @@
+"""Steady-state curves: paper anchors, crossovers, and shapes."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import CapacityError, ConfigurationError
+from repro.host.nic import NIC_INTEL_X520, NIC_MELLANOX_CX311A
+from repro.steady import (
+    SoftwareCurveModel,
+    dns_models,
+    find_crossover,
+    kvs_models,
+    paxos_models,
+)
+from repro.steady.ondemand import make_ondemand_model, ondemand_models
+from repro.steady.paxos import PaxosRole
+from repro.units import kpps, mpps
+
+
+class TestKvsCurves:
+    def test_memcached_idle_39w(self):
+        assert kvs_models()["memcached"].power_at(0.0) == pytest.approx(39.0)
+
+    def test_memcached_peak_115w_at_1mpps(self):
+        model = kvs_models()["memcached"]
+        assert model.power_at(mpps(1.0)) == pytest.approx(115.0)
+        assert model.capacity_pps == mpps(1.0)
+
+    def test_lake_59w_idle_flat_to_line_rate(self):
+        """§4.2: LaKe idles at 59W and stays nearly flat to 13Mpps."""
+        lake = kvs_models()["lake"]
+        assert lake.power_at(0.0) == pytest.approx(59.0)
+        assert lake.power_at(mpps(13.0)) - lake.power_at(0.0) <= 1.5
+
+    def test_crossover_near_80kpps_mellanox(self):
+        models = kvs_models()
+        crossover = find_crossover(models["memcached"], models["lake"])
+        assert crossover == pytest.approx(kpps(80), rel=0.15)
+
+    def test_crossover_over_300kpps_intel(self):
+        """§4.2: with the Intel NIC the crossing moved to over 300Kpps."""
+        models = kvs_models(nic=NIC_INTEL_X520)
+        crossover = find_crossover(models["memcached"], models["lake"])
+        assert crossover == pytest.approx(kpps(300), rel=0.1)
+
+    def test_standalone_lake_cheaper_than_in_server(self):
+        models = kvs_models()
+        assert models["lake-standalone"].power_at(0.0) < models["lake"].power_at(0.0)
+
+    def test_miss_ratio_adds_host_power(self):
+        """§9.2: misses in hardware consume server power."""
+        all_hit = kvs_models(miss_ratio=0.0)["lake"]
+        half_miss = kvs_models(miss_ratio=0.5)["lake"]
+        assert half_miss.power_at(kpps(500)) > all_hit.power_at(kpps(500))
+        assert half_miss.power_at(0.0) == pytest.approx(all_hit.power_at(0.0))
+
+    def test_lake_latency_flat(self):
+        lake = kvs_models()["lake"]
+        assert lake.latency_at(kpps(10)) == lake.latency_at(mpps(10))
+
+
+class TestPaxosCurves:
+    def test_libpaxos_capacity_178k(self):
+        model = paxos_models(PaxosRole.ACCEPTOR)["libpaxos"]
+        assert model.capacity_pps == 178_000.0
+
+    def test_crossover_near_150kpps(self):
+        models = paxos_models(PaxosRole.ACCEPTOR)
+        crossover = find_crossover(models["libpaxos"], models["p4xos"])
+        assert crossover == pytest.approx(kpps(150), rel=0.1)
+
+    def test_dpdk_high_and_flat(self):
+        """§4.3: DPDK power is high even idle and almost constant."""
+        dpdk = paxos_models(PaxosRole.ACCEPTOR)["dpdk"]
+        libpaxos = paxos_models(PaxosRole.ACCEPTOR)["libpaxos"]
+        assert dpdk.power_at(0.0) > libpaxos.power_at(0.0) + 20.0
+        span = dpdk.power_at(dpdk.capacity_pps) - dpdk.power_at(0.0)
+        assert span < 8.0
+
+    def test_p4xos_standalone_anchors(self):
+        model = paxos_models(PaxosRole.ACCEPTOR)["p4xos-standalone"]
+        assert model.power_at(0.0) == pytest.approx(18.2)
+        assert model.power_at(model.capacity_pps) <= 18.2 + 1.2 + 1e-9
+
+    def test_p4xos_capacity_10m(self):
+        assert paxos_models()["p4xos"].capacity_pps == mpps(10.0)
+
+    def test_ops_per_watt_orders(self):
+        """§6: software 10K's, FPGA 100K's msgs/W."""
+        models = paxos_models(PaxosRole.ACCEPTOR)
+        sw = models["libpaxos"]
+        sw_ops = sw.capacity_pps / sw.dynamic_power_w(sw.capacity_pps)
+        assert 1e4 <= sw_ops < 1e5
+        fpga = models["p4xos-standalone"]
+        fpga_ops = fpga.capacity_pps / fpga.power_at(fpga.capacity_pps)
+        assert 1e5 <= fpga_ops < 1e6
+
+
+class TestDnsCurves:
+    def test_nsd_capacity_and_peak(self):
+        """§4.4: 956K req/s at ~2x Emu's power."""
+        nsd = dns_models()["nsd"]
+        emu = dns_models()["emu"]
+        assert nsd.capacity_pps == 956_000.0
+        ratio = nsd.power_at(nsd.capacity_pps) / emu.power_at(nsd.capacity_pps)
+        assert ratio == pytest.approx(2.0, rel=0.05)
+
+    def test_emu_about_48w_flat(self):
+        emu = dns_models()["emu"]
+        assert emu.power_at(0.0) == pytest.approx(48.0)
+        assert emu.power_at(emu.capacity_pps) < 48.6
+
+    def test_crossover_below_200kpps(self):
+        models = dns_models()
+        crossover = find_crossover(models["nsd"], models["emu"])
+        assert crossover < kpps(200)
+        assert crossover > kpps(100)
+
+
+class TestOnDemand:
+    @pytest.mark.parametrize("app", ["kvs", "paxos", "dns"])
+    def test_tracks_software_low_hardware_high(self, app):
+        model = make_ondemand_model(app)
+        low = kpps(10)
+        high = model.shift_threshold_pps * 2
+        assert not model.in_hardware(low)
+        assert model.in_hardware(high)
+        assert model.power_at(high) == pytest.approx(model.hardware.power_at(high))
+
+    def test_kvs_saves_about_half_at_high_load(self):
+        """§1: on demand 'saves up to 50% of the power compared with
+        software-based solutions'."""
+        model = make_ondemand_model("kvs")
+        saving = model.saving_vs_software_w(kpps(1000))
+        fraction = saving / model.software.power_at(kpps(1000))
+        assert fraction == pytest.approx(0.49, abs=0.05)
+
+    def test_standby_card_cost_applied_below_threshold(self):
+        model = make_ondemand_model("kvs")
+        sw_only = model.software.power_at(kpps(10))
+        ondemand = model.power_at(kpps(10))
+        # on-demand pays the gated card instead of the NIC at low load
+        assert ondemand > sw_only
+        assert ondemand - sw_only < 20.0
+
+    def test_latency_follows_placement(self):
+        model = make_ondemand_model("dns")
+        assert model.latency_at(kpps(10)) > model.latency_at(kpps(500))
+
+    def test_all_three_apps_build(self):
+        models = ondemand_models()
+        assert set(models) == {"kvs", "paxos", "dns"}
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_ondemand_model("webserver")
+
+
+class TestModelBasics:
+    def test_achieved_saturates(self):
+        model = SoftwareCurveModel("m", capacity_pps=100.0, idle_w=1.0, peak_w=2.0)
+        assert model.achieved_pps(50.0) == 50.0
+        assert model.achieved_pps(500.0) == 100.0
+
+    def test_negative_rate_rejected(self):
+        model = SoftwareCurveModel("m", capacity_pps=100.0, idle_w=1.0, peak_w=2.0)
+        with pytest.raises(ConfigurationError):
+            model.power_at(-1.0)
+
+    def test_latency_inflates_toward_saturation(self):
+        model = SoftwareCurveModel(
+            "m", capacity_pps=1000.0, idle_w=1.0, peak_w=2.0, latency_us=10.0
+        )
+        assert model.latency_at(10.0) < model.latency_at(990.0)
+
+    def test_crossover_none_when_hw_never_wins(self):
+        sw = SoftwareCurveModel("sw", capacity_pps=100.0, idle_w=10.0, peak_w=20.0)
+        hw = SoftwareCurveModel("hw", capacity_pps=100.0, idle_w=50.0, peak_w=60.0)
+        assert find_crossover(sw, hw) is None
+
+    def test_crossover_zero_when_hw_always_wins(self):
+        sw = SoftwareCurveModel("sw", capacity_pps=100.0, idle_w=50.0, peak_w=60.0)
+        hw = SoftwareCurveModel("hw", capacity_pps=100.0, idle_w=10.0, peak_w=20.0)
+        assert find_crossover(sw, hw) == 0.0

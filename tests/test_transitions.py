@@ -1,0 +1,102 @@
+"""Integration: the Figure 6 and Figure 7 DES experiments (scaled down)."""
+
+import pytest
+
+from repro.experiments import run_figure6, run_figure7
+from repro.units import msec, sec
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    # compressed trace: ChainerMN from 1.0s to 4.5s, 10s total
+    return run_figure6(
+        duration_s=10.0,
+        rate_kpps=12.0,
+        chainer_start_s=1.0,
+        chainer_stop_s=4.5,
+        keyspace=20_000,
+        seed=1,
+    )
+
+
+class TestFigure6(object):
+    def test_two_transitions(self, fig6):
+        """Figure 6 shows a shift to hardware and a shift back."""
+        assert len(fig6.shift_times_us) == 2
+
+    def test_shift_after_sustained_load(self, fig6):
+        """§9.1/Figure 6: the shift happens ~3s (the window) after the
+        co-located job raises power, not immediately."""
+        first = fig6.shift_times_us[0]
+        assert sec(3.0) < first < sec(6.0)
+
+    def test_throughput_unaffected_by_shift(self, fig6):
+        """Figure 6: 'the transition from software to hardware had no
+        effect on KVS throughput, not even momentarily.'"""
+        shift = fig6.shift_times_us[0]
+        before = fig6.mean_throughput_pps(shift - sec(1.0), shift)
+        after = fig6.mean_throughput_pps(shift, shift + sec(1.0))
+        assert after == pytest.approx(before, rel=0.1)
+        assert after == pytest.approx(fig6.offered_pps, rel=0.15)
+
+    def test_latency_improves_after_warmup(self, fig6):
+        """Figure 6: hit latency improves roughly ten-fold once the cache
+        warms (mean improves several-fold as the miss tail drains)."""
+        shift = fig6.shift_times_us[0]
+        software = fig6.mean_latency_us(shift - sec(1.0), shift)
+        hardware = fig6.mean_latency_us(shift + sec(1.0), shift + sec(3.0))
+        assert software / hardware > 2.0
+
+    def test_power_drops_after_chainer_stops(self, fig6):
+        high = [v for t, v in fig6.power_series if sec(2.0) < t < sec(4.0)]
+        low = [v for t, v in fig6.power_series if t > sec(6.5)]
+        assert sum(high) / len(high) > sum(low) / len(low) + 30.0
+
+    def test_hardware_served_requests(self, fig6):
+        assert fig6.hw_hits > 0
+        assert fig6.hw_miss_forwards > 0  # cold-start misses (§9.2)
+
+    def test_render(self, fig6):
+        text = fig6.render()
+        assert "transition" in text
+        assert "throughput" in text
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_figure7(duration_s=2.5, shift_to_hw_s=0.8, shift_to_sw_s=1.8)
+
+
+class TestFigure7(object):
+    def test_two_shifts(self, fig7):
+        assert len(fig7.shift_times_us) == 2
+
+    def test_throughput_higher_in_hardware(self, fig7):
+        """Figure 7: throughput increases with the hardware leader."""
+        sw = fig7.mean_throughput_pps(sec(0.3), sec(0.8))
+        hw = fig7.mean_throughput_pps(sec(1.1), sec(1.8))
+        assert hw > 1.5 * sw
+
+    def test_latency_halved_in_hardware(self, fig7):
+        """Figure 7: 'the latency is halved when the leader is implemented
+        in hardware.'"""
+        sw = fig7.mean_latency_us(sec(0.3), sec(0.8))
+        hw = fig7.mean_latency_us(sec(1.1), sec(1.8))
+        assert hw == pytest.approx(sw / 2.0, rel=0.25)
+
+    def test_stall_matches_client_timeout(self, fig7):
+        """Figure 7: 'the throughput drops to zero for about 100 msec. This
+        corresponds to the value of the client timeout.'"""
+        assert len(fig7.stall_us) == 2
+        for stall in fig7.stall_us:
+            assert stall == pytest.approx(msec(100.0), rel=0.25)
+
+    def test_progress_resumes_after_both_shifts(self, fig7):
+        late = fig7.mean_throughput_pps(sec(2.2), sec(2.5))
+        assert late > 1000.0
+
+    def test_retries_occurred(self, fig7):
+        assert fig7.retries > 0
+
+    def test_render(self, fig7):
+        assert "Paxos leader" in fig7.render()

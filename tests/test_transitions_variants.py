@@ -1,0 +1,71 @@
+"""Transition-experiment variants beyond the paper's base configuration."""
+
+import pytest
+
+from repro.experiments import run_figure6, run_figure7
+from repro.units import msec, sec
+
+
+def test_figure6_power_save_variant_serves_identically():
+    """§9.2's gating (memories in reset + clock gating) is invisible to the
+    data path while in software: same service, no spurious shifts.  (The
+    card-power effect of gating itself is asserted in test_kvs_lake.)"""
+    base = run_figure6(
+        duration_s=3.0, rate_kpps=8.0, chainer_start_s=10.0, chainer_stop_s=11.0,
+        keyspace=5_000, power_save=False,
+    )
+    saving = run_figure6(
+        duration_s=3.0, rate_kpps=8.0, chainer_start_s=10.0, chainer_stop_s=11.0,
+        keyspace=5_000, power_save=True,
+    )
+    assert not base.shift_times_us and not saving.shift_times_us
+    assert saving.client_responses == pytest.approx(base.client_responses, rel=0.02)
+
+
+def test_figure6_no_chainer_no_shift():
+    """Without the co-located job the host controller never triggers: the
+    rate alone (below the crossover) is not a shift-up signal for it."""
+    result = run_figure6(
+        duration_s=4.0, rate_kpps=16.0, chainer_start_s=100.0,
+        chainer_stop_s=101.0, keyspace=5_000,
+    )
+    assert result.shift_times_us == []
+    assert result.hw_hits == 0
+
+
+def test_figure6_sustain_window_filters_short_bursts():
+    """A co-located job shorter than the 3s window must not trigger."""
+    result = run_figure6(
+        duration_s=5.0, rate_kpps=8.0, chainer_start_s=1.0, chainer_stop_s=2.2,
+        keyspace=5_000,
+    )
+    assert result.shift_times_us == []
+
+
+def test_figure7_single_shift_only():
+    result = run_figure7(
+        duration_s=1.5, shift_to_hw_s=0.5, shift_to_sw_s=10.0,
+    )
+    assert len(result.shift_times_us) == 1
+    # hardware phase persists to the end
+    late = result.mean_throughput_pps(sec(1.0), sec(1.5))
+    early = result.mean_throughput_pps(sec(0.1), sec(0.5))
+    assert late > early
+
+
+def test_figure7_more_acceptors_still_works():
+    result = run_figure7(
+        duration_s=1.2, shift_to_hw_s=0.5, shift_to_sw_s=10.0, n_acceptors=5,
+    )
+    assert result.decided > 2000
+    assert len(result.stall_us) >= 1
+
+
+def test_figure7_larger_client_window_scales_throughput():
+    small = run_figure7(duration_s=1.0, shift_to_hw_s=10.0, shift_to_sw_s=11.0,
+                        client_window=1)
+    large = run_figure7(duration_s=1.0, shift_to_hw_s=10.0, shift_to_sw_s=11.0,
+                        client_window=3)
+    thr_small = small.mean_throughput_pps(sec(0.3), sec(1.0))
+    thr_large = large.mean_throughput_pps(sec(0.3), sec(1.0))
+    assert thr_large > 2.0 * thr_small

@@ -1,0 +1,86 @@
+"""Facebook ETC workload model."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import EtcWorkload
+from repro.workloads.etc import ZipfSampler
+
+
+class TestZipf:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(1000, 0.99, random.Random(1))
+        for _ in range(2000):
+            assert 1 <= sampler.sample() <= 1000
+
+    def test_skew_head_dominates(self):
+        sampler = ZipfSampler(100_000, 0.99, random.Random(2))
+        counts = Counter(sampler.sample() for _ in range(20_000))
+        top10 = sum(counts[r] for r in range(1, 11))
+        # Zipf(0.99): the top 10 of 100k ranks carry a large share
+        assert top10 / 20_000 > 0.15
+
+    def test_rank1_most_popular(self):
+        sampler = ZipfSampler(1000, 1.2, random.Random(3))
+        counts = Counter(sampler.sample() for _ in range(30_000))
+        assert counts[1] == max(counts.values())
+
+    def test_degenerate_n1(self):
+        sampler = ZipfSampler(1, 0.99, random.Random(4))
+        assert sampler.sample() == 1
+
+    def test_invalid_n(self):
+        with pytest.raises(ConfigurationError):
+            ZipfSampler(0, 0.99, random.Random(0))
+
+    @given(s=st.floats(0.3, 2.5), n=st.integers(1, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_rank(self, s, n):
+        sampler = ZipfSampler(n, s, random.Random(7))
+        for _ in range(50):
+            assert 1 <= sampler.sample() <= n
+
+
+class TestEtcWorkload:
+    def test_keys_formatted(self):
+        etc = EtcWorkload(keyspace=100)
+        key = etc.key()
+        assert key.startswith("key:")
+        assert 1 <= int(key.split(":")[1]) <= 100
+
+    def test_values_follow_size_cdf(self):
+        etc = EtcWorkload()
+        sizes = [len(etc.value()) for _ in range(5000)]
+        # ETC is dominated by small values: most under 320B
+        small = sum(1 for s in sizes if s <= 320)
+        assert small / len(sizes) > 0.80
+        assert max(sizes) <= 4096
+
+    def test_read_dominated(self):
+        etc = EtcWorkload()
+        assert etc.set_fraction == pytest.approx(0.03, abs=0.001)
+
+    def test_hot_keys_are_top_ranks(self):
+        etc = EtcWorkload(keyspace=50)
+        assert etc.hot_keys(3) == ["key:00000001", "key:00000002", "key:00000003"]
+        assert len(etc.hot_keys(100)) == 50  # clamped to keyspace
+
+    def test_preload(self):
+        etc = EtcWorkload(keyspace=100)
+        store = {}
+        etc.preload(store.__setitem__, count=10)
+        assert len(store) == 10
+
+    def test_deterministic_for_seed(self):
+        a = EtcWorkload(seed=9)
+        b = EtcWorkload(seed=9)
+        assert [a.key() for _ in range(20)] == [b.key() for _ in range(20)]
+
+    def test_invalid_keyspace(self):
+        with pytest.raises(ConfigurationError):
+            EtcWorkload(keyspace=0)

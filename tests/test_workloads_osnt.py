@@ -1,0 +1,65 @@
+"""OSNT-style rate schedules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.units import sec
+from repro.workloads import RampSchedule, RateSchedule, StepSchedule
+
+
+def test_rate_at_steps():
+    sched = RateSchedule([(0.0, 100.0), (10.0, 200.0)])
+    assert sched.rate_at(0.0) == 100.0
+    assert sched.rate_at(9.9) == 100.0
+    assert sched.rate_at(10.0) == 200.0
+    assert sched.rate_at(1e9) == 200.0
+
+
+def test_implicit_zero_start():
+    sched = RateSchedule([(10.0, 500.0)])
+    assert sched.rate_at(5.0) == 0.0
+
+
+def test_unordered_steps_rejected():
+    with pytest.raises(ConfigurationError):
+        RateSchedule([(10.0, 1.0), (5.0, 2.0)])
+
+
+def test_negative_rate_rejected():
+    with pytest.raises(ConfigurationError):
+        RateSchedule([(0.0, -1.0)])
+
+
+def test_ramp_monotone():
+    ramp = RampSchedule(0.0, 1000.0, duration_us=sec(1.0), steps=10)
+    rates = [rate for _, rate in ramp.steps]
+    assert rates == sorted(rates)
+    assert rates[0] == 0.0
+    assert rates[-1] == 1000.0
+
+
+def test_step_schedule_durations():
+    sched = StepSchedule([(100.0, 10.0), (200.0, 20.0), (50.0, 5.0)])
+    assert sched.rate_at(50.0) == 10.0
+    assert sched.rate_at(150.0) == 20.0
+    assert sched.rate_at(320.0) == 5.0
+
+
+def test_apply_drives_set_rate():
+    sim = Simulator()
+    seen = []
+    sched = StepSchedule([(100.0, 10.0), (100.0, 20.0)])
+    sched.apply(sim, lambda r: seen.append((sim.now, r)))
+    sim.run()
+    assert seen == [(0.0, 10.0), (100.0, 20.0)]
+
+
+def test_apply_immediate_for_past_steps():
+    sim = Simulator()
+    sim.run_until(50.0)
+    seen = []
+    RateSchedule([(0.0, 5.0), (100.0, 7.0)]).apply(sim, lambda r: seen.append(r))
+    assert seen == [5.0]
+    sim.run()
+    assert seen == [5.0, 7.0]

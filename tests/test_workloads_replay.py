@@ -1,0 +1,126 @@
+"""Trace-driven placement replay."""
+
+import pytest
+
+from repro.core.shift_strategy import ShiftStrategy, ShiftStrategyModel
+from repro.errors import ConfigurationError
+from repro.steady import kvs_models
+from repro.units import kpps
+from repro.workloads.replay import (
+    compare_policies,
+    predictive_policy,
+    replay_trace,
+    static_policy,
+    threshold_policy,
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    m = kvs_models()
+    return m["memcached"], m["lake"]
+
+
+STANDBY_W = ShiftStrategyModel().standby_power_w(ShiftStrategy.RESET_AND_GATE) - 3.0
+
+#: a simple duty cycle: 6h nearly idle, 12h busy, 6h nearly idle.  The
+#: quiet phases sit where software + gated card clearly beats the active
+#: card (below ~5Kpps in this calibration); the busy phase is far above
+#: the 80Kpps crossover.
+TRACE = [(6 * 3600.0, 500.0), (12 * 3600.0, kpps(400)), (6 * 3600.0, 500.0)]
+
+
+class TestPolicies:
+    def test_static(self):
+        assert static_policy(True)(0.0, False)
+        assert not static_policy(False)(1e9, True)
+
+    def test_threshold_hysteresis(self):
+        policy = threshold_policy(kpps(80), kpps(50))
+        assert not policy(kpps(70), False)   # below up: stay in software
+        assert policy(kpps(70), True)        # above down: stay in hardware
+        assert policy(kpps(90), False)
+        assert not policy(kpps(40), True)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            threshold_policy(10.0, 20.0)
+
+    def test_predictive_prefers_hw_under_load(self, models):
+        software, hardware = models
+        policy = predictive_policy(software, hardware, STANDBY_W)
+        assert policy(kpps(400), False)
+        assert not policy(0.0, True) or STANDBY_W > 20.0
+
+
+class TestReplay:
+    def test_energy_accounting(self, models):
+        software, hardware = models
+        result = replay_trace(
+            [(3600.0, kpps(400))], software, hardware, static_policy(True)
+        )
+        assert result.energy_j == pytest.approx(
+            hardware.power_at(kpps(400)) * 3600.0
+        )
+        assert result.hardware_fraction == 1.0
+
+    def test_standby_cost_charged_in_software(self, models):
+        software, hardware = models
+        base = replay_trace(
+            [(100.0, kpps(10))], software, hardware, static_policy(False)
+        )
+        with_standby = replay_trace(
+            [(100.0, kpps(10))], software, hardware, static_policy(False),
+            standby_card_w=STANDBY_W,
+        )
+        assert with_standby.energy_j - base.energy_j == pytest.approx(
+            STANDBY_W * 100.0
+        )
+
+    def test_shift_counting(self, models):
+        software, hardware = models
+        result = replay_trace(
+            TRACE, software, hardware,
+            threshold_policy(kpps(80), kpps(50)),
+            standby_card_w=STANDBY_W,
+        )
+        assert result.shifts == 2
+        assert 0.0 < result.hardware_fraction < 1.0
+
+    def test_ondemand_beats_both_statics_on_busy_trace(self, models):
+        """The paper's thesis on a busy duty cycle."""
+        software, hardware = models
+        results = compare_policies(
+            TRACE, software, hardware, standby_card_w=STANDBY_W
+        )
+        ondemand = results["predictive"].energy_j
+        assert ondemand <= results["always-hardware"].energy_j
+        assert ondemand < results["always-software"].energy_j
+
+    def test_quiet_trace_prefers_software(self, models):
+        software, hardware = models
+        quiet = [(3600.0, kpps(5))] * 24
+        results = compare_policies(
+            quiet, software, hardware, standby_card_w=STANDBY_W
+        )
+        assert (
+            results["predictive"].energy_j
+            <= results["always-hardware"].energy_j
+        )
+
+    def test_validation(self, models):
+        software, hardware = models
+        with pytest.raises(ConfigurationError):
+            replay_trace([], software, hardware, static_policy(False))
+        with pytest.raises(ConfigurationError):
+            replay_trace([(0.0, 1.0)], software, hardware, static_policy(False))
+        with pytest.raises(ConfigurationError):
+            replay_trace([(1.0, -1.0)], software, hardware, static_policy(False))
+
+    def test_segments_recorded(self, models):
+        software, hardware = models
+        result = replay_trace(
+            TRACE, software, hardware, static_policy(False)
+        )
+        assert len(result.segments) == len(TRACE)
+        assert result.mean_power_w > 0.0

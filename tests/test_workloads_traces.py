@@ -1,0 +1,150 @@
+"""Dynamo and Google cluster trace synthesis + §9.3 analyses."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.sim import Simulator
+from repro.workloads import (
+    ChainerMNWorkload,
+    DynamoTraceSynthesizer,
+    GoogleTraceSynthesizer,
+    Task,
+    analyze_offload_candidates,
+    analyze_power_variation,
+)
+from repro.workloads.dynamo import power_variation, shift_safety
+from repro.workloads.google_trace import load_diminishing_saving_w
+from repro.host import make_i7_server
+from repro.units import sec
+
+
+class TestDynamo:
+    def test_variation_math(self):
+        # window [100, 110]: (110-100)/105
+        variations = power_variation([100.0, 110.0, 100.0], window_samples=2)
+        assert variations[0] == pytest.approx(10 / 105)
+
+    def test_trace_statistics_near_targets(self):
+        for cls in ("rack", "caching", "web"):
+            synth = DynamoTraceSynthesizer(cls, seed=3)
+            trace = synth.generate(3000)
+            targets = synth.paper_statistics()
+            analysis = analyze_power_variation(trace, targets["window_s"])
+            # shapes, not exact numbers: median within 3x either way, and
+            # ordering of p99 >> median preserved
+            assert targets["median"] / 3 < analysis.median < targets["median"] * 3
+            assert analysis.p99 > analysis.median
+
+    def test_web_varies_more_than_caching(self):
+        """§9.3: web serving varies far more than caching."""
+        caching = analyze_power_variation(
+            DynamoTraceSynthesizer("caching", seed=5).generate(3000), 60.0
+        )
+        web = analyze_power_variation(
+            DynamoTraceSynthesizer("web", seed=5).generate(3000), 60.0
+        )
+        assert web.median > caching.median
+
+    def test_shift_safety_rule(self):
+        caching = analyze_power_variation(
+            DynamoTraceSynthesizer("caching", seed=5).generate(3000), 60.0
+        )
+        web = analyze_power_variation(
+            DynamoTraceSynthesizer("web", seed=5).generate(3000), 60.0
+        )
+        assert shift_safety(caching)
+        assert not shift_safety(web)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamoTraceSynthesizer("unknown")
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            power_variation([1.0, 2.0], window_samples=1)
+        with pytest.raises(ConfigurationError):
+            power_variation([1.0], window_samples=2)
+
+
+class TestGoogleTrace:
+    @pytest.fixture(scope="class")
+    def tasks(self):
+        return GoogleTraceSynthesizer(seed=11).generate(n_nodes=20, duration_h=4.0)
+
+    def test_candidate_cores_per_node_near_7_7(self, tasks):
+        analysis = analyze_offload_candidates(tasks)
+        assert analysis.avg_candidate_cores_per_node == pytest.approx(
+            cal.GOOGLE_AVG_CANDIDATE_CORES_PER_NODE, rel=0.35
+        )
+
+    def test_long_jobs_small_count_large_utilization(self, tasks):
+        analysis = analyze_offload_candidates(tasks)
+        assert analysis.long_job_count_fraction < 0.15
+        assert analysis.long_job_util_fraction > 0.70
+
+    def test_candidates_subset_of_tasks(self, tasks):
+        analysis = analyze_offload_candidates(tasks)
+        assert 0 < analysis.offload_candidates <= analysis.total_tasks
+
+    def test_candidate_rule(self):
+        tasks = [
+            Task(0, 0, 0.0, 400.0, 0.5),    # candidate
+            Task(1, 0, 0.0, 100.0, 0.5),    # too short
+            Task(2, 0, 0.0, 400.0, 0.05),   # too light
+        ]
+        analysis = analyze_offload_candidates(tasks)
+        assert analysis.offload_candidates == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_offload_candidates([])
+
+    def test_task_validation(self):
+        with pytest.raises(ConfigurationError):
+            Task(0, 0, 0.0, -1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            Task(0, 0, 0.0, 1.0, -0.5)
+
+
+def test_load_diminishing_model():
+    """§9.3: offloading saves little on a busy server, the full figure on
+    the last job."""
+    assert load_diminishing_saving_w(1) == pytest.approx(20.0)
+    assert load_diminishing_saving_w(10) == pytest.approx(2.0)
+    assert load_diminishing_saving_w(0) == 0.0
+    with pytest.raises(ConfigurationError):
+        load_diminishing_saving_w(-1)
+
+
+class TestChainerMN:
+    def test_start_stop_moves_cpu_load(self):
+        sim = Simulator()
+        server = make_i7_server(sim)
+        job = ChainerMNWorkload(sim, server, cores=2.0, utilization=1.0)
+        job.start()
+        assert server.cpu.utilization == pytest.approx(0.5)
+        job.stop()
+        assert server.cpu.utilization == 0.0
+
+    def test_schedule(self):
+        sim = Simulator()
+        server = make_i7_server(sim)
+        job = ChainerMNWorkload(sim, server)
+        job.schedule(sec(1.0), sec(2.0))
+        sim.run_until(sec(1.5))
+        assert job.running
+        sim.run_until(sec(2.5))
+        assert not job.running
+        assert job.started_at_us == sec(1.0)
+        assert job.stopped_at_us == sec(2.0)
+
+    def test_idempotent_start(self):
+        sim = Simulator()
+        server = make_i7_server(sim)
+        job = ChainerMNWorkload(sim, server)
+        job.start()
+        job.start()
+        job.stop()
+        job.stop()
+        assert server.cpu.utilization == 0.0
