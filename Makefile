@@ -1,0 +1,27 @@
+# Repro tooling. `make test` is the tier-1 verification command.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# One fast benchmark per application (KVS / Paxos / DNS): the analytic
+# Figure 3 sweeps, which regenerate their panels in seconds.
+bench-smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/bench_fig3a_kvs.py \
+		benchmarks/bench_fig3b_paxos.py \
+		benchmarks/bench_fig3c_dns.py
+
+# The full paper-vs-measured record (slow: includes the DES transitions
+# and the rack-scale scenario).  Explicit file list: bench_*.py does not
+# match pytest's default test-file pattern, keeping benchmarks out of
+# `make test`.
+bench:
+	$(PYTHON) -m pytest -q benchmarks/bench_*.py
+
+examples:
+	for script in examples/*.py; do $(PYTHON) $$script || exit 1; done

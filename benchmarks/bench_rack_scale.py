@@ -1,0 +1,75 @@
+"""Rack scale: 8 key-sharded KVS hosts behind one ToR switch.
+
+The paper argues in-network computing on demand pays off at datacenter
+scale: many hosts behind a ToR, each shifting between software and
+hardware as *its own* load moves (§9.1's per-host controller, §9.4's
+rack-level energy argument).  This benchmark runs the
+``rack8-kvs-sharded`` scenario — one ETC key space sharded across eight
+memcached hosts by the ToR's key-shard dispatcher, with staggered
+co-located jobs so every host's controller acts on its own schedule —
+and checks two rack-scale claims:
+
+* aggregate served throughput scales at least 6x a single host offered
+  the same per-host share (the rack serves its full offered load);
+* hosts shift independently: at least two hosts transition to hardware
+  at distinct times.
+
+This is a full DES run, so the benchmark runs a single round.
+"""
+
+import pytest
+
+from repro.scenarios import run_scenario
+
+DURATION_S = 8.0
+TOTAL_RATE_KPPS = 96.0
+N_HOSTS = 8
+
+
+def _run_rack():
+    return run_scenario(
+        "rack8-kvs-sharded",
+        duration_s=DURATION_S,
+        total_rate_kpps=TOTAL_RATE_KPPS,
+        keyspace=24_000,
+    )
+
+
+def _run_single_host():
+    # One host offered the rack's per-host share: the scaling baseline.
+    return run_scenario(
+        "fig6-kvs-transition",
+        duration_s=DURATION_S,
+        rate_kpps=TOTAL_RATE_KPPS / N_HOSTS,
+        keyspace=24_000,
+        chainer_start_s=1.0,
+        chainer_stop_s=4.5,
+    )
+
+
+def test_rack_scale(benchmark, save_result):
+    rack = benchmark.pedantic(_run_rack, rounds=1, iterations=1)
+    single = _run_single_host()
+    save_result(
+        "rack_scale", rack.render() + "\n\nbaseline:\n" + single.render()
+    )
+
+    # every host served traffic, and the ToR sharded by key across all 8
+    assert len(rack.hosts) == N_HOSTS
+    assert all(h.responses > 0 for h in rack.hosts)
+    assert all(count > 0 for count in rack.routed_per_host.values())
+
+    # aggregate throughput scales >= 6x a single host at the same share
+    window = (1.0e6, DURATION_S * 1e6)
+    aggregate = rack.aggregate_mean_throughput_pps(*window)
+    baseline = single.hosts[0].mean_throughput_pps(*window)
+    assert aggregate > 6.0 * baseline
+
+    # per-host on-demand shifting: at least two hosts shift, at distinct
+    # times (the staggered co-located jobs trigger them independently)
+    shifted = rack.hosts_with_shifts()
+    assert len(shifted) >= 2
+    assert len(rack.distinct_first_shift_times()) >= 2
+
+    # the hardware path actually served requests after the shifts
+    assert sum(h.hw_hits for h in shifted) > 0

@@ -1,10 +1,12 @@
-"""Command-line entry point: regenerate any paper figure/table.
+"""Command-line entry point: regenerate any paper figure/table, or run a
+named cluster scenario from the registry.
 
 Usage::
 
     python -m repro list
     python -m repro figure3a
     python -m repro figure7 --duration 5
+    python -m repro rack8-kvs-sharded --duration 8
     python -m repro all
 """
 
@@ -14,10 +16,21 @@ import argparse
 import sys
 
 from .experiments import figures, run_figure6, run_figure7
+from .scenarios import run_scenario, scenario_names
 
 
 def _analytic(runner):
     return lambda args: runner().render()
+
+
+def _scenario(name):
+    def run(args):
+        overrides = {}
+        if args.duration is not None:
+            overrides["duration_s"] = args.duration
+        return run_scenario(name, **overrides).render()
+
+    return run
 
 
 _EXPERIMENTS = {
@@ -36,6 +49,10 @@ _EXPERIMENTS = {
     "section10": _analytic(figures.section10_platforms),
 }
 
+#: Named cluster scenarios (the rack-scale compositions) are exposed
+#: alongside the figures; ``all`` runs only the figure catalogue.
+_SCENARIOS = {name: _scenario(name) for name in scenario_names()}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -44,14 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('list' prints the catalogue)",
+        choices=sorted(_EXPERIMENTS) + sorted(_SCENARIOS) + ["all", "list"],
+        help="which experiment or scenario to run ('list' prints the catalogue)",
     )
     parser.add_argument(
         "--duration",
         type=float,
         default=None,
-        help="simulated seconds for the DES experiments (figure6/figure7)",
+        help="simulated seconds for the DES experiments and scenarios",
     )
     return parser
 
@@ -61,10 +78,13 @@ def main(argv=None) -> int:
     if args.experiment == "list":
         for name in sorted(_EXPERIMENTS):
             print(name)
+        for name in sorted(_SCENARIOS):
+            print(f"{name} (scenario)")
         return 0
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        print(_EXPERIMENTS[name](args))
+        runner = _EXPERIMENTS.get(name) or _SCENARIOS[name]
+        print(runner(args))
         print()
     return 0
 

@@ -84,3 +84,7 @@ class LruStore:
         if not self._data:
             return None
         return next(iter(self._data))
+
+    def keys(self):
+        """The stored keys, LRU-first (for inspection; not a live view)."""
+        return list(self._data)

@@ -26,7 +26,6 @@ from ..hw.smartnic import SMARTNIC_ARCHETYPES
 from ..apps.kvs.lake import sample_latency
 from ..sim import Simulator, percentile
 from ..steady import dns_models, find_crossover, kvs_models, paxos_models
-from ..steady.ondemand import ondemand_models
 from ..steady.paxos import PaxosRole
 from ..units import kpps, mpps
 from .reporting import format_table
@@ -189,18 +188,17 @@ class Figure5Result:
 
 
 def figure5(steps: int = 25) -> Figure5Result:
-    """Figure 5: on-demand vs software-only power for the three apps."""
-    rates = linspace_rates(kpps(1200), steps)
-    series: Dict[str, List[SweepPoint]] = {}
-    savings: Dict[str, float] = {}
-    for app, model in ondemand_models().items():
-        from .sweep import sweep_model
+    """Figure 5: on-demand vs software-only power for the three apps.
 
-        series[f"{app} (On demand)"] = sweep_model(model, rates)
-        series[f"{app} (SW)"] = sweep_model(model.software, rates)
-        peak = min(kpps(1000), model.software.capacity_pps)
-        savings[app] = model.saving_vs_software_w(peak) / model.software.power_at(peak)
-    return Figure5Result(series=series, savings_at_peak=savings)
+    The sweep itself is a declarative :class:`OnDemandSweepSpec` executed
+    by the scenario layer; this runner only shapes the result.
+    """
+    from ..scenarios import OnDemandSweepSpec, run_ondemand_sweep
+
+    sweep = run_ondemand_sweep(OnDemandSweepSpec(steps=steps))
+    return Figure5Result(
+        series=sweep.series, savings_at_peak=sweep.savings_at_peak
+    )
 
 
 # ---------------------------------------------------------------------------

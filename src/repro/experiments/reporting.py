@@ -1,11 +1,19 @@
-"""Plain-text reporting helpers used by every experiment runner."""
+"""Plain-text reporting helpers used by every experiment runner.
+
+The series-bucketing helpers (``bucket_rate_series``,
+``bucket_mean_series``) live in :mod:`repro.sim.recorder` — the scenario
+builder needs them below the experiments layer — and are re-exported here
+for compatibility.
+"""
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
 from ..errors import ConfigurationError
-from ..units import SEC
+from ..sim.recorder import bucket_mean_series, bucket_rate_series  # noqa: F401
+
+__all__ = ["format_table", "bucket_rate_series", "bucket_mean_series"]
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
@@ -42,43 +50,3 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
-def bucket_rate_series(
-    times_us: Sequence[float], window_us: float, end_us: float
-) -> List[tuple]:
-    """Convert event timestamps into a (t_us, rate_pps) series.
-
-    Used to turn client response timestamps into the throughput timelines
-    of Figures 6 and 7.
-    """
-    if window_us <= 0:
-        raise ConfigurationError("window must be positive")
-    buckets = {}
-    for t in times_us:
-        buckets[int(t // window_us)] = buckets.get(int(t // window_us), 0) + 1
-    n_buckets = int(end_us // window_us) + 1
-    series = []
-    for i in range(n_buckets):
-        rate = buckets.get(i, 0) * SEC / window_us
-        series.append((i * window_us, rate))
-    return series
-
-
-def bucket_mean_series(
-    samples: Sequence[tuple], window_us: float, end_us: float
-) -> List[tuple]:
-    """Average (t_us, value) samples into fixed windows (None when empty)."""
-    if window_us <= 0:
-        raise ConfigurationError("window must be positive")
-    sums = {}
-    counts = {}
-    for t, v in samples:
-        idx = int(t // window_us)
-        sums[idx] = sums.get(idx, 0.0) + v
-        counts[idx] = counts.get(idx, 0) + 1
-    series = []
-    for i in range(int(end_us // window_us) + 1):
-        if counts.get(i):
-            series.append((i * window_us, sums[i] / counts[i]))
-        else:
-            series.append((i * window_us, None))
-    return series

@@ -4,6 +4,13 @@ These run the full simulated substrate: real protocol implementations on a
 client/switch/server topology, live controllers, RAPL/power metering, and
 they return the same three timelines the paper plots (throughput, latency,
 power) plus the red transition lines.
+
+Since the scenario-engine refactor the runners no longer wire anything by
+hand: each figure is a named :class:`~repro.scenarios.ScenarioSpec` in
+:mod:`repro.scenarios.registry`, materialized and executed by the
+:class:`~repro.scenarios.ScenarioBuilder`; this module only adapts the
+generic :class:`~repro.scenarios.ScenarioResult` into the figure-shaped
+result objects the benchmarks and plots consume.
 """
 
 from __future__ import annotations
@@ -12,33 +19,8 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from .. import calibration as cal
-from ..apps.kvs import KvsClient, LakeKvs, SoftwareMemcached
-from ..apps.paxos import PaxosClient
-from ..apps.paxos.deployment import (
-    LOGICAL_LEADER,
-    HardwarePaxosRole,
-    LearnerGapScanner,
-    PaxosDeployment,
-    SoftwarePaxosRole,
-    _Directory,
-)
-from ..apps.paxos.roles import AcceptorState, LeaderState, LearnerState
-from ..core.host_controller import HostController, HostControllerConfig
-from ..core.ondemand import OnDemandService
-from ..core.paxos_controller import PaxosShiftController
-from ..host import make_i7_server
-from ..hw.fpga import make_lake_fpga, make_p4xos_fpga
-from ..net.classifier import ClassifierRule, PacketClassifier
-from ..net.node import CallbackNode
-from ..net.packet import TrafficClass
-from ..net.switch import Switch
-from ..net.topology import Topology
-from ..sim import RngStreams, Simulator
-from ..sim.recorder import PeriodicSampler
-from ..units import kpps, msec, sec
-from ..workloads.colocated import ChainerMNWorkload
-from ..workloads.etc import EtcWorkload
-from .reporting import bucket_mean_series, bucket_rate_series
+from ..scenarios import ScenarioBuilder, ScenarioResult, windowed_mean
+from ..scenarios.registry import build_spec
 
 # ---------------------------------------------------------------------------
 # Figure 6: shifting the KVS.
@@ -75,18 +57,10 @@ class Figure6Result:
         return "\n".join(lines)
 
     def mean_latency_us(self, start_us: float, end_us: float) -> float:
-        values = [
-            v for t, v in self.latency_series if v is not None and start_us <= t < end_us
-        ]
-        if not values:
-            raise ValueError("no latency samples in window")
-        return sum(values) / len(values)
+        return windowed_mean(self.latency_series, start_us, end_us, "latency")
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
-        values = [v for t, v in self.throughput_series if start_us <= t < end_us]
-        if not values:
-            raise ValueError("no throughput samples in window")
-        return sum(values) / len(values)
+        return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
 
 
 def run_figure6(
@@ -106,101 +80,33 @@ def run_figure6(
     are the paper's 3s); ``power_save=False`` matches the paper ("Clock
     gating and memories reset are not enabled in this experiment").
     """
-    sim = Simulator()
-    streams = RngStreams(seed)
-
-    # -- server with the LaKe card replacing its NIC (§4.2)
-    server = make_i7_server(sim, name="kvs-server", nic=None)
-    card = make_lake_fpga()
-    server.install_card(card.power_w)
-    memcached = SoftwareMemcached(sim, server)
-    lake = LakeKvs(sim, card, server, memcached, rng=streams.get("lake.latency"))
-    lake.disable(power_save=power_save)
-
-    classifier = PacketClassifier(sim)
-    classifier.add_rule(
-        ClassifierRule(
-            TrafficClass.MEMCACHED, hardware=lake.offer, host=memcached.offer
-        )
+    spec = build_spec(
+        "fig6-kvs-transition",
+        duration_s=duration_s,
+        rate_kpps=rate_kpps,
+        chainer_start_s=chainer_start_s,
+        chainer_stop_s=chainer_stop_s,
+        keyspace=keyspace,
+        seed=seed,
+        power_save=power_save,
+        bucket_ms=bucket_ms,
     )
-    server.set_packet_handler(classifier.classify)
+    result = ScenarioBuilder(spec).run()
+    return _figure6_result(result)
 
-    # -- workload: mutilate-style client with ETC arrivals (§9.2)
-    etc = EtcWorkload(keyspace=keyspace, seed=seed)
-    etc.preload(memcached.store.set, count=keyspace)
-    switch = Switch(sim, "tor")
-    topo = Topology(sim)
-    topo.add(switch)
-    topo.add(server)
-    client = KvsClient(
-        sim,
-        "client",
-        server_name="kvs-server",
-        key_sampler=etc.key,
-        value_sampler=etc.value,
-        set_fraction=etc.set_fraction,
-        rng=streams.get("client.arrivals"),
-    )
-    topo.add(client)
-    topo.connect_via_switch("tor", "kvs-server")
-    topo.connect_via_switch("tor", "client")
-    client.set_rate(kpps(rate_kpps))
 
-    # -- co-located ChainerMN job (Figure 6)
-    chainer = ChainerMNWorkload(sim, server, cores=2.5, utilization=0.95)
-    chainer.schedule(sec(chainer_start_s), sec(chainer_stop_s))
-
-    # -- on-demand service + host controller (§9.1)
-    service = OnDemandService(
-        sim,
-        "kvs",
-        classifier=classifier,
-        traffic_class=TrafficClass.MEMCACHED,
-        to_hardware=lake.enable,
-        to_software=lambda: lake.disable(power_save=power_save),
-    )
-    server.start_rapl(update_interval_us=msec(10.0))
-    controller = HostController(
-        sim,
-        server,
-        service,
-        config=HostControllerConfig(rate_down_pps=cal.NETCTL_KVS_DOWN_PPS),
-        classifier=classifier,
-        traffic_class=TrafficClass.MEMCACHED,
-    )
-
-    # -- instrumentation: the paper reads CPU power from RAPL (Figure 6)
-    power_sampler = PeriodicSampler(
-        sim, server.platform_power_w, msec(50.0), name="rapl-power"
-    )
-
-    duration_us = sec(duration_s)
-    sim.run_until(duration_us)
-    controller.stop()
-
-    bucket_us = msec(bucket_ms)
-    throughput = bucket_rate_series(client.response_times_us, bucket_us, duration_us)
-    latency = bucket_mean_series(
-        list(zip(client.latency_series.times, client.latency_series.values)),
-        bucket_us,
-        duration_us,
-    )
-    power = bucket_mean_series(
-        list(zip(power_sampler.series.times, power_sampler.series.values)),
-        bucket_us,
-        duration_us,
-    )
-    power = [(t, v if v is not None else 0.0) for t, v in power]
+def _figure6_result(result: ScenarioResult) -> Figure6Result:
+    host = result.hosts[0]
     return Figure6Result(
-        duration_us=duration_us,
-        throughput_series=throughput,
-        latency_series=latency,
-        power_series=power,
-        shift_times_us=service.shift_times_us(),
-        hw_hits=lake.l1.hits + (lake.l2.hits if lake.l2 is not None else 0),
-        hw_miss_forwards=lake.miss_forwards,
-        client_responses=client.responses,
-        offered_pps=kpps(rate_kpps),
+        duration_us=result.duration_us,
+        throughput_series=host.throughput_series,
+        latency_series=host.latency_series,
+        power_series=host.power_series,
+        shift_times_us=host.shift_times_us,
+        hw_hits=host.hw_hits,
+        hw_miss_forwards=host.hw_miss_forwards,
+        client_responses=host.responses,
+        offered_pps=host.offered_pps,
     )
 
 
@@ -239,18 +145,10 @@ class Figure7Result:
         return "\n".join(lines)
 
     def mean_latency_us(self, start_us: float, end_us: float) -> float:
-        values = [
-            v for t, v in self.latency_series if v is not None and start_us <= t < end_us
-        ]
-        if not values:
-            raise ValueError("no latency samples in window")
-        return sum(values) / len(values)
+        return windowed_mean(self.latency_series, start_us, end_us, "latency")
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
-        values = [v for t, v in self.throughput_series if start_us <= t < end_us]
-        if not values:
-            raise ValueError("no throughput samples in window")
-        return sum(values) / len(values)
+        return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
 
 
 def run_figure7(
@@ -267,143 +165,26 @@ def run_figure7(
     """Reproduce Figure 7: leader shift via forwarding-rule rewrite, new
     leader sequence recovery, ~100ms client-timeout stall, halved latency
     and higher closed-loop throughput in hardware."""
-    sim = Simulator()
-    topo = Topology(sim)
-    switch = Switch(sim, "tor")
-    topo.add(switch)
-
-    acceptor_names = [f"acceptor{i}" for i in range(n_acceptors)]
-    learner_names = ["learner0"]
-    directory = _Directory(acceptor_names, learner_names)
-
-    # -- software leader on an i7 host
-    sw_server = make_i7_server(sim, name="sw-leader")
-    sw_leader = SoftwarePaxosRole(
-        sim,
-        sw_server,
-        LeaderState("sw-leader", 0, n_acceptors),
-        directory,
-        capacity_pps=cal.LIBPAXOS_LEADER_CAPACITY_PPS,
-        stack_latency_us=cal.LIBPAXOS_LEADER_STACK_US,
-        app_name="libpaxos-leader",
+    spec = build_spec(
+        "fig7-paxos-transition",
+        duration_s=duration_s,
+        shift_to_hw_s=shift_to_hw_s,
+        shift_to_sw_s=shift_to_sw_s,
+        n_clients=n_clients,
+        client_window=client_window,
+        n_acceptors=n_acceptors,
+        recovery_window=recovery_window,
+        seed=seed,
+        bucket_ms=bucket_ms,
     )
-    sw_server.set_packet_handler(sw_leader.offer)
-    topo.add(sw_server)
-    topo.connect_via_switch("tor", "sw-leader")
-
-    # -- hardware leader: P4xos on a NetFPGA behind its own port
-    hw_card = make_p4xos_fpga()
-    hw_node = CallbackNode(sim, "hw-leader", on_packet=lambda p: hw_leader.offer(p))
-    hw_leader = HardwarePaxosRole(
-        sim,
-        hw_card,
-        hw_node,
-        LeaderState("hw-leader", 1, n_acceptors),
-        directory,
-    )
-    topo.add(hw_node)
-    topo.connect_via_switch("tor", "hw-leader")
-
-    # -- software acceptors and learner
-    roles = []
-    for name in acceptor_names:
-        server = make_i7_server(sim, name=name)
-        role = SoftwarePaxosRole(
-            sim,
-            server,
-            AcceptorState(name, recovery_window=recovery_window),
-            directory,
-            capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
-            stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
-            app_name=f"acceptor.{name}",
-        )
-        server.set_packet_handler(role.offer)
-        topo.add(server)
-        topo.connect_via_switch("tor", name)
-        roles.append(role)
-
-    learner_server = make_i7_server(sim, name="learner0")
-    learner_role = SoftwarePaxosRole(
-        sim,
-        learner_server,
-        LearnerState("learner0", n_acceptors),
-        directory,
-        capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
-        stack_latency_us=cal.LIBPAXOS_LEARNER_STACK_US,
-        app_name="learner",
-    )
-    learner_server.set_packet_handler(learner_role.offer)
-    topo.add(learner_server)
-    topo.connect_via_switch("tor", "learner0")
-    gap_scanner = LearnerGapScanner(sim, learner_role)
-
-    # -- deployment + centralized shift controller (§9.2)
-    deployment = PaxosDeployment(switch)
-    deployment.register_leader("sw-leader", sw_leader)
-    deployment.register_leader("hw-leader", hw_leader)
-    deployment.activate_leader("sw-leader")
-    controller = PaxosShiftController(
-        sim,
-        switch,
-        deployment,
-        software_node="sw-leader",
-        hardware_node="hw-leader",
-        automatic=False,
-    )
-    controller.schedule_shift(sec(shift_to_hw_s), to_hardware=True)
-    controller.schedule_shift(sec(shift_to_sw_s), to_hardware=False)
-
-    # -- closed-loop clients
-    streams = RngStreams(seed)
-    clients = []
-    for i in range(n_clients):
-        client = PaxosClient(sim, f"pxclient{i}", rng=streams.get(f"client{i}"))
-        topo.add(client)
-        topo.connect_via_switch("tor", client.name)
-        clients.append(client)
-    # start after a short warm-up so the software leader finished phase 1
-    for client in clients:
-        sim.schedule_at(
-            msec(20.0),
-            lambda c=client: c.start_closed_loop(client_window),
-            name="client.start",
-        )
-
-    duration_us = sec(duration_s)
-    sim.run_until(duration_us)
-    controller.stop()
-    gap_scanner.stop()
-
-    decision_times = sorted(
-        t for client in clients for t in client.decision_times_us
-    )
-    latency_samples = []
-    for client in clients:
-        latency_samples.extend(
-            zip(client.latency_series.times, client.latency_series.values)
-        )
-    latency_samples.sort()
-    bucket_us = msec(bucket_ms)
-    throughput = bucket_rate_series(decision_times, bucket_us, duration_us)
-    latency = bucket_mean_series(latency_samples, bucket_us, duration_us)
-
-    # measure the post-shift stall: the largest decision gap in the 300ms
-    # following each shift (in-flight decisions may land just after the
-    # rule flip; the stall is the subsequent silence until client retries)
-    stalls = []
-    for shift_time in controller.shift_times_us:
-        window = [shift_time] + [
-            t for t in decision_times if shift_time < t <= shift_time + msec(300.0)
-        ]
-        if len(window) > 1:
-            gaps = [b - a for a, b in zip(window, window[1:])]
-            stalls.append(max(gaps))
+    result = ScenarioBuilder(spec).run()
+    paxos = result.paxos
     return Figure7Result(
-        duration_us=duration_us,
-        throughput_series=throughput,
-        latency_series=latency,
-        shift_times_us=list(controller.shift_times_us),
-        decided=sum(c.decided for c in clients),
-        retries=sum(c.retries for c in clients),
-        stall_us=stalls,
+        duration_us=result.duration_us,
+        throughput_series=paxos.throughput_series,
+        latency_series=paxos.latency_series,
+        shift_times_us=paxos.shift_times_us,
+        decided=paxos.decided,
+        retries=paxos.retries,
+        stall_us=paxos.stall_us,
     )

@@ -11,8 +11,8 @@ from .packet import Packet, TrafficClass
 from .link import Link, LinkFaults
 from .node import Node
 from .switch import ForwardingRule, Switch
-from .classifier import PacketClassifier, ClassifierRule
-from .topology import Topology
+from .classifier import PacketClassifier, ClassifierRule, KeyShardRouter, key_shard
+from .topology import Topology, star_topology
 
 __all__ = [
     "Packet",
@@ -24,5 +24,8 @@ __all__ = [
     "Switch",
     "PacketClassifier",
     "ClassifierRule",
+    "KeyShardRouter",
+    "key_shard",
     "Topology",
+    "star_topology",
 ]

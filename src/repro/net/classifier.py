@@ -15,13 +15,28 @@ software and network.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import ConfigurationError
 from ..sim import Simulator
 from .packet import Packet, TrafficClass
 
 PacketHandler = Callable[[Packet], None]
+
+
+def key_shard(key: str, n_shards: int) -> int:
+    """The canonical key→shard mapping used across the rack.
+
+    CRC32 rather than :func:`hash` so the mapping is stable across
+    processes (Python string hashing is salted per interpreter) — the
+    ToR router, the per-host preloaders and the workload generators must
+    all agree on shard ownership.
+    """
+    if n_shards < 1:
+        raise ConfigurationError("n_shards must be >= 1")
+    return zlib.crc32(key.encode()) % n_shards
 
 
 @dataclass
@@ -80,3 +95,53 @@ class PacketClassifier:
         else:
             self.to_host += 1
             rule.host(packet)
+
+
+class KeyShardRouter:
+    """Key-sharded routing for a rack of KVS hosts (§9.4's many-hosts ToR).
+
+    Clients address one logical rack service; the ToR switch consults this
+    router (via :meth:`repro.net.switch.Switch.install_dispatch`) to pick
+    the host owning the request's key shard.  The shard mapping is
+    :func:`key_shard` over the request key, so it agrees with the per-host
+    ETC workload split and store preloading.
+
+    Packets without an extractable key (no ``key`` attribute on the
+    payload) are spread by CRC32 of their source name so stray traffic
+    still lands deterministically on some host.
+    """
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        key_of: Optional[Callable[[Packet], Optional[str]]] = None,
+    ):
+        if not hosts:
+            raise ConfigurationError("router needs at least one host")
+        self.hosts: List[str] = list(hosts)
+        self._key_of = key_of or (
+            lambda packet: getattr(packet.payload, "key", None)
+        )
+        #: per-host routed-packet counters (rack telemetry).
+        self.per_host: Dict[str, int] = {name: 0 for name in self.hosts}
+        self.keyless = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.hosts)
+
+    def shard_of(self, key: str) -> int:
+        return key_shard(key, self.n_shards)
+
+    def host_for_key(self, key: str) -> str:
+        return self.hosts[self.shard_of(key)]
+
+    def route(self, packet: Packet) -> str:
+        """The switch-dispatch chooser: next-hop host name for a packet."""
+        key = self._key_of(packet)
+        if key is None:
+            self.keyless += 1
+            key = packet.src
+        host = self.hosts[key_shard(key, self.n_shards)]
+        self.per_host[host] += 1
+        return host

@@ -11,7 +11,7 @@ leader onto a different physical node without touching other flows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..sim import Simulator
@@ -40,8 +40,12 @@ class Switch(Node):
         super().__init__(sim, name)
         self._ports: Dict[str, Link] = {}
         self._rules: Dict[Tuple[TrafficClass, str], ForwardingRule] = {}
+        self._dispatchers: Dict[
+            Tuple[TrafficClass, str], Callable[[Packet], str]
+        ] = {}
         self.forwarded = 0
         self.redirected = 0
+        self.dispatched = 0
         self.dropped_no_route = 0
         #: per-traffic-class packet counters (controllers read these).
         self.class_counters: Dict[TrafficClass, int] = {tc: 0 for tc in TrafficClass}
@@ -76,16 +80,45 @@ class Switch(Node):
     def rule_for(self, traffic_class: TrafficClass, logical_dst: str) -> Optional[ForwardingRule]:
         return self._rules.get((traffic_class, logical_dst))
 
+    def install_dispatch(
+        self,
+        traffic_class: TrafficClass,
+        logical_dst: str,
+        chooser: Callable[[Packet], str],
+    ) -> None:
+        """Install a per-packet dispatch rule for a logical destination.
+
+        Where :class:`ForwardingRule` rewrites to one fixed next hop,
+        a dispatch rule consults ``chooser(packet)`` on every matching
+        packet — this is how a rack spreads a logical service address
+        across many hosts (e.g. key-sharded KVS routing, where the chooser
+        is a :class:`repro.net.classifier.KeyShardRouter`).  Exact-match
+        redirect rules take precedence over dispatch rules.
+        """
+        self._dispatchers[(traffic_class, logical_dst)] = chooser
+
+    def remove_dispatch(
+        self, traffic_class: TrafficClass, logical_dst: str
+    ) -> Optional[Callable[[Packet], str]]:
+        """Remove a dispatch rule; returns the chooser, or None if absent."""
+        return self._dispatchers.pop((traffic_class, logical_dst), None)
+
     # -- data plane --------------------------------------------------------
 
     def receive(self, packet: Packet) -> None:
         super().receive(packet)
         self.class_counters[packet.traffic_class] += 1
-        rule = self._rules.get((packet.traffic_class, packet.dst))
+        key = (packet.traffic_class, packet.dst)
+        rule = self._rules.get(key)
         target = packet.dst
         if rule is not None:
             target = rule.next_hop
             self.redirected += 1
+        else:
+            chooser = self._dispatchers.get(key)
+            if chooser is not None:
+                target = chooser(packet)
+                self.dispatched += 1
         link = self._ports.get(target)
         if link is None:
             self.dropped_no_route += 1

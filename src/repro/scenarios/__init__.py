@@ -1,0 +1,57 @@
+"""Declarative cluster composition: specs, the builder, and the registry.
+
+The scenario engine decouples *what a cluster looks like* (a
+:class:`ScenarioSpec`: hosts, cards, switch fabric, app placements,
+workloads, controllers, sampling) from *running it* (the
+:class:`ScenarioBuilder`, which materializes the spec into a wired
+discrete-event run).  Named scenarios — the paper's Figures 6/7 and the
+rack-scale extensions — live in :mod:`repro.scenarios.registry`.
+"""
+
+from .spec import (
+    RACK_KVS_SERVICE,
+    ColocatedJobSpec,
+    KvsHostSpec,
+    KvsWorkloadSpec,
+    OnDemandSweepSpec,
+    PaxosSpec,
+    SamplingSpec,
+    ScenarioSpec,
+    SwitchSpec,
+)
+from .builder import (
+    HostResult,
+    OnDemandSweepResult,
+    PaxosResult,
+    ScenarioBuilder,
+    ScenarioResult,
+    ScenarioRun,
+    run_ondemand_sweep,
+    run_scenario_spec,
+    windowed_mean,
+)
+from .registry import build_spec, run_scenario, scenario_names
+
+__all__ = [
+    "RACK_KVS_SERVICE",
+    "ColocatedJobSpec",
+    "KvsHostSpec",
+    "KvsWorkloadSpec",
+    "OnDemandSweepSpec",
+    "PaxosSpec",
+    "SamplingSpec",
+    "ScenarioSpec",
+    "SwitchSpec",
+    "HostResult",
+    "OnDemandSweepResult",
+    "PaxosResult",
+    "ScenarioBuilder",
+    "ScenarioResult",
+    "ScenarioRun",
+    "run_ondemand_sweep",
+    "run_scenario_spec",
+    "windowed_mean",
+    "build_spec",
+    "run_scenario",
+    "scenario_names",
+]

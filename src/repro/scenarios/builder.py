@@ -1,0 +1,794 @@
+"""Materialize a :class:`ScenarioSpec` into a wired DES run.
+
+The builder owns all the plumbing the experiment runners used to hand-wire:
+servers with NIC-replacing LaKe cards, software/hardware application pairs
+behind per-host packet classifiers, the ToR switch (with key-shard dispatch
+in rack mode), per-host on-demand controllers, co-located CPU jobs,
+workload clients, and the shared sampling.  Executing the run produces a
+:class:`ScenarioResult` carrying per-host and aggregate timelines — the
+same series the paper's Figures 6/7 plot, generalized to N hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .. import calibration as cal
+from ..apps.kvs import KvsClient, LakeKvs, SoftwareMemcached
+from ..apps.paxos import PaxosClient
+from ..apps.paxos.deployment import (
+    HardwarePaxosRole,
+    LearnerGapScanner,
+    PaxosDeployment,
+    SoftwarePaxosRole,
+    _Directory,
+)
+from ..apps.paxos.roles import AcceptorState, LeaderState, LearnerState
+from ..core.host_controller import HostController, HostControllerConfig
+from ..core.ondemand import OnDemandService
+from ..core.paxos_controller import PaxosShiftController
+from ..errors import ConfigurationError
+from ..host import make_i7_server
+from ..hw.fpga import make_lake_fpga, make_p4xos_fpga
+from ..net.classifier import ClassifierRule, KeyShardRouter, PacketClassifier
+from ..net.node import CallbackNode
+from ..net.packet import TrafficClass
+from ..net.switch import Switch
+from ..net.topology import Topology
+from ..sim import (
+    PeriodicSampler,
+    RngStreams,
+    Simulator,
+    bucket_mean_series,
+    bucket_rate_series,
+)
+from ..units import gbit_per_s, kpps, msec, sec
+from ..workloads.colocated import ChainerMNWorkload
+from ..workloads.etc import EtcWorkload, ShardedEtcWorkload
+from .spec import (
+    RACK_KVS_SERVICE,
+    KvsHostSpec,
+    OnDemandSweepSpec,
+    ScenarioSpec,
+)
+
+# ---------------------------------------------------------------------------
+# Results.
+# ---------------------------------------------------------------------------
+
+
+def windowed_mean(series, start_us: float, end_us: float, label: str = "series") -> float:
+    """Mean of the non-None values with start <= t < end.
+
+    The one windowing rule every result type (host, paxos, aggregate, and
+    the figure-shaped adapters in :mod:`repro.experiments.transitions`)
+    shares.
+    """
+    values = [
+        v for t, v in series if v is not None and start_us <= t < end_us
+    ]
+    if not values:
+        raise ValueError(f"no {label} samples in window")
+    return sum(values) / len(values)
+
+
+@dataclass
+class HostResult:
+    """One host's Figure-6-style timelines plus its transition markers."""
+
+    name: str
+    offered_pps: float
+    shift_times_us: List[float]
+    throughput_series: List[Tuple[float, float]]
+    latency_series: List[Tuple[float, Optional[float]]]
+    power_series: List[Tuple[float, float]]
+    hw_hits: int
+    hw_miss_forwards: int
+    responses: int
+
+    def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
+
+    def mean_latency_us(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(self.latency_series, start_us, end_us, "latency")
+
+    def mean_power_w(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(self.power_series, start_us, end_us, "power")
+
+
+@dataclass
+class PaxosResult:
+    """A Paxos group's Figure-7-style timelines."""
+
+    throughput_series: List[Tuple[float, float]]
+    latency_series: List[Tuple[float, Optional[float]]]
+    power_series: List[Tuple[float, float]]
+    shift_times_us: List[float]
+    decided: int
+    retries: int
+    stall_us: List[float] = field(default_factory=list)
+
+    def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
+
+    def mean_latency_us(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(self.latency_series, start_us, end_us, "latency")
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario run measured."""
+
+    name: str
+    duration_us: float
+    hosts: List[HostResult]
+    paxos: Optional[PaxosResult]
+    #: summed per-bucket host throughput (the rack's served rate)
+    aggregate_throughput_series: List[Tuple[float, float]]
+    #: summed per-bucket host platform power (the rack's CPU draw)
+    aggregate_power_series: List[Tuple[float, float]]
+    #: routed-packet counts per host in rack mode (ToR telemetry)
+    routed_per_host: Dict[str, int] = field(default_factory=dict)
+
+    def host(self, name: str) -> HostResult:
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise KeyError(name)
+
+    @property
+    def total_responses(self) -> int:
+        return sum(h.responses for h in self.hosts)
+
+    @property
+    def offered_pps(self) -> float:
+        return sum(h.offered_pps for h in self.hosts)
+
+    def aggregate_mean_throughput_pps(self, start_us: float, end_us: float) -> float:
+        return windowed_mean(
+            self.aggregate_throughput_series, start_us, end_us, "throughput"
+        )
+
+    def hosts_with_shifts(self) -> List[HostResult]:
+        return [h for h in self.hosts if h.shift_times_us]
+
+    def distinct_first_shift_times(self) -> List[float]:
+        """Sorted unique first-shift moments across the rack — evidence
+        that hosts move between software and hardware independently."""
+        return sorted({h.shift_times_us[0] for h in self.hosts_with_shifts()})
+
+    def render(self) -> str:
+        lines = [f"Scenario: {self.name} ({self.duration_us / 1e6:.1f}s simulated)"]
+        if self.hosts:
+            lines.append(
+                f"rack: {len(self.hosts)} KVS host(s), "
+                f"offered {self.offered_pps / 1e3:.1f} kpps total, "
+                f"{self.total_responses} responses"
+            )
+            lines.append(
+                "host            shifts[s]           mean thr[kpps]  hw hits  misses"
+            )
+            for host in self.hosts:
+                shifts = (
+                    ", ".join(f"{t / 1e6:.2f}" for t in host.shift_times_us) or "-"
+                )
+                thr = windowed_mean(
+                    host.throughput_series, 0.0, self.duration_us, "throughput"
+                )
+                lines.append(
+                    f"{host.name:<14}  {shifts:<18}  {thr / 1e3:14.1f}  "
+                    f"{host.hw_hits:7d}  {host.hw_miss_forwards:6d}"
+                )
+            agg = self.aggregate_mean_throughput_pps(0.0, self.duration_us)
+            lines.append(f"aggregate throughput: {agg / 1e3:.1f} kpps")
+            if self.routed_per_host:
+                routed = ", ".join(
+                    f"{name}={count}" for name, count in self.routed_per_host.items()
+                )
+                lines.append(f"ToR key-shard routing: {routed}")
+        if self.paxos is not None:
+            lines.append(
+                f"paxos: {self.paxos.decided} decisions, "
+                f"{self.paxos.retries} retries, shifts at "
+                + (
+                    ", ".join(f"{t / 1e6:.2f}s" for t in self.paxos.shift_times_us)
+                    or "-"
+                )
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Built runtime handles.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BuiltKvsHost:
+    """The wired stack behind one KVS host (construction handles)."""
+
+    spec: KvsHostSpec
+    server: object
+    card: object
+    memcached: SoftwareMemcached
+    lake: LakeKvs
+    classifier: PacketClassifier
+    service: OnDemandService
+    controller: Optional[HostController]
+    client: KvsClient
+    power_sampler: PeriodicSampler
+    jobs: List[ChainerMNWorkload]
+    offered_pps: float
+
+
+@dataclass
+class BuiltPaxosGroup:
+    """The wired Figure-7 substrate (construction handles)."""
+
+    deployment: PaxosDeployment
+    controller: PaxosShiftController
+    clients: List[PaxosClient]
+    gap_scanner: LearnerGapScanner
+    power_sampler: PeriodicSampler
+
+
+class ScenarioRun:
+    """A materialized scenario: simulator, topology and all runtimes."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        sim: Simulator,
+        topology: Topology,
+        switch: Switch,
+        kvs_hosts: List[BuiltKvsHost],
+        router: Optional[KeyShardRouter],
+        paxos: Optional[BuiltPaxosGroup],
+    ):
+        self.spec = spec
+        self.sim = sim
+        self.topology = topology
+        self.switch = switch
+        self.kvs_hosts = kvs_hosts
+        self.router = router
+        self.paxos = paxos
+        self._executed = False
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self) -> ScenarioResult:
+        """Run the scenario to its horizon and collect every timeline."""
+        if self._executed:
+            raise ConfigurationError("scenario already executed; build a new run")
+        self._executed = True
+        duration_us = sec(self.spec.duration_s)
+        self.sim.run_until(duration_us)
+        for host in self.kvs_hosts:
+            if host.controller is not None:
+                host.controller.stop()
+        if self.paxos is not None:
+            self.paxos.controller.stop()
+            self.paxos.gap_scanner.stop()
+        return self._collect(duration_us)
+
+    # -- series collection ---------------------------------------------------
+
+    def _collect(self, duration_us: float) -> ScenarioResult:
+        bucket_us = msec(self.spec.sampling.bucket_ms)
+        host_results = [
+            self._collect_host(host, bucket_us, duration_us)
+            for host in self.kvs_hosts
+        ]
+        aggregate_thr = _sum_series(
+            [h.throughput_series for h in host_results]
+        )
+        aggregate_pw = _sum_series([h.power_series for h in host_results])
+        paxos_result = (
+            self._collect_paxos(bucket_us, duration_us)
+            if self.paxos is not None
+            else None
+        )
+        return ScenarioResult(
+            name=self.spec.name,
+            duration_us=duration_us,
+            hosts=host_results,
+            paxos=paxos_result,
+            aggregate_throughput_series=aggregate_thr,
+            aggregate_power_series=aggregate_pw,
+            routed_per_host=dict(self.router.per_host) if self.router else {},
+        )
+
+    def _collect_host(
+        self, host: BuiltKvsHost, bucket_us: float, duration_us: float
+    ) -> HostResult:
+        client = host.client
+        throughput = bucket_rate_series(
+            client.response_times_us, bucket_us, duration_us
+        )
+        latency = bucket_mean_series(
+            list(zip(client.latency_series.times, client.latency_series.values)),
+            bucket_us,
+            duration_us,
+        )
+        power = bucket_mean_series(
+            list(
+                zip(
+                    host.power_sampler.series.times,
+                    host.power_sampler.series.values,
+                )
+            ),
+            bucket_us,
+            duration_us,
+        )
+        power = [(t, v if v is not None else 0.0) for t, v in power]
+        lake = host.lake
+        return HostResult(
+            name=host.spec.name,
+            offered_pps=host.offered_pps,
+            shift_times_us=host.service.shift_times_us(),
+            throughput_series=throughput,
+            latency_series=latency,
+            power_series=power,
+            hw_hits=lake.l1.hits + (lake.l2.hits if lake.l2 is not None else 0),
+            hw_miss_forwards=lake.miss_forwards,
+            responses=client.responses,
+        )
+
+    def _collect_paxos(self, bucket_us: float, duration_us: float) -> PaxosResult:
+        group = self.paxos
+        clients = group.clients
+        decision_times = sorted(
+            t for client in clients for t in client.decision_times_us
+        )
+        latency_samples = []
+        for client in clients:
+            latency_samples.extend(
+                zip(client.latency_series.times, client.latency_series.values)
+            )
+        latency_samples.sort()
+        throughput = bucket_rate_series(decision_times, bucket_us, duration_us)
+        latency = bucket_mean_series(latency_samples, bucket_us, duration_us)
+        power = bucket_mean_series(
+            list(
+                zip(
+                    group.power_sampler.series.times,
+                    group.power_sampler.series.values,
+                )
+            ),
+            bucket_us,
+            duration_us,
+        )
+        power = [(t, v if v is not None else 0.0) for t, v in power]
+        # Post-shift stall: the largest decision gap in the 300ms following
+        # each shift (in-flight decisions may land just after the rule
+        # flip; the stall is the silence until client retries).
+        stalls = []
+        for shift_time in group.controller.shift_times_us:
+            window = [shift_time] + [
+                t
+                for t in decision_times
+                if shift_time < t <= shift_time + msec(300.0)
+            ]
+            if len(window) > 1:
+                gaps = [b - a for a, b in zip(window, window[1:])]
+                stalls.append(max(gaps))
+        return PaxosResult(
+            throughput_series=throughput,
+            latency_series=latency,
+            power_series=power,
+            shift_times_us=list(group.controller.shift_times_us),
+            decided=sum(c.decided for c in clients),
+            retries=sum(c.retries for c in clients),
+            stall_us=stalls,
+        )
+
+
+def _sum_series(
+    series_list: List[List[Tuple[float, Optional[float]]]]
+) -> List[Tuple[float, float]]:
+    """Bucket-wise sum of aligned (t, value) series (None counts as 0)."""
+    if not series_list:
+        return []
+    out = []
+    for i, (t, _) in enumerate(series_list[0]):
+        total = 0.0
+        for series in series_list:
+            if i < len(series) and series[i][1] is not None:
+                total += series[i][1]
+        out.append((t, total))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The builder.
+# ---------------------------------------------------------------------------
+
+
+class ScenarioBuilder:
+    """Materializes a :class:`ScenarioSpec` into a :class:`ScenarioRun`."""
+
+    def __init__(self, spec: ScenarioSpec):
+        self.spec = spec.validate()
+
+    # -- public API ----------------------------------------------------------
+
+    def build(self) -> ScenarioRun:
+        spec = self.spec
+        sim = Simulator()
+        streams = RngStreams(spec.seed)
+        switch = Switch(sim, spec.switch.name)
+        topo = Topology(sim)
+        topo.add(switch)
+
+        kvs_hosts: List[BuiltKvsHost] = []
+        router: Optional[KeyShardRouter] = None
+        if spec.kvs_hosts:
+            kvs_hosts, router = self._build_kvs_rack(sim, streams, topo, switch)
+
+        paxos = (
+            self._build_paxos(sim, streams, topo, switch)
+            if spec.paxos is not None
+            else None
+        )
+        return ScenarioRun(spec, sim, topo, switch, kvs_hosts, router, paxos)
+
+    def run(self) -> ScenarioResult:
+        """Build and execute in one step."""
+        return self.build().execute()
+
+    # -- KVS rack ------------------------------------------------------------
+
+    def _connect(self, topo: Topology, node_name: str) -> None:
+        topo.connect_via_switch(
+            self.spec.switch.name,
+            node_name,
+            latency_us=self.spec.switch.latency_us,
+            bandwidth_bps=gbit_per_s(self.spec.switch.bandwidth_gbps),
+        )
+
+    def _build_kvs_rack(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        topo: Topology,
+        switch: Switch,
+    ) -> Tuple[List[BuiltKvsHost], Optional[KeyShardRouter]]:
+        spec = self.spec
+        workload = spec.kvs_workload
+        host_specs = spec.kvs_hosts
+        n_hosts = len(host_specs)
+        total_rate_pps = kpps(workload.rate_kpps)
+
+        if spec.sharded:
+            sharded = ShardedEtcWorkload(
+                keyspace=workload.keyspace,
+                n_shards=n_hosts,
+                zipf_s=workload.zipf_s,
+                seed=spec.seed,
+            )
+            weights = sharded.shard_weights()
+            router = KeyShardRouter([h.name for h in host_specs])
+            switch.install_dispatch(
+                TrafficClass.MEMCACHED, RACK_KVS_SERVICE, router.route
+            )
+        else:
+            sharded = None
+            weights = [1.0]
+            router = None
+
+        hosts: List[BuiltKvsHost] = []
+        for index, host_spec in enumerate(host_specs):
+            if sharded is not None:
+                stream = sharded.stream(index)
+                key_sampler, value_sampler = stream.key, stream.value
+                set_fraction = stream.set_fraction
+                preloader = stream.preload if workload.preload else None
+                server_name = RACK_KVS_SERVICE
+                rate_pps = total_rate_pps * weights[index]
+            else:
+                etc = EtcWorkload(
+                    keyspace=workload.keyspace,
+                    zipf_s=workload.zipf_s,
+                    seed=spec.seed,
+                )
+                key_sampler, value_sampler = etc.key, etc.value
+                set_fraction = etc.set_fraction
+                preloader = (
+                    (lambda store_set: etc.preload(store_set, workload.keyspace))
+                    if workload.preload
+                    else None
+                )
+                server_name = host_spec.name
+                rate_pps = total_rate_pps
+            hosts.append(
+                self._build_kvs_host(
+                    sim,
+                    streams,
+                    topo,
+                    host_spec,
+                    server_name=server_name,
+                    rate_pps=rate_pps,
+                    key_sampler=key_sampler,
+                    value_sampler=value_sampler,
+                    set_fraction=set_fraction,
+                    preloader=preloader,
+                )
+            )
+        return hosts, router
+
+    def _build_kvs_host(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        topo: Topology,
+        host_spec: KvsHostSpec,
+        server_name: str,
+        rate_pps: float,
+        key_sampler,
+        value_sampler,
+        set_fraction: float,
+        preloader,
+    ) -> BuiltKvsHost:
+        spec = self.spec
+        # -- server with the LaKe card replacing its NIC (§4.2)
+        server = make_i7_server(sim, name=host_spec.name, nic=None)
+        card = make_lake_fpga()
+        server.install_card(card.power_w)
+        memcached = SoftwareMemcached(sim, server)
+        lake = LakeKvs(
+            sim,
+            card,
+            server,
+            memcached,
+            rng=streams.get(f"{host_spec.name}.lake.latency"),
+        )
+        lake.disable(power_save=host_spec.power_save)
+
+        classifier = PacketClassifier(sim)
+        classifier.add_rule(
+            ClassifierRule(
+                TrafficClass.MEMCACHED, hardware=lake.offer, host=memcached.offer
+            )
+        )
+        server.set_packet_handler(classifier.classify)
+        if preloader is not None:
+            preloader(memcached.store.set)
+        topo.add(server)
+        self._connect(topo, host_spec.name)
+
+        # -- the host's slice of the rack workload
+        client_name = host_spec.resolved_client_name()
+        client = KvsClient(
+            sim,
+            client_name,
+            server_name=server_name,
+            key_sampler=key_sampler,
+            value_sampler=value_sampler,
+            set_fraction=set_fraction,
+            rng=streams.get(f"{client_name}.arrivals"),
+        )
+        topo.add(client)
+        self._connect(topo, client_name)
+        client.set_rate(rate_pps)
+
+        # -- co-located CPU jobs (the Figure 6 trigger)
+        jobs = []
+        for job_spec in host_spec.colocated:
+            job = ChainerMNWorkload(
+                sim,
+                server,
+                cores=job_spec.cores,
+                utilization=job_spec.utilization,
+                app_name=job_spec.app_name,
+            )
+            job.schedule(sec(job_spec.start_s), sec(job_spec.stop_s))
+            jobs.append(job)
+
+        # -- on-demand service + host controller (§9.1)
+        service = OnDemandService(
+            sim,
+            host_spec.name,
+            classifier=classifier,
+            traffic_class=TrafficClass.MEMCACHED,
+            to_hardware=lake.enable,
+            to_software=lambda lake=lake: lake.disable(
+                power_save=host_spec.power_save
+            ),
+        )
+        controller = None
+        if host_spec.controller:
+            server.start_rapl(update_interval_us=msec(host_spec.rapl_interval_ms))
+            controller = HostController(
+                sim,
+                server,
+                service,
+                config=HostControllerConfig(
+                    rate_down_pps=host_spec.rate_down_pps
+                    if host_spec.rate_down_pps is not None
+                    else cal.NETCTL_KVS_DOWN_PPS
+                ),
+                classifier=classifier,
+                traffic_class=TrafficClass.MEMCACHED,
+            )
+
+        # -- instrumentation (the paper reads CPU power from RAPL)
+        power_sampler = PeriodicSampler(
+            sim,
+            server.platform_power_w,
+            msec(spec.sampling.power_interval_ms),
+            name=f"{host_spec.name}.rapl-power",
+        )
+        return BuiltKvsHost(
+            spec=host_spec,
+            server=server,
+            card=card,
+            memcached=memcached,
+            lake=lake,
+            classifier=classifier,
+            service=service,
+            controller=controller,
+            client=client,
+            power_sampler=power_sampler,
+            jobs=jobs,
+            offered_pps=rate_pps,
+        )
+
+    # -- Paxos group -----------------------------------------------------------
+
+    def _build_paxos(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        topo: Topology,
+        switch: Switch,
+    ) -> BuiltPaxosGroup:
+        px = self.spec.paxos
+        acceptor_names = [f"acceptor{i}" for i in range(px.n_acceptors)]
+        learner_names = ["learner0"]
+        directory = _Directory(acceptor_names, learner_names)
+
+        # -- software leader on an i7 host
+        sw_server = make_i7_server(sim, name="sw-leader")
+        sw_leader = SoftwarePaxosRole(
+            sim,
+            sw_server,
+            LeaderState("sw-leader", 0, px.n_acceptors),
+            directory,
+            capacity_pps=cal.LIBPAXOS_LEADER_CAPACITY_PPS,
+            stack_latency_us=cal.LIBPAXOS_LEADER_STACK_US,
+            app_name="libpaxos-leader",
+        )
+        sw_server.set_packet_handler(sw_leader.offer)
+        topo.add(sw_server)
+        self._connect(topo, "sw-leader")
+
+        # -- hardware leader: P4xos on a NetFPGA behind its own port
+        hw_card = make_p4xos_fpga()
+        hw_node = CallbackNode(
+            sim, "hw-leader", on_packet=lambda p: hw_leader.offer(p)
+        )
+        hw_leader = HardwarePaxosRole(
+            sim,
+            hw_card,
+            hw_node,
+            LeaderState("hw-leader", 1, px.n_acceptors),
+            directory,
+        )
+        topo.add(hw_node)
+        self._connect(topo, "hw-leader")
+
+        # -- software acceptors and learner
+        for name in acceptor_names:
+            server = make_i7_server(sim, name=name)
+            role = SoftwarePaxosRole(
+                sim,
+                server,
+                AcceptorState(name, recovery_window=px.recovery_window),
+                directory,
+                capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+                stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
+                app_name=f"acceptor.{name}",
+            )
+            server.set_packet_handler(role.offer)
+            topo.add(server)
+            self._connect(topo, name)
+
+        learner_server = make_i7_server(sim, name="learner0")
+        learner_role = SoftwarePaxosRole(
+            sim,
+            learner_server,
+            LearnerState("learner0", px.n_acceptors),
+            directory,
+            capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+            stack_latency_us=cal.LIBPAXOS_LEARNER_STACK_US,
+            app_name="learner",
+        )
+        learner_server.set_packet_handler(learner_role.offer)
+        topo.add(learner_server)
+        self._connect(topo, "learner0")
+        gap_scanner = LearnerGapScanner(sim, learner_role)
+
+        # -- deployment + centralized shift controller (§9.2)
+        deployment = PaxosDeployment(switch)
+        deployment.register_leader("sw-leader", sw_leader)
+        deployment.register_leader("hw-leader", hw_leader)
+        deployment.activate_leader("sw-leader")
+        controller = PaxosShiftController(
+            sim,
+            switch,
+            deployment,
+            software_node="sw-leader",
+            hardware_node="hw-leader",
+            automatic=False,
+        )
+        for at_s, to_hardware in px.shifts:
+            controller.schedule_shift(sec(at_s), to_hardware=to_hardware)
+
+        # -- closed-loop clients
+        clients = []
+        for i in range(px.n_clients):
+            client = PaxosClient(sim, f"pxclient{i}", rng=streams.get(f"client{i}"))
+            topo.add(client)
+            self._connect(topo, client.name)
+            clients.append(client)
+        # start after a short warm-up so the software leader finished phase 1
+        for client in clients:
+            sim.schedule_at(
+                msec(px.client_start_ms),
+                lambda c=client: c.start_closed_loop(px.client_window),
+                name="client.start",
+            )
+
+        power_sampler = PeriodicSampler(
+            sim,
+            sw_server.platform_power_w,
+            msec(self.spec.sampling.power_interval_ms),
+            name="sw-leader.power",
+        )
+        return BuiltPaxosGroup(
+            deployment=deployment,
+            controller=controller,
+            clients=clients,
+            gap_scanner=gap_scanner,
+            power_sampler=power_sampler,
+        )
+
+
+def run_scenario_spec(spec: ScenarioSpec) -> ScenarioResult:
+    """Convenience: validate, build, execute."""
+    return ScenarioBuilder(spec).run()
+
+
+# ---------------------------------------------------------------------------
+# Analytic on-demand sweep (the Figure 5 path).
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class OnDemandSweepResult:
+    """Figure-5 series: per-app on-demand vs software-only power curves."""
+
+    series: Dict[str, list]
+    savings_at_peak: Dict[str, float]
+
+
+def run_ondemand_sweep(spec: OnDemandSweepSpec) -> OnDemandSweepResult:
+    """Execute the declarative Figure-5 sweep over the steady-state models."""
+    # Imported lazily: repro.experiments imports this package at module
+    # scope (transitions are scenario-backed), so the dependency must stay
+    # one-way at import time.
+    from ..experiments.sweep import linspace_rates, sweep_model
+    from ..steady.ondemand import ondemand_models
+
+    rates = linspace_rates(kpps(spec.max_rate_kpps), spec.steps)
+    series: Dict[str, list] = {}
+    savings: Dict[str, float] = {}
+    for app, model in ondemand_models().items():
+        series[f"{app} (On demand)"] = sweep_model(model, rates)
+        series[f"{app} (SW)"] = sweep_model(model.software, rates)
+        peak = min(kpps(spec.peak_rate_kpps), model.software.capacity_pps)
+        savings[app] = model.saving_vs_software_w(peak) / model.software.power_at(
+            peak
+        )
+    return OnDemandSweepResult(series=series, savings_at_peak=savings)

@@ -1,0 +1,229 @@
+"""Named scenarios: the catalogue of reproducible cluster compositions.
+
+Each entry is a factory returning a :class:`ScenarioSpec`; factories take
+keyword overrides so experiments can compress horizons or rescale racks
+without re-declaring the scenario.  The paper's DES figures and the
+rack-scale extensions all live here:
+
+=====================  =====================================================
+``fig6-kvs-transition``  Figure 6 — host-controlled KVS shift under a
+                         co-located ChainerMN job (single host).
+``fig7-paxos-transition``  Figure 7 — centralized Paxos leader shift via
+                         switch-rule rewrite.
+``rack4-kvs-sharded``    4 sharded memcached hosts behind one ToR.
+``rack8-kvs-sharded``    The rack-scale flagship: 8 sharded memcached
+                         hosts, staggered co-located jobs, every host
+                         shifting on its own schedule.
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigurationError
+from .builder import ScenarioBuilder, ScenarioResult
+from .spec import (
+    ColocatedJobSpec,
+    KvsHostSpec,
+    KvsWorkloadSpec,
+    PaxosSpec,
+    SamplingSpec,
+    ScenarioSpec,
+)
+
+SpecFactory = Callable[..., ScenarioSpec]
+
+_REGISTRY: Dict[str, SpecFactory] = {}
+
+
+def register(name: str) -> Callable[[SpecFactory], SpecFactory]:
+    """Decorator: add a spec factory to the catalogue under ``name``."""
+
+    def wrap(factory: SpecFactory) -> SpecFactory:
+        if name in _REGISTRY:
+            raise ConfigurationError(f"duplicate scenario name {name!r}")
+        _REGISTRY[name] = factory
+        return factory
+
+    return wrap
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build_spec(name: str, **overrides) -> ScenarioSpec:
+    """Instantiate a named scenario's spec (factory overrides applied)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+        ) from None
+    return factory(**overrides)
+
+
+def run_scenario(name: str, **overrides) -> ScenarioResult:
+    """Build and execute a named scenario."""
+    return ScenarioBuilder(build_spec(name, **overrides)).run()
+
+
+# ---------------------------------------------------------------------------
+# The paper's transition figures.
+# ---------------------------------------------------------------------------
+
+
+@register("fig6-kvs-transition")
+def figure6_spec(
+    duration_s: float = 12.0,
+    rate_kpps: float = 16.0,
+    chainer_start_s: float = 2.0,
+    chainer_stop_s: float = 7.5,
+    keyspace: int = 50_000,
+    seed: int = 42,
+    power_save: bool = False,
+    bucket_ms: float = 250.0,
+) -> ScenarioSpec:
+    """Figure 6: one memcached host (LaKe card), ETC load, ChainerMN
+    co-location driving the RAPL-fed host controller (§9.1/§9.2).
+
+    ``power_save=False`` matches the paper ("Clock gating and memories
+    reset are not enabled in this experiment").
+    """
+    chainer_stop_s = min(chainer_stop_s, duration_s)
+    return ScenarioSpec(
+        name="fig6-kvs-transition",
+        description="Figure 6: host-controlled KVS software<->hardware shift",
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=(
+            KvsHostSpec(
+                name="kvs-server",
+                client_name="client",
+                power_save=power_save,
+                colocated=(
+                    ColocatedJobSpec(start_s=chainer_start_s, stop_s=chainer_stop_s),
+                )
+                if chainer_stop_s > chainer_start_s
+                else (),
+            ),
+        ),
+        kvs_workload=KvsWorkloadSpec(keyspace=keyspace, rate_kpps=rate_kpps),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=bucket_ms),
+    )
+
+
+@register("fig7-paxos-transition")
+def figure7_spec(
+    duration_s: float = 5.0,
+    shift_to_hw_s: float = 1.5,
+    shift_to_sw_s: float = 3.5,
+    n_clients: int = 3,
+    client_window: int = 1,
+    n_acceptors: int = 3,
+    recovery_window: int = 512,
+    seed: int = 7,
+    bucket_ms: float = 50.0,
+) -> ScenarioSpec:
+    """Figure 7: Paxos leader shift via forwarding-rule rewrite (§9.2)."""
+    return ScenarioSpec(
+        name="fig7-paxos-transition",
+        description="Figure 7: Paxos leader software<->hardware shift",
+        duration_s=duration_s,
+        seed=seed,
+        paxos=PaxosSpec(
+            n_clients=n_clients,
+            client_window=client_window,
+            n_acceptors=n_acceptors,
+            recovery_window=recovery_window,
+            shifts=((shift_to_hw_s, True), (shift_to_sw_s, False)),
+        ),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=bucket_ms),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rack-scale scenarios (the ROADMAP north-star direction).
+# ---------------------------------------------------------------------------
+
+
+def _rack_spec(
+    name: str,
+    n_hosts: int,
+    duration_s: float,
+    total_rate_kpps: float,
+    keyspace: int,
+    seed: int,
+    stagger_s: float,
+    first_job_s: float,
+    job_length_s: float,
+) -> ScenarioSpec:
+    """N sharded memcached hosts behind one ToR with staggered co-located
+    jobs, so each host's controller shifts on its own schedule."""
+    hosts = []
+    for i in range(n_hosts):
+        start_s = first_job_s + stagger_s * i
+        stop_s = min(start_s + job_length_s, duration_s)
+        hosts.append(
+            KvsHostSpec(
+                name=f"kvs{i}",
+                colocated=(ColocatedJobSpec(start_s=start_s, stop_s=stop_s),)
+                if stop_s > start_s
+                else (),
+            )
+        )
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"{n_hosts} key-sharded memcached hosts behind one ToR switch, "
+            "per-host on-demand shifting"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=tuple(hosts),
+        kvs_workload=KvsWorkloadSpec(
+            keyspace=keyspace, rate_kpps=total_rate_kpps
+        ),
+        sampling=SamplingSpec(power_interval_ms=100.0, bucket_ms=250.0),
+    )
+
+
+@register("rack4-kvs-sharded")
+def rack4_spec(
+    duration_s: float = 8.0,
+    total_rate_kpps: float = 48.0,
+    keyspace: int = 30_000,
+    seed: int = 11,
+) -> ScenarioSpec:
+    return _rack_spec(
+        "rack4-kvs-sharded",
+        n_hosts=4,
+        duration_s=duration_s,
+        total_rate_kpps=total_rate_kpps,
+        keyspace=keyspace,
+        seed=seed,
+        stagger_s=0.6,
+        first_job_s=0.8,
+        job_length_s=3.0,
+    )
+
+
+@register("rack8-kvs-sharded")
+def rack8_spec(
+    duration_s: float = 8.0,
+    total_rate_kpps: float = 96.0,
+    keyspace: int = 30_000,
+    seed: int = 11,
+) -> ScenarioSpec:
+    return _rack_spec(
+        "rack8-kvs-sharded",
+        n_hosts=8,
+        duration_s=duration_s,
+        total_rate_kpps=total_rate_kpps,
+        keyspace=keyspace,
+        seed=seed,
+        stagger_s=0.5,
+        first_job_s=0.8,
+        job_length_s=3.5,
+    )

@@ -1,0 +1,170 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` describes a complete on-demand cluster — hosts with
+their NIC-replacing FPGA cards, the ToR switch fabric, per-host application
+placements and controllers, workloads, and sampling — without constructing
+anything.  :class:`repro.scenarios.builder.ScenarioBuilder` materializes a
+spec into a wired DES run; :mod:`repro.scenarios.registry` names the
+canonical ones (the paper's Figures 6/7 plus the rack-scale extensions).
+
+Specs are frozen dataclasses so scenarios can be derived from one another
+with :func:`dataclasses.replace` (the registry test shortens horizons that
+way, and sweeps can scale host counts or rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """The ToR switch and the rack's port characteristics."""
+
+    name: str = "tor"
+    latency_us: float = 1.0
+    bandwidth_gbps: float = 10.0
+
+
+@dataclass(frozen=True)
+class ColocatedJobSpec:
+    """A ChainerMN-style CPU job co-located on one host (Figure 6)."""
+
+    start_s: float
+    stop_s: float
+    cores: float = 2.5
+    utilization: float = 0.95
+    app_name: str = "chainermn"
+
+
+@dataclass(frozen=True)
+class KvsHostSpec:
+    """One memcached host with a LaKe card and its own shift controller.
+
+    ``client_name`` names the load-generator node driving this host's key
+    shard (defaults to ``<name>-client``).  ``controller=False`` builds the
+    host without a :class:`HostController` (static software placement).
+    """
+
+    name: str
+    client_name: Optional[str] = None
+    power_save: bool = False
+    controller: bool = True
+    rapl_interval_ms: float = 10.0
+    rate_down_pps: Optional[float] = None  # None -> calibration default
+    colocated: Tuple[ColocatedJobSpec, ...] = ()
+
+    def resolved_client_name(self) -> str:
+        return self.client_name or f"{self.name}-client"
+
+
+@dataclass(frozen=True)
+class KvsWorkloadSpec:
+    """ETC traffic offered to the KVS hosts.
+
+    ``rate_kpps`` is the **total** rack load.  With one host the client
+    offers all of it; with several, the rate is split per host in
+    proportion to each key shard's Zipf traffic weight (the per-host ETC
+    split), and clients address the logical rack service routed by the
+    ToR's key-shard dispatcher.
+    """
+
+    keyspace: int = 50_000
+    rate_kpps: float = 16.0
+    zipf_s: float = 0.99
+    preload: bool = True
+
+
+@dataclass(frozen=True)
+class PaxosSpec:
+    """A Figure-7-style Paxos group with a shiftable leader.
+
+    ``shifts`` is a schedule of ``(at_s, to_hardware)`` pairs executed by
+    the centralized :class:`PaxosShiftController`.
+    """
+
+    n_clients: int = 3
+    client_window: int = 1
+    n_acceptors: int = 3
+    recovery_window: int = 512
+    client_start_ms: float = 20.0
+    shifts: Tuple[Tuple[float, bool], ...] = ()
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Shared instrumentation cadence for every host in the scenario."""
+
+    power_interval_ms: float = 50.0
+    bucket_ms: float = 250.0
+
+
+@dataclass(frozen=True)
+class OnDemandSweepSpec:
+    """The analytic Figure-5 sweep: on-demand vs software-only power for
+    each application's steady-state model across offered rates."""
+
+    max_rate_kpps: float = 1200.0
+    steps: int = 25
+    peak_rate_kpps: float = 1000.0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A complete declarative cluster scenario."""
+
+    name: str
+    description: str = ""
+    duration_s: float = 10.0
+    seed: int = 42
+    switch: SwitchSpec = field(default_factory=SwitchSpec)
+    kvs_hosts: Tuple[KvsHostSpec, ...] = ()
+    kvs_workload: Optional[KvsWorkloadSpec] = None
+    paxos: Optional[PaxosSpec] = None
+    sampling: SamplingSpec = field(default_factory=SamplingSpec)
+
+    def validate(self) -> "ScenarioSpec":
+        if self.duration_s <= 0:
+            raise ConfigurationError("duration_s must be positive")
+        if not self.kvs_hosts and self.paxos is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares no hosts and no Paxos group"
+            )
+        if self.kvs_hosts and self.kvs_workload is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has KVS hosts but no workload"
+            )
+        names = [h.name for h in self.kvs_hosts]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate host names in {self.name!r}")
+        clients = [h.resolved_client_name() for h in self.kvs_hosts]
+        if len(set(clients)) != len(clients):
+            raise ConfigurationError(f"duplicate client names in {self.name!r}")
+        if set(names) & set(clients):
+            raise ConfigurationError(
+                f"client names collide with host names in {self.name!r}"
+            )
+        for host in self.kvs_hosts:
+            for job in host.colocated:
+                if job.stop_s <= job.start_s:
+                    raise ConfigurationError(
+                        f"colocated job on {host.name!r} stops before it starts"
+                    )
+        if self.paxos is not None:
+            for at_s, _ in self.paxos.shifts:
+                if at_s < 0:
+                    raise ConfigurationError("paxos shift scheduled before t=0")
+        return self
+
+    @property
+    def sharded(self) -> bool:
+        """Rack mode: more than one KVS host ⇒ key-sharded ToR routing."""
+        return len(self.kvs_hosts) > 1
+
+
+#: Logical destination clients address in rack mode; the ToR's key-shard
+#: dispatch rule spreads it across the hosts.
+RACK_KVS_SERVICE = "kvs-rack"

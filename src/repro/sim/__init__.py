@@ -8,7 +8,14 @@ the network/host/hardware substrates builds on :class:`Simulator`.
 from .kernel import Event, Simulator
 from .process import Process
 from .queues import FifoQueue, QueueStats
-from .recorder import LatencyRecorder, TimeSeries, percentile
+from .recorder import (
+    LatencyRecorder,
+    PeriodicSampler,
+    TimeSeries,
+    bucket_mean_series,
+    bucket_rate_series,
+    percentile,
+)
 from .rng import RngStreams
 
 __all__ = [
@@ -18,7 +25,10 @@ __all__ = [
     "FifoQueue",
     "QueueStats",
     "LatencyRecorder",
+    "PeriodicSampler",
     "TimeSeries",
+    "bucket_mean_series",
+    "bucket_rate_series",
     "percentile",
     "RngStreams",
 ]

@@ -21,18 +21,32 @@ class Event:
     Cancellation is lazy: the heap entry stays, but the callback is skipped.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "name")
+    __slots__ = ("time", "seq", "callback", "cancelled", "name", "_sim", "_done")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], name: str):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        name: str,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
         self.name = name
+        self._sim = sim
+        self._done = False
 
     def cancel(self) -> None:
-        """Prevent the callback from firing; safe to call multiple times."""
+        """Prevent the callback from firing; safe to call multiple times
+        (and a no-op once the event has executed)."""
+        if self.cancelled or self._done:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -59,6 +73,9 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._executed = 0
+        #: live (scheduled, not yet executed, not cancelled) event count;
+        #: kept in sync by schedule/cancel/step so :attr:`pending` is O(1).
+        self._live = 0
 
     # -- clock ---------------------------------------------------------
 
@@ -74,8 +91,17 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        O(1): a live-event counter is maintained by ``schedule``/``cancel``
+        and decremented as events execute, so the heap (which may still hold
+        lazily-cancelled entries) is never scanned.
+        """
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` exactly once per cancellation."""
+        self._live -= 1
 
     # -- scheduling ----------------------------------------------------
 
@@ -85,8 +111,9 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, name)
+        event = Event(self._now + delay, next(self._seq), callback, name, sim=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(
@@ -97,8 +124,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        event = Event(time, next(self._seq), callback, name)
+        event = Event(time, next(self._seq), callback, name, sim=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def call_every(
@@ -146,6 +174,8 @@ class Simulator:
                 raise SimulationError("event heap corrupted: time went backwards")
             self._now = event.time
             self._executed += 1
+            self._live -= 1
+            event._done = True
             event.callback()
             return True
         return False
@@ -154,6 +184,12 @@ class Simulator:
         """Run events until the clock reaches ``time`` (inclusive of events
         scheduled exactly at ``time``).  The clock is advanced to ``time``
         even if the event heap drains first.
+
+        ``max_events`` bounds the number of **executed callbacks** only:
+        lazily-cancelled events encountered while scanning the heap are
+        purged for free and never consume budget (their cost was already
+        accounted when :meth:`Event.cancel` ran).  Exceeding the budget
+        raises :class:`SimulationError` without executing further events.
         """
         if self._running:
             raise SimulationError("run_until is not re-entrant")
@@ -165,6 +201,8 @@ class Simulator:
             while self._heap:
                 nxt = self._heap[0]
                 if nxt.cancelled:
+                    # Purge without charging the budget: only executed
+                    # callbacks count against max_events.
                     heapq.heappop(self._heap)
                     continue
                 if nxt.time > time:

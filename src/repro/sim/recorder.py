@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
-from ..units import to_seconds
+from ..units import SEC, to_seconds
 from .kernel import Simulator
 
 
@@ -142,6 +142,48 @@ class LatencyRecorder:
 
     def reset(self) -> None:
         self._samples.clear()
+
+
+def bucket_rate_series(
+    times_us: Sequence[float], window_us: float, end_us: float
+) -> List[Tuple[float, float]]:
+    """Convert event timestamps into a (t_us, rate_pps) series.
+
+    Used to turn client response timestamps into the throughput timelines
+    of Figures 6 and 7 (and the rack-scale scenarios).
+    """
+    if window_us <= 0:
+        raise ConfigurationError("window must be positive")
+    buckets = {}
+    for t in times_us:
+        buckets[int(t // window_us)] = buckets.get(int(t // window_us), 0) + 1
+    n_buckets = int(end_us // window_us) + 1
+    series = []
+    for i in range(n_buckets):
+        rate = buckets.get(i, 0) * SEC / window_us
+        series.append((i * window_us, rate))
+    return series
+
+
+def bucket_mean_series(
+    samples: Sequence[Tuple[float, float]], window_us: float, end_us: float
+) -> List[Tuple[float, Optional[float]]]:
+    """Average (t_us, value) samples into fixed windows (None when empty)."""
+    if window_us <= 0:
+        raise ConfigurationError("window must be positive")
+    sums = {}
+    counts = {}
+    for t, v in samples:
+        idx = int(t // window_us)
+        sums[idx] = sums.get(idx, 0.0) + v
+        counts[idx] = counts.get(idx, 0) + 1
+    series = []
+    for i in range(int(end_us // window_us) + 1):
+        if counts.get(i):
+            series.append((i * window_us, sums[i] / counts[i]))
+        else:
+            series.append((i * window_us, None))
+    return series
 
 
 class PeriodicSampler:

@@ -15,7 +15,7 @@
 """
 
 from .osnt import RateSchedule, RampSchedule, StepSchedule
-from .etc import EtcWorkload
+from .etc import EtcWorkload, EtcShardStream, ShardedEtcWorkload
 from .colocated import ChainerMNWorkload
 from .dynamo import DynamoTraceSynthesizer, PowerVariationAnalysis, analyze_power_variation
 from .google_trace import (
@@ -38,6 +38,8 @@ __all__ = [
     "RampSchedule",
     "StepSchedule",
     "EtcWorkload",
+    "EtcShardStream",
+    "ShardedEtcWorkload",
     "ChainerMNWorkload",
     "DynamoTraceSynthesizer",
     "PowerVariationAnalysis",

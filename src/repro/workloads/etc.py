@@ -13,11 +13,13 @@ published characteristics we reproduce:
 
 from __future__ import annotations
 
+import hashlib
 import math
 import random
-from typing import List
+from typing import Callable, List
 
 from ..errors import ConfigurationError
+from ..net.classifier import key_shard
 
 
 class ZipfSampler:
@@ -74,6 +76,15 @@ _ETC_VALUE_SIZE_CDF = [
 ]
 
 
+def _sample_value(rng: random.Random) -> bytes:
+    """One ETC-distributed value (shared by the full and sharded workloads)."""
+    u = rng.random()
+    for size, cum in _ETC_VALUE_SIZE_CDF:
+        if u <= cum:
+            return b"v" * size
+    return b"v" * _ETC_VALUE_SIZE_CDF[-1][0]  # pragma: no cover
+
+
 class EtcWorkload:
     """Key/value/op samplers with ETC-like statistics."""
 
@@ -97,11 +108,7 @@ class EtcWorkload:
         return f"key:{self._zipf.sample():08d}"
 
     def value(self) -> bytes:
-        u = self._rng.random()
-        for size, cum in _ETC_VALUE_SIZE_CDF:
-            if u <= cum:
-                return b"v" * size
-        return b"v" * _ETC_VALUE_SIZE_CDF[-1][0]  # pragma: no cover
+        return _sample_value(self._rng)
 
     @property
     def set_fraction(self) -> float:
@@ -123,3 +130,121 @@ class EtcWorkload:
         """Populate a store with the hot keys via ``store_set(key, value)``."""
         for key in self.hot_keys(count):
             store_set(key, self.value())
+
+
+class EtcShardStream:
+    """One shard's slice of a :class:`ShardedEtcWorkload`.
+
+    Draws from its own Zipf sampler over the *global* keyspace and
+    rejection-filters to the keys this shard owns, so each host sees the
+    global popularity skew restricted to its shard, with an independent
+    deterministic RNG (adding a host does not perturb the others).
+    """
+
+    def __init__(self, parent: "ShardedEtcWorkload", shard: int, seed: int):
+        self.parent = parent
+        self.shard = shard
+        self._rng = random.Random(seed)
+        self._zipf = ZipfSampler(parent.keyspace, parent.zipf_s, self._rng)
+
+    def key(self) -> str:
+        """A key owned by this shard, global-Zipf-distributed within it."""
+        while True:
+            key = f"key:{self._zipf.sample():08d}"
+            if key_shard(key, self.parent.n_shards) == self.shard:
+                return key
+
+    def value(self) -> bytes:
+        return _sample_value(self._rng)
+
+    @property
+    def set_fraction(self) -> float:
+        return 1.0 - EtcWorkload.GET_FRACTION
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def preload(self, store_set, count: int = 0) -> None:
+        """Populate a host store with this shard's keys (hottest first)."""
+        for key in self.parent.shard_keys(self.shard, count or self.parent.keyspace):
+            store_set(key, self.value())
+
+
+class ShardedEtcWorkload:
+    """The ETC workload split across a rack of N KVS hosts by key shard.
+
+    Shard ownership is :func:`repro.net.classifier.key_shard` over the key
+    string — the same mapping the ToR's :class:`KeyShardRouter` uses — so
+    a request generated for shard *i* is guaranteed to be routed to host
+    *i*'s store, which was preloaded with exactly those keys.
+    """
+
+    def __init__(
+        self,
+        keyspace: int = 1_000_000,
+        n_shards: int = 8,
+        zipf_s: float = 0.99,
+        seed: int = 7,
+    ):
+        if keyspace < 1:
+            raise ConfigurationError("keyspace must be >= 1")
+        if n_shards < 1:
+            raise ConfigurationError("n_shards must be >= 1")
+        self.keyspace = keyspace
+        self.n_shards = n_shards
+        self.zipf_s = zipf_s
+        self.seed = seed
+
+    # -- shard topology ------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        return key_shard(key, self.n_shards)
+
+    def shard_keys(self, shard: int, count: int) -> List[str]:
+        """Up to ``count`` keys owned by ``shard``, most popular first."""
+        self._check_shard(shard)
+        keys = []
+        for rank in range(1, self.keyspace + 1):
+            key = f"key:{rank:08d}"
+            if key_shard(key, self.n_shards) == shard:
+                keys.append(key)
+                if len(keys) >= count:
+                    break
+        return keys
+
+    def shard_weights(self, max_rank: int = 200_000) -> List[float]:
+        """Traffic fraction per shard under the global Zipf popularity.
+
+        Sums the (unnormalized) Zipf pmf ``rank**-s`` per owning shard over
+        the first ``min(keyspace, max_rank)`` ranks, then normalizes; used
+        to split a rack's total offered rate into per-host client rates.
+        """
+        weights = [0.0] * self.n_shards
+        for rank in range(1, min(self.keyspace, max_rank) + 1):
+            p = rank ** (-self.zipf_s)
+            weights[key_shard(f"key:{rank:08d}", self.n_shards)] += p
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    # -- per-shard streams ---------------------------------------------------
+
+    def stream(self, shard: int) -> EtcShardStream:
+        """The independent key/value sampler for one shard."""
+        self._check_shard(shard)
+        # Guard the rejection sampler: a shard owning zero keys would make
+        # EtcShardStream.key() spin forever (possible when the keyspace is
+        # tiny relative to the shard count).
+        if not self.shard_keys(shard, 1):
+            raise ConfigurationError(
+                f"shard {shard} owns no keys (keyspace={self.keyspace}, "
+                f"n_shards={self.n_shards}); grow the keyspace or shrink the rack"
+            )
+        digest = hashlib.sha256(f"{self.seed}:etc-shard:{shard}".encode()).digest()
+        return EtcShardStream(self, shard, int.from_bytes(digest[:8], "big"))
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard {shard} outside [0, {self.n_shards})"
+            )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import _EXPERIMENTS, build_parser, main
+from repro.__main__ import _EXPERIMENTS, _SCENARIOS, build_parser, main
 
 
 def test_catalogue_covers_every_figure_and_section():
@@ -15,11 +15,19 @@ def test_catalogue_covers_every_figure_and_section():
     assert set(_EXPERIMENTS) == expected
 
 
+def test_scenario_catalogue_exposes_registry():
+    from repro.scenarios import scenario_names
+
+    assert set(_SCENARIOS) == set(scenario_names())
+    assert "rack8-kvs-sharded" in _SCENARIOS
+
+
 def test_list(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "figure3a" in out
     assert "section10" in out
+    assert "rack8-kvs-sharded (scenario)" in out
 
 
 @pytest.mark.parametrize(

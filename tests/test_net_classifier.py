@@ -68,3 +68,59 @@ def test_offload_enabled_query():
     clf.set_offload(TrafficClass.MEMCACHED, True)
     assert clf.offload_enabled(TrafficClass.MEMCACHED)
     assert not clf.offload_enabled(TrafficClass.DNS)
+
+
+class TestKeyShardRouter:
+    def _packet(self, sim, key):
+        from repro.apps.kvs.protocol import KvsOp, KvsRequest
+
+        return make_packet(
+            "client", "kvs-rack", TrafficClass.MEMCACHED,
+            payload=KvsRequest(KvsOp.GET, key), now=sim.now,
+        )
+
+    def test_routing_is_deterministic_and_agrees_with_key_shard(self):
+        from repro.net import KeyShardRouter, key_shard
+
+        sim = Simulator()
+        hosts = [f"kvs{i}" for i in range(4)]
+        router = KeyShardRouter(hosts)
+        for i in range(64):
+            key = f"key:{i:08d}"
+            host = router.route(self._packet(sim, key))
+            assert host == hosts[key_shard(key, 4)]
+            assert host == router.host_for_key(key)
+        assert sum(router.per_host.values()) == 64
+
+    def test_all_shards_reachable(self):
+        from repro.net import KeyShardRouter
+
+        sim = Simulator()
+        router = KeyShardRouter([f"kvs{i}" for i in range(8)])
+        for i in range(512):
+            router.route(self._packet(sim, f"key:{i:08d}"))
+        assert all(count > 0 for count in router.per_host.values())
+
+    def test_keyless_packet_falls_back_to_source_hash(self):
+        from repro.net import KeyShardRouter
+
+        sim = Simulator()
+        router = KeyShardRouter(["kvs0", "kvs1"])
+        packet = make_packet("client", "kvs-rack", TrafficClass.NORMAL, now=sim.now)
+        first = router.route(packet)
+        assert router.keyless == 1
+        assert first == router.route(packet)  # deterministic fallback
+
+    def test_empty_host_list_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.net import KeyShardRouter
+
+        with pytest.raises(ConfigurationError):
+            KeyShardRouter([])
+
+    def test_key_shard_validates(self):
+        from repro.errors import ConfigurationError
+        from repro.net import key_shard
+
+        with pytest.raises(ConfigurationError):
+            key_shard("key", 0)

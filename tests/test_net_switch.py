@@ -93,3 +93,43 @@ def test_duplicate_port_rejected():
     extra = SinkNode(sim, "a")
     with pytest.raises(ConfigurationError):
         switch.connect(extra, Link(sim, extra))
+
+
+def test_dispatch_rule_chooses_per_packet():
+    """A dispatch rule spreads one logical destination across ports."""
+    sim, switch, nodes = _star()
+    targets = iter(["b", "c", "b"])
+    switch.install_dispatch(
+        TrafficClass.MEMCACHED, "kvs-rack", lambda packet: next(targets)
+    )
+    for _ in range(3):
+        switch.receive(
+            make_packet("a", "kvs-rack", TrafficClass.MEMCACHED, now=sim.now)
+        )
+    sim.run()
+    assert len(nodes["b"].received) == 2
+    assert len(nodes["c"].received) == 1
+    assert switch.dispatched == 3
+
+
+def test_exact_rule_takes_precedence_over_dispatch():
+    sim, switch, nodes = _star()
+    switch.install_dispatch(
+        TrafficClass.MEMCACHED, "kvs-rack", lambda packet: "b"
+    )
+    switch.install_rule(ForwardingRule(TrafficClass.MEMCACHED, "kvs-rack", "c"))
+    switch.receive(make_packet("a", "kvs-rack", TrafficClass.MEMCACHED, now=sim.now))
+    sim.run()
+    assert len(nodes["c"].received) == 1
+    assert len(nodes["b"].received) == 0
+
+
+def test_remove_dispatch():
+    sim, switch, nodes = _star()
+    chooser = lambda packet: "b"
+    switch.install_dispatch(TrafficClass.MEMCACHED, "kvs-rack", chooser)
+    assert switch.remove_dispatch(TrafficClass.MEMCACHED, "kvs-rack") is chooser
+    assert switch.remove_dispatch(TrafficClass.MEMCACHED, "kvs-rack") is None
+    switch.receive(make_packet("a", "kvs-rack", TrafficClass.MEMCACHED, now=sim.now))
+    sim.run()
+    assert switch.dropped_no_route == 1

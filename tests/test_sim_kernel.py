@@ -135,6 +135,56 @@ def test_pending_counts_uncancelled():
     assert sim.pending == 1
 
 
+def test_pending_tracks_execution_and_double_cancel():
+    sim = Simulator()
+    e1 = sim.schedule(10.0, lambda: None)
+    e2 = sim.schedule(20.0, lambda: None)
+    assert sim.pending == 2
+    e1.cancel()
+    e1.cancel()  # idempotent: must not decrement twice
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    e2.cancel()  # cancelling an already-executed event is a no-op
+    assert sim.pending == 0
+
+
+def test_pending_is_o1_with_cancelled_backlog():
+    """pending must not scan the heap: a large lazily-cancelled backlog
+    leaves the counter exact while the heap still holds the entries."""
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+    for event in events[:999]:
+        event.cancel()
+    assert sim.pending == 1
+    assert len(sim._heap) == 1000  # lazy cancellation: entries remain
+
+
+def test_run_until_budget_counts_only_executed_callbacks():
+    """max_events charges executed callbacks; purging cancelled events is
+    free (the documented run_until semantics)."""
+    sim = Simulator()
+    cancelled = [sim.schedule(float(i + 1), lambda: None) for i in range(50)]
+    for event in cancelled:
+        event.cancel()
+    fired = []
+    for i in range(3):
+        sim.schedule(100.0 + i, lambda i=i: fired.append(i))
+    sim.run_until(200.0, max_events=3)  # would raise if purges were charged
+    assert fired == [0, 1, 2]
+    assert sim._heap == []  # the budget scan purged the cancelled backlog
+
+
+def test_run_until_budget_still_enforced():
+    from repro.errors import SimulationError
+
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i + 1), lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run_until(10.0, max_events=4)
+
+
 def test_clock_advances_to_run_until_time_with_empty_heap():
     sim = Simulator()
     sim.run_until(123.0)

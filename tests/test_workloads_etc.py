@@ -84,3 +84,81 @@ class TestEtcWorkload:
     def test_invalid_keyspace(self):
         with pytest.raises(ConfigurationError):
             EtcWorkload(keyspace=0)
+
+
+class TestShardedEtcWorkload:
+    def test_stream_keys_stay_in_shard(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        sharded = ShardedEtcWorkload(keyspace=2_000, n_shards=4, seed=3)
+        for shard in range(4):
+            stream = sharded.stream(shard)
+            for _ in range(50):
+                assert sharded.shard_of(stream.key()) == shard
+
+    def test_streams_are_independent_and_deterministic(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        a = ShardedEtcWorkload(keyspace=2_000, n_shards=4, seed=3)
+        b = ShardedEtcWorkload(keyspace=2_000, n_shards=4, seed=3)
+        keys_a = [a.stream(1).key() for _ in range(1)]
+        # draw from shard 0 first on b: shard 1's stream must be unaffected
+        b0 = b.stream(0)
+        [b0.key() for _ in range(25)]
+        assert a.stream(1).key() == b.stream(1).key()
+        assert keys_a  # sanity
+
+    def test_shard_keys_partition_the_keyspace(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        sharded = ShardedEtcWorkload(keyspace=500, n_shards=3)
+        all_keys = []
+        for shard in range(3):
+            keys = sharded.shard_keys(shard, 500)
+            assert all(sharded.shard_of(k) == shard for k in keys)
+            all_keys.extend(keys)
+        assert len(all_keys) == 500
+        assert len(set(all_keys)) == 500
+
+    def test_shard_weights_sum_to_one_and_follow_zipf(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        sharded = ShardedEtcWorkload(keyspace=10_000, n_shards=8)
+        weights = sharded.shard_weights()
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+        # the shard owning rank-1 (the hottest key) gets extra mass
+        hot_shard = sharded.shard_of("key:00000001")
+        assert weights[hot_shard] > 1.0 / 8.0
+
+    def test_preload_populates_only_shard_keys(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        sharded = ShardedEtcWorkload(keyspace=300, n_shards=4)
+        store = {}
+        sharded.stream(2).preload(store.__setitem__)
+        assert store
+        assert all(sharded.shard_of(k) == 2 for k in store)
+
+    def test_validation(self):
+        from repro.workloads import ShardedEtcWorkload
+
+        with pytest.raises(ConfigurationError):
+            ShardedEtcWorkload(keyspace=0)
+        with pytest.raises(ConfigurationError):
+            ShardedEtcWorkload(n_shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedEtcWorkload(n_shards=2).stream(5)
+
+    def test_empty_shard_rejected_instead_of_hanging(self):
+        """A shard owning zero keys must fail fast at stream() — the
+        rejection sampler would otherwise spin forever."""
+        from repro.net.classifier import key_shard
+        from repro.workloads import ShardedEtcWorkload
+
+        # keyspace=1: the single key lands in exactly one of two shards
+        sharded = ShardedEtcWorkload(keyspace=1, n_shards=2)
+        owner = key_shard("key:00000001", 2)
+        assert sharded.stream(owner).key() == "key:00000001"
+        with pytest.raises(ConfigurationError, match="owns no keys"):
+            sharded.stream(1 - owner)
