@@ -16,6 +16,8 @@ from .core import (
     NetworkController,
     OnDemandService,
     PaxosShiftController,
+    PredictiveController,
+    ShiftController,
     tipping_point,
 )
 from .sim import Simulator
@@ -31,6 +33,8 @@ __all__ = [
     "NetworkController",
     "OnDemandService",
     "PaxosShiftController",
+    "PredictiveController",
+    "ShiftController",
     "tipping_point",
     "Simulator",
     "dns_models",

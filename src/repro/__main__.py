@@ -3,20 +3,28 @@ named cluster scenario from the registry.
 
 Usage::
 
-    python -m repro list
+    python -m repro --list
     python -m repro figure3a
     python -m repro figure7 --duration 5
-    python -m repro rack8-kvs-sharded --duration 8
+    python -m repro figure6 --png out/
+    python -m repro rack-mixed --duration 5
     python -m repro all
 """
 
 from __future__ import annotations
 
 import argparse
+import difflib
+import pathlib
 import sys
 
 from .experiments import figures, run_figure6, run_figure7
-from .scenarios import run_scenario, scenario_names
+from .scenarios import (
+    closest_scenario,
+    run_scenario,
+    scenario_descriptions,
+    scenario_names,
+)
 
 
 def _analytic(runner):
@@ -33,14 +41,40 @@ def _scenario(name):
     return run
 
 
+def _figure6(args):
+    result = run_figure6(duration_s=args.duration or 10.0)
+    _maybe_png(args, "figure6", result)
+    return result.render()
+
+
+def _figure7(args):
+    result = run_figure7(duration_s=args.duration or 5.0)
+    _maybe_png(args, "figure7", result)
+    return result.render()
+
+
+def _maybe_png(args, name: str, result) -> None:
+    if not getattr(args, "png", None):
+        return
+    from .experiments.plots import matplotlib_available
+
+    if not matplotlib_available():
+        print(f"[{name}] matplotlib not importable; skipping PNG", file=sys.stderr)
+        return
+    out = pathlib.Path(args.png)
+    out.mkdir(parents=True, exist_ok=True)
+    path = result.save_png(out / f"{name}.png")
+    print(f"[{name}] wrote {path}", file=sys.stderr)
+
+
 _EXPERIMENTS = {
     "figure3a": _analytic(figures.figure3a),
     "figure3b": _analytic(figures.figure3b),
     "figure3c": _analytic(figures.figure3c),
     "figure4": _analytic(figures.figure4),
     "figure5": _analytic(figures.figure5),
-    "figure6": lambda args: run_figure6(duration_s=args.duration or 10.0).render(),
-    "figure7": lambda args: run_figure7(duration_s=args.duration or 5.0).render(),
+    "figure6": _figure6,
+    "figure7": _figure7,
     "section5": _analytic(figures.section5_memories),
     "section6": _analytic(figures.section6_asic),
     "section7": _analytic(figures.section7_server),
@@ -54,15 +88,50 @@ _EXPERIMENTS = {
 _SCENARIOS = {name: _scenario(name) for name in scenario_names()}
 
 
+def _render_catalogue() -> str:
+    lines = ["experiments:"]
+    lines.extend(f"  {name}" for name in sorted(_EXPERIMENTS))
+    lines.append("scenarios:")
+    descriptions = scenario_descriptions()
+    width = max(len(name) for name in descriptions)
+    lines.extend(
+        f"  {name:<{width}}  {descriptions[name]}"
+        for name in sorted(descriptions)
+    )
+    return "\n".join(lines)
+
+
+def _suggestion(name: str) -> str:
+    candidates = sorted(_EXPERIMENTS) + ["all", "list"]
+    close = difflib.get_close_matches(name, candidates, n=1, cutoff=0.4)
+    scenario = closest_scenario(name)
+    best = close[0] if close else scenario
+    if scenario and close:
+        # prefer whichever is more similar
+        best = max(
+            (close[0], scenario),
+            key=lambda c: difflib.SequenceMatcher(None, name, c).ratio(),
+        )
+    return f"; did you mean {best!r}?" if best else ""
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's figures and tables.",
+        description="Regenerate the paper's figures and tables, or run a "
+        "named cluster scenario.",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + sorted(_SCENARIOS) + ["all", "list"],
-        help="which experiment or scenario to run ('list' prints the catalogue)",
+        nargs="?",
+        default=None,
+        help="which experiment or scenario to run ('list' or --list prints "
+        "the catalogue; 'all' runs every figure/table)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment and scenario catalogue with descriptions",
     )
     parser.add_argument(
         "--duration",
@@ -70,17 +139,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulated seconds for the DES experiments and scenarios",
     )
+    parser.add_argument(
+        "--png",
+        metavar="DIR",
+        default=None,
+        help="also write matplotlib PNGs for figure6/figure7 into DIR "
+        "(skipped when matplotlib is not importable)",
+    )
     return parser
 
 
 def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.experiment == "list":
-        for name in sorted(_EXPERIMENTS):
-            print(name)
-        for name in sorted(_SCENARIOS):
-            print(f"{name} (scenario)")
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment in (None, "list"):
+        if args.experiment is None and not args.list:
+            parser.print_usage(sys.stderr)
+            return 2
+        print(_render_catalogue())
         return 0
+    if (
+        args.experiment != "all"
+        and args.experiment not in _EXPERIMENTS
+        and args.experiment not in _SCENARIOS
+    ):
+        print(
+            f"unknown experiment or scenario {args.experiment!r}"
+            f"{_suggestion(args.experiment)}",
+            file=sys.stderr,
+        )
+        return 2
     names = sorted(_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         runner = _EXPERIMENTS.get(name) or _SCENARIOS[name]

@@ -8,7 +8,7 @@ from typing import Callable
 from ...errors import ConfigurationError
 from ...net.packet import Packet, TrafficClass, make_packet
 from ...net.node import Node
-from ...sim import LatencyRecorder, Simulator
+from ...sim import LatencyRecorder, Simulator, TimeSeries
 from ...units import SEC
 from .message import DnsQuery, DnsResponse, DnsRcode
 
@@ -33,6 +33,10 @@ class DnsClient(Node):
         self._rng = rng
         self._ids = itertools.count(1)
         self.latency = LatencyRecorder(f"{name}.latency")
+        #: (response time, latency) samples for timeline plots
+        self.latency_series = TimeSeries(f"{name}.latency-series")
+        #: response timestamps for bucketed throughput series
+        self.response_times_us = []
         self.responses = 0
         self.resolved = 0
         self.nxdomain = 0
@@ -82,7 +86,10 @@ class DnsClient(Node):
         if not isinstance(response, DnsResponse):
             return
         self.responses += 1
-        self.latency.record(packet.age_us(self.sim.now))
+        age = packet.age_us(self.sim.now)
+        self.latency.record(age)
+        self.latency_series.record(self.sim.now, age)
+        self.response_times_us.append(self.sim.now)
         if response.rcode is DnsRcode.NOERROR:
             self.resolved += 1
         elif response.rcode is DnsRcode.NXDOMAIN:

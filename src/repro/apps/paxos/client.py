@@ -34,11 +34,15 @@ class PaxosClient(Node):
         timeout_us: float = msec(cal.PAXOS_CLIENT_TIMEOUT_MS),
         max_outstanding: int = 4096,
         rng=None,
+        leader_address: str = LOGICAL_LEADER,
     ):
         super().__init__(sim, name)
         if timeout_us <= 0:
             raise ConfigurationError("timeout must be positive")
         self.timeout_us = timeout_us
+        #: the logical leader this client's group addresses (per-group in
+        #: multi-group racks; the ToR maps it to the active leader node)
+        self.leader_address = leader_address
         self.max_outstanding = max_outstanding
         self._rng = rng
         self._ids = itertools.count(1)
@@ -110,7 +114,7 @@ class PaxosClient(Node):
         command = ClientCommand(client=self.name, request_id=request_id)
         packet = make_packet(
             src=self.name,
-            dst=LOGICAL_LEADER,
+            dst=self.leader_address,
             traffic_class=TrafficClass.PAXOS,
             payload=ClientRequest(command=command, attempt=attempt),
             now=self.sim.now,

@@ -32,21 +32,33 @@ from .messages import (
 )
 from .roles import AcceptorState, LeaderState, LearnerState
 
-#: The logical leader address (clients/acceptors never learn the physical
-#: leader; the switch does).
+#: The default logical leader address (clients/acceptors never learn the
+#: physical leader; the switch does).  Racks running several independent
+#: consensus groups give each group its own logical address.
 LOGICAL_LEADER = "paxos-leader"
 
 PAXOS_PORT = 8888
 
 
 class _Directory:
-    """Who the protocol participants are (by node name)."""
+    """Who the protocol participants are (by node name).
 
-    def __init__(self, acceptors: List[str], learners: List[str]):
+    ``leader_address`` is the group's logical leader destination; with N
+    groups behind one ToR each directory carries its own, so promises and
+    gap requests reach the right group's active leader.
+    """
+
+    def __init__(
+        self,
+        acceptors: List[str],
+        learners: List[str],
+        leader_address: str = LOGICAL_LEADER,
+    ):
         if not acceptors or not learners:
             raise ConfigurationError("need at least one acceptor and one learner")
         self.acceptors = list(acceptors)
         self.learners = list(learners)
+        self.leader_address = leader_address
 
 
 def _route(state, payload, directory: _Directory) -> List[Tuple[str, object]]:
@@ -68,7 +80,7 @@ def _route(state, payload, directory: _Directory) -> List[Tuple[str, object]]:
         if isinstance(payload, Phase1A):
             promise = state.handle_phase1a(payload)
             if promise is not None:
-                out.append((LOGICAL_LEADER, promise))
+                out.append((directory.leader_address, promise))
         elif isinstance(payload, Phase2A):
             vote = state.handle_phase2a(payload)
             if vote is not None:
@@ -238,7 +250,7 @@ class LearnerGapScanner:
                 src=self._role.server.name
                 if isinstance(self._role, SoftwarePaxosRole)
                 else self._role.node.name,
-                dst=LOGICAL_LEADER,
+                dst=self._role.directory.leader_address,
                 traffic_class=TrafficClass.PAXOS,
                 payload=gap,
                 now=self._sim.now,
@@ -262,8 +274,9 @@ class PaxosDeployment:
     down, and start the new leader's phase 1.
     """
 
-    def __init__(self, switch: Switch):
+    def __init__(self, switch: Switch, logical_leader: str = LOGICAL_LEADER):
         self.switch = switch
+        self.logical_leader = logical_leader
         self._leaders: Dict[str, object] = {}  # node name -> role wrapper
         self.active_leader_node: Optional[str] = None
         self.shifts = 0
@@ -284,7 +297,7 @@ class PaxosDeployment:
         if previous == node_name:
             return
         self.switch.install_rule(
-            ForwardingRule(TrafficClass.PAXOS, LOGICAL_LEADER, node_name)
+            ForwardingRule(TrafficClass.PAXOS, self.logical_leader, node_name)
         )
         if previous is not None:
             old_role = self._leaders[previous]

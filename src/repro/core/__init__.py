@@ -16,6 +16,12 @@ advisor (:mod:`repro.core.placement`).
 """
 
 from .window import SlidingWindowRate, SlidingWindowMean
+from .controller import (
+    CONTROLLER_KINDS,
+    PAXOS_CONTROLLER_KINDS,
+    ServiceShiftController,
+    ShiftController,
+)
 from .hysteresis import HysteresisSwitch, Thresholds
 from .network_controller import NetworkController, NetworkControllerConfig
 from .host_controller import HostController, HostControllerConfig
@@ -27,6 +33,10 @@ from .placement import PlacementAdvisor, PlatformRecommendation
 from .shift_strategy import ShiftStrategy, ShiftStrategyModel
 
 __all__ = [
+    "CONTROLLER_KINDS",
+    "PAXOS_CONTROLLER_KINDS",
+    "ServiceShiftController",
+    "ShiftController",
     "SlidingWindowRate",
     "SlidingWindowMean",
     "HysteresisSwitch",

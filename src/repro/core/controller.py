@@ -1,0 +1,74 @@
+"""The unified controller plane: one protocol for every §9 controller.
+
+The paper's core on-demand claim (§9) is that *who decides* to shift a
+workload — logic in the network device (§9.1's network-controlled design),
+logic on the host reading RAPL (§9.1's host-controlled design), a
+model-predictive enhancement, or a centralized controller rewriting switch
+rules (§9.2's Paxos leader shift) — is a pluggable policy.  Every concrete
+controller in this package therefore implements one small contract:
+
+* it is constructed running (timers armed in ``__init__``),
+* it drives shifts and records them (``shift_times_us()`` returns the red
+  dashed lines of Figures 6/7),
+* it can be torn down with ``stop()``.
+
+:class:`ShiftController` is that contract.  The scenario layer programs
+against it exclusively: a :class:`repro.scenarios.ControllerSpec` names a
+``kind`` from :data:`CONTROLLER_KINDS` (or :data:`PAXOS_CONTROLLER_KINDS`
+for consensus groups) and the builder materializes whichever controller
+family the spec asks for — making network-controlled and predictive
+on-demand first-class citizens of any scenario, not just the host-driven
+design the Figure 6 experiment happens to use.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from .ondemand import OnDemandService
+
+#: Controller families available to per-host (KVS / DNS) placements.
+#: ``"none"`` builds the host with a static software placement.
+CONTROLLER_KINDS = ("host", "network", "predictive", "none")
+
+#: Controller families available to a Paxos consensus group: ``"schedule"``
+#: executes the spec's explicit shift schedule (the Figure 7 drive);
+#: ``"rate"`` watches the group's leader-bound packet rate at the ToR and
+#: shifts autonomously (§9.2's centralized controller proper).
+PAXOS_CONTROLLER_KINDS = ("schedule", "rate")
+
+
+class ShiftController(ABC):
+    """Common surface of every on-demand shift controller.
+
+    Subclasses decide *when* to move a workload between its software and
+    hardware placements; the mechanism (classifier offload switch, switch
+    forwarding-rule rewrite) belongs to the :class:`OnDemandService` or
+    deployment they drive.
+    """
+
+    #: registry name of this controller family (matches ControllerSpec.kind)
+    kind: str = "abstract"
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Cancel timers and release any host resources."""
+
+    @abstractmethod
+    def shift_times_us(self) -> List[float]:
+        """Timestamps of every transition this controller caused."""
+
+
+class ServiceShiftController(ShiftController):
+    """Base for controllers that drive an :class:`OnDemandService`.
+
+    The service is the system of record for transitions, so
+    :meth:`shift_times_us` simply reads it back.
+    """
+
+    def __init__(self, service: OnDemandService):
+        self.service = service
+
+    def shift_times_us(self) -> List[float]:
+        return self.service.shift_times_us()

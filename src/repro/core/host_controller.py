@@ -33,6 +33,7 @@ from ..net.classifier import PacketClassifier
 from ..net.packet import TrafficClass
 from ..sim import Simulator, TimeSeries
 from ..units import msec, sec
+from .controller import ServiceShiftController
 from .ondemand import OnDemandService
 from .window import SlidingWindowMean, SlidingWindowRate
 
@@ -57,8 +58,10 @@ class HostControllerConfig:
             raise ConfigurationError("window and tick must be positive")
 
 
-class HostController:
+class HostController(ServiceShiftController):
     """CPU+RAPL controller driving an :class:`OnDemandService`."""
+
+    kind = "host"
 
     def __init__(
         self,
@@ -69,9 +72,9 @@ class HostController:
         classifier: Optional[PacketClassifier] = None,
         traffic_class: Optional[TrafficClass] = None,
     ):
+        super().__init__(service)
         self.sim = sim
         self.server = server
-        self.service = service
         self.config = config or HostControllerConfig()
         self.classifier = classifier
         self.traffic_class = traffic_class

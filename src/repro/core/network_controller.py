@@ -28,6 +28,7 @@ from ..net.classifier import PacketClassifier
 from ..net.packet import TrafficClass
 from ..sim import Simulator, TimeSeries
 from ..units import msec, sec
+from .controller import ServiceShiftController
 from .ondemand import OnDemandService
 from .window import SlidingWindowRate
 
@@ -61,8 +62,10 @@ DEFAULT_CONFIGS = {
 }
 
 
-class NetworkController:
+class NetworkController(ServiceShiftController):
     """Rate-threshold controller reading classifier counters."""
+
+    kind = "network"
 
     def __init__(
         self,
@@ -72,10 +75,10 @@ class NetworkController:
         service: OnDemandService,
         config: NetworkControllerConfig,
     ):
+        super().__init__(service)
         self.sim = sim
         self.classifier = classifier
         self.traffic_class = traffic_class
-        self.service = service
         self.config = config
         self._up_window = SlidingWindowRate(config.up_window_us)
         self._down_window = SlidingWindowRate(config.down_window_us)

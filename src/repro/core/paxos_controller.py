@@ -22,6 +22,7 @@ from ..net.packet import TrafficClass
 from ..net.switch import Switch
 from ..sim import Simulator, TimeSeries
 from ..units import msec, sec
+from .controller import ShiftController
 from .window import SlidingWindowRate
 
 
@@ -37,8 +38,18 @@ class PaxosControllerConfig:
             raise ConfigurationError("up_rate must exceed down_rate")
 
 
-class PaxosShiftController:
-    """Moves the Paxos leader between software and hardware nodes."""
+class PaxosShiftController(ShiftController):
+    """Moves the Paxos leader between software and hardware nodes.
+
+    With ``automatic=True`` (kind ``"rate"``) the controller watches the
+    group's packet rate at the switch and shifts on the §4.3 thresholds;
+    otherwise (kind ``"schedule"``) it only executes shifts scheduled via
+    :meth:`schedule_shift`.  ``logical_dst`` scopes the watched rate to one
+    consensus group's leader-bound traffic (the switch's per-logical-
+    destination counters), so several groups behind the same ToR shift
+    independently; without it the controller reads the switch-wide PAXOS
+    class counter (the single-group Figure 7 setup).
+    """
 
     def __init__(
         self,
@@ -49,6 +60,7 @@ class PaxosShiftController:
         hardware_node: str,
         config: Optional[PaxosControllerConfig] = None,
         automatic: bool = True,
+        logical_dst: Optional[str] = None,
     ):
         self.sim = sim
         self.switch = switch
@@ -56,10 +68,12 @@ class PaxosShiftController:
         self.software_node = software_node
         self.hardware_node = hardware_node
         self.config = config or PaxosControllerConfig()
-        self.shift_times_us: List[float] = []
+        self.kind = "rate" if automatic else "schedule"
+        self.logical_dst = logical_dst
+        self._shift_times_us: List[float] = []
         self.rate_series = TimeSeries("paxosctl.rate")
         self._window = SlidingWindowRate(self.config.window_us)
-        self._last_count = switch.class_counters[TrafficClass.PAXOS]
+        self._last_count = self._read_counter()
         self._started_at = sim.now
         self._timer = None
         if automatic:
@@ -67,17 +81,25 @@ class PaxosShiftController:
                 self.config.tick_us, self._tick, name="paxosctl.tick"
             )
 
+    def _read_counter(self) -> int:
+        if self.logical_dst is not None:
+            return self.switch.logical_count(TrafficClass.PAXOS, self.logical_dst)
+        return self.switch.class_counters[TrafficClass.PAXOS]
+
+    def shift_times_us(self) -> List[float]:
+        return list(self._shift_times_us)
+
     # -- manual shifts (the Figure 7 schedule) --------------------------------
 
     def shift_to_hardware(self) -> None:
         if self.deployment.active_leader_node != self.hardware_node:
             self.deployment.activate_leader(self.hardware_node)
-            self.shift_times_us.append(self.sim.now)
+            self._shift_times_us.append(self.sim.now)
 
     def shift_to_software(self) -> None:
         if self.deployment.active_leader_node != self.software_node:
             self.deployment.activate_leader(self.software_node)
-            self.shift_times_us.append(self.sim.now)
+            self._shift_times_us.append(self.sim.now)
 
     def schedule_shift(self, at_us: float, to_hardware: bool) -> None:
         """Pre-plan a shift (used by the Figure 7 runner)."""
@@ -88,7 +110,7 @@ class PaxosShiftController:
 
     def _tick(self) -> None:
         now = self.sim.now
-        count = self.switch.class_counters[TrafficClass.PAXOS]
+        count = self._read_counter()
         self._window.observe(now, count - self._last_count)
         self._last_count = count
         rate = self._window.rate_pps(now)

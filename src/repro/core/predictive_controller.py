@@ -23,6 +23,7 @@ from ..net.packet import TrafficClass
 from ..sim import Simulator, TimeSeries
 from ..steady.base import SteadyModel
 from ..units import msec, sec
+from .controller import ServiceShiftController
 from .ondemand import OnDemandService
 from .window import SlidingWindowRate
 
@@ -48,7 +49,7 @@ class PredictiveControllerConfig:
             raise ConfigurationError("expected_residence_s must be positive")
 
 
-class PredictiveController:
+class PredictiveController(ServiceShiftController):
     """Chooses the placement with the lower predicted power at the current
     windowed rate, with margin + amortized shift cost as hysteresis.
 
@@ -56,6 +57,8 @@ class PredictiveController:
     the hardware curve; ``standby_card_w`` the §9.2 standby cost paid while
     running in software (0 if the card would be removed entirely).
     """
+
+    kind = "predictive"
 
     def __init__(
         self,
@@ -68,10 +71,10 @@ class PredictiveController:
         standby_card_w: float = 0.0,
         config: PredictiveControllerConfig = None,
     ):
+        super().__init__(service)
         self.sim = sim
         self.classifier = classifier
         self.traffic_class = traffic_class
-        self.service = service
         self.software_model = software_model
         self.hardware_model = hardware_model
         self.standby_card_w = standby_card_w

@@ -62,6 +62,15 @@ class Figure6Result:
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
 
+    def save_png(self, path) -> "object":
+        """Render the three timelines as a PNG (requires matplotlib; the
+        text ``render()`` stays the dependency-free contract)."""
+        from .plots import save_transition_png
+
+        return save_transition_png(
+            self, path, title="Figure 6: KVS software ↔ hardware transition"
+        )
+
 
 def run_figure6(
     duration_s: float = 12.0,
@@ -149,6 +158,15 @@ class Figure7Result:
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
+
+    def save_png(self, path) -> "object":
+        """Render the timelines as a PNG (requires matplotlib; the text
+        ``render()`` stays the dependency-free contract)."""
+        from .plots import save_transition_png
+
+        return save_transition_png(
+            self, path, title="Figure 7: Paxos leader software ↔ hardware transition"
+        )
 
 
 def run_figure7(

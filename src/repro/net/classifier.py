@@ -126,6 +126,15 @@ class KeyShardRouter:
         self.per_host: Dict[str, int] = {name: 0 for name in self.hosts}
         self.keyless = 0
 
+    @classmethod
+    def for_qnames(cls, hosts: Sequence[str]) -> "KeyShardRouter":
+        """Anycast-style DNS steering: hash the query name instead of a
+        KVS key.  Every host answers authoritatively for the whole zone
+        (the replicas are identical); the qname hash only spreads load,
+        the way anycast spreads resolvers across sites (§3.3 at rack
+        scale)."""
+        return cls(hosts, key_of=lambda packet: getattr(packet.payload, "name", None))
+
     @property
     def n_shards(self) -> int:
         return len(self.hosts)

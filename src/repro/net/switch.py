@@ -49,6 +49,10 @@ class Switch(Node):
         self.dropped_no_route = 0
         #: per-traffic-class packet counters (controllers read these).
         self.class_counters: Dict[TrafficClass, int] = {tc: 0 for tc in TrafficClass}
+        #: per-(class, logical destination) counters, bumped before rule or
+        #: dispatch rewrite — how a centralized controller watches one
+        #: consensus group's leader-bound rate among many sharing the ToR.
+        self.logical_counters: Dict[Tuple[TrafficClass, str], int] = {}
 
     # -- wiring ----------------------------------------------------------
 
@@ -79,6 +83,10 @@ class Switch(Node):
 
     def rule_for(self, traffic_class: TrafficClass, logical_dst: str) -> Optional[ForwardingRule]:
         return self._rules.get((traffic_class, logical_dst))
+
+    def logical_count(self, traffic_class: TrafficClass, logical_dst: str) -> int:
+        """Packets seen for a (class, logical destination) pair."""
+        return self.logical_counters.get((traffic_class, logical_dst), 0)
 
     def install_dispatch(
         self,
@@ -112,11 +120,13 @@ class Switch(Node):
         rule = self._rules.get(key)
         target = packet.dst
         if rule is not None:
+            self.logical_counters[key] = self.logical_counters.get(key, 0) + 1
             target = rule.next_hop
             self.redirected += 1
         else:
             chooser = self._dispatchers.get(key)
             if chooser is not None:
+                self.logical_counters[key] = self.logical_counters.get(key, 0) + 1
                 target = chooser(packet)
                 self.dispatched += 1
         link = self._ports.get(target)

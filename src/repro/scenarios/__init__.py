@@ -2,15 +2,23 @@
 
 The scenario engine decouples *what a cluster looks like* (a
 :class:`ScenarioSpec`: hosts, cards, switch fabric, app placements,
-workloads, controllers, sampling) from *running it* (the
-:class:`ScenarioBuilder`, which materializes the spec into a wired
-discrete-event run).  Named scenarios — the paper's Figures 6/7 and the
-rack-scale extensions — live in :mod:`repro.scenarios.registry`.
+per-placement shift controllers, workloads, sampling) from *running it*
+(the :class:`ScenarioBuilder`, which materializes the spec into a wired
+discrete-event run).  A rack may mix key-sharded KVS hosts, N independent
+Paxos consensus groups and anycast DNS replicas behind one ToR, each
+placement naming its own :class:`ControllerSpec` kind.  Named scenarios —
+the paper's Figures 6/7 and the rack-scale extensions — live in
+:mod:`repro.scenarios.registry`.
 """
 
 from .spec import (
+    NO_CONTROLLER,
+    RACK_DNS_SERVICE,
     RACK_KVS_SERVICE,
     ColocatedJobSpec,
+    ControllerSpec,
+    DnsHostSpec,
+    DnsWorkloadSpec,
     KvsHostSpec,
     KvsWorkloadSpec,
     OnDemandSweepSpec,
@@ -30,11 +38,22 @@ from .builder import (
     run_scenario_spec,
     windowed_mean,
 )
-from .registry import build_spec, run_scenario, scenario_names
+from .registry import (
+    build_spec,
+    closest_scenario,
+    run_scenario,
+    scenario_descriptions,
+    scenario_names,
+)
 
 __all__ = [
+    "NO_CONTROLLER",
+    "RACK_DNS_SERVICE",
     "RACK_KVS_SERVICE",
     "ColocatedJobSpec",
+    "ControllerSpec",
+    "DnsHostSpec",
+    "DnsWorkloadSpec",
     "KvsHostSpec",
     "KvsWorkloadSpec",
     "OnDemandSweepSpec",
@@ -52,6 +71,8 @@ __all__ = [
     "run_scenario_spec",
     "windowed_mean",
     "build_spec",
+    "closest_scenario",
     "run_scenario",
+    "scenario_descriptions",
     "scenario_names",
 ]

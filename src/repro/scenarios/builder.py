@@ -1,20 +1,24 @@
 """Materialize a :class:`ScenarioSpec` into a wired DES run.
 
 The builder owns all the plumbing the experiment runners used to hand-wire:
-servers with NIC-replacing LaKe cards, software/hardware application pairs
-behind per-host packet classifiers, the ToR switch (with key-shard dispatch
-in rack mode), per-host on-demand controllers, co-located CPU jobs,
-workload clients, and the shared sampling.  Executing the run produces a
-:class:`ScenarioResult` carrying per-host and aggregate timelines — the
-same series the paper's Figures 6/7 plot, generalized to N hosts.
+servers with NIC-replacing cards, software/hardware application pairs
+behind per-host packet classifiers, the ToR switch (with key-shard and
+qname-hash dispatch in rack mode, and per-group logical leader redirects),
+per-placement shift controllers of any :class:`ControllerSpec` kind,
+co-located CPU jobs, workload clients with phased rate schedules, and the
+shared sampling.  Executing the run produces a :class:`ScenarioResult`
+carrying per-host, per-group and aggregate timelines — the same series the
+paper's Figures 6/7 plot, generalized to heterogeneous racks.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .. import calibration as cal
+from ..apps.dns import DnsClient, EmuDns, SoftwareNsd, ZoneTable
 from ..apps.kvs import KvsClient, LakeKvs, SoftwareMemcached
 from ..apps.paxos import PaxosClient
 from ..apps.paxos.deployment import (
@@ -25,12 +29,21 @@ from ..apps.paxos.deployment import (
     _Directory,
 )
 from ..apps.paxos.roles import AcceptorState, LeaderState, LearnerState
+from ..core.controller import ShiftController
 from ..core.host_controller import HostController, HostControllerConfig
+from ..core.network_controller import (
+    DEFAULT_CONFIGS as NETCTL_DEFAULT_CONFIGS,
+    NetworkController,
+)
 from ..core.ondemand import OnDemandService
-from ..core.paxos_controller import PaxosShiftController
+from ..core.paxos_controller import PaxosControllerConfig, PaxosShiftController
+from ..core.predictive_controller import (
+    PredictiveController,
+    PredictiveControllerConfig,
+)
 from ..errors import ConfigurationError
 from ..host import make_i7_server
-from ..hw.fpga import make_lake_fpga, make_p4xos_fpga
+from ..hw.fpga import make_emu_dns_fpga, make_lake_fpga, make_p4xos_fpga
 from ..net.classifier import ClassifierRule, KeyShardRouter, PacketClassifier
 from ..net.node import CallbackNode
 from ..net.packet import TrafficClass
@@ -45,11 +58,17 @@ from ..sim import (
 )
 from ..units import gbit_per_s, kpps, msec, sec
 from ..workloads.colocated import ChainerMNWorkload
+from ..workloads.dns import DnsNameWorkload, ShardedDnsWorkload
 from ..workloads.etc import EtcWorkload, ShardedEtcWorkload
 from .spec import (
+    RACK_DNS_SERVICE,
     RACK_KVS_SERVICE,
+    DnsHostSpec,
     KvsHostSpec,
     OnDemandSweepSpec,
+    PaxosSpec,
+    PhaseSchedule,
+    SamplingSpec,
     ScenarioSpec,
 )
 
@@ -75,7 +94,12 @@ def windowed_mean(series, start_us: float, end_us: float, label: str = "series")
 
 @dataclass
 class HostResult:
-    """One host's Figure-6-style timelines plus its transition markers."""
+    """One host's Figure-6-style timelines plus its transition markers.
+
+    ``app`` tells KVS hosts from DNS hosts in mixed racks; for DNS hosts
+    ``hw_hits`` counts Emu-served queries and ``hw_miss_forwards`` the
+    deeper-than-parser fallbacks (§9.2).
+    """
 
     name: str
     offered_pps: float
@@ -86,6 +110,8 @@ class HostResult:
     hw_hits: int
     hw_miss_forwards: int
     responses: int
+    app: str = "kvs"
+    controller_kind: str = "host"
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
@@ -99,7 +125,7 @@ class HostResult:
 
 @dataclass
 class PaxosResult:
-    """A Paxos group's Figure-7-style timelines."""
+    """One consensus group's Figure-7-style timelines."""
 
     throughput_series: List[Tuple[float, float]]
     latency_series: List[Tuple[float, Optional[float]]]
@@ -108,6 +134,7 @@ class PaxosResult:
     decided: int
     retries: int
     stall_us: List[float] = field(default_factory=list)
+    name: str = "paxos"
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
@@ -123,27 +150,46 @@ class ScenarioResult:
     name: str
     duration_us: float
     hosts: List[HostResult]
-    paxos: Optional[PaxosResult]
-    #: summed per-bucket host throughput (the rack's served rate)
+    paxos_groups: List[PaxosResult]
+    #: summed per-bucket host throughput (the rack's served rate, KVS+DNS)
     aggregate_throughput_series: List[Tuple[float, float]]
-    #: summed per-bucket host platform power (the rack's CPU draw)
+    #: summed per-bucket host platform power (the rack's CPU draw, KVS+DNS)
     aggregate_power_series: List[Tuple[float, float]]
-    #: routed-packet counts per host in rack mode (ToR telemetry)
+    #: routed-packet counts per KVS host in rack mode (ToR telemetry)
     routed_per_host: Dict[str, int] = field(default_factory=dict)
+    #: routed-query counts per DNS host in anycast mode (ToR telemetry)
+    dns_routed_per_host: Dict[str, int] = field(default_factory=dict)
+    dns_hosts: List[HostResult] = field(default_factory=list)
+
+    @property
+    def paxos(self) -> Optional[PaxosResult]:
+        """The single consensus group of a Figure-7-style scenario (the
+        first group of a multi-group rack), or None."""
+        return self.paxos_groups[0] if self.paxos_groups else None
 
     def host(self, name: str) -> HostResult:
-        for host in self.hosts:
+        for host in (*self.hosts, *self.dns_hosts):
             if host.name == name:
                 return host
         raise KeyError(name)
 
+    def paxos_group(self, name: str) -> PaxosResult:
+        for group in self.paxos_groups:
+            if group.name == name:
+                return group
+        raise KeyError(name)
+
+    @property
+    def all_hosts(self) -> List[HostResult]:
+        return [*self.hosts, *self.dns_hosts]
+
     @property
     def total_responses(self) -> int:
-        return sum(h.responses for h in self.hosts)
+        return sum(h.responses for h in self.all_hosts)
 
     @property
     def offered_pps(self) -> float:
-        return sum(h.offered_pps for h in self.hosts)
+        return sum(h.offered_pps for h in self.all_hosts)
 
     def aggregate_mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(
@@ -151,52 +197,78 @@ class ScenarioResult:
         )
 
     def hosts_with_shifts(self) -> List[HostResult]:
-        return [h for h in self.hosts if h.shift_times_us]
+        return [h for h in self.all_hosts if h.shift_times_us]
 
     def distinct_first_shift_times(self) -> List[float]:
         """Sorted unique first-shift moments across the rack — evidence
         that hosts move between software and hardware independently."""
         return sorted({h.shift_times_us[0] for h in self.hosts_with_shifts()})
 
+    def paxos_distinct_first_shift_times(self) -> List[float]:
+        """Unique first-shift moments across consensus groups — evidence
+        that groups behind one ToR shift independently."""
+        return sorted(
+            {g.shift_times_us[0] for g in self.paxos_groups if g.shift_times_us}
+        )
+
     def render(self) -> str:
         lines = [f"Scenario: {self.name} ({self.duration_us / 1e6:.1f}s simulated)"]
         if self.hosts:
             lines.append(
                 f"rack: {len(self.hosts)} KVS host(s), "
-                f"offered {self.offered_pps / 1e3:.1f} kpps total, "
-                f"{self.total_responses} responses"
+                f"offered {sum(h.offered_pps for h in self.hosts) / 1e3:.1f} kpps total, "
+                f"{sum(h.responses for h in self.hosts)} responses"
             )
-            lines.append(
-                "host            shifts[s]           mean thr[kpps]  hw hits  misses"
-            )
-            for host in self.hosts:
-                shifts = (
-                    ", ".join(f"{t / 1e6:.2f}" for t in host.shift_times_us) or "-"
-                )
-                thr = windowed_mean(
-                    host.throughput_series, 0.0, self.duration_us, "throughput"
-                )
-                lines.append(
-                    f"{host.name:<14}  {shifts:<18}  {thr / 1e3:14.1f}  "
-                    f"{host.hw_hits:7d}  {host.hw_miss_forwards:6d}"
-                )
-            agg = self.aggregate_mean_throughput_pps(0.0, self.duration_us)
-            lines.append(f"aggregate throughput: {agg / 1e3:.1f} kpps")
+            lines.extend(self._host_table(self.hosts, self.duration_us))
             if self.routed_per_host:
                 routed = ", ".join(
                     f"{name}={count}" for name, count in self.routed_per_host.items()
                 )
                 lines.append(f"ToR key-shard routing: {routed}")
-        if self.paxos is not None:
+        if self.dns_hosts:
             lines.append(
-                f"paxos: {self.paxos.decided} decisions, "
-                f"{self.paxos.retries} retries, shifts at "
+                f"anycast DNS: {len(self.dns_hosts)} host(s), "
+                f"offered {sum(h.offered_pps for h in self.dns_hosts) / 1e3:.1f} kqps total, "
+                f"{sum(h.responses for h in self.dns_hosts)} responses"
+            )
+            lines.extend(self._host_table(self.dns_hosts, self.duration_us))
+            if self.dns_routed_per_host:
+                routed = ", ".join(
+                    f"{name}={count}"
+                    for name, count in self.dns_routed_per_host.items()
+                )
+                lines.append(f"ToR qname-hash routing: {routed}")
+        if self.all_hosts:
+            agg = self.aggregate_mean_throughput_pps(0.0, self.duration_us)
+            lines.append(f"aggregate throughput: {agg / 1e3:.1f} kpps")
+        for group in self.paxos_groups:
+            lines.append(
+                f"paxos[{group.name}]: {group.decided} decisions, "
+                f"{group.retries} retries, shifts at "
                 + (
-                    ", ".join(f"{t / 1e6:.2f}s" for t in self.paxos.shift_times_us)
+                    ", ".join(f"{t / 1e6:.2f}s" for t in group.shift_times_us)
                     or "-"
                 )
             )
         return "\n".join(lines)
+
+    @staticmethod
+    def _host_table(hosts: List[HostResult], duration_us: float) -> List[str]:
+        lines = [
+            "host            ctl         shifts[s]           mean thr[kpps]  hw hits  misses"
+        ]
+        for host in hosts:
+            shifts = ", ".join(f"{t / 1e6:.2f}" for t in host.shift_times_us) or "-"
+            thr = (
+                windowed_mean(host.throughput_series, 0.0, duration_us, "throughput")
+                if any(v for _, v in host.throughput_series)
+                else 0.0
+            )
+            lines.append(
+                f"{host.name:<14}  {host.controller_kind:<10}  {shifts:<18}  "
+                f"{thr / 1e3:14.1f}  {host.hw_hits:7d}  {host.hw_miss_forwards:6d}"
+            )
+        return lines
 
 
 # ---------------------------------------------------------------------------
@@ -215,7 +287,7 @@ class BuiltKvsHost:
     lake: LakeKvs
     classifier: PacketClassifier
     service: OnDemandService
-    controller: Optional[HostController]
+    controller: Optional[ShiftController]
     client: KvsClient
     power_sampler: PeriodicSampler
     jobs: List[ChainerMNWorkload]
@@ -223,9 +295,27 @@ class BuiltKvsHost:
 
 
 @dataclass
-class BuiltPaxosGroup:
-    """The wired Figure-7 substrate (construction handles)."""
+class BuiltDnsHost:
+    """The wired stack behind one anycast DNS replica."""
 
+    spec: DnsHostSpec
+    server: object
+    card: object
+    nsd: SoftwareNsd
+    emu: EmuDns
+    classifier: PacketClassifier
+    service: OnDemandService
+    controller: Optional[ShiftController]
+    client: DnsClient
+    power_sampler: PeriodicSampler
+    offered_pps: float
+
+
+@dataclass
+class BuiltPaxosGroup:
+    """One wired consensus group (construction handles)."""
+
+    spec: PaxosSpec
     deployment: PaxosDeployment
     controller: PaxosShiftController
     clients: List[PaxosClient]
@@ -244,7 +334,9 @@ class ScenarioRun:
         switch: Switch,
         kvs_hosts: List[BuiltKvsHost],
         router: Optional[KeyShardRouter],
-        paxos: Optional[BuiltPaxosGroup],
+        paxos_groups: List[BuiltPaxosGroup],
+        dns_hosts: Optional[List[BuiltDnsHost]] = None,
+        dns_router: Optional[KeyShardRouter] = None,
     ):
         self.spec = spec
         self.sim = sim
@@ -252,7 +344,9 @@ class ScenarioRun:
         self.switch = switch
         self.kvs_hosts = kvs_hosts
         self.router = router
-        self.paxos = paxos
+        self.paxos_groups = paxos_groups
+        self.dns_hosts = dns_hosts or []
+        self.dns_router = dns_router
         self._executed = False
 
     # -- execution -----------------------------------------------------------
@@ -264,44 +358,63 @@ class ScenarioRun:
         self._executed = True
         duration_us = sec(self.spec.duration_s)
         self.sim.run_until(duration_us)
-        for host in self.kvs_hosts:
+        for host in (*self.kvs_hosts, *self.dns_hosts):
             if host.controller is not None:
                 host.controller.stop()
-        if self.paxos is not None:
-            self.paxos.controller.stop()
-            self.paxos.gap_scanner.stop()
+        for group in self.paxos_groups:
+            group.controller.stop()
+            group.gap_scanner.stop()
         return self._collect(duration_us)
 
     # -- series collection ---------------------------------------------------
 
+    def _effective_sampling(self, host_spec) -> SamplingSpec:
+        return host_spec.sampling or self.spec.sampling
+
     def _collect(self, duration_us: float) -> ScenarioResult:
         bucket_us = msec(self.spec.sampling.bucket_ms)
         host_results = [
-            self._collect_host(host, bucket_us, duration_us)
-            for host in self.kvs_hosts
+            self._collect_host(host, duration_us) for host in self.kvs_hosts
         ]
+        dns_results = [
+            self._collect_dns_host(host, duration_us) for host in self.dns_hosts
+        ]
+        # Aggregates always use the scenario-level bucket so hosts with
+        # per-host sampling overrides still sum onto aligned buckets.
         aggregate_thr = _sum_series(
-            [h.throughput_series for h in host_results]
+            [
+                bucket_rate_series(
+                    host.client.response_times_us, bucket_us, duration_us
+                )
+                for host in (*self.kvs_hosts, *self.dns_hosts)
+            ]
         )
-        aggregate_pw = _sum_series([h.power_series for h in host_results])
-        paxos_result = (
-            self._collect_paxos(bucket_us, duration_us)
-            if self.paxos is not None
-            else None
+        aggregate_pw = _sum_series(
+            [
+                _power_series(host.power_sampler, bucket_us, duration_us)
+                for host in (*self.kvs_hosts, *self.dns_hosts)
+            ]
         )
+        paxos_results = [
+            self._collect_paxos(group, bucket_us, duration_us)
+            for group in self.paxos_groups
+        ]
         return ScenarioResult(
             name=self.spec.name,
             duration_us=duration_us,
             hosts=host_results,
-            paxos=paxos_result,
+            paxos_groups=paxos_results,
             aggregate_throughput_series=aggregate_thr,
             aggregate_power_series=aggregate_pw,
             routed_per_host=dict(self.router.per_host) if self.router else {},
+            dns_routed_per_host=(
+                dict(self.dns_router.per_host) if self.dns_router else {}
+            ),
+            dns_hosts=dns_results,
         )
 
-    def _collect_host(
-        self, host: BuiltKvsHost, bucket_us: float, duration_us: float
-    ) -> HostResult:
+    def _collect_host(self, host: BuiltKvsHost, duration_us: float) -> HostResult:
+        bucket_us = msec(self._effective_sampling(host.spec).bucket_ms)
         client = host.client
         throughput = bucket_rate_series(
             client.response_times_us, bucket_us, duration_us
@@ -311,17 +424,7 @@ class ScenarioRun:
             bucket_us,
             duration_us,
         )
-        power = bucket_mean_series(
-            list(
-                zip(
-                    host.power_sampler.series.times,
-                    host.power_sampler.series.values,
-                )
-            ),
-            bucket_us,
-            duration_us,
-        )
-        power = [(t, v if v is not None else 0.0) for t, v in power]
+        power = _power_series(host.power_sampler, bucket_us, duration_us)
         lake = host.lake
         return HostResult(
             name=host.spec.name,
@@ -333,10 +436,39 @@ class ScenarioRun:
             hw_hits=lake.l1.hits + (lake.l2.hits if lake.l2 is not None else 0),
             hw_miss_forwards=lake.miss_forwards,
             responses=client.responses,
+            app="kvs",
+            controller_kind=host.spec.controller.kind,
         )
 
-    def _collect_paxos(self, bucket_us: float, duration_us: float) -> PaxosResult:
-        group = self.paxos
+    def _collect_dns_host(self, host: BuiltDnsHost, duration_us: float) -> HostResult:
+        bucket_us = msec(self._effective_sampling(host.spec).bucket_ms)
+        client = host.client
+        throughput = bucket_rate_series(
+            client.response_times_us, bucket_us, duration_us
+        )
+        latency = bucket_mean_series(
+            list(zip(client.latency_series.times, client.latency_series.values)),
+            bucket_us,
+            duration_us,
+        )
+        power = _power_series(host.power_sampler, bucket_us, duration_us)
+        return HostResult(
+            name=host.spec.name,
+            offered_pps=host.offered_pps,
+            shift_times_us=host.service.shift_times_us(),
+            throughput_series=throughput,
+            latency_series=latency,
+            power_series=power,
+            hw_hits=host.emu.served,
+            hw_miss_forwards=host.emu.deep_query_fallbacks,
+            responses=client.responses,
+            app="dns",
+            controller_kind=host.spec.controller.kind,
+        )
+
+    def _collect_paxos(
+        self, group: BuiltPaxosGroup, bucket_us: float, duration_us: float
+    ) -> PaxosResult:
         clients = group.clients
         decision_times = sorted(
             t for client in clients for t in client.decision_times_us
@@ -349,22 +481,13 @@ class ScenarioRun:
         latency_samples.sort()
         throughput = bucket_rate_series(decision_times, bucket_us, duration_us)
         latency = bucket_mean_series(latency_samples, bucket_us, duration_us)
-        power = bucket_mean_series(
-            list(
-                zip(
-                    group.power_sampler.series.times,
-                    group.power_sampler.series.values,
-                )
-            ),
-            bucket_us,
-            duration_us,
-        )
-        power = [(t, v if v is not None else 0.0) for t, v in power]
+        power = _power_series(group.power_sampler, bucket_us, duration_us)
         # Post-shift stall: the largest decision gap in the 300ms following
         # each shift (in-flight decisions may land just after the rule
         # flip; the stall is the silence until client retries).
+        shift_times = group.controller.shift_times_us()
         stalls = []
-        for shift_time in group.controller.shift_times_us:
+        for shift_time in shift_times:
             window = [shift_time] + [
                 t
                 for t in decision_times
@@ -377,11 +500,23 @@ class ScenarioRun:
             throughput_series=throughput,
             latency_series=latency,
             power_series=power,
-            shift_times_us=list(group.controller.shift_times_us),
+            shift_times_us=shift_times,
             decided=sum(c.decided for c in clients),
             retries=sum(c.retries for c in clients),
             stall_us=stalls,
+            name=group.spec.name,
         )
+
+
+def _power_series(
+    sampler: PeriodicSampler, bucket_us: float, duration_us: float
+) -> List[Tuple[float, float]]:
+    series = bucket_mean_series(
+        list(zip(sampler.series.times, sampler.series.values)),
+        bucket_us,
+        duration_us,
+    )
+    return [(t, v if v is not None else 0.0) for t, v in series]
 
 
 def _sum_series(
@@ -426,18 +561,33 @@ class ScenarioBuilder:
         if spec.kvs_hosts:
             kvs_hosts, router = self._build_kvs_rack(sim, streams, topo, switch)
 
-        paxos = (
-            self._build_paxos(sim, streams, topo, switch)
-            if spec.paxos is not None
-            else None
+        paxos_groups = [
+            self._build_paxos_group(sim, streams, topo, switch, group)
+            for group in spec.paxos_groups
+        ]
+
+        dns_hosts: List[BuiltDnsHost] = []
+        dns_router: Optional[KeyShardRouter] = None
+        if spec.dns_hosts:
+            dns_hosts, dns_router = self._build_dns_rack(sim, streams, topo, switch)
+
+        return ScenarioRun(
+            spec,
+            sim,
+            topo,
+            switch,
+            kvs_hosts,
+            router,
+            paxos_groups,
+            dns_hosts=dns_hosts,
+            dns_router=dns_router,
         )
-        return ScenarioRun(spec, sim, topo, switch, kvs_hosts, router, paxos)
 
     def run(self) -> ScenarioResult:
         """Build and execute in one step."""
         return self.build().execute()
 
-    # -- KVS rack ------------------------------------------------------------
+    # -- shared plumbing -----------------------------------------------------
 
     def _connect(self, topo: Topology, node_name: str) -> None:
         topo.connect_via_switch(
@@ -446,6 +596,84 @@ class ScenarioBuilder:
             latency_us=self.spec.switch.latency_us,
             bandwidth_bps=gbit_per_s(self.spec.switch.bandwidth_gbps),
         )
+
+    def _schedule_phases(
+        self,
+        sim: Simulator,
+        phases: PhaseSchedule,
+        clients: List,
+        weights: List[float],
+    ) -> None:
+        """Apply a (at_s, total_rate_kpps) schedule: each client gets its
+        host's popularity-weighted share of the new total rate."""
+        for at_s, rate_kpps in phases:
+            for client, weight in zip(clients, weights):
+                sim.schedule_at(
+                    sec(at_s),
+                    lambda c=client, r=kpps(rate_kpps) * weight: c.set_rate(r),
+                    name="workload.phase",
+                )
+
+    def _build_controller(
+        self,
+        sim: Simulator,
+        app: str,
+        host_spec,
+        server,
+        classifier: PacketClassifier,
+        traffic_class: TrafficClass,
+        service: OnDemandService,
+    ) -> Optional[ShiftController]:
+        """Materialize the host's :class:`ControllerSpec` — the unified
+        controller plane.  Every §9.1 family plugs in here; ``params``
+        override each family's calibrated defaults."""
+        kind = host_spec.controller.kind
+        params = host_spec.controller.as_dict()
+        if kind == "none":
+            return None
+        if kind == "host":
+            server.start_rapl(update_interval_us=msec(host_spec.rapl_interval_ms))
+            defaults = {
+                "rate_down_pps": cal.NETCTL_KVS_DOWN_PPS
+                if app == "kvs"
+                else cal.NETCTL_DNS_DOWN_PPS
+            }
+            return HostController(
+                sim,
+                server,
+                service,
+                config=HostControllerConfig(**{**defaults, **params}),
+                classifier=classifier,
+                traffic_class=traffic_class,
+            )
+        if kind == "network":
+            # the per-app §4 crossover defaults live next to the controller
+            config = NETCTL_DEFAULT_CONFIGS[app]
+            if params:
+                config = dataclasses.replace(config, **params)
+            return NetworkController(
+                sim, classifier, traffic_class, service, config
+            )
+        if kind == "predictive":
+            # the steady-state curves of both placements are the model the
+            # §9.1-forward predictive controller carries
+            from ..steady.ondemand import make_ondemand_model
+
+            model = make_ondemand_model(app)
+            standby_card_w = params.pop("standby_card_w", model.standby_card_w)
+            return PredictiveController(
+                sim,
+                classifier,
+                traffic_class,
+                service,
+                software_model=model.software,
+                hardware_model=model.hardware,
+                standby_card_w=standby_card_w,
+                config=PredictiveControllerConfig(**params),
+            )
+        raise ConfigurationError(f"unknown controller kind {kind!r}")  # pragma: no cover
+
+    # -- KVS rack ------------------------------------------------------------
 
     def _build_kvs_rack(
         self,
@@ -515,6 +743,9 @@ class ScenarioBuilder:
                     preloader=preloader,
                 )
             )
+        self._schedule_phases(
+            sim, workload.phases, [host.client for host in hosts], weights
+        )
         return hosts, router
 
     def _build_kvs_host(
@@ -585,7 +816,7 @@ class ScenarioBuilder:
             job.schedule(sec(job_spec.start_s), sec(job_spec.stop_s))
             jobs.append(job)
 
-        # -- on-demand service + host controller (§9.1)
+        # -- on-demand service + the host's chosen controller kind (§9.1)
         service = OnDemandService(
             sim,
             host_spec.name,
@@ -596,27 +827,16 @@ class ScenarioBuilder:
                 power_save=host_spec.power_save
             ),
         )
-        controller = None
-        if host_spec.controller:
-            server.start_rapl(update_interval_us=msec(host_spec.rapl_interval_ms))
-            controller = HostController(
-                sim,
-                server,
-                service,
-                config=HostControllerConfig(
-                    rate_down_pps=host_spec.rate_down_pps
-                    if host_spec.rate_down_pps is not None
-                    else cal.NETCTL_KVS_DOWN_PPS
-                ),
-                classifier=classifier,
-                traffic_class=TrafficClass.MEMCACHED,
-            )
+        controller = self._build_controller(
+            sim, "kvs", host_spec, server, classifier, TrafficClass.MEMCACHED, service
+        )
 
         # -- instrumentation (the paper reads CPU power from RAPL)
+        sampling = host_spec.sampling or spec.sampling
         power_sampler = PeriodicSampler(
             sim,
             server.platform_power_w,
-            msec(spec.sampling.power_interval_ms),
+            msec(sampling.power_interval_ms),
             name=f"{host_spec.name}.rapl-power",
         )
         return BuiltKvsHost(
@@ -634,49 +854,210 @@ class ScenarioBuilder:
             offered_pps=rate_pps,
         )
 
-    # -- Paxos group -----------------------------------------------------------
+    # -- anycast DNS rack ----------------------------------------------------
 
-    def _build_paxos(
+    def _build_dns_rack(
         self,
         sim: Simulator,
         streams: RngStreams,
         topo: Topology,
         switch: Switch,
+    ) -> Tuple[List[BuiltDnsHost], Optional[KeyShardRouter]]:
+        spec = self.spec
+        workload = spec.dns_workload
+        host_specs = spec.dns_hosts
+        n_hosts = len(host_specs)
+        total_rate_pps = kpps(workload.rate_kpps)
+
+        if spec.dns_sharded:
+            sharded = ShardedDnsWorkload(
+                n_names=workload.n_names,
+                n_shards=n_hosts,
+                zipf_s=workload.zipf_s,
+                seed=spec.seed,
+                miss_fraction=workload.miss_fraction,
+            )
+            weights = sharded.shard_weights()
+            records = sharded.records()
+            router = KeyShardRouter.for_qnames([h.name for h in host_specs])
+            switch.install_dispatch(
+                TrafficClass.DNS, RACK_DNS_SERVICE, router.route
+            )
+        else:
+            sharded = None
+            weights = [1.0]
+            records = None
+            router = None
+
+        hosts: List[BuiltDnsHost] = []
+        for index, host_spec in enumerate(host_specs):
+            if sharded is not None:
+                name_sampler = sharded.stream(index).name
+                server_name = RACK_DNS_SERVICE
+                rate_pps = total_rate_pps * weights[index]
+                host_records = records
+            else:
+                workload_obj = DnsNameWorkload(
+                    n_names=workload.n_names,
+                    zipf_s=workload.zipf_s,
+                    seed=spec.seed,
+                    miss_fraction=workload.miss_fraction,
+                )
+                name_sampler = workload_obj.name
+                server_name = host_spec.name
+                rate_pps = total_rate_pps
+                host_records = workload_obj.records()
+            hosts.append(
+                self._build_dns_host(
+                    sim,
+                    streams,
+                    topo,
+                    host_spec,
+                    server_name=server_name,
+                    rate_pps=rate_pps,
+                    name_sampler=name_sampler,
+                    records=host_records,
+                )
+            )
+        self._schedule_phases(
+            sim, workload.phases, [host.client for host in hosts], weights
+        )
+        return hosts, router
+
+    def _build_dns_host(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        topo: Topology,
+        host_spec: DnsHostSpec,
+        server_name: str,
+        rate_pps: float,
+        name_sampler,
+        records,
+    ) -> BuiltDnsHost:
+        spec = self.spec
+        # -- server with the Emu DNS card doubling as its NIC (§3.3)
+        server = make_i7_server(sim, name=host_spec.name, nic=None)
+        card = make_emu_dns_fpga()
+        server.install_card(card.power_w)
+        zone = ZoneTable(name=f"{host_spec.name}.zone")
+        zone.add_many(records)
+        nsd = SoftwareNsd(sim, server, zone=zone)
+        emu = EmuDns(
+            sim,
+            card,
+            server,
+            fallback=nsd,
+            rng=streams.get(f"{host_spec.name}.emu.jitter"),
+        )
+        # every anycast replica answers for the whole zone
+        emu.zone.add_many(records)
+        emu.disable(power_save=host_spec.power_save)
+
+        classifier = PacketClassifier(sim)
+        classifier.add_rule(
+            ClassifierRule(TrafficClass.DNS, hardware=emu.offer, host=nsd.offer)
+        )
+        server.set_packet_handler(classifier.classify)
+        topo.add(server)
+        self._connect(topo, host_spec.name)
+
+        # -- the host's slice of the query stream
+        client_name = host_spec.resolved_client_name()
+        client = DnsClient(
+            sim,
+            client_name,
+            server_name=server_name,
+            name_sampler=name_sampler,
+            rng=streams.get(f"{client_name}.arrivals"),
+        )
+        topo.add(client)
+        self._connect(topo, client_name)
+        client.set_rate(rate_pps)
+
+        # -- on-demand service + the host's chosen controller kind
+        service = OnDemandService(
+            sim,
+            host_spec.name,
+            classifier=classifier,
+            traffic_class=TrafficClass.DNS,
+            to_hardware=emu.enable,
+            to_software=lambda emu=emu: emu.disable(
+                power_save=host_spec.power_save
+            ),
+        )
+        controller = self._build_controller(
+            sim, "dns", host_spec, server, classifier, TrafficClass.DNS, service
+        )
+
+        sampling = host_spec.sampling or spec.sampling
+        power_sampler = PeriodicSampler(
+            sim,
+            server.platform_power_w,
+            msec(sampling.power_interval_ms),
+            name=f"{host_spec.name}.rapl-power",
+        )
+        return BuiltDnsHost(
+            spec=host_spec,
+            server=server,
+            card=card,
+            nsd=nsd,
+            emu=emu,
+            classifier=classifier,
+            service=service,
+            controller=controller,
+            client=client,
+            power_sampler=power_sampler,
+            offered_pps=rate_pps,
+        )
+
+    # -- Paxos groups ----------------------------------------------------------
+
+    def _build_paxos_group(
+        self,
+        sim: Simulator,
+        streams: RngStreams,
+        topo: Topology,
+        switch: Switch,
+        px: PaxosSpec,
     ) -> BuiltPaxosGroup:
-        px = self.spec.paxos
-        acceptor_names = [f"acceptor{i}" for i in range(px.n_acceptors)]
-        learner_names = ["learner0"]
-        directory = _Directory(acceptor_names, learner_names)
+        acceptor_names = px.acceptor_names()
+        learner_names = [px.learner_name]
+        directory = _Directory(
+            acceptor_names, learner_names, leader_address=px.leader_address
+        )
 
         # -- software leader on an i7 host
-        sw_server = make_i7_server(sim, name="sw-leader")
+        sw_name = px.software_leader_name
+        sw_server = make_i7_server(sim, name=sw_name)
         sw_leader = SoftwarePaxosRole(
             sim,
             sw_server,
-            LeaderState("sw-leader", 0, px.n_acceptors),
+            LeaderState(sw_name, 0, px.n_acceptors),
             directory,
             capacity_pps=cal.LIBPAXOS_LEADER_CAPACITY_PPS,
             stack_latency_us=cal.LIBPAXOS_LEADER_STACK_US,
-            app_name="libpaxos-leader",
+            app_name=f"libpaxos-leader.{px.name}",
         )
         sw_server.set_packet_handler(sw_leader.offer)
         topo.add(sw_server)
-        self._connect(topo, "sw-leader")
+        self._connect(topo, sw_name)
 
         # -- hardware leader: P4xos on a NetFPGA behind its own port
+        hw_name = px.hardware_leader_name
         hw_card = make_p4xos_fpga()
         hw_node = CallbackNode(
-            sim, "hw-leader", on_packet=lambda p: hw_leader.offer(p)
+            sim, hw_name, on_packet=lambda p: hw_leader.offer(p)
         )
         hw_leader = HardwarePaxosRole(
             sim,
             hw_card,
             hw_node,
-            LeaderState("hw-leader", 1, px.n_acceptors),
+            LeaderState(hw_name, 1, px.n_acceptors),
             directory,
         )
         topo.add(hw_node)
-        self._connect(topo, "hw-leader")
+        self._connect(topo, hw_name)
 
         # -- software acceptors and learner
         for name in acceptor_names:
@@ -694,41 +1075,50 @@ class ScenarioBuilder:
             topo.add(server)
             self._connect(topo, name)
 
-        learner_server = make_i7_server(sim, name="learner0")
+        learner_server = make_i7_server(sim, name=px.learner_name)
         learner_role = SoftwarePaxosRole(
             sim,
             learner_server,
-            LearnerState("learner0", px.n_acceptors),
+            LearnerState(px.learner_name, px.n_acceptors),
             directory,
             capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
             stack_latency_us=cal.LIBPAXOS_LEARNER_STACK_US,
-            app_name="learner",
+            app_name=f"learner.{px.name}",
         )
         learner_server.set_packet_handler(learner_role.offer)
         topo.add(learner_server)
-        self._connect(topo, "learner0")
+        self._connect(topo, px.learner_name)
         gap_scanner = LearnerGapScanner(sim, learner_role)
 
-        # -- deployment + centralized shift controller (§9.2)
-        deployment = PaxosDeployment(switch)
-        deployment.register_leader("sw-leader", sw_leader)
-        deployment.register_leader("hw-leader", hw_leader)
-        deployment.activate_leader("sw-leader")
+        # -- deployment + this group's shift controller (§9.2)
+        deployment = PaxosDeployment(switch, logical_leader=px.leader_address)
+        deployment.register_leader(sw_name, sw_leader)
+        deployment.register_leader(hw_name, hw_leader)
+        deployment.activate_leader(sw_name)
+        params = px.controller.as_dict()
+        automatic = px.controller.kind == "rate"
         controller = PaxosShiftController(
             sim,
             switch,
             deployment,
-            software_node="sw-leader",
-            hardware_node="hw-leader",
-            automatic=False,
+            software_node=sw_name,
+            hardware_node=hw_name,
+            config=PaxosControllerConfig(**params) if params else None,
+            automatic=automatic,
+            logical_dst=px.leader_address,
         )
         for at_s, to_hardware in px.shifts:
             controller.schedule_shift(sec(at_s), to_hardware=to_hardware)
 
         # -- closed-loop clients
         clients = []
-        for i in range(px.n_clients):
-            client = PaxosClient(sim, f"pxclient{i}", rng=streams.get(f"client{i}"))
+        for name in px.client_names():
+            client = PaxosClient(
+                sim,
+                name,
+                rng=streams.get(f"{name}.arrivals"),
+                leader_address=px.leader_address,
+            )
             topo.add(client)
             self._connect(topo, client.name)
             clients.append(client)
@@ -744,9 +1134,10 @@ class ScenarioBuilder:
             sim,
             sw_server.platform_power_w,
             msec(self.spec.sampling.power_interval_ms),
-            name="sw-leader.power",
+            name=f"{sw_name}.power",
         )
         return BuiltPaxosGroup(
+            spec=px,
             deployment=deployment,
             controller=controller,
             clients=clients,

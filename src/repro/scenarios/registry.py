@@ -8,23 +8,34 @@ rack-scale extensions all live here:
 =====================  =====================================================
 ``fig6-kvs-transition``  Figure 6 — host-controlled KVS shift under a
                          co-located ChainerMN job (single host).
+``fig6-kvs-netctl``      Figure 6 rerun with the *network-controlled*
+                         design (§9.1): a load ramp instead of a
+                         co-located job drives the shift.
 ``fig7-paxos-transition``  Figure 7 — centralized Paxos leader shift via
                          switch-rule rewrite.
 ``rack4-kvs-sharded``    4 sharded memcached hosts behind one ToR.
 ``rack8-kvs-sharded``    The rack-scale flagship: 8 sharded memcached
                          hosts, staggered co-located jobs, every host
                          shifting on its own schedule.
+``rack-mixed``           A heterogeneous rack: 2 KVS shards, 2 independent
+                         Paxos groups and 2 anycast DNS replicas sharing
+                         one ToR, with per-host controller kinds.
 =====================  =====================================================
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import difflib
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError
+from ..units import sec
 from .builder import ScenarioBuilder, ScenarioResult
 from .spec import (
     ColocatedJobSpec,
+    ControllerSpec,
+    DnsHostSpec,
+    DnsWorkloadSpec,
     KvsHostSpec,
     KvsWorkloadSpec,
     PaxosSpec,
@@ -53,13 +64,27 @@ def scenario_names() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def scenario_descriptions() -> Dict[str, str]:
+    """Name → one-line description for every registered scenario."""
+    return {name: _REGISTRY[name]().description for name in scenario_names()}
+
+
+def closest_scenario(name: str) -> Optional[str]:
+    """The registered name most similar to ``name``, if any is close."""
+    matches = difflib.get_close_matches(name, scenario_names(), n=1, cutoff=0.4)
+    return matches[0] if matches else None
+
+
 def build_spec(name: str, **overrides) -> ScenarioSpec:
     """Instantiate a named scenario's spec (factory overrides applied)."""
     try:
         factory = _REGISTRY[name]
     except KeyError:
+        suggestion = closest_scenario(name)
+        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
         raise ConfigurationError(
-            f"unknown scenario {name!r}; known: {', '.join(scenario_names())}"
+            f"unknown scenario {name!r}{hint} "
+            f"(known: {', '.join(scenario_names())})"
         ) from None
     return factory(**overrides)
 
@@ -114,6 +139,58 @@ def figure6_spec(
     )
 
 
+@register("fig6-kvs-netctl")
+def figure6_netctl_spec(
+    duration_s: float = 12.0,
+    base_rate_kpps: float = 2.0,
+    peak_rate_kpps: float = 16.0,
+    ramp_up_s: float = 2.0,
+    ramp_down_s: float = 8.0,
+    keyspace: int = 50_000,
+    seed: int = 42,
+    bucket_ms: float = 250.0,
+) -> ScenarioSpec:
+    """Figure 6 driven by the *network-controlled* design (§9.1): the same
+    single LaKe host, but the decision lives in the device's classifier —
+    a sustained offered-rate ramp (not a co-located job) triggers the
+    shift, and the rate falling back triggers the return."""
+    ramp_down_s = min(ramp_down_s, duration_s)
+    return ScenarioSpec(
+        name="fig6-kvs-netctl",
+        description=(
+            "Figure 6 variant: network-controlled KVS shift on a load ramp"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=(
+            KvsHostSpec(
+                name="kvs-server",
+                client_name="client",
+                controller=ControllerSpec(
+                    kind="network",
+                    params=dict(
+                        up_rate_pps=(base_rate_kpps + peak_rate_kpps) * 1e3 / 2.0,
+                        down_rate_pps=base_rate_kpps * 1e3 * 1.5,
+                        up_window_us=sec(1.5),
+                        down_window_us=sec(1.5),
+                    ),
+                ),
+            ),
+        ),
+        kvs_workload=KvsWorkloadSpec(
+            keyspace=keyspace,
+            rate_kpps=base_rate_kpps,
+            phases=(
+                (ramp_up_s, peak_rate_kpps),
+                (ramp_down_s, base_rate_kpps),
+            )
+            if ramp_down_s > ramp_up_s
+            else ((ramp_up_s, peak_rate_kpps),),
+        ),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=bucket_ms),
+    )
+
+
 @register("fig7-paxos-transition")
 def figure7_spec(
     duration_s: float = 5.0,
@@ -132,12 +209,15 @@ def figure7_spec(
         description="Figure 7: Paxos leader software<->hardware shift",
         duration_s=duration_s,
         seed=seed,
-        paxos=PaxosSpec(
-            n_clients=n_clients,
-            client_window=client_window,
-            n_acceptors=n_acceptors,
-            recovery_window=recovery_window,
-            shifts=((shift_to_hw_s, True), (shift_to_sw_s, False)),
+        paxos_groups=(
+            PaxosSpec(
+                name="paxos",
+                n_clients=n_clients,
+                client_window=client_window,
+                n_acceptors=n_acceptors,
+                recovery_window=recovery_window,
+                shifts=((shift_to_hw_s, True), (shift_to_sw_s, False)),
+            ),
         ),
         sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=bucket_ms),
     )
@@ -226,4 +306,104 @@ def rack8_spec(
         stagger_s=0.5,
         first_job_s=0.8,
         job_length_s=3.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The heterogeneous rack: every application, every controller family.
+# ---------------------------------------------------------------------------
+
+
+@register("rack-mixed")
+def rack_mixed_spec(
+    duration_s: float = 5.0,
+    kvs_rate_kpps: float = 16.0,
+    dns_rate_kqps: float = 10.0,
+    dns_storm_kqps: float = 30.0,
+    keyspace: int = 20_000,
+    n_names: int = 800,
+    seed: int = 23,
+) -> ScenarioSpec:
+    """The §9.4 mixed rack: 2 key-sharded KVS hosts, 2 independent Paxos
+    consensus groups (own logical leader addresses, scheduled shifts at
+    distinct times), and 2 anycast DNS replicas steered by qname hash —
+    all behind one ToR, each placement with its own controller kind."""
+    storm_start_s = min(1.5, duration_s / 3.0)
+    storm_stop_s = min(duration_s - 0.5, duration_s * 0.9)
+    job_start_s, job_stop_s = 0.8, min(3.5, duration_s)
+    return ScenarioSpec(
+        name="rack-mixed",
+        description=(
+            "Heterogeneous rack: 2 KVS shards + 2 Paxos groups + 2 anycast "
+            "DNS hosts, mixed controller kinds"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=(
+            # host-driven RAPL controller triggered by a co-located job
+            # (dropped on horizons too short for the job to fit)
+            KvsHostSpec(
+                name="kvs0",
+                colocated=(
+                    ColocatedJobSpec(start_s=job_start_s, stop_s=job_stop_s),
+                )
+                if job_stop_s > job_start_s
+                else (),
+            ),
+            # network-driven controller triggered by this shard's rate
+            KvsHostSpec(
+                name="kvs1",
+                controller=ControllerSpec(
+                    kind="network",
+                    params=dict(
+                        up_rate_pps=6_000.0,
+                        down_rate_pps=2_000.0,
+                        up_window_us=sec(1.0),
+                        down_window_us=sec(1.0),
+                    ),
+                ),
+            ),
+        ),
+        kvs_workload=KvsWorkloadSpec(keyspace=keyspace, rate_kpps=kvs_rate_kpps),
+        paxos_groups=(
+            PaxosSpec(name="px0", shifts=((1.2, True),)),
+            PaxosSpec(name="px1", shifts=((2.2, True),)),
+        ),
+        dns_hosts=(
+            DnsHostSpec(
+                name="dns0",
+                controller=ControllerSpec(
+                    kind="network",
+                    params=dict(
+                        up_rate_pps=8_000.0,
+                        down_rate_pps=3_000.0,
+                        up_window_us=sec(1.0),
+                        down_window_us=sec(1.0),
+                    ),
+                ),
+            ),
+            DnsHostSpec(
+                name="dns1",
+                controller=ControllerSpec(
+                    kind="network",
+                    params=dict(
+                        up_rate_pps=8_000.0,
+                        down_rate_pps=3_000.0,
+                        up_window_us=sec(1.0),
+                        down_window_us=sec(1.0),
+                    ),
+                ),
+            ),
+        ),
+        dns_workload=DnsWorkloadSpec(
+            n_names=n_names,
+            rate_kpps=dns_rate_kqps,
+            phases=(
+                (storm_start_s, dns_storm_kqps),
+                (storm_stop_s, dns_rate_kqps),
+            )
+            if storm_stop_s > storm_start_s
+            else ((storm_start_s, dns_storm_kqps),),
+        ),
+        sampling=SamplingSpec(power_interval_ms=100.0, bucket_ms=250.0),
     )

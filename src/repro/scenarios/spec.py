@@ -7,6 +7,13 @@ anything.  :class:`repro.scenarios.builder.ScenarioBuilder` materializes a
 spec into a wired DES run; :mod:`repro.scenarios.registry` names the
 canonical ones (the paper's Figures 6/7 plus the rack-scale extensions).
 
+A rack may mix all three of the paper's applications: key-sharded KVS
+hosts, N independent Paxos consensus groups sharing the ToR (each with its
+own logical leader address), and anycast DNS hosts steered by qname hash.
+Each placement names its own :class:`ControllerSpec` — the §9.1 host- and
+network-driven designs, the predictive enhancement, or none — so *who
+decides to shift* is part of the declaration, not the wiring.
+
 Specs are frozen dataclasses so scenarios can be derived from one another
 with :func:`dataclasses.replace` (the registry test shortens horizons that
 way, and sweeps can scale host counts or rates).
@@ -14,10 +21,35 @@ way, and sweeps can scale host counts or rates).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
+from ..core.controller import CONTROLLER_KINDS, PAXOS_CONTROLLER_KINDS
+from ..core.host_controller import HostControllerConfig
+from ..core.network_controller import NetworkControllerConfig
+from ..core.paxos_controller import PaxosControllerConfig
+from ..core.predictive_controller import PredictiveControllerConfig
 from ..errors import ConfigurationError
+
+
+def _config_fields(config_cls, *extra: str) -> FrozenSet[str]:
+    return frozenset(f.name for f in fields(config_cls)) | frozenset(extra)
+
+
+#: kind -> parameter names its controller family accepts.  Validated at
+#: declaration time so a typo fails in ``validate()`` like every other
+#: spec mistake, not as a TypeError deep inside the builder.
+_KIND_PARAMS: Dict[str, FrozenSet[str]] = {
+    "host": _config_fields(HostControllerConfig),
+    "network": _config_fields(NetworkControllerConfig),
+    "predictive": _config_fields(PredictiveControllerConfig, "standby_card_w"),
+    "none": frozenset(),
+    "schedule": _config_fields(PaxosControllerConfig),
+    "rate": _config_fields(PaxosControllerConfig),
+}
+
+#: (at_s, value) steps applied over a run, e.g. offered-rate ramps.
+PhaseSchedule = Tuple[Tuple[float, float], ...]
 
 
 @dataclass(frozen=True)
@@ -27,6 +59,57 @@ class SwitchSpec:
     name: str = "tor"
     latency_us: float = 1.0
     bandwidth_gbps: float = 10.0
+
+
+@dataclass(frozen=True)
+class ControllerSpec:
+    """Which controller family drives a placement, and with what knobs.
+
+    ``kind`` names one of the §9 designs (:data:`CONTROLLER_KINDS` for
+    per-host placements, :data:`PAXOS_CONTROLLER_KINDS` for consensus
+    groups); ``params`` carries family-specific overrides (threshold rates,
+    window lengths, predictive margins, …) applied on top of each family's
+    calibrated defaults.  ``params`` accepts a mapping and is normalized to
+    a sorted tuple of pairs so specs stay hashable and replace-derivable.
+    """
+
+    kind: str = "host"
+    params: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
+
+    def __post_init__(self):
+        items = (
+            tuple(sorted(self.params.items()))
+            if isinstance(self.params, Mapping)
+            else tuple(tuple(pair) for pair in self.params)
+        )
+        object.__setattr__(self, "params", items)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    def validate_for(self, app: str, owner: str) -> None:
+        kinds = PAXOS_CONTROLLER_KINDS if app == "paxos" else CONTROLLER_KINDS
+        if self.kind not in kinds:
+            raise ConfigurationError(
+                f"unknown controller kind {self.kind!r} on {owner!r}; "
+                f"{app} placements accept: {', '.join(kinds)}"
+            )
+        allowed = _KIND_PARAMS[self.kind]
+        for key, _ in self.params:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"controller param names on {owner!r} must be strings"
+                )
+            if key not in allowed:
+                accepted = ", ".join(sorted(allowed)) or "none"
+                raise ConfigurationError(
+                    f"unknown {self.kind!r} controller param {key!r} on "
+                    f"{owner!r}; accepted: {accepted}"
+                )
+
+
+#: A host running a static software placement (no controller at all).
+NO_CONTROLLER = ControllerSpec(kind="none")
 
 
 @dataclass(frozen=True)
@@ -41,21 +124,41 @@ class ColocatedJobSpec:
 
 
 @dataclass(frozen=True)
+class SamplingSpec:
+    """Instrumentation cadence — the scenario default, overridable per host."""
+
+    power_interval_ms: float = 50.0
+    bucket_ms: float = 250.0
+
+    def validate(self, owner: str) -> None:
+        if self.power_interval_ms <= 0:
+            raise ConfigurationError(
+                f"sampling power_interval_ms must be positive on {owner!r}"
+            )
+        if self.bucket_ms <= 0:
+            raise ConfigurationError(
+                f"sampling bucket_ms must be positive on {owner!r}"
+            )
+
+
+@dataclass(frozen=True)
 class KvsHostSpec:
     """One memcached host with a LaKe card and its own shift controller.
 
     ``client_name`` names the load-generator node driving this host's key
-    shard (defaults to ``<name>-client``).  ``controller=False`` builds the
-    host without a :class:`HostController` (static software placement).
+    shard (defaults to ``<name>-client``).  ``controller`` selects the
+    decision policy (host-driven RAPL by default; ``NO_CONTROLLER`` builds
+    the host with a static software placement).  ``sampling`` overrides the
+    scenario-wide instrumentation cadence for this host's series.
     """
 
     name: str
     client_name: Optional[str] = None
     power_save: bool = False
-    controller: bool = True
+    controller: ControllerSpec = ControllerSpec(kind="host")
     rapl_interval_ms: float = 10.0
-    rate_down_pps: Optional[float] = None  # None -> calibration default
     colocated: Tuple[ColocatedJobSpec, ...] = ()
+    sampling: Optional[SamplingSpec] = None
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -69,37 +172,113 @@ class KvsWorkloadSpec:
     offers all of it; with several, the rate is split per host in
     proportion to each key shard's Zipf traffic weight (the per-host ETC
     split), and clients address the logical rack service routed by the
-    ToR's key-shard dispatcher.
+    ToR's key-shard dispatcher.  ``phases`` steps the total rate over the
+    run — ``((at_s, rate_kpps), ...)`` — which is how rate-driven
+    controllers are exercised on a load ramp.
     """
 
     keyspace: int = 50_000
     rate_kpps: float = 16.0
     zipf_s: float = 0.99
     preload: bool = True
+    phases: PhaseSchedule = ()
+
+
+@dataclass(frozen=True)
+class DnsHostSpec:
+    """One anycast DNS replica: NSD in software, Emu DNS on the card.
+
+    Every replica answers authoritatively for the whole zone; the ToR
+    spreads queries across replicas by qname hash.  The default controller
+    is the network-driven design (§9.1's 40-lines-in-the-classifier
+    controller — the natural fit for a rate-driven query storm).
+    """
+
+    name: str
+    client_name: Optional[str] = None
+    power_save: bool = True
+    controller: ControllerSpec = ControllerSpec(kind="network")
+    rapl_interval_ms: float = 10.0
+    sampling: Optional[SamplingSpec] = None
+
+    def resolved_client_name(self) -> str:
+        return self.client_name or f"{self.name}-client"
+
+
+@dataclass(frozen=True)
+class DnsWorkloadSpec:
+    """Query traffic offered to the anycast DNS hosts.
+
+    ``rate_kpps`` is the total rack query rate, split per host by each
+    qname shard's popularity weight; ``phases`` steps it over the run
+    (query storms).  ``miss_fraction`` of queries ask names beyond the
+    zone and answer NXDOMAIN.
+    """
+
+    n_names: int = 1_000
+    rate_kpps: float = 20.0
+    zipf_s: float = 0.99
+    miss_fraction: float = 0.0
+    phases: PhaseSchedule = ()
 
 
 @dataclass(frozen=True)
 class PaxosSpec:
-    """A Figure-7-style Paxos group with a shiftable leader.
+    """One Figure-7-style Paxos consensus group with a shiftable leader.
 
-    ``shifts`` is a schedule of ``(at_s, to_hardware)`` pairs executed by
-    the centralized :class:`PaxosShiftController`.
+    A scenario may declare several independent groups sharing the ToR;
+    ``name`` prefixes every node of the group and derives its logical
+    leader address (``<name>-leader``), which the switch maps to the
+    currently active physical leader.  ``controller`` selects the shift
+    policy: ``"schedule"`` executes the explicit ``shifts`` timetable
+    (``(at_s, to_hardware)`` pairs, the Figure 7 drive); ``"rate"``
+    watches this group's leader-bound packet rate at the ToR and shifts
+    autonomously (§9.2's centralized controller proper).
     """
 
+    name: str = "paxos"
     n_clients: int = 3
     client_window: int = 1
     n_acceptors: int = 3
     recovery_window: int = 512
     client_start_ms: float = 20.0
     shifts: Tuple[Tuple[float, bool], ...] = ()
+    controller: ControllerSpec = ControllerSpec(kind="schedule")
 
+    # -- derived addressing (the builder and validator share these) ----------
 
-@dataclass(frozen=True)
-class SamplingSpec:
-    """Shared instrumentation cadence for every host in the scenario."""
+    @property
+    def leader_address(self) -> str:
+        """The group's logical leader destination at the ToR."""
+        return f"{self.name}-leader"
 
-    power_interval_ms: float = 50.0
-    bucket_ms: float = 250.0
+    @property
+    def software_leader_name(self) -> str:
+        return f"{self.name}-sw-leader"
+
+    @property
+    def hardware_leader_name(self) -> str:
+        return f"{self.name}-hw-leader"
+
+    @property
+    def learner_name(self) -> str:
+        return f"{self.name}-learner0"
+
+    def acceptor_names(self) -> List[str]:
+        return [f"{self.name}-acceptor{i}" for i in range(self.n_acceptors)]
+
+    def client_names(self) -> List[str]:
+        return [f"{self.name}-client{i}" for i in range(self.n_clients)]
+
+    def node_names(self) -> List[str]:
+        """Every concrete node this group adds to the topology."""
+        return [
+            self.software_leader_name,
+            self.hardware_leader_name,
+            self.learner_name,
+            *self.acceptor_names(),
+            *self.client_names(),
+        ]
 
 
 @dataclass(frozen=True)
@@ -112,9 +291,21 @@ class OnDemandSweepSpec:
     peak_rate_kpps: float = 1000.0
 
 
+def _validate_phases(phases: PhaseSchedule, owner: str) -> None:
+    last_at = -1.0
+    for at_s, rate_kpps in phases:
+        if at_s < 0:
+            raise ConfigurationError(f"{owner} phase scheduled before t=0")
+        if at_s <= last_at:
+            raise ConfigurationError(f"{owner} phases must be strictly increasing")
+        if rate_kpps < 0:
+            raise ConfigurationError(f"{owner} phase rate must be >= 0")
+        last_at = at_s
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """A complete declarative cluster scenario."""
+    """A complete declarative cluster scenario (possibly mixed-app)."""
 
     name: str
     description: str = ""
@@ -123,48 +314,161 @@ class ScenarioSpec:
     switch: SwitchSpec = field(default_factory=SwitchSpec)
     kvs_hosts: Tuple[KvsHostSpec, ...] = ()
     kvs_workload: Optional[KvsWorkloadSpec] = None
-    paxos: Optional[PaxosSpec] = None
+    paxos_groups: Tuple[PaxosSpec, ...] = ()
+    dns_hosts: Tuple[DnsHostSpec, ...] = ()
+    dns_workload: Optional[DnsWorkloadSpec] = None
     sampling: SamplingSpec = field(default_factory=SamplingSpec)
 
     def validate(self) -> "ScenarioSpec":
         if self.duration_s <= 0:
             raise ConfigurationError("duration_s must be positive")
-        if not self.kvs_hosts and self.paxos is None:
+        if not self.kvs_hosts and not self.paxos_groups and not self.dns_hosts:
             raise ConfigurationError(
-                f"scenario {self.name!r} declares no hosts and no Paxos group"
+                f"scenario {self.name!r} declares no KVS hosts, no Paxos "
+                "groups and no DNS hosts"
             )
+        self._validate_kvs()
+        self._validate_dns()
+        self._validate_paxos()
+        self._validate_sampling()
+        self._validate_node_names()
+        return self
+
+    # -- per-app checks ------------------------------------------------------
+
+    def _validate_kvs(self) -> None:
         if self.kvs_hosts and self.kvs_workload is None:
             raise ConfigurationError(
                 f"scenario {self.name!r} has KVS hosts but no workload"
             )
-        names = [h.name for h in self.kvs_hosts]
-        if len(set(names)) != len(names):
-            raise ConfigurationError(f"duplicate host names in {self.name!r}")
-        clients = [h.resolved_client_name() for h in self.kvs_hosts]
-        if len(set(clients)) != len(clients):
-            raise ConfigurationError(f"duplicate client names in {self.name!r}")
-        if set(names) & set(clients):
-            raise ConfigurationError(
-                f"client names collide with host names in {self.name!r}"
-            )
+        if self.kvs_workload is not None:
+            if not self.kvs_hosts:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares a KVS workload but no hosts"
+                )
+            _validate_phases(self.kvs_workload.phases, "KVS workload")
         for host in self.kvs_hosts:
+            host.controller.validate_for("kvs", host.name)
             for job in host.colocated:
                 if job.stop_s <= job.start_s:
                     raise ConfigurationError(
                         f"colocated job on {host.name!r} stops before it starts"
                     )
-        if self.paxos is not None:
-            for at_s, _ in self.paxos.shifts:
+
+    def _validate_dns(self) -> None:
+        if self.dns_hosts and self.dns_workload is None:
+            raise ConfigurationError(
+                f"scenario {self.name!r} has DNS hosts but no workload"
+            )
+        if self.dns_workload is not None:
+            if not self.dns_hosts:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares a DNS workload but no hosts"
+                )
+            _validate_phases(self.dns_workload.phases, "DNS workload")
+            if not 0.0 <= self.dns_workload.miss_fraction < 1.0:
+                raise ConfigurationError(
+                    f"DNS miss_fraction must be in [0, 1) in {self.name!r}"
+                )
+            # every anycast replica loads the whole zone into the card's
+            # on-chip table, so the zone must fit Emu's capacity (§5.3)
+            from ..apps.dns.emu import EMU_ZONE_CAPACITY
+
+            if self.dns_workload.n_names > EMU_ZONE_CAPACITY:
+                raise ConfigurationError(
+                    f"DNS zone of {self.dns_workload.n_names} names exceeds "
+                    f"the Emu on-chip capacity ({EMU_ZONE_CAPACITY}) in "
+                    f"{self.name!r}"
+                )
+            if self.dns_workload.n_names < 1:
+                raise ConfigurationError(
+                    f"DNS n_names must be >= 1 in {self.name!r}"
+                )
+        for host in self.dns_hosts:
+            host.controller.validate_for("dns", host.name)
+
+    def _validate_paxos(self) -> None:
+        group_names = [g.name for g in self.paxos_groups]
+        if len(set(group_names)) != len(group_names):
+            raise ConfigurationError(
+                f"duplicate Paxos group names in {self.name!r}"
+            )
+        for group in self.paxos_groups:
+            group.controller.validate_for("paxos", group.name)
+            if group.n_clients < 1 or group.n_acceptors < 1:
+                raise ConfigurationError(
+                    f"Paxos group {group.name!r} needs >=1 client and acceptor"
+                )
+            for at_s, _ in group.shifts:
                 if at_s < 0:
-                    raise ConfigurationError("paxos shift scheduled before t=0")
-        return self
+                    raise ConfigurationError(
+                        f"Paxos group {group.name!r} shift scheduled before t=0"
+                    )
+
+    def _validate_sampling(self) -> None:
+        self.sampling.validate(self.name)
+        for host in (*self.kvs_hosts, *self.dns_hosts):
+            if host.sampling is not None:
+                host.sampling.validate(host.name)
+
+    def _validate_node_names(self) -> None:
+        """Node names must be unique across *all* apps sharing the ToR —
+        a KVS host, a Paxos acceptor and a DNS client are all ports on the
+        same switch — and must not shadow the logical service addresses."""
+        seen: Dict[str, str] = {}
+
+        def claim(name: str, what: str) -> None:
+            if name in seen:
+                raise ConfigurationError(
+                    f"node name {name!r} used by both {seen[name]} and {what} "
+                    f"in {self.name!r}"
+                )
+            seen[name] = what
+
+        claim(self.switch.name, "the ToR switch")
+        for host in self.kvs_hosts:
+            claim(host.name, "a KVS host")
+            claim(host.resolved_client_name(), "a KVS client")
+        for host in self.dns_hosts:
+            claim(host.name, "a DNS host")
+            claim(host.resolved_client_name(), "a DNS client")
+        for group in self.paxos_groups:
+            for node in group.node_names():
+                claim(node, f"Paxos group {group.name!r}")
+        # logical addresses are switch-level destinations, not ports, but a
+        # node with the same name would swallow redirected traffic
+        for logical in self.logical_addresses():
+            if logical in seen:
+                raise ConfigurationError(
+                    f"node name {logical!r} collides with a logical service "
+                    f"address in {self.name!r}"
+                )
+
+    def logical_addresses(self) -> List[str]:
+        addresses = [g.leader_address for g in self.paxos_groups]
+        if self.sharded:
+            addresses.append(RACK_KVS_SERVICE)
+        if self.dns_sharded:
+            addresses.append(RACK_DNS_SERVICE)
+        return addresses
+
+    # -- rack modes ----------------------------------------------------------
 
     @property
     def sharded(self) -> bool:
         """Rack mode: more than one KVS host ⇒ key-sharded ToR routing."""
         return len(self.kvs_hosts) > 1
 
+    @property
+    def dns_sharded(self) -> bool:
+        """Anycast mode: more than one DNS host ⇒ qname-hash ToR routing."""
+        return len(self.dns_hosts) > 1
+
 
 #: Logical destination clients address in rack mode; the ToR's key-shard
 #: dispatch rule spreads it across the hosts.
 RACK_KVS_SERVICE = "kvs-rack"
+
+#: Logical destination DNS resolvers address in anycast mode; the ToR's
+#: qname-hash dispatch rule spreads it across the replicas.
+RACK_DNS_SERVICE = "dns-rack"

@@ -8,6 +8,8 @@
   experiment.
 * :mod:`repro.workloads.colocated` — the ChainerMN-style co-located CPU
   workload of Figure 6.
+* :mod:`repro.workloads.dns` — Zipf-popular DNS query streams over a rack
+  service zone, split per anycast host by qname hash (§3.3 at rack scale).
 * :mod:`repro.workloads.dynamo` — Facebook Dynamo power-variation trace
   synthesis + the §9.3 variation-percentile analysis.
 * :mod:`repro.workloads.google_trace` — Google cluster trace synthesis +
@@ -16,6 +18,7 @@
 
 from .osnt import RateSchedule, RampSchedule, StepSchedule
 from .etc import EtcWorkload, EtcShardStream, ShardedEtcWorkload
+from .dns import DnsNameWorkload, DnsShardStream, ShardedDnsWorkload
 from .colocated import ChainerMNWorkload
 from .dynamo import DynamoTraceSynthesizer, PowerVariationAnalysis, analyze_power_variation
 from .google_trace import (
@@ -40,6 +43,9 @@ __all__ = [
     "EtcWorkload",
     "EtcShardStream",
     "ShardedEtcWorkload",
+    "DnsNameWorkload",
+    "DnsShardStream",
+    "ShardedDnsWorkload",
     "ChainerMNWorkload",
     "DynamoTraceSynthesizer",
     "PowerVariationAnalysis",

@@ -20,6 +20,8 @@ def test_scenario_catalogue_exposes_registry():
 
     assert set(_SCENARIOS) == set(scenario_names())
     assert "rack8-kvs-sharded" in _SCENARIOS
+    assert "rack-mixed" in _SCENARIOS
+    assert "fig6-kvs-netctl" in _SCENARIOS
 
 
 def test_list(capsys):
@@ -27,7 +29,21 @@ def test_list(capsys):
     out = capsys.readouterr().out
     assert "figure3a" in out
     assert "section10" in out
-    assert "rack8-kvs-sharded (scenario)" in out
+    assert "rack8-kvs-sharded" in out
+
+
+def test_list_flag_prints_descriptions(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "rack-mixed" in out
+    # scenario descriptions ride along
+    assert "2 Paxos groups" in out
+    assert "Figure 6: host-controlled" in out
+
+
+def test_no_arguments_prints_usage(capsys):
+    assert main([]) == 2
+    assert "usage" in capsys.readouterr().err
 
 
 @pytest.mark.parametrize(
@@ -45,6 +61,28 @@ def test_figure7_with_duration(capsys):
     assert "Paxos leader" in out
 
 
-def test_unknown_experiment_rejected():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["nonexistent"])
+def test_scenario_runs_from_cli(capsys):
+    assert main(["fig7-paxos-transition", "--duration", "0.6"]) == 0
+    out = capsys.readouterr().out
+    assert "paxos[paxos]" in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    assert main(["nonexistent"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment or scenario" in err
+
+
+def test_unknown_name_suggests_closest_match(capsys):
+    assert main(["rack-mxed"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'rack-mixed'?" in err
+
+    assert main(["figure6a"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean" in err
+
+
+def test_parser_accepts_optional_experiment():
+    args = build_parser().parse_args(["--list"])
+    assert args.experiment is None and args.list

@@ -1,0 +1,61 @@
+"""Matplotlib PNG renderers: guarded import, text render stays the contract."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import matplotlib_available, run_figure7, save_transition_png
+
+HAVE_MPL = matplotlib_available()
+
+
+def _small_figure7():
+    return run_figure7(duration_s=0.6, shift_to_hw_s=0.3, shift_to_sw_s=10.0)
+
+
+def test_matplotlib_available_never_raises():
+    assert matplotlib_available() in (True, False)
+
+
+@pytest.mark.skipif(HAVE_MPL, reason="matplotlib installed: guard not reachable")
+def test_png_without_matplotlib_raises_clean_configuration_error(tmp_path):
+    result = _small_figure7()
+    with pytest.raises(ConfigurationError, match="matplotlib"):
+        save_transition_png(result, tmp_path / "fig7.png")
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_figure7_save_png_writes_file(tmp_path):
+    result = _small_figure7()
+    path = result.save_png(tmp_path / "fig7.png")
+    assert path.exists()
+    assert path.stat().st_size > 0
+    # PNG magic bytes
+    assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_figure6_save_png_writes_file(tmp_path):
+    from repro.experiments import run_figure6
+
+    result = run_figure6(duration_s=1.0, rate_kpps=4.0, keyspace=2_000)
+    path = result.save_png(tmp_path / "fig6.png")
+    assert path.exists()
+    assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+def test_text_render_needs_no_matplotlib():
+    """The dependency-free contract: render() works regardless."""
+    assert "Paxos leader" in _small_figure7().render()
+
+
+def test_cli_png_flag_degrades_gracefully(tmp_path, capsys):
+    """--png never fails the run: without matplotlib it warns on stderr."""
+    from repro.__main__ import main
+
+    assert main(["figure7", "--duration", "0.6", "--png", str(tmp_path)]) == 0
+    captured = capsys.readouterr()
+    assert "Paxos leader" in captured.out
+    if HAVE_MPL:
+        assert (tmp_path / "figure7.png").exists()
+    else:
+        assert "matplotlib not importable" in captured.err

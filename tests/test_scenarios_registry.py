@@ -11,6 +11,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.net.classifier import key_shard
 from repro.scenarios import (
+    NO_CONTROLLER,
     KvsHostSpec,
     KvsWorkloadSpec,
     PaxosSpec,
@@ -24,9 +25,14 @@ from repro.scenarios import (
 #: Per-scenario overrides keeping the short-horizon runs cheap.
 _SHORT = {
     "fig6-kvs-transition": dict(duration_s=1.5, rate_kpps=8.0, keyspace=5_000),
+    "fig6-kvs-netctl": dict(duration_s=1.5, keyspace=5_000, ramp_up_s=0.3),
     "fig7-paxos-transition": dict(duration_s=1.2),
     "rack4-kvs-sharded": dict(duration_s=1.5, total_rate_kpps=16.0, keyspace=4_000),
     "rack8-kvs-sharded": dict(duration_s=1.5, total_rate_kpps=24.0, keyspace=4_000),
+    "rack-mixed": dict(
+        duration_s=1.5, kvs_rate_kpps=8.0, dns_rate_kqps=6.0,
+        dns_storm_kqps=12.0, keyspace=4_000, n_names=400,
+    ),
 }
 
 
@@ -50,11 +56,15 @@ def test_registered_scenario_builds_runs_and_measures(name):
         assert result.aggregate_throughput_series
         assert any(v > 0 for _, v in result.aggregate_throughput_series)
         assert any(v > 0 for _, v in result.aggregate_power_series)
-    if result.paxos is not None:
-        assert result.paxos.decided > 0
-        assert any(v > 0 for _, v in result.paxos.throughput_series)
-        assert any(v > 0 for _, v in result.paxos.power_series)
-    assert result.hosts or result.paxos is not None
+    for dns_host in result.dns_hosts:
+        assert dns_host.responses > 0
+        assert any(v > 0 for _, v in dns_host.throughput_series)
+        assert any(v > 0 for _, v in dns_host.power_series)
+    for group in result.paxos_groups:
+        assert group.decided > 0
+        assert any(v > 0 for _, v in group.throughput_series)
+        assert any(v > 0 for _, v in group.power_series)
+    assert result.hosts or result.dns_hosts or result.paxos_groups
     assert result.render()
 
 
@@ -116,7 +126,7 @@ class TestSpecValidation:
             ScenarioSpec(
                 name="x",
                 duration_s=0.0,
-                paxos=PaxosSpec(),
+                paxos_groups=(PaxosSpec(),),
             ).validate()
 
 
@@ -147,7 +157,7 @@ class TestBuilder:
         spec = ScenarioSpec(
             name="static",
             duration_s=1.0,
-            kvs_hosts=(KvsHostSpec(name="h0", controller=False),),
+            kvs_hosts=(KvsHostSpec(name="h0", controller=NO_CONTROLLER),),
             kvs_workload=KvsWorkloadSpec(keyspace=2_000, rate_kpps=4.0),
         )
         result = ScenarioBuilder(spec).run()
