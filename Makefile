@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench examples
+.PHONY: test bench-smoke sweep-smoke bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -15,6 +15,12 @@ bench-smoke:
 		benchmarks/bench_fig3a_kvs.py \
 		benchmarks/bench_fig3b_paxos.py \
 		benchmarks/bench_fig3c_dns.py
+
+# The §9.4 scenario sweep on a reduced 2-point rate ramp: asserts the
+# software->hardware ops/W crossover and writes the tipping-point table
+# to benchmarks/results/sweep_rack_kvs_tipping.txt (a CI artifact).
+sweep-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_sweep_tipping.py
 
 # The full paper-vs-measured record (slow: includes the DES transitions
 # and the rack-scale scenario).  Explicit file list: bench_*.py does not

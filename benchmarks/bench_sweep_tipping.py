@@ -1,0 +1,80 @@
+"""§9.4 rack-scale tipping points: the scenario sweep engine.
+
+A reduced ``sweep-rack-kvs`` grid (1-2 hosts × a 2-point per-host rate
+ramp) is enough to pin the paper's claim at rack scale: at low per-host
+load the software-pinned rack wins on ops/W (the card's active draw cannot
+pay for itself), beyond the crossover the hardware-pinned rack wins, and
+the win is monotone along the ramp.  The same runs exercise the per-
+placement wall-power attribution, whose decomposition must sum to the
+independently-reduced total rack power.
+
+This module doubles as the ``make sweep-smoke`` CI leg: the rendered
+tipping-point table lands in ``benchmarks/results/`` with the other
+paper-vs-measured artifacts.
+"""
+
+import pytest
+
+from repro.scenarios import build_sweep_spec, run_sweep
+
+#: Low end well under the §8 crossover, high end well over it.
+RATE_RAMP_KPPS = (8.0, 32.0)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    spec = build_sweep_spec(
+        "sweep-rack-kvs",
+        hosts=(1, 2),
+        rates_kpps=RATE_RAMP_KPPS,
+        duration_s=0.5,
+        keyspace=4_000,
+    )
+    return run_sweep(spec)
+
+
+def test_crossover_exists_for_every_host_count(sweep_result):
+    """Each host-count row tips from software to hardware on the ramp."""
+    tips = sweep_result.tipping_points()
+    assert len(tips) == 2  # one row per host count
+    for tip in tips:
+        assert tip.crossover is not None, f"no crossover at {tip.fixed}"
+        assert tip.hw_ops_per_watt > tip.sw_ops_per_watt
+
+
+def test_crossover_is_monotone(sweep_result):
+    """Once the hardware rack wins on ops/W it keeps winning: software
+    below the tip, hardware at and above it."""
+    for tip in sweep_result.tipping_points():
+        assert tip.monotone
+    for pt in sweep_result.points:
+        rate = pt.params["rate_per_host_kpps"]
+        if rate < min(RATE_RAMP_KPPS) + 1e-9:
+            assert not pt.hardware_wins, f"hardware won below the tip: {pt.params}"
+        if rate >= max(RATE_RAMP_KPPS) - 1e-9:
+            assert pt.hardware_wins, f"software won above the tip: {pt.params}"
+
+
+def test_power_attribution_sums_to_total(sweep_result):
+    """Per-placement wall-power attribution decomposes the rack total."""
+    for pt in sweep_result.points:
+        for agg in (pt.software, pt.hardware):
+            assert agg.power_by_placement
+            assert agg.attributed_power_w == pytest.approx(
+                agg.total_power_w, abs=1e-6
+            )
+
+
+def test_hardware_keeps_latency_flat(sweep_result):
+    """§9.5: the pipelined card's p99 does not inflate with load the way
+    the software stack's does."""
+    low = sweep_result.point(n_hosts=1, rate_per_host_kpps=min(RATE_RAMP_KPPS))
+    high = sweep_result.point(n_hosts=1, rate_per_host_kpps=max(RATE_RAMP_KPPS))
+    assert high.hardware.p99_latency_us < high.software.p99_latency_us
+    # the hardware p99 moves little across a 4x rate step
+    assert high.hardware.p99_latency_us < low.hardware.p99_latency_us * 2.0
+
+
+def test_saves_tipping_table(sweep_result, save_result):
+    path = save_result("sweep_rack_kvs_tipping", sweep_result.render())
+    assert path.exists()

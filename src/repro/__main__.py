@@ -8,6 +8,7 @@ Usage::
     python -m repro figure7 --duration 5
     python -m repro figure6 --png out/
     python -m repro rack-mixed --duration 5
+    python -m repro --sweep sweep-rack-kvs
     python -m repro all
 """
 
@@ -18,13 +19,18 @@ import difflib
 import pathlib
 import sys
 
+from .errors import ConfigurationError
 from .experiments import figures, run_figure6, run_figure7
 from .scenarios import (
     closest_scenario,
+    closest_sweep,
     run_scenario,
+    run_sweep,
     scenario_descriptions,
     scenario_names,
+    sweep_descriptions,
 )
+from .scenarios.registry import closest_name
 
 
 def _analytic(runner):
@@ -98,21 +104,50 @@ def _render_catalogue() -> str:
         f"  {name:<{width}}  {descriptions[name]}"
         for name in sorted(descriptions)
     )
+    lines.append("sweeps (run with --sweep):")
+    sweeps = sweep_descriptions()
+    if sweeps:
+        width = max(len(name) for name in sweeps)
+        lines.extend(
+            f"  {name:<{width}}  {sweeps[name]}" for name in sorted(sweeps)
+        )
     return "\n".join(lines)
 
 
+def _resolve_case_insensitive(name: str) -> str:
+    """Map ``Rack-Mixed``-style spellings onto the canonical catalogue name."""
+    lowered = {c.lower(): c for c in (*_EXPERIMENTS, *_SCENARIOS, "all", "list")}
+    return lowered.get(name.lower(), name)
+
+
 def _suggestion(name: str) -> str:
-    candidates = sorted(_EXPERIMENTS) + ["all", "list"]
-    close = difflib.get_close_matches(name, candidates, n=1, cutoff=0.4)
+    experiment = closest_name(name, sorted(_EXPERIMENTS) + ["all", "list"])
     scenario = closest_scenario(name)
-    best = close[0] if close else scenario
-    if scenario and close:
+    best = experiment or scenario
+    if scenario and experiment:
         # prefer whichever is more similar
         best = max(
-            (close[0], scenario),
-            key=lambda c: difflib.SequenceMatcher(None, name, c).ratio(),
+            (experiment, scenario),
+            key=lambda c: difflib.SequenceMatcher(None, name.lower(), c).ratio(),
         )
     return f"; did you mean {best!r}?" if best else ""
+
+
+def _run_sweep_command(args) -> int:
+    name = args.sweep
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration_s"] = args.duration
+    try:
+        # run_sweep resolves exact case-insensitive spellings itself;
+        # unknown names and rejected overrides raise with the full message
+        result = run_sweep(name, **overrides)
+    except ConfigurationError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(result.render())
+    _maybe_png(args, result.spec.name, result)
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,8 +178,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--png",
         metavar="DIR",
         default=None,
-        help="also write matplotlib PNGs for figure6/figure7 into DIR "
+        help="also write matplotlib PNGs for figure6/figure7/sweeps into DIR "
         "(skipped when matplotlib is not importable)",
+    )
+    parser.add_argument(
+        "--sweep",
+        metavar="NAME",
+        default=None,
+        help="run a named scenario sweep (§9.4 tipping points) and print "
+        "its per-point and tipping-point tables",
     )
     return parser
 
@@ -152,10 +194,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.sweep is not None:
+        if args.experiment is not None or args.list:
+            print(
+                "--sweep is mutually exclusive with --list and positional "
+                "experiments; run them as separate invocations",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_sweep_command(args)
     if args.list or args.experiment in (None, "list"):
         if args.experiment is None and not args.list:
             parser.print_usage(sys.stderr)
             return 2
+        print(_render_catalogue())
+        return 0
+    args.experiment = _resolve_case_insensitive(args.experiment)
+    if args.experiment == "list":
         print(_render_catalogue())
         return 0
     if (
@@ -163,6 +218,15 @@ def main(argv=None) -> int:
         and args.experiment not in _EXPERIMENTS
         and args.experiment not in _SCENARIOS
     ):
+        sweep = closest_sweep(args.experiment)
+        if sweep is not None and sweep.lower() == args.experiment.lower():
+            # a sweep name given positionally: point at the right flag
+            print(
+                f"{args.experiment!r} is a sweep; run it with: "
+                f"python -m repro --sweep {sweep}",
+                file=sys.stderr,
+            )
+            return 2
         print(
             f"unknown experiment or scenario {args.experiment!r}"
             f"{_suggestion(args.experiment)}",

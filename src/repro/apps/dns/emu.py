@@ -17,6 +17,7 @@ from ... import calibration as cal
 from ...hw.fpga import NetFpgaSume
 from ...net.packet import Packet
 from ...sim import Simulator
+from ...sim.rng import RngStreams
 from ..common import HardwareService
 from .message import DnsQuery, DnsRcode, DnsResponse
 from .zone import ZoneTable
@@ -53,7 +54,13 @@ class EmuDns(HardwareService):
             if zone is not None
             else ZoneTable(capacity=EMU_ZONE_CAPACITY, name=f"{app_name}.zone")
         )
-        self._rng = rng or random.Random(0xD45)
+        # Namespaced per host (see LakeKvs): replicas built without an
+        # explicit rng must draw independent jitter streams.  Keyed by node
+        # name for reproducibility, so distinct replicas need distinct
+        # server names (as any shared topology already requires).
+        self._rng = rng or RngStreams(0xD45).get(
+            f"{getattr(server, 'name', app_name)}.{app_name}.jitter"
+        )
         self.enabled = False
         #: software server handling names deeper than the parser supports
         #: (§9.2: "in the worst case scenario, those queries could be

@@ -25,6 +25,7 @@ from ...errors import ConfigurationError
 from ...hw.fpga import NetFpgaSume
 from ...net.packet import Packet
 from ...sim import Simulator
+from ...sim.rng import RngStreams
 from ..common import HardwareService
 from .protocol import KvsOp, KvsRequest, KvsResponse, KvsStatus
 from .store import LruStore
@@ -75,7 +76,15 @@ class LakeKvs(HardwareService):
         self.software = software
         self.l1 = LruStore(l1_entries, name="lake.l1")
         self.l2 = LruStore(l2_entries, name="lake.l2") if card.dram is not None else None
-        self._rng = rng or random.Random(0x1A4E)
+        # Default stream namespaced by the host's node name: two cards built
+        # without an explicit rng must NOT share a latency stream, or every
+        # host in a rack jitters in lockstep and the aggregate tails collapse.
+        # Keyed by name (not identity) so runs stay reproducible — distinct
+        # hosts therefore need distinct server names, which any shared
+        # topology already requires.
+        self._rng = rng or RngStreams(0x1A4E).get(
+            f"{getattr(server, 'name', app_name)}.{app_name}.latency"
+        )
         self.enabled = False
         self.miss_forwards = 0
 

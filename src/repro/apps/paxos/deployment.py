@@ -211,9 +211,16 @@ class HardwarePaxosRole(HardwareService):
             dport=PAXOS_PORT,
         )
 
+    def stand_by(self) -> None:
+        """Hold the card in the §9.2 standby configuration while the
+        software leader is active (clock-gated, zero utilization)."""
+        self.card.set_utilization(0.0)
+        self.card.clock_gate_all_logic()
+
     def begin_takeover(self) -> None:
         if not isinstance(self.state, LeaderState):
             raise ConfigurationError("begin_takeover on a non-leader role")
+        self.card.activate_all_logic()  # leave standby before serving
         msg = self.state.start_phase1()
         for acceptor in self.directory.acceptors:
             packet = make_packet(
@@ -302,6 +309,10 @@ class PaxosDeployment:
         if previous is not None:
             old_role = self._leaders[previous]
             old_role.state.step_down()
+            # a stepped-down hardware leader returns to §9.2 standby
+            stand_by = getattr(old_role, "stand_by", None)
+            if stand_by is not None:
+                stand_by()
             self.shifts += 1
         self.active_leader_node = node_name
         self._leaders[node_name].begin_takeover()

@@ -10,7 +10,7 @@ method that prints the rows/series the paper reports.
 from .reporting import format_table, bucket_rate_series
 from .sweep import SweepPoint, sweep_model, sweep_models
 from . import figures
-from .plots import matplotlib_available, save_transition_png
+from .plots import matplotlib_available, save_sweep_png, save_transition_png
 from .transitions import run_figure6, run_figure7, Figure6Result, Figure7Result
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "sweep_models",
     "figures",
     "matplotlib_available",
+    "save_sweep_png",
     "save_transition_png",
     "run_figure6",
     "run_figure7",

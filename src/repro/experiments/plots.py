@@ -40,6 +40,68 @@ def _require_pyplot():
     return plt
 
 
+def save_sweep_png(result, path: PathLike, title: Optional[str] = None) -> pathlib.Path:
+    """Plot a scenario sweep's tipping-point chart to ``path``.
+
+    Accepts a :class:`~repro.scenarios.sweep.ScenarioSweepResult`: for each
+    setting of the non-ramp axes it draws the software- and hardware-pinned
+    ops/W curves along the ramp axis, with the crossover marked — the
+    rack-scale §9.4 rendition of the paper's Figure 5 comparison.
+    """
+    plt = _require_pyplot()
+    spec = result.spec
+    axis = spec.resolved_tip_axis()
+    other_params = [a.param for a in spec.axes if a.param != axis]
+
+    groups = {}
+    for pt in result.points:
+        key = tuple(pt.params[p] for p in other_params)
+        groups.setdefault(key, []).append(pt)
+    tips = {
+        tuple(tip.fixed[p] for p in other_params): tip
+        for tip in result.tipping_points()
+    }
+
+    fig, ax = plt.subplots(figsize=(7.0, 4.5))
+    colors = plt.rcParams["axes.prop_cycle"].by_key()["color"]
+    for i, (key, pts) in enumerate(groups.items()):
+        color = colors[i % len(colors)]
+        label = (
+            ", ".join(f"{p}={v}" for p, v in zip(other_params, key)) or "rack"
+        )
+        xs = [pt.params[axis] for pt in pts]
+        ax.plot(
+            xs,
+            [pt.software.ops_per_watt for pt in pts],
+            color=color,
+            linestyle="--",
+            label=f"{label} (SW)",
+        )
+        ax.plot(
+            xs,
+            [pt.hardware.ops_per_watt for pt in pts],
+            color=color,
+            linestyle="-",
+            label=f"{label} (HW)",
+        )
+        tip = tips.get(key)
+        if tip is not None and tip.crossover is not None:
+            ax.axvline(
+                tip.crossover, color=color, linestyle=":", linewidth=1.0
+            )
+    ax.set_xlabel(axis)
+    ax.set_ylabel("ops/W")
+    ax.legend(fontsize="small")
+    fig.suptitle(title or f"{spec.name}: software vs hardware ops/W")
+    fig.tight_layout()
+
+    out = pathlib.Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fig.savefig(out, dpi=120)
+    plt.close(fig)
+    return out
+
+
 def save_transition_png(result, path: PathLike, title: Optional[str] = None) -> pathlib.Path:
     """Plot a Figure 6/7-shaped result (throughput/latency[/power] series
     plus shift markers) to ``path``.

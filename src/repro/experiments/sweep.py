@@ -21,12 +21,24 @@ class SweepPoint:
 
 
 def sweep_model(model: SteadyModel, rates_pps: Sequence[float]) -> List[SweepPoint]:
-    """Evaluate a model across offered rates."""
+    """Evaluate a model across offered rates.
+
+    A model reporting non-positive power while offered load is a
+    misconfiguration (negative idle draw, a broken curve fit) and raises
+    :class:`ConfigurationError` rather than silently charting it as
+    0 ops/W ("infinitely bad efficiency"); only the 0-pps point keeps a
+    well-defined ``ops_per_watt=0.0``.
+    """
     if not rates_pps:
         raise ConfigurationError("empty rate list")
     points = []
     for rate in rates_pps:
         power = model.power_at(rate)
+        if power <= 0.0 and rate > 0.0:
+            raise ConfigurationError(
+                f"model {model.name!r} reports non-positive power "
+                f"({power:.3f}W) at offered load {rate:.0f} pps"
+            )
         points.append(
             SweepPoint(
                 offered_pps=rate,

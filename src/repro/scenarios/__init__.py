@@ -25,6 +25,8 @@ from .spec import (
     PaxosSpec,
     SamplingSpec,
     ScenarioSpec,
+    ScenarioSweepSpec,
+    SweepAxis,
     SwitchSpec,
 )
 from .builder import (
@@ -34,6 +36,7 @@ from .builder import (
     ScenarioBuilder,
     ScenarioResult,
     ScenarioRun,
+    attribute_power,
     run_ondemand_sweep,
     run_scenario_spec,
     windowed_mean,
@@ -44,6 +47,21 @@ from .registry import (
     run_scenario,
     scenario_descriptions,
     scenario_names,
+)
+from .sweep import (
+    ScenarioSweepResult,
+    SweepAggregate,
+    SweepPointResult,
+    TippingPoint,
+    build_sweep_spec,
+    closest_sweep,
+    hardware_variant,
+    register_sweep,
+    run_point,
+    run_sweep,
+    software_variant,
+    sweep_descriptions,
+    sweep_names,
 )
 
 __all__ = [
@@ -75,4 +93,20 @@ __all__ = [
     "run_scenario",
     "scenario_descriptions",
     "scenario_names",
+    "ScenarioSweepSpec",
+    "SweepAxis",
+    "ScenarioSweepResult",
+    "SweepAggregate",
+    "SweepPointResult",
+    "TippingPoint",
+    "attribute_power",
+    "build_sweep_spec",
+    "closest_sweep",
+    "hardware_variant",
+    "register_sweep",
+    "run_point",
+    "run_sweep",
+    "software_variant",
+    "sweep_descriptions",
+    "sweep_names",
 ]

@@ -160,6 +160,17 @@ class ScenarioResult:
     #: routed-query counts per DNS host in anycast mode (ToR telemetry)
     dns_routed_per_host: Dict[str, int] = field(default_factory=dict)
     dns_hosts: List[HostResult] = field(default_factory=list)
+    #: mean **wall** watts (platform + card) attributed to each placement —
+    #: KVS host, DNS replica or Paxos group — over the whole run; a server
+    #: claimed by several placements is split between them (§9.4 rack
+    #: accounting).  The per-host ``power_series`` above stay CPU-only,
+    #: matching the paper's RAPL methodology.
+    power_by_placement: Dict[str, float] = field(default_factory=dict)
+    #: mean summed wall power of every rack server+card — computed from the
+    #: per-sample totals, independently of the per-placement attribution,
+    #: so the two must agree (the attribution invariant the §9.4 sweep
+    #: benchmark asserts).
+    total_wall_power_w: float = 0.0
 
     @property
     def paxos(self) -> Optional[PaxosResult]:
@@ -195,6 +206,10 @@ class ScenarioResult:
         return windowed_mean(
             self.aggregate_throughput_series, start_us, end_us, "throughput"
         )
+
+    def attributed_power_w(self) -> float:
+        """Sum of the per-placement wall-power attribution."""
+        return sum(self.power_by_placement.values())
 
     def hosts_with_shifts(self) -> List[HostResult]:
         return [h for h in self.all_hosts if h.shift_times_us]
@@ -290,6 +305,7 @@ class BuiltKvsHost:
     controller: Optional[ShiftController]
     client: KvsClient
     power_sampler: PeriodicSampler
+    wall_sampler: PeriodicSampler
     jobs: List[ChainerMNWorkload]
     offered_pps: float
 
@@ -308,6 +324,7 @@ class BuiltDnsHost:
     controller: Optional[ShiftController]
     client: DnsClient
     power_sampler: PeriodicSampler
+    wall_sampler: PeriodicSampler
     offered_pps: float
 
 
@@ -321,6 +338,8 @@ class BuiltPaxosGroup:
     clients: List[PaxosClient]
     gap_scanner: LearnerGapScanner
     power_sampler: PeriodicSampler
+    #: server/card name -> wall-power sampler for every node the group owns
+    wall_samplers: Dict[str, PeriodicSampler] = field(default_factory=dict)
 
 
 class ScenarioRun:
@@ -399,6 +418,7 @@ class ScenarioRun:
             self._collect_paxos(group, bucket_us, duration_us)
             for group in self.paxos_groups
         ]
+        power_by_placement, total_wall_power_w = self._attribute_wall_power()
         return ScenarioResult(
             name=self.spec.name,
             duration_us=duration_us,
@@ -411,7 +431,29 @@ class ScenarioRun:
                 dict(self.dns_router.per_host) if self.dns_router else {}
             ),
             dns_hosts=dns_results,
+            power_by_placement=power_by_placement,
+            total_wall_power_w=total_wall_power_w,
         )
+
+    def _attribute_wall_power(self) -> Tuple[Dict[str, float], float]:
+        """Per-placement wall-power attribution over the whole run.
+
+        Every rack server (and hardware card) is sampled on the shared
+        scenario cadence; each sampled node is claimed by the placement(s)
+        running on it — :func:`merge_power_claims` folds multiple
+        claimants of one node together so shared hosts split, never
+        double-count or drop.
+        """
+        entries = [
+            (host.spec.name, host.wall_sampler.series.values, host.spec.name)
+            for host in (*self.kvs_hosts, *self.dns_hosts)
+        ]
+        for group in self.paxos_groups:
+            for node_name, sampler in group.wall_samplers.items():
+                entries.append(
+                    (node_name, sampler.series.values, group.spec.name)
+                )
+        return attribute_power(*merge_power_claims(entries))
 
     def _collect_host(self, host: BuiltKvsHost, duration_us: float) -> HostResult:
         bucket_us = msec(self._effective_sampling(host.spec).bucket_ms)
@@ -506,6 +548,77 @@ class ScenarioRun:
             stall_us=stalls,
             name=group.spec.name,
         )
+
+
+def merge_power_claims(
+    entries: List[Tuple[str, List[float], str]],
+) -> Tuple[Dict[str, List[float]], Dict[str, Tuple[str, ...]]]:
+    """Fold (node, samples, owner) triples into :func:`attribute_power`
+    inputs.  A node listed by several placements keeps **one** sample set
+    (it is one physical box — same probe either way) and accumulates every
+    distinct owner, so shared hosts reach the split path instead of the
+    last claimant silently absorbing the whole draw.
+    """
+    samples: Dict[str, List[float]] = {}
+    claims: Dict[str, Tuple[str, ...]] = {}
+    for node_name, values, owner in entries:
+        samples.setdefault(node_name, values)
+        owners = claims.get(node_name, ())
+        if owner not in owners:
+            claims[node_name] = owners + (owner,)
+    return samples, claims
+
+
+def attribute_power(
+    samples_by_server: Dict[str, List[float]],
+    claims: Dict[str, Tuple[str, ...]],
+) -> Tuple[Dict[str, float], float]:
+    """Split per-server wall-power samples among claiming placements.
+
+    ``claims`` maps each sampled server to the placements running on it; a
+    server claimed by several placements (Paxos groups sharing acceptor
+    hosts, KVS shards co-resident with a consensus role) contributes an
+    equal share of its mean power to each claimant.  Returns the
+    per-placement attribution plus the independently-reduced total (mean of
+    per-sample sums), so callers can assert the decomposition drops or
+    double-counts nothing.
+
+    All non-empty sample series must be the same length — i.e. sampled on
+    one shared cadence, as the builder's wall samplers are.  With ragged
+    series a "mean of per-sample sums" would silently disagree with the
+    attribution, so that is rejected rather than approximated.
+    """
+    lengths = {len(s) for s in samples_by_server.values() if s}
+    if len(lengths) > 1:
+        raise ConfigurationError(
+            "power attribution needs aligned sample series (one shared "
+            f"sampling cadence); got lengths {sorted(lengths)}"
+        )
+    attribution: Dict[str, float] = {}
+    per_sample_totals: List[float] = []
+    for server, samples in samples_by_server.items():
+        if not samples:
+            continue
+        owners = claims.get(server)
+        if not owners:
+            raise ConfigurationError(
+                f"power samples for {server!r} are claimed by no placement"
+            )
+        mean_w = sum(samples) / len(samples)
+        share = mean_w / len(owners)
+        for owner in owners:
+            attribution[owner] = attribution.get(owner, 0.0) + share
+        for i, value in enumerate(samples):
+            if i < len(per_sample_totals):
+                per_sample_totals[i] += value
+            else:
+                per_sample_totals.append(value)
+    total = (
+        sum(per_sample_totals) / len(per_sample_totals)
+        if per_sample_totals
+        else 0.0
+    )
+    return attribution, total
 
 
 def _power_series(
@@ -830,14 +943,25 @@ class ScenarioBuilder:
         controller = self._build_controller(
             sim, "kvs", host_spec, server, classifier, TrafficClass.MEMCACHED, service
         )
+        if host_spec.start_in_hardware:
+            # before instrumentation: the first sample must see the active card
+            service.shift_to_hardware("spec: initial hardware placement")
 
-        # -- instrumentation (the paper reads CPU power from RAPL)
+        # -- instrumentation (the paper reads CPU power from RAPL; the wall
+        # sampler adds the card draw on the shared scenario cadence so the
+        # §9.4 power attribution sees what the SHW 3A meter would)
         sampling = host_spec.sampling or spec.sampling
         power_sampler = PeriodicSampler(
             sim,
             server.platform_power_w,
             msec(sampling.power_interval_ms),
             name=f"{host_spec.name}.rapl-power",
+        )
+        wall_sampler = PeriodicSampler(
+            sim,
+            server.wall_power_w,
+            msec(spec.sampling.power_interval_ms),
+            name=f"{host_spec.name}.wall-power",
         )
         return BuiltKvsHost(
             spec=host_spec,
@@ -850,6 +974,7 @@ class ScenarioBuilder:
             controller=controller,
             client=client,
             power_sampler=power_sampler,
+            wall_sampler=wall_sampler,
             jobs=jobs,
             offered_pps=rate_pps,
         )
@@ -989,6 +1114,8 @@ class ScenarioBuilder:
         controller = self._build_controller(
             sim, "dns", host_spec, server, classifier, TrafficClass.DNS, service
         )
+        if host_spec.start_in_hardware:
+            service.shift_to_hardware("spec: initial hardware placement")
 
         sampling = host_spec.sampling or spec.sampling
         power_sampler = PeriodicSampler(
@@ -996,6 +1123,12 @@ class ScenarioBuilder:
             server.platform_power_w,
             msec(sampling.power_interval_ms),
             name=f"{host_spec.name}.rapl-power",
+        )
+        wall_sampler = PeriodicSampler(
+            sim,
+            server.wall_power_w,
+            msec(spec.sampling.power_interval_ms),
+            name=f"{host_spec.name}.wall-power",
         )
         return BuiltDnsHost(
             spec=host_spec,
@@ -1008,6 +1141,7 @@ class ScenarioBuilder:
             controller=controller,
             client=client,
             power_sampler=power_sampler,
+            wall_sampler=wall_sampler,
             offered_pps=rate_pps,
         )
 
@@ -1060,8 +1194,10 @@ class ScenarioBuilder:
         self._connect(topo, hw_name)
 
         # -- software acceptors and learner
+        group_servers = [sw_server]
         for name in acceptor_names:
             server = make_i7_server(sim, name=name)
+            group_servers.append(server)
             role = SoftwarePaxosRole(
                 sim,
                 server,
@@ -1076,6 +1212,7 @@ class ScenarioBuilder:
             self._connect(topo, name)
 
         learner_server = make_i7_server(sim, name=px.learner_name)
+        group_servers.append(learner_server)
         learner_role = SoftwarePaxosRole(
             sim,
             learner_server,
@@ -1094,7 +1231,12 @@ class ScenarioBuilder:
         deployment = PaxosDeployment(switch, logical_leader=px.leader_address)
         deployment.register_leader(sw_name, sw_leader)
         deployment.register_leader(hw_name, hw_leader)
-        deployment.activate_leader(sw_name)
+        if px.start_in_hardware:
+            deployment.activate_leader(hw_name)
+        else:
+            deployment.activate_leader(sw_name)
+            # inactive hardware leader waits in the §9.2 standby state
+            hw_leader.stand_by()
         params = px.controller.as_dict()
         automatic = px.controller.kind == "rate"
         controller = PaxosShiftController(
@@ -1136,6 +1278,22 @@ class ScenarioBuilder:
             msec(self.spec.sampling.power_interval_ms),
             name=f"{sw_name}.power",
         )
+        # Every node the group owns is wall-sampled on the scenario cadence
+        # so the §9.4 sweep can attribute the rack's draw per group; the
+        # P4xos card has no host CPU, its probe is the card itself.
+        wall_interval_us = msec(self.spec.sampling.power_interval_ms)
+        wall_samplers = {
+            server.name: PeriodicSampler(
+                sim,
+                server.wall_power_w,
+                wall_interval_us,
+                name=f"{server.name}.wall-power",
+            )
+            for server in group_servers
+        }
+        wall_samplers[hw_name] = PeriodicSampler(
+            sim, hw_card.power_w, wall_interval_us, name=f"{hw_name}.wall-power"
+        )
         return BuiltPaxosGroup(
             spec=px,
             deployment=deployment,
@@ -1143,6 +1301,7 @@ class ScenarioBuilder:
             clients=clients,
             gap_scanner=gap_scanner,
             power_sampler=power_sampler,
+            wall_samplers=wall_samplers,
         )
 
 

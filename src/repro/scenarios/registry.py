@@ -69,24 +69,52 @@ def scenario_descriptions() -> Dict[str, str]:
     return {name: _REGISTRY[name]().description for name in scenario_names()}
 
 
+def closest_name(name: str, candidates: List[str]) -> Optional[str]:
+    """The candidate most similar to ``name``, matched case-insensitively.
+
+    An exact case-insensitive hit (``Rack-Mixed``, ``FIG6-KVS-TRANSITION``)
+    is returned directly; otherwise fuzzy matching compares lowercased
+    names so casing never hides a typo's nearest neighbour.  Shared by the
+    scenario and sweep registries and the CLI suggestions.
+    """
+    lowered = {c.lower(): c for c in candidates}
+    exact = lowered.get(name.lower())
+    if exact is not None:
+        return exact
+    matches = difflib.get_close_matches(
+        name.lower(), list(lowered), n=1, cutoff=0.4
+    )
+    return lowered[matches[0]] if matches else None
+
+
 def closest_scenario(name: str) -> Optional[str]:
-    """The registered name most similar to ``name``, if any is close."""
-    matches = difflib.get_close_matches(name, scenario_names(), n=1, cutoff=0.4)
-    return matches[0] if matches else None
+    """The registered scenario most similar to ``name``, if any is close."""
+    return closest_name(name, scenario_names())
+
+
+def resolve_factory(registry: Dict[str, Callable], name: str, kind: str):
+    """Look ``name`` up in a factory registry: exact case-insensitive
+    spellings resolve directly, anything else raises with a did-you-mean
+    suggestion.  Shared by the scenario and sweep registries."""
+    factory = registry.get(name)
+    if factory is not None:
+        return factory
+    suggestion = closest_name(name, sorted(registry))
+    if suggestion is not None and suggestion.lower() == name.lower():
+        return registry[suggestion]
+    hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+    raise ConfigurationError(
+        f"unknown {kind} {name!r}{hint} (known: {', '.join(sorted(registry))})"
+    )
 
 
 def build_spec(name: str, **overrides) -> ScenarioSpec:
-    """Instantiate a named scenario's spec (factory overrides applied)."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        suggestion = closest_scenario(name)
-        hint = f"; did you mean {suggestion!r}?" if suggestion else ""
-        raise ConfigurationError(
-            f"unknown scenario {name!r}{hint} "
-            f"(known: {', '.join(scenario_names())})"
-        ) from None
-    return factory(**overrides)
+    """Instantiate a named scenario's spec (factory overrides applied).
+
+    Exact case-insensitive spellings (``RACK-MIXED``) resolve directly;
+    anything else raises with a did-you-mean suggestion.
+    """
+    return resolve_factory(_REGISTRY, name, "scenario")(**overrides)
 
 
 def run_scenario(name: str, **overrides) -> ScenarioResult:
@@ -269,6 +297,36 @@ def _rack_spec(
     )
 
 
+@register("rack-kvs")
+def rack_kvs_spec(
+    n_hosts: int = 4,
+    rate_per_host_kpps: float = 12.0,
+    duration_s: float = 4.0,
+    keyspace: int = 20_000,
+    seed: int = 11,
+) -> ScenarioSpec:
+    """The parameterized rack the §9.4 sweeps iterate: N key-sharded
+    memcached hosts at a nominal per-host offered rate (the total is split
+    by each shard's Zipf traffic weight).  No co-located jobs — sweep
+    points are pinned to a placement, so nothing needs a trigger."""
+    if n_hosts < 1:
+        raise ConfigurationError("rack-kvs needs n_hosts >= 1")
+    return ScenarioSpec(
+        name="rack-kvs",
+        description=(
+            "parameterized key-sharded rack (sweep base): N hosts × "
+            "per-host offered rate"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=tuple(KvsHostSpec(name=f"kvs{i}") for i in range(n_hosts)),
+        kvs_workload=KvsWorkloadSpec(
+            keyspace=keyspace, rate_kpps=rate_per_host_kpps * n_hosts
+        ),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=250.0),
+    )
+
+
 @register("rack4-kvs-sharded")
 def rack4_spec(
     duration_s: float = 8.0,
@@ -322,20 +380,24 @@ def rack_mixed_spec(
     dns_storm_kqps: float = 30.0,
     keyspace: int = 20_000,
     n_names: int = 800,
+    n_paxos_groups: int = 2,
     seed: int = 23,
 ) -> ScenarioSpec:
-    """The §9.4 mixed rack: 2 key-sharded KVS hosts, 2 independent Paxos
+    """The §9.4 mixed rack: 2 key-sharded KVS hosts, N independent Paxos
     consensus groups (own logical leader addresses, scheduled shifts at
     distinct times), and 2 anycast DNS replicas steered by qname hash —
-    all behind one ToR, each placement with its own controller kind."""
+    all behind one ToR, each placement with its own controller kind.
+    ``n_paxos_groups`` is the sweep axis of ``sweep-rack-mixed``."""
+    if n_paxos_groups < 1:
+        raise ConfigurationError("rack-mixed needs n_paxos_groups >= 1")
     storm_start_s = min(1.5, duration_s / 3.0)
     storm_stop_s = min(duration_s - 0.5, duration_s * 0.9)
     job_start_s, job_stop_s = 0.8, min(3.5, duration_s)
     return ScenarioSpec(
         name="rack-mixed",
         description=(
-            "Heterogeneous rack: 2 KVS shards + 2 Paxos groups + 2 anycast "
-            "DNS hosts, mixed controller kinds"
+            f"Heterogeneous rack: 2 KVS shards + {n_paxos_groups} Paxos "
+            "groups + 2 anycast DNS hosts, mixed controller kinds"
         ),
         duration_s=duration_s,
         seed=seed,
@@ -365,9 +427,17 @@ def rack_mixed_spec(
             ),
         ),
         kvs_workload=KvsWorkloadSpec(keyspace=keyspace, rate_kpps=kvs_rate_kpps),
-        paxos_groups=(
-            PaxosSpec(name="px0", shifts=((1.2, True),)),
-            PaxosSpec(name="px1", shifts=((2.2, True),)),
+        paxos_groups=tuple(
+            # staggered shift times so groups demonstrably move
+            # independently; a stagger past the horizon is dropped (like
+            # co-located jobs that don't fit) rather than silently queued
+            PaxosSpec(
+                name=f"px{i}",
+                shifts=((1.2 + 1.0 * i, True),)
+                if 1.2 + 1.0 * i < duration_s
+                else (),
+            )
+            for i in range(n_paxos_groups)
         ),
         dns_hosts=(
             DnsHostSpec(

@@ -159,6 +159,10 @@ class KvsHostSpec:
     rapl_interval_ms: float = 10.0
     colocated: Tuple[ColocatedJobSpec, ...] = ()
     sampling: Optional[SamplingSpec] = None
+    #: Begin the run already shifted into the network (the sweep engine's
+    #: hardware-pinned mode).  Applied before instrumentation starts, so
+    #: the very first power sample sees the active card.
+    start_in_hardware: bool = False
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -200,6 +204,8 @@ class DnsHostSpec:
     controller: ControllerSpec = ControllerSpec(kind="network")
     rapl_interval_ms: float = 10.0
     sampling: Optional[SamplingSpec] = None
+    #: Begin the run already shifted into the network (see KvsHostSpec).
+    start_in_hardware: bool = False
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -244,6 +250,9 @@ class PaxosSpec:
     client_start_ms: float = 20.0
     shifts: Tuple[Tuple[float, bool], ...] = ()
     controller: ControllerSpec = ControllerSpec(kind="schedule")
+    #: Activate the P4xos leader (not the software one) from the start —
+    #: the sweep engine's hardware-pinned mode.
+    start_in_hardware: bool = False
 
     # -- derived addressing (the builder and validator share these) ----------
 
@@ -463,6 +472,103 @@ class ScenarioSpec:
     def dns_sharded(self) -> bool:
         """Anycast mode: more than one DNS host ⇒ qname-hash ToR routing."""
         return len(self.dns_hosts) > 1
+
+
+# ---------------------------------------------------------------------------
+# Sweeps: a grid of scenario points (the §9.4 rack tipping-point engine).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept factory parameter and the values it takes.
+
+    ``param`` names a keyword of the base scenario's registry factory
+    (``n_hosts``, ``rate_per_host_kpps``, ``n_paxos_groups``, …); the sweep
+    materializes one scenario per point of the axes' cross product.
+    """
+
+    param: str
+    values: Tuple[object, ...] = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "values", tuple(self.values))
+
+    def validate(self, owner: str) -> None:
+        if not isinstance(self.param, str) or not self.param:
+            raise ConfigurationError(f"sweep axis on {owner!r} needs a parameter name")
+        if not self.values:
+            raise ConfigurationError(
+                f"sweep axis {self.param!r} on {owner!r} has no values"
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioSweepSpec:
+    """A parameter grid over one registered scenario (§9.4 tipping points).
+
+    ``base`` names a registry entry; each grid point calls its factory with
+    the axis values (plus the constant ``fixed`` overrides) and runs the
+    resulting spec twice — pinned to software and pinned to hardware — so
+    the sweep can chart where the rack tips from one to the other on
+    ops/W.  ``tip_axis`` names the axis along which the crossover is
+    reported (the offered-rate ramp by default: the last axis).
+    """
+
+    name: str
+    base: str
+    axes: Tuple[SweepAxis, ...] = ()
+    description: str = ""
+    fixed: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
+    tip_axis: Optional[str] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "axes", tuple(self.axes))
+        items = (
+            tuple(sorted(self.fixed.items()))
+            if isinstance(self.fixed, Mapping)
+            else tuple(tuple(pair) for pair in self.fixed)
+        )
+        object.__setattr__(self, "fixed", items)
+
+    def validate(self) -> "ScenarioSweepSpec":
+        if not self.axes:
+            raise ConfigurationError(f"sweep {self.name!r} declares no axes")
+        params = [axis.param for axis in self.axes]
+        if len(set(params)) != len(params):
+            raise ConfigurationError(f"duplicate sweep axis in {self.name!r}")
+        for axis in self.axes:
+            axis.validate(self.name)
+        for key, _ in self.fixed:
+            if key in params:
+                raise ConfigurationError(
+                    f"fixed override {key!r} collides with a sweep axis in "
+                    f"{self.name!r}"
+                )
+        if self.tip_axis is not None and self.tip_axis not in params:
+            raise ConfigurationError(
+                f"tip_axis {self.tip_axis!r} is not an axis of {self.name!r}"
+            )
+        return self
+
+    def fixed_dict(self) -> Dict[str, object]:
+        return dict(self.fixed)
+
+    def resolved_tip_axis(self) -> str:
+        """The axis the crossover is searched along (defaults to the last)."""
+        return self.tip_axis if self.tip_axis is not None else self.axes[-1].param
+
+    def points(self) -> List[Dict[str, object]]:
+        """The cross product of the axes, last axis varying fastest."""
+        self.validate()
+        grid: List[Dict[str, object]] = [{}]
+        for axis in self.axes:
+            grid = [
+                {**point, axis.param: value}
+                for point in grid
+                for value in axis.values
+            ]
+        return grid
 
 
 #: Logical destination clients address in rack mode; the ToR's key-shard

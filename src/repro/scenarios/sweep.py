@@ -1,0 +1,494 @@
+"""Scenario sweep engine — the §9.4 rack-scale tipping-point charts.
+
+The paper's core claim is that in-network computing pays off only beyond a
+per-application crossover rate; §9.4 asks where that crossover lands at
+*rack scale*.  A :class:`~repro.scenarios.spec.ScenarioSweepSpec` names a
+registered scenario and a grid of factory parameters (host count, per-host
+offered rate, Paxos group count, …); :func:`run_sweep` materializes every
+grid point through :class:`ScenarioBuilder` **twice** — once pinned to
+software (controllers stripped, cards in the §9.2 standby configuration)
+and once pinned to hardware (every placement shifted into the network at
+t=0) — and reduces each run into a :class:`SweepAggregate`: achieved rate,
+total rack **wall** power, p50/p99 latency, ops/W, and the per-placement
+power attribution of :meth:`ScenarioResult.power_by_placement`.
+
+The tipping point of a sweep is, for each setting of the non-ramp axes,
+the first value of the ramp axis where the hardware-pinned rack beats the
+software-pinned rack on ops/W — the rack-scale generalization of the §8
+crossover (``repro.steady.base.find_crossover``) from analytic curves to
+measured DES runs.
+
+Named sweeps live in the registry here (``sweep-rack-kvs``,
+``sweep-rack-mixed``); run one with ``python -m repro --sweep <name>`` or
+:func:`run_sweep`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..sim.recorder import percentile
+from .builder import ScenarioBuilder, ScenarioResult, ScenarioRun
+from .registry import build_spec
+from .spec import (
+    NO_CONTROLLER,
+    ControllerSpec,
+    ScenarioSpec,
+    ScenarioSweepSpec,
+    SweepAxis,
+)
+
+# ---------------------------------------------------------------------------
+# Pinned scenario variants.
+# ---------------------------------------------------------------------------
+
+
+def software_variant(spec: ScenarioSpec) -> ScenarioSpec:
+    """The sweep's software baseline: every placement stays on the host.
+
+    Controllers are stripped (nothing may shift), co-located jobs are
+    dropped (they exist to *trigger* controllers, and their CPU draw would
+    pollute the power comparison), and ``power_save=True`` holds each card
+    in the §9.2 standby configuration — the software phase of an on-demand
+    rack, which is the baseline the paper's Figure 5 "SW + idle card"
+    comparison uses.
+    """
+    return _pinned(spec, hardware=False)
+
+
+def hardware_variant(spec: ScenarioSpec) -> ScenarioSpec:
+    """The sweep's hardware run: every placement in the network from the
+    first instant (``start_in_hardware``, applied by the builder before
+    instrumentation, so even the t=0 power sample sees the active cards;
+    caches start cold — warm-up is part of what the sweep measures)."""
+    return _pinned(spec, hardware=True)
+
+
+def _pinned(spec: ScenarioSpec, hardware: bool) -> ScenarioSpec:
+    suffix = "hw" if hardware else "sw"
+    kvs_hosts = tuple(
+        dataclasses.replace(
+            host,
+            controller=NO_CONTROLLER,
+            colocated=(),
+            power_save=True,
+            start_in_hardware=hardware,
+        )
+        for host in spec.kvs_hosts
+    )
+    dns_hosts = tuple(
+        dataclasses.replace(
+            host,
+            controller=NO_CONTROLLER,
+            power_save=True,
+            start_in_hardware=hardware,
+        )
+        for host in spec.dns_hosts
+    )
+    paxos_groups = tuple(
+        dataclasses.replace(
+            group,
+            controller=ControllerSpec(kind="schedule"),
+            shifts=(),
+            start_in_hardware=hardware,
+        )
+        for group in spec.paxos_groups
+    )
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name}[{suffix}]",
+        kvs_hosts=kvs_hosts,
+        dns_hosts=dns_hosts,
+        paxos_groups=paxos_groups,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-point aggregates.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SweepAggregate:
+    """One pinned run reduced to the numbers the tipping chart needs.
+
+    ``achieved_pps`` counts every operation the rack completed — KVS/DNS
+    responses *plus* Paxos decisions (they are the ops of ops/W) —
+    while ``offered_pps`` covers only the open-loop KVS/DNS clients;
+    Paxos clients are closed-loop and offer no fixed rate, so
+    ``achieved/offered`` is not a goodput ratio on mixed racks.
+    """
+
+    mode: str  # "software" | "hardware"
+    offered_pps: float
+    achieved_pps: float
+    total_power_w: float
+    p50_latency_us: float
+    p99_latency_us: float
+    ops_per_watt: float
+    #: mean wall watts per placement (KVS host / DNS replica / Paxos group)
+    power_by_placement: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def attributed_power_w(self) -> float:
+        return sum(self.power_by_placement.values())
+
+
+@dataclass
+class SweepPointResult:
+    """Both pinned runs of one grid point."""
+
+    params: Dict[str, object]
+    software: SweepAggregate
+    hardware: SweepAggregate
+
+    @property
+    def hardware_wins(self) -> bool:
+        """Does the hardware-pinned rack beat software on ops/W here?"""
+        return self.hardware.ops_per_watt > self.software.ops_per_watt
+
+
+@dataclass
+class TippingPoint:
+    """The crossover along the ramp axis for one setting of the others."""
+
+    fixed: Dict[str, object]
+    axis: str
+    crossover: Optional[object]
+    sw_ops_per_watt: Optional[float] = None
+    hw_ops_per_watt: Optional[float] = None
+    #: once hardware wins, does it keep winning for every later ramp value?
+    monotone: bool = True
+
+
+@dataclass
+class ScenarioSweepResult:
+    """Every grid point of a sweep, plus the tipping-point reduction."""
+
+    spec: ScenarioSweepSpec
+    points: List[SweepPointResult]
+
+    def point(self, **params) -> SweepPointResult:
+        for pt in self.points:
+            if all(pt.params.get(k) == v for k, v in params.items()):
+                return pt
+        raise KeyError(params)
+
+    def tipping_points(self) -> List[TippingPoint]:
+        """One crossover search per setting of the non-ramp axes."""
+        axis = self.spec.resolved_tip_axis()
+        other_params = [a.param for a in self.spec.axes if a.param != axis]
+        groups: Dict[Tuple, List[SweepPointResult]] = {}
+        for pt in self.points:
+            key = tuple(pt.params[p] for p in other_params)
+            groups.setdefault(key, []).append(pt)
+        rows = []
+        for key, pts in groups.items():
+            # scan in ramp order even when the axis was declared descending
+            # (non-comparable axis values fall back to declaration order)
+            try:
+                pts = sorted(pts, key=lambda pt: pt.params[axis])
+            except TypeError:
+                pass
+            crossover = None
+            sw_opw = hw_opw = None
+            monotone = True
+            seen_win = False
+            for pt in pts:
+                if pt.hardware_wins:
+                    if not seen_win:
+                        seen_win = True
+                        crossover = pt.params[axis]
+                        sw_opw = pt.software.ops_per_watt
+                        hw_opw = pt.hardware.ops_per_watt
+                elif seen_win:
+                    monotone = False
+            rows.append(
+                TippingPoint(
+                    fixed=dict(zip(other_params, key)),
+                    axis=axis,
+                    crossover=crossover,
+                    sw_ops_per_watt=sw_opw,
+                    hw_ops_per_watt=hw_opw,
+                    monotone=monotone,
+                )
+            )
+        return rows
+
+    # -- reporting -----------------------------------------------------------
+
+    def render(self) -> str:
+        from ..experiments.reporting import format_table
+
+        axis_params = [a.param for a in self.spec.axes]
+        lines = [
+            f"Sweep: {self.spec.name} over {self.spec.base!r} — "
+            f"{len(self.points)} points × 2 pinned placements",
+        ]
+        headers = axis_params + [
+            "sw kpps", "sw W", "sw ops/W",
+            "hw kpps", "hw W", "hw ops/W",
+            "winner",
+        ]
+        rows = []
+        for pt in self.points:
+            rows.append(
+                [pt.params[p] for p in axis_params]
+                + [
+                    pt.software.achieved_pps / 1e3,
+                    pt.software.total_power_w,
+                    pt.software.ops_per_watt,
+                    pt.hardware.achieved_pps / 1e3,
+                    pt.hardware.total_power_w,
+                    pt.hardware.ops_per_watt,
+                    "hardware" if pt.hardware_wins else "software",
+                ]
+            )
+        lines.append(format_table(headers, rows))
+        lines.append("")
+        axis = self.spec.resolved_tip_axis()
+        lines.append(
+            f"Tipping points: first {axis} where the hardware rack wins on ops/W"
+        )
+        other_params = [p for p in axis_params if p != axis]
+        tip_headers = (other_params or ["rack"]) + [
+            f"crossover {axis}", "sw ops/W @ tip", "hw ops/W @ tip", "monotone",
+        ]
+        tip_rows = []
+        for tip in self.tipping_points():
+            prefix = (
+                [tip.fixed[p] for p in other_params] if other_params else ["(all)"]
+            )
+            tip_rows.append(
+                prefix
+                + [
+                    tip.crossover if tip.crossover is not None else "-",
+                    tip.sw_ops_per_watt if tip.sw_ops_per_watt is not None else "-",
+                    tip.hw_ops_per_watt if tip.hw_ops_per_watt is not None else "-",
+                    "yes" if tip.monotone else "NO",
+                ]
+            )
+        lines.append(format_table(tip_headers, tip_rows))
+        last = self.points[-1]
+        attribution = ", ".join(
+            f"{name}={watts:.1f}W"
+            for name, watts in last.hardware.power_by_placement.items()
+        )
+        lines.append("")
+        lines.append(
+            "per-placement wall power at the last point (hardware-pinned): "
+            + attribution
+        )
+        return "\n".join(lines)
+
+    def save_png(self, path):
+        """Render the crossover chart to ``path`` (requires matplotlib;
+        text :meth:`render` stays the dependency-free contract)."""
+        from ..experiments.plots import save_sweep_png
+
+        return save_sweep_png(self, path)
+
+
+# ---------------------------------------------------------------------------
+# Execution.
+# ---------------------------------------------------------------------------
+
+
+def run_point(spec: ScenarioSpec, hardware: bool) -> Tuple[ScenarioRun, ScenarioResult]:
+    """Build and execute one pinned variant of a scenario point."""
+    variant = hardware_variant(spec) if hardware else software_variant(spec)
+    run = ScenarioBuilder(variant).build()
+    return run, run.execute()
+
+
+def _aggregate(run: ScenarioRun, result: ScenarioResult, mode: str) -> SweepAggregate:
+    duration_s = result.duration_us / 1e6
+    decided = sum(g.decided for g in result.paxos_groups)
+    achieved_pps = (result.total_responses + decided) / duration_s
+    latencies: List[float] = []
+    for host in (*run.kvs_hosts, *run.dns_hosts):
+        latencies.extend(
+            v for v in host.client.latency_series.values if v is not None
+        )
+    for group in run.paxos_groups:
+        for client in group.clients:
+            latencies.extend(
+                v for v in client.latency_series.values if v is not None
+            )
+    total_power_w = result.total_wall_power_w
+    if total_power_w <= 0.0 and achieved_pps > 0.0:
+        # mirror experiments.sweep.sweep_model: a rack serving traffic on
+        # zero watts is a misconfigured model, not infinite efficiency
+        raise ConfigurationError(
+            f"scenario {result.name!r} reports non-positive wall power "
+            f"({total_power_w}W) while serving {achieved_pps:.0f} pps"
+        )
+    return SweepAggregate(
+        mode=mode,
+        offered_pps=result.offered_pps,
+        achieved_pps=achieved_pps,
+        total_power_w=total_power_w,
+        p50_latency_us=percentile(latencies, 50.0) if latencies else 0.0,
+        p99_latency_us=percentile(latencies, 99.0) if latencies else 0.0,
+        ops_per_watt=achieved_pps / total_power_w if total_power_w > 0 else 0.0,
+        power_by_placement=dict(result.power_by_placement),
+    )
+
+
+def _materialize(sweep: ScenarioSweepSpec, params: Dict[str, object]) -> ScenarioSpec:
+    overrides = {**sweep.fixed_dict(), **params}
+    try:
+        return build_spec(sweep.base, **overrides)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"sweep {sweep.name!r}: scenario factory {sweep.base!r} rejected "
+            f"overrides {sorted(overrides)} ({exc})"
+        ) from None
+
+
+def run_sweep(
+    sweep: Union[str, ScenarioSweepSpec], **overrides
+) -> ScenarioSweepResult:
+    """Execute a sweep (named, or an explicit spec) over its whole grid."""
+    if isinstance(sweep, ScenarioSweepSpec):
+        if overrides:
+            raise ConfigurationError(
+                "overrides apply to named sweeps; pass an adjusted spec instead"
+            )
+        spec = sweep
+    else:
+        spec = build_sweep_spec(sweep, **overrides)
+    spec.validate()
+    points = []
+    for params in spec.points():
+        scenario = _materialize(spec, params)
+        sw_run, sw_result = run_point(scenario, hardware=False)
+        hw_run, hw_result = run_point(scenario, hardware=True)
+        points.append(
+            SweepPointResult(
+                params=params,
+                software=_aggregate(sw_run, sw_result, "software"),
+                hardware=_aggregate(hw_run, hw_result, "hardware"),
+            )
+        )
+    return ScenarioSweepResult(spec=spec, points=points)
+
+
+# ---------------------------------------------------------------------------
+# The sweep registry.
+# ---------------------------------------------------------------------------
+
+SweepFactory = Callable[..., ScenarioSweepSpec]
+
+_SWEEPS: Dict[str, SweepFactory] = {}
+
+
+def register_sweep(name: str) -> Callable[[SweepFactory], SweepFactory]:
+    """Decorator: add a sweep factory to the catalogue under ``name``."""
+
+    def wrap(factory: SweepFactory) -> SweepFactory:
+        if name in _SWEEPS:
+            raise ConfigurationError(f"duplicate sweep name {name!r}")
+        _SWEEPS[name] = factory
+        return factory
+
+    return wrap
+
+
+def sweep_names() -> List[str]:
+    return sorted(_SWEEPS)
+
+
+def sweep_descriptions() -> Dict[str, str]:
+    """Name → one-line description for every registered sweep."""
+    return {name: _SWEEPS[name]().description for name in sweep_names()}
+
+
+def closest_sweep(name: str) -> Optional[str]:
+    """The registered sweep most similar to ``name`` (case-insensitive)."""
+    from .registry import closest_name
+
+    return closest_name(name, sweep_names())
+
+
+def build_sweep_spec(name: str, **overrides) -> ScenarioSweepSpec:
+    """Instantiate a named sweep's spec (factory overrides applied).
+
+    Exact case-insensitive spellings (``SWEEP-RACK-KVS``) resolve
+    directly, mirroring :func:`repro.scenarios.registry.build_spec`.
+    """
+    from .registry import resolve_factory
+
+    factory = resolve_factory(_SWEEPS, name, "sweep")
+    try:
+        return factory(**overrides)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"sweep {name!r} rejected overrides {sorted(overrides)} ({exc})"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# The catalogue.
+# ---------------------------------------------------------------------------
+
+
+@register_sweep("sweep-rack-kvs")
+def sweep_rack_kvs(
+    hosts: Tuple[int, ...] = (1, 2, 4, 8),
+    rates_kpps: Tuple[float, ...] = (8.0, 16.0, 24.0, 32.0),
+    duration_s: float = 0.5,
+    keyspace: int = 8_000,
+    seed: int = 11,
+) -> ScenarioSweepSpec:
+    """§9.4 flagship: a key-sharded memcached rack swept 1→8 hosts × a
+    per-host ETC rate ramp, charting where the rack tips from software to
+    hardware on ops/W."""
+    return ScenarioSweepSpec(
+        name="sweep-rack-kvs",
+        base="rack-kvs",
+        description=(
+            "§9.4 tipping sweep: KVS rack, 1→8 hosts × per-host rate ramp "
+            "(software vs hardware ops/W crossover)"
+        ),
+        axes=(
+            SweepAxis("n_hosts", hosts),
+            SweepAxis("rate_per_host_kpps", rates_kpps),
+        ),
+        fixed=dict(duration_s=duration_s, keyspace=keyspace, seed=seed),
+        tip_axis="rate_per_host_kpps",
+    )
+
+
+@register_sweep("sweep-rack-mixed")
+def sweep_rack_mixed(
+    groups: Tuple[int, ...] = (1, 2, 3),
+    duration_s: float = 1.0,
+    kvs_rate_kpps: float = 8.0,
+    dns_rate_kqps: float = 6.0,
+    seed: int = 23,
+) -> ScenarioSweepSpec:
+    """The mixed rack swept over its Paxos group count — the per-group
+    power-attribution showcase (KVS shards + DNS replicas + N consensus
+    groups all drawing from one rack budget)."""
+    return ScenarioSweepSpec(
+        name="sweep-rack-mixed",
+        base="rack-mixed",
+        description=(
+            "mixed-rack sweep over Paxos group count (per-group/per-"
+            "placement wall-power attribution)"
+        ),
+        axes=(SweepAxis("n_paxos_groups", groups),),
+        fixed=dict(
+            duration_s=duration_s,
+            kvs_rate_kpps=kvs_rate_kpps,
+            dns_rate_kqps=dns_rate_kqps,
+            # no storm: the sweep wants the steady rate, not the phase ramp
+            dns_storm_kqps=dns_rate_kqps,
+            seed=seed,
+        ),
+        tip_axis="n_paxos_groups",
+    )

@@ -39,6 +39,10 @@ def test_list_flag_prints_descriptions(capsys):
     # scenario descriptions ride along
     assert "2 Paxos groups" in out
     assert "Figure 6: host-controlled" in out
+    # the sweep catalogue rides along too
+    assert "sweeps (run with --sweep):" in out
+    assert "sweep-rack-kvs" in out
+    assert "sweep-rack-mixed" in out
 
 
 def test_no_arguments_prints_usage(capsys):
@@ -83,6 +87,30 @@ def test_unknown_name_suggests_closest_match(capsys):
     assert "did you mean" in err
 
 
+def test_mixed_case_typos_still_get_suggestions(capsys):
+    """Regression: difflib on raw names meant 'Rack-Mixd' or
+    'FIG6-KVS-TRANSITON' produced no suggestion at all."""
+    assert main(["Rack-Mixd"]) == 2
+    assert "did you mean 'rack-mixed'?" in capsys.readouterr().err
+
+    assert main(["FIG6-KVS-TRANSITON"]) == 2
+    assert "did you mean 'fig6-kvs-transition'?" in capsys.readouterr().err
+
+
+def test_exact_case_insensitive_names_run_directly(capsys):
+    """'SECTION8' and 'FIG7-PAXOS-TRANSITION' are exact hits, not typos."""
+    assert main(["SECTION8"]) == 0
+    assert len(capsys.readouterr().out.splitlines()) > 3
+
+    assert main(["FIG7-PAXOS-TRANSITION", "--duration", "0.6"]) == 0
+    assert "paxos[paxos]" in capsys.readouterr().out
+
+
 def test_parser_accepts_optional_experiment():
     args = build_parser().parse_args(["--list"])
     assert args.experiment is None and args.list
+
+
+def test_parser_accepts_sweep_flag():
+    args = build_parser().parse_args(["--sweep", "sweep-rack-kvs"])
+    assert args.sweep == "sweep-rack-kvs" and args.experiment is None

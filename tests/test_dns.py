@@ -180,3 +180,24 @@ class TestEmuDns:
         server = make_i7_server(sim, nic=None)
         emu = EmuDns(sim, make_emu_dns_fpga(), server)
         assert emu.zone.capacity == EMU_ZONE_CAPACITY
+
+    def test_default_rng_is_independent_per_host(self):
+        """Regression: anycast replicas built without an explicit rng must
+        not share a jitter stream (a fixed ``random.Random(0xD45)`` made
+        every replica's pipeline jitter identical)."""
+
+        def emu_on(name):
+            sim = Simulator()
+            server = make_i7_server(sim, name=name, nic=None)
+            return EmuDns(sim, make_emu_dns_fpga(), server)
+
+        packet = make_packet(
+            "c", "s", TrafficClass.DNS, payload=DnsQuery("a.example.com")
+        )
+        a, b = emu_on("dns-a"), emu_on("dns-b")
+        draws_a = [a.request_latency_us(packet) for _ in range(8)]
+        draws_b = [b.request_latency_us(packet) for _ in range(8)]
+        assert draws_a != draws_b
+        # same node name -> same deterministic stream
+        again = emu_on("dns-a")
+        assert [again.request_latency_us(packet) for _ in range(8)] == draws_a

@@ -3,13 +3,60 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments import matplotlib_available, run_figure7, save_transition_png
+from repro.experiments import (
+    matplotlib_available,
+    run_figure7,
+    save_sweep_png,
+    save_transition_png,
+)
 
 HAVE_MPL = matplotlib_available()
 
 
 def _small_figure7():
     return run_figure7(duration_s=0.6, shift_to_hw_s=0.3, shift_to_sw_s=10.0)
+
+
+def _synthetic_sweep_result():
+    """A hand-built two-axis sweep result: no DES run needed to plot."""
+    from repro.scenarios import ScenarioSweepSpec, SweepAxis
+    from repro.scenarios.sweep import (
+        ScenarioSweepResult,
+        SweepAggregate,
+        SweepPointResult,
+    )
+
+    spec = ScenarioSweepSpec(
+        name="sweep-test",
+        base="rack-kvs",
+        axes=(
+            SweepAxis("n_hosts", (1, 2)),
+            SweepAxis("rate_per_host_kpps", (8.0, 32.0)),
+        ),
+    )
+
+    def aggregate(mode, ops_per_watt):
+        return SweepAggregate(
+            mode=mode,
+            offered_pps=1_000.0,
+            achieved_pps=1_000.0,
+            total_power_w=50.0,
+            p50_latency_us=10.0,
+            p99_latency_us=25.0,
+            ops_per_watt=ops_per_watt,
+            power_by_placement={"kvs0": 50.0},
+        )
+
+    points = [
+        SweepPointResult(
+            params={"n_hosts": hosts, "rate_per_host_kpps": rate},
+            software=aggregate("software", 100.0 if rate < 20 else 200.0),
+            hardware=aggregate("hardware", 80.0 if rate < 20 else 300.0),
+        )
+        for hosts in (1, 2)
+        for rate in (8.0, 32.0)
+    ]
+    return ScenarioSweepResult(spec=spec, points=points)
 
 
 def test_matplotlib_available_never_raises():
@@ -41,6 +88,46 @@ def test_figure6_save_png_writes_file(tmp_path):
     path = result.save_png(tmp_path / "fig6.png")
     assert path.exists()
     assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+@pytest.mark.skipif(HAVE_MPL, reason="matplotlib installed: guard not reachable")
+def test_sweep_png_without_matplotlib_raises_clean_configuration_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="matplotlib"):
+        save_sweep_png(_synthetic_sweep_result(), tmp_path / "sweep.png")
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_sweep_save_png_writes_file(tmp_path):
+    result = _synthetic_sweep_result()
+    path = save_sweep_png(result, tmp_path / "sweep.png")
+    assert path.exists()
+    assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+@pytest.mark.skipif(not HAVE_MPL, reason="matplotlib not installed")
+def test_sweep_png_single_axis(tmp_path):
+    """A one-axis sweep (no grouping params) still renders."""
+    import dataclasses
+
+    from repro.scenarios import SweepAxis
+
+    result = _synthetic_sweep_result()
+    spec = dataclasses.replace(
+        result.spec, axes=(SweepAxis("rate_per_host_kpps", (8.0, 32.0)),)
+    )
+    result = dataclasses.replace(
+        result,
+        spec=spec,
+        points=[pt for pt in result.points if pt.params["n_hosts"] == 1],
+    )
+    path = save_sweep_png(result, tmp_path / "sweep1d.png")
+    assert path.read_bytes()[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+def test_sweep_text_render_needs_no_matplotlib():
+    """The dependency-free contract extends to sweeps."""
+    text = _synthetic_sweep_result().render()
+    assert "Tipping points" in text
 
 
 def test_text_render_needs_no_matplotlib():

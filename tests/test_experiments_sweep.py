@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments.sweep import SweepPoint, linspace_rates, sweep_model, sweep_models
 from repro.steady import kvs_models
+from repro.steady.base import SteadyModel
 from repro.units import kpps, mpps
 
 
@@ -49,3 +50,32 @@ def test_ops_per_watt_computed():
     assert point.ops_per_watt == pytest.approx(
         point.achieved_pps / point.power_w
     )
+
+
+class _BrokenModel(SteadyModel):
+    """A misconfigured curve reporting non-positive power."""
+
+    def __init__(self, power_w: float):
+        super().__init__("broken", capacity_pps=1_000.0)
+        self._power_w = power_w
+
+    def power_at(self, offered_pps: float) -> float:
+        return self._power_w
+
+    def base_latency_us(self) -> float:
+        return 1.0
+
+
+def test_non_positive_power_under_load_raises():
+    """Regression: zero/negative power at positive load used to chart as
+    0 ops/W — 'infinitely bad efficiency' — instead of failing."""
+    for power in (0.0, -5.0):
+        with pytest.raises(ConfigurationError, match="non-positive power"):
+            sweep_model(_BrokenModel(power), [kpps(10)])
+
+
+def test_zero_rate_point_stays_well_defined():
+    """The 0-pps sample keeps ops_per_watt = 0.0 even when power is 0."""
+    (point,) = sweep_model(_BrokenModel(0.0), [0.0])
+    assert point.ops_per_watt == 0.0
+    assert point.achieved_pps == 0.0

@@ -34,6 +34,45 @@ def _set(key, value=b"v"):
                        payload=KvsRequest(KvsOp.SET, key, value=value))
 
 
+class TestDefaultRngIndependence:
+    """Regression: two hosts built *without* an explicit rng must draw
+    independent latency streams — a shared ``random.Random(0x1A4E)`` gave
+    every rack host perfectly correlated jitter, skewing aggregates."""
+
+    @staticmethod
+    def _lake_on(name):
+        sim = Simulator()
+        server = make_i7_server(sim, name=name, nic=None)
+        card = make_lake_fpga()
+        server.install_card(card.power_w)
+        software = SoftwareMemcached(sim, server)
+        return LakeKvs(sim, card, server, software)
+
+    def test_two_hosts_draw_different_streams(self):
+        a, b = self._lake_on("host-a"), self._lake_on("host-b")
+        packet = _get("missing")  # miss path: lognormal, consumes the rng
+        draws_a = [a.request_latency_us(packet) for _ in range(8)]
+        draws_b = [b.request_latency_us(packet) for _ in range(8)]
+        assert draws_a != draws_b
+
+    def test_same_host_name_is_deterministic(self):
+        a, b = self._lake_on("host-a"), self._lake_on("host-a")
+        packet = _get("missing")
+        assert [a.request_latency_us(packet) for _ in range(8)] == [
+            b.request_latency_us(packet) for _ in range(8)
+        ]
+
+    def test_explicit_rng_still_wins(self):
+        sim = Simulator()
+        server = make_i7_server(sim, name="srv", nic=None)
+        card = make_lake_fpga()
+        server.install_card(card.power_w)
+        software = SoftwareMemcached(sim, server)
+        rng = random.Random(7)
+        lake = LakeKvs(sim, card, server, software, rng=rng)
+        assert lake._rng is rng
+
+
 class TestCacheHierarchy:
     def test_set_populates_both_levels_and_software(self):
         sim, server, card, software, lake = _lake()

@@ -27,6 +27,7 @@ _SHORT = {
     "fig6-kvs-transition": dict(duration_s=1.5, rate_kpps=8.0, keyspace=5_000),
     "fig6-kvs-netctl": dict(duration_s=1.5, keyspace=5_000, ramp_up_s=0.3),
     "fig7-paxos-transition": dict(duration_s=1.2),
+    "rack-kvs": dict(duration_s=1.0, rate_per_host_kpps=4.0, keyspace=4_000),
     "rack4-kvs-sharded": dict(duration_s=1.5, total_rate_kpps=16.0, keyspace=4_000),
     "rack8-kvs-sharded": dict(duration_s=1.5, total_rate_kpps=24.0, keyspace=4_000),
     "rack-mixed": dict(
@@ -71,6 +72,13 @@ def test_registered_scenario_builds_runs_and_measures(name):
 def test_unknown_scenario_rejected():
     with pytest.raises(ConfigurationError):
         build_spec("no-such-scenario")
+
+
+def test_exact_case_insensitive_names_resolve_programmatically():
+    """Case-insensitivity is a registry property, not a CLI shim."""
+    assert build_spec("RACK-MIXED").name == "rack-mixed"
+    with pytest.raises(ConfigurationError, match="did you mean"):
+        build_spec("RACK-MIXD")
 
 
 def test_specs_are_derivable_with_replace():
