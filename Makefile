@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,13 @@ bench-smoke:
 # to benchmarks/results/sweep_rack_kvs_tipping.txt (a CI artifact).
 sweep-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_sweep_tipping.py
+
+# The heterogeneous-device rack: asserts the SmartNIC host tips before the
+# NetFPGA host on one shared ramp (NIC-only host never shifts) and that
+# the per-device-kind sweep orders the crossovers the same way.  Tables
+# land in benchmarks/results/ (CI artifacts).
+hetero-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_rack_hetero.py
 
 # The full paper-vs-measured record (slow: includes the DES transitions
 # and the rack-scale scenario).  Explicit file list: bench_*.py does not

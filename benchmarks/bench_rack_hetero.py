@@ -1,0 +1,83 @@
+"""Heterogeneous offload racks: mixed device kinds behind one ToR (§9.4).
+
+Two legs, doubling as the ``make hetero-smoke`` CI gate:
+
+* the registered ``rack-hetero`` scenario — a NetFPGA host, an ASIC
+  SmartNIC host and a NIC-only host sharing one key-sharded load ramp.
+  Each card's network controller runs at *its own device's* crossover
+  thresholds, so the SmartNIC host must tip before the NetFPGA host on the
+  same ramp, and the NIC-only host must never shift (it has nothing to
+  shift to) — the paper's claim that the software-vs-hardware decision is
+  a property of the device, reproduced inside a single rack.
+* a reduced ``sweep-rack-hetero`` grid — homogeneous racks per device
+  kind × a rate ramp — asserting the per-device-kind tipping points order
+  the same way (ASIC crossover ≤ NetFPGA crossover; the NIC-only row has
+  none), with the on-demand pin bracketed by the two static pins.
+"""
+
+import pytest
+
+from repro.scenarios import build_sweep_spec, run_scenario, run_sweep
+
+
+def _run_mixed():
+    return run_scenario("rack-hetero")
+
+
+def test_rack_hetero(benchmark, save_result):
+    result = benchmark.pedantic(_run_mixed, rounds=1, iterations=1)
+    save_result("rack_hetero", result.render())
+
+    hosts = {h.name: h for h in result.hosts}
+    netfpga, smartnic, nic_only = hosts["kvs0"], hosts["kvs1"], hosts["kvs2"]
+    assert netfpga.device_kind == "netfpga-sume"
+    assert smartnic.device_kind == "asic-nic"
+    assert nic_only.device_kind == "none"
+
+    # every host serves throughout, NIC-only included
+    assert all(h.responses > 0 for h in result.hosts)
+
+    # the SmartNIC's crossover sits far below the NetFPGA's, so on one
+    # shared ramp it tips strictly earlier
+    assert smartnic.shift_times_us, "SmartNIC host never shifted"
+    assert netfpga.shift_times_us, "NetFPGA host never shifted"
+    assert smartnic.shift_times_us[0] < netfpga.shift_times_us[0]
+
+    # the NIC-only host can never shift
+    assert nic_only.shift_times_us == []
+    assert nic_only.hw_hits == 0
+
+
+def test_sweep_rack_hetero_tipping(save_result):
+    spec = build_sweep_spec(
+        "sweep-rack-hetero",
+        device_kinds=("netfpga-sume", "asic-nic", "none"),
+        rates_kpps=(8.0, 32.0),
+        duration_s=0.5,
+        keyspace=4_000,
+    )
+    result = run_sweep(spec)
+    save_result("sweep_rack_hetero_tipping", result.render())
+
+    tips = {t.fixed["device_kind"]: t for t in result.tipping_points()}
+    assert set(tips) == {"netfpga-sume", "asic-nic", "none"}
+
+    # per-device-kind crossovers: the cheaper ASIC card tips no later than
+    # the NetFPGA; the NIC-only rack never tips at all
+    assert tips["asic-nic"].crossover is not None
+    assert tips["netfpga-sume"].crossover is not None
+    assert tips["asic-nic"].crossover <= tips["netfpga-sume"].crossover
+    assert tips["none"].crossover is None
+
+    for pt in result.points:
+        # the on-demand run is bracketed by the two static pins (within
+        # measurement noise of the shift transient)
+        assert pt.ondemand is not None
+        lo = min(pt.software.ops_per_watt, pt.hardware.ops_per_watt)
+        hi = max(pt.software.ops_per_watt, pt.hardware.ops_per_watt)
+        assert lo * 0.95 <= pt.ondemand.ops_per_watt <= hi * 1.05
+        if pt.params["device_kind"] == "none":
+            # nothing to pin: both brackets are the same software rack
+            assert pt.hardware.ops_per_watt == pytest.approx(
+                pt.software.ops_per_watt
+            )

@@ -21,6 +21,7 @@ import sys
 
 from .errors import ConfigurationError
 from .experiments import figures, run_figure6, run_figure7
+from .hw.device import device_descriptions
 from .scenarios import (
     closest_scenario,
     closest_sweep,
@@ -111,6 +112,12 @@ def _render_catalogue() -> str:
         lines.extend(
             f"  {name:<{width}}  {sweeps[name]}" for name in sorted(sweeps)
         )
+    lines.append("offload devices (DeviceSpec kinds):")
+    devices = device_descriptions()
+    width = max(len(name) for name in devices)
+    lines.extend(
+        f"  {name:<{width}}  {devices[name]}" for name in sorted(devices)
+    )
     return "\n".join(lines)
 
 

@@ -45,9 +45,19 @@ class EmuDns(HardwareService):
         fallback=None,
         max_parse_labels: int = MAX_PARSE_LABELS,
         app_name: str = "emu-dns",
+        capacity_pps: Optional[float] = None,
     ):
+        # capacity_pps overrides the §4.4 Emu figure — the device layer
+        # passes a SmartNIC profile's own capacity; None keeps Emu's.
         super().__init__(
-            sim, card, server, app_name, capacity_pps=cal.EMU_DNS_CAPACITY_PPS
+            sim,
+            card,
+            server,
+            app_name,
+            capacity_pps=(
+                capacity_pps if capacity_pps is not None
+                else cal.EMU_DNS_CAPACITY_PPS
+            ),
         )
         self.zone = (
             zone

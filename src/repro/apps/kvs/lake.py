@@ -64,13 +64,18 @@ class LakeKvs(HardwareService):
         l1_entries: int = cal.ONCHIP_VALUE_ENTRIES,
         l2_entries: int = L2_ENTRIES,
         app_name: str = "lake",
+        capacity_pps: Optional[float] = None,
     ):
-        pe_count = sum(1 for name in card.modules if name.startswith("pe"))
-        capacity = min(
-            cal.LAKE_LINE_RATE_PPS, pe_count * cal.LAKE_PE_CAPACITY_PPS
-        ) if pe_count else cal.LAKE_LINE_RATE_PPS
+        # capacity_pps overrides the NetFPGA sizing — the device abstraction
+        # layer passes a SmartNIC profile's own figure; None keeps the
+        # LaKe-on-SUME computation from the card's PE modules (§5.2)
+        if capacity_pps is None:
+            pe_count = sum(1 for name in card.modules if name.startswith("pe"))
+            capacity_pps = min(
+                cal.LAKE_LINE_RATE_PPS, pe_count * cal.LAKE_PE_CAPACITY_PPS
+            ) if pe_count else cal.LAKE_LINE_RATE_PPS
         super().__init__(
-            sim, card, server, app_name, capacity_pps=capacity
+            sim, card, server, app_name, capacity_pps=capacity_pps
         )
         self.server = server
         self.software = software

@@ -84,6 +84,15 @@ def save_sweep_png(result, path: PathLike, title: Optional[str] = None) -> pathl
             linestyle="-",
             label=f"{label} (HW)",
         )
+        if all(pt.ondemand is not None for pt in pts):
+            ax.plot(
+                xs,
+                [pt.ondemand.ops_per_watt for pt in pts],
+                color=color,
+                linestyle="-.",
+                linewidth=1.0,
+                label=f"{label} (on demand)",
+            )
         tip = tips.get(key)
         if tip is not None and tip.crossover is not None:
             ax.axvline(

@@ -6,6 +6,9 @@
   and latencies.
 * :mod:`repro.hw.asic` — Barefoot Tofino normalized-power model (§6).
 * :mod:`repro.hw.smartnic` — SmartNIC archetypes for the §10 discussion.
+* :mod:`repro.hw.device` — the offload-device abstraction layer: named
+  profiles (NetFPGA / SmartNIC tiers / NIC-only) behind one registry, so
+  the device is a declarative scenario axis.
 """
 
 from .memory import BramBank, DramChannel, SramBank, MemoryState
@@ -13,8 +16,28 @@ from .fpga import FpgaModule, ModuleState, NetFpgaSume, PlatformMode
 from .asic import TofinoProgram, TofinoSwitch
 from .smartnic import SmartNic, SMARTNIC_ARCHETYPES
 from .virtualization import TenantProgram, VirtualizedCard
+from .device import (
+    DEFAULT_DEVICE_KIND,
+    OffloadDevice,
+    SmartNicCard,
+    closest_device,
+    device_descriptions,
+    device_names,
+    device_profiles,
+    get_device,
+    register_device,
+)
 
 __all__ = [
+    "DEFAULT_DEVICE_KIND",
+    "OffloadDevice",
+    "SmartNicCard",
+    "closest_device",
+    "device_descriptions",
+    "device_names",
+    "device_profiles",
+    "get_device",
+    "register_device",
     "BramBank",
     "DramChannel",
     "SramBank",

@@ -1,0 +1,437 @@
+"""The offload-device abstraction layer.
+
+The paper's core claim is that the software-vs-hardware decision depends on
+the *device*: a NetFPGA SUME's fixed draw and per-packet cost put its
+crossover somewhere else than an ASIC SmartNIC's, and a host with no card
+at all can never shift.  This module makes the device a first-class,
+declarative axis: an :class:`OffloadDevice` profile answers every question
+the scenario layer used to hard-code against the NetFPGA factories —
+
+* which applications the device can host (``apps``);
+* how to build the card object an application pipeline runs on
+  (:meth:`~OffloadDevice.make_card`);
+* the application capacity on this device
+  (:meth:`~OffloadDevice.capacity_pps`);
+* its power states: active idle (:meth:`~OffloadDevice.active_idle_w`) and
+  the §9.2 standby configuration (:meth:`~OffloadDevice.standby_power_w`);
+* the rate thresholds an on-demand controller should use
+  (:meth:`~OffloadDevice.netctl_thresholds_pps`) — the calibrated §4
+  crossovers for the NetFPGA, the analytic Figure-3-style crossover of the
+  device's own power curve for everything else;
+* its activation (warm-up) cost, as profile metadata (``warmup_us``).
+
+A registry of named profiles mirrors the scenario registry: exact
+case-insensitive spellings resolve, typos raise with a did-you-mean
+suggestion.  ``netfpga-sume`` reproduces the current behaviour exactly
+(byte-identical scenario outputs); the SmartNIC tiers are built on the §10
+archetypes of :mod:`repro.hw.smartnic`; ``none`` declares a NIC-only host
+whose placement can never leave software.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..naming import closest_name
+from .fpga import make_emu_dns_fpga, make_lake_fpga, make_p4xos_fpga
+from .smartnic import SMARTNIC_ARCHETYPES, SmartNic
+
+#: Every scenario placement defaults to the paper's platform.
+DEFAULT_DEVICE_KIND = "netfpga-sume"
+
+#: Shift-up threshold for a device whose hardware curve never beats the
+#: software curve: finite (controller configs validate up > down) but far
+#: beyond any physical packet rate, so the shift never triggers.
+NEVER_SHIFT_PPS = 1e15
+
+#: Per-app shift-down/shift-up threshold ratio, taken from the calibrated
+#: §9.1 hysteresis pairs; device-derived thresholds reuse the same ratio.
+_DOWN_RATIO = {
+    "kvs": cal.NETCTL_KVS_DOWN_PPS / cal.NETCTL_KVS_UP_PPS,
+    "dns": cal.NETCTL_DNS_DOWN_PPS / cal.NETCTL_DNS_UP_PPS,
+    "paxos": cal.NETCTL_PAXOS_DOWN_PPS / cal.NETCTL_PAXOS_UP_PPS,
+}
+
+#: Calibrated §4 crossover thresholds (the NetFPGA profile's).
+_NETFPGA_THRESHOLDS = {
+    "kvs": (cal.NETCTL_KVS_UP_PPS, cal.NETCTL_KVS_DOWN_PPS),
+    "dns": (cal.NETCTL_DNS_UP_PPS, cal.NETCTL_DNS_DOWN_PPS),
+    "paxos": (cal.NETCTL_PAXOS_UP_PPS, cal.NETCTL_PAXOS_DOWN_PPS),
+}
+
+
+class SmartNicCard:
+    """A SmartNIC presented through the card interface the application
+    pipelines (:class:`~repro.apps.kvs.lake.LakeKvs`,
+    :class:`~repro.apps.dns.emu.EmuDns`,
+    :class:`~repro.apps.paxos.deployment.HardwarePaxosRole`) expect.
+
+    A sealed NIC exposes no per-module power breakdown, so the NetFPGA's
+    module controls collapse to a single active/standby state: standby
+    draws ``standby_fraction`` of the archetype's idle power; active power
+    follows the archetype's idle→peak curve with utilization.
+    """
+
+    def __init__(self, nic: SmartNic, standby_fraction: float, design: str):
+        if not 0.0 < standby_fraction <= 1.0:
+            raise ConfigurationError("standby_fraction outside (0,1]")
+        self.nic = nic
+        self.design = design
+        self.standby_fraction = standby_fraction
+        self.utilization = 0.0
+        self.standby = False
+        #: no per-module breakdown on a sealed device (the LaKe pipeline
+        #: reads these to size itself on a NetFPGA; here capacity comes
+        #: from the device profile instead)
+        self.modules: Dict[str, object] = {}
+        self.dram = None
+
+    # -- power ---------------------------------------------------------------
+
+    def power_w(self) -> float:
+        if self.standby:
+            return self.nic.idle_w * self.standby_fraction
+        return self.nic.power_w(self.utilization)
+
+    def set_utilization(self, utilization: float) -> None:
+        if not 0.0 <= utilization <= 1.0:
+            raise ConfigurationError("utilization outside [0,1]")
+        self.utilization = utilization
+
+    # -- NetFPGA-compatible state controls (the on-demand shift hooks) -------
+
+    def activate_all_logic(self) -> None:
+        self.standby = False
+
+    def clock_gate_all_logic(self) -> None:
+        self.standby = True
+
+    def activate_memories(self) -> None:
+        """Memory state follows the logic state on a sealed device."""
+
+    def reset_memories(self) -> None:
+        """See :meth:`activate_memories`."""
+
+
+class OffloadDevice:
+    """One named device profile (a registry entry).
+
+    Subclasses implement the factory and power hooks; everything the
+    scenario layer needs is answerable from the profile alone, so builders
+    and controllers never name a concrete card factory again.
+    """
+
+    kind: str = ""
+    description: str = ""
+    #: provenance of the numbers, for the PAPER.md device table
+    source: str = ""
+    apps: FrozenSet[str] = frozenset()
+    warmup_us: float = 0.0
+
+    #: True for devices a workload can actually shift onto; the ``none``
+    #: profile (NIC-only host) is the one exception.
+    is_offload = True
+
+    def accepted_params(self, app: str) -> FrozenSet[str]:
+        """Device-spec parameter names valid for this (device, app) pair."""
+        return frozenset()
+
+    def make_card(self, app: str, **params):
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def capacity_pps(self, app: str) -> Optional[float]:
+        """App capacity on this device; None defers to the app's default."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def active_idle_w(self, app: str) -> float:
+        """Card power when active but unloaded."""
+        card = self.make_card(app)
+        return card.power_w()
+
+    def standby_power_w(self, app: str) -> float:
+        """Card power in the §9.2 standby configuration (logic clock-gated,
+        memory interfaces in reset)."""
+        card = self.make_card(app)
+        card.clock_gate_all_logic()
+        card.reset_memories()
+        return card.power_w()
+
+    def peak_pps(self) -> float:
+        """Headline packet capacity, for the device table."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def dynamic_max_w(self, app: str) -> float:
+        """Load-dependent power adder at full utilization (the steady
+        models' slope on top of :meth:`active_idle_w`)."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def netctl_thresholds_pps(self, app: str) -> Tuple[float, float]:
+        """(shift-up, shift-down) rate thresholds for this device's §9.1
+        controllers — the load beyond which this particular card pays for
+        itself, with the calibrated hysteresis ratio below it."""
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def validate_app(self, app: str, owner: str) -> None:
+        if app not in self.apps:
+            raise ConfigurationError(
+                f"device {self.kind!r} on {owner!r} cannot host {app}; "
+                f"it supports: {', '.join(sorted(self.apps)) or 'nothing'}"
+            )
+
+
+class NetFpgaSumeDevice(OffloadDevice):
+    """The paper's platform: NetFPGA SUME with the §3 designs.
+
+    ``capacity_pps`` and thresholds defer to the existing calibrated paths,
+    so scenarios declaring (or defaulting to) this device behave exactly as
+    before the device layer existed.
+    """
+
+    kind = DEFAULT_DEVICE_KIND
+    description = "NetFPGA SUME (Virtex-7): LaKe / P4xos / Emu DNS designs"
+    source = "§3-§5 (LaKe 23W card, P4xos 13W, Emu 12W; 13Mpps line rate)"
+    apps = frozenset({"kvs", "dns", "paxos"})
+    warmup_us = 0.0  # LaKe's cache warm-up is emergent in the DES (§9.2)
+
+    _FACTORIES = {
+        "kvs": make_lake_fpga,
+        "dns": make_emu_dns_fpga,
+        "paxos": make_p4xos_fpga,
+    }
+
+    def accepted_params(self, app: str) -> FrozenSet[str]:
+        if app == "kvs":
+            return frozenset({"pe_count", "with_external_memories"})
+        return frozenset()
+
+    def make_card(self, app: str, **params):
+        return self._FACTORIES[app](**params)
+
+    def capacity_pps(self, app: str) -> Optional[float]:
+        # None: LakeKvs sizes itself from the card's PEs, EmuDns and
+        # HardwarePaxosRole carry their own §4 figures — the pre-device
+        # behaviour, kept bit-for-bit.
+        return None
+
+    def peak_pps(self) -> float:
+        return cal.LAKE_LINE_RATE_PPS
+
+    def dynamic_max_w(self, app: str) -> float:
+        return cal.EMU_DYNAMIC_MAX_W if app == "dns" else cal.FPGA_DYNAMIC_MAX_W
+
+    def netctl_thresholds_pps(self, app: str) -> Tuple[float, float]:
+        return _NETFPGA_THRESHOLDS[app]
+
+
+class SmartNicDevice(OffloadDevice):
+    """A SmartNIC tier built on a §10 archetype.
+
+    Thresholds are not calibrated constants here: they are the analytic
+    Figure-3-style crossover of this device's own power curve against the
+    application's software curve (``repro.steady``), which is exactly how
+    the paper argues the decision should be made per device.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        archetype: str,
+        apps: FrozenSet[str],
+        standby_fraction: float,
+        warmup_us: float,
+        description: str,
+        source: str,
+    ):
+        self.kind = kind
+        self.archetype = archetype
+        self.nic = SMARTNIC_ARCHETYPES[archetype]
+        self.apps = apps
+        self.standby_fraction = standby_fraction
+        self.warmup_us = warmup_us
+        self.description = description
+        self.source = source
+        self._thresholds: Dict[str, Tuple[float, float]] = {}
+
+    def make_card(self, app: str, **params):
+        return SmartNicCard(self.nic, self.standby_fraction, design=self.kind)
+
+    def capacity_pps(self, app: str) -> Optional[float]:
+        return self.nic.peak_pps()
+
+    def active_idle_w(self, app: str) -> float:
+        return self.nic.idle_w
+
+    def standby_power_w(self, app: str) -> float:
+        return self.nic.idle_w * self.standby_fraction
+
+    def peak_pps(self) -> float:
+        return self.nic.peak_pps()
+
+    def dynamic_max_w(self, app: str) -> float:
+        return self.nic.peak_w - self.nic.idle_w
+
+    def netctl_thresholds_pps(self, app: str) -> Tuple[float, float]:
+        cached = self._thresholds.get(app)
+        if cached is None:
+            # lazy: repro.steady imports repro.hw, so the analytic models
+            # cannot be module-level dependencies of this package
+            from ..steady.ondemand import device_crossover_pps
+
+            up = device_crossover_pps(app, self.kind)
+            if up is None:
+                # this card never beats the software curve: a rate-driven
+                # controller should never shift up (unreachable threshold)
+                up = NEVER_SHIFT_PPS
+            elif up <= 0.0:
+                # cheaper than the idle software stack: shift on any
+                # sustained traffic; floor well below every §4 crossover
+                up = 1_000.0
+            cached = (up, up * _DOWN_RATIO[app])
+            self._thresholds[app] = cached
+        return cached
+
+
+class NoDevice(OffloadDevice):
+    """A NIC-only host: the software placement that can never shift.
+
+    The host keeps its ordinary NIC (the card of the other profiles
+    replaces it), runs the software application, and rejects controllers
+    and hardware pins at ``validate()`` time.
+    """
+
+    kind = "none"
+    description = "NIC-only host: software placement, nothing to shift to"
+    source = "§4.2 baseline (i7 + 10GE NIC, 39W idle)"
+    apps = frozenset({"kvs", "dns"})
+    warmup_us = 0.0
+    is_offload = False
+
+    def make_card(self, app: str, **params):
+        return None
+
+    def capacity_pps(self, app: str) -> Optional[float]:
+        return None
+
+    def active_idle_w(self, app: str) -> float:
+        return 0.0
+
+    def standby_power_w(self, app: str) -> float:
+        return 0.0
+
+    def peak_pps(self) -> float:
+        return 0.0
+
+    def dynamic_max_w(self, app: str) -> float:
+        return 0.0
+
+    def netctl_thresholds_pps(self, app: str) -> Tuple[float, float]:
+        raise ConfigurationError(
+            "a NIC-only host has no shift thresholds (nothing to shift to)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+_DEVICES: Dict[str, OffloadDevice] = {}
+
+
+def register_device(device: OffloadDevice) -> OffloadDevice:
+    if device.kind in _DEVICES:
+        raise ConfigurationError(f"duplicate device kind {device.kind!r}")
+    _DEVICES[device.kind] = device
+    return device
+
+
+def device_names() -> List[str]:
+    return sorted(_DEVICES)
+
+
+def device_descriptions() -> Dict[str, str]:
+    """Kind → one-line description for every registered device."""
+    return {kind: _DEVICES[kind].description for kind in device_names()}
+
+
+def closest_device(kind: str) -> Optional[str]:
+    """The registered device most similar to ``kind`` (case-insensitive);
+    mirrors the scenario registry's suggestion behaviour."""
+    return closest_name(kind, list(_DEVICES))
+
+
+def get_device(kind: str) -> OffloadDevice:
+    """Resolve a device kind: exact case-insensitive spellings resolve
+    directly, anything else raises with a did-you-mean suggestion."""
+    device = _DEVICES.get(kind)
+    if device is not None:
+        return device
+    suggestion = closest_device(kind)
+    if suggestion is not None and suggestion.lower() == kind.lower():
+        return _DEVICES[suggestion]
+    hint = f"; did you mean {suggestion!r}?" if suggestion else ""
+    raise ConfigurationError(
+        f"unknown device kind {kind!r}{hint} "
+        f"(known: {', '.join(device_names())})"
+    )
+
+
+def device_profiles() -> Dict[str, Dict[str, object]]:
+    """Kind → headline figures (the PAPER.md device-profile table).
+
+    Idle/standby watts use the KVS design where the device supports it
+    (the richest profile), falling back to the first supported app.
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+    for kind in device_names():
+        device = _DEVICES[kind]
+        app = "kvs" if "kvs" in device.apps else sorted(device.apps)[0]
+        rows[kind] = {
+            "description": device.description,
+            "idle_w": device.standby_power_w(app),
+            "active_w": device.active_idle_w(app),
+            "peak_pps": device.peak_pps(),
+            "warmup_us": device.warmup_us,
+            "source": device.source,
+            "apps": sorted(device.apps),
+        }
+    return rows
+
+
+register_device(NetFpgaSumeDevice())
+register_device(
+    SmartNicDevice(
+        kind="accelnet-fpga",
+        archetype="accelnet-fpga",
+        apps=frozenset({"kvs", "dns", "paxos"}),
+        standby_fraction=cal.SMARTNIC_FPGA_STANDBY_FRACTION,
+        warmup_us=cal.DEVICE_WARMUP_FPGA_SMARTNIC_US,
+        description="AccelNet-class FPGA SmartNIC (fully programmable)",
+        source="§10: 17-19W standalone, ~4Mpps/W on a 40GE board",
+    )
+)
+register_device(
+    SmartNicDevice(
+        kind="asic-nic",
+        archetype="asic-smartnic",
+        # fixed-function offload engines: no custom consensus data plane
+        apps=frozenset({"kvs", "dns"}),
+        standby_fraction=cal.SMARTNIC_ASIC_STANDBY_FRACTION,
+        warmup_us=cal.DEVICE_WARMUP_ASIC_SMARTNIC_US,
+        description="ASIC SmartNIC (Agilio-class): best perf/W, least flexible",
+        source="§10 archetype inside the 25W PCIe envelope (§6 ASIC ordering)",
+    )
+)
+register_device(
+    SmartNicDevice(
+        kind="soc-nic",
+        archetype="soc-smartnic",
+        apps=frozenset({"kvs", "dns", "paxos"}),
+        standby_fraction=cal.SMARTNIC_SOC_STANDBY_FRACTION,
+        warmup_us=cal.DEVICE_WARMUP_SOC_SMARTNIC_US,
+        description="SoC SmartNIC (BlueField-class): easy to program, worst perf/W",
+        source="§10 archetype inside the 25W PCIe envelope",
+    )
+)
+register_device(NoDevice())

@@ -1,0 +1,30 @@
+"""Shared name resolution for the package's registries.
+
+The scenario, sweep and offload-device registries all resolve user-given
+names the same way: an exact case-insensitive spelling hits directly, and
+anything else gets a fuzzy did-you-mean suggestion.  One implementation
+lives here so the cutoff and matching behaviour cannot drift between
+registries.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import List, Optional
+
+
+def closest_name(name: str, candidates: List[str]) -> Optional[str]:
+    """The candidate most similar to ``name``, matched case-insensitively.
+
+    An exact case-insensitive hit (``Rack-Mixed``, ``NETFPGA-SUME``) is
+    returned directly; otherwise fuzzy matching compares lowercased names
+    so casing never hides a typo's nearest neighbour.
+    """
+    lowered = {c.lower(): c for c in candidates}
+    exact = lowered.get(name.lower())
+    if exact is not None:
+        return exact
+    matches = difflib.get_close_matches(
+        name.lower(), list(lowered), n=1, cutoff=0.4
+    )
+    return lowered[matches[0]] if matches else None

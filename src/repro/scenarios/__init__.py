@@ -6,17 +6,20 @@ per-placement shift controllers, workloads, sampling) from *running it*
 (the :class:`ScenarioBuilder`, which materializes the spec into a wired
 discrete-event run).  A rack may mix key-sharded KVS hosts, N independent
 Paxos consensus groups and anycast DNS replicas behind one ToR, each
-placement naming its own :class:`ControllerSpec` kind.  Named scenarios —
-the paper's Figures 6/7 and the rack-scale extensions — live in
-:mod:`repro.scenarios.registry`.
+placement naming its own :class:`ControllerSpec` kind and its own
+:class:`DeviceSpec` offload device (NetFPGA, SmartNIC tiers, or a
+NIC-only host).  Named scenarios — the paper's Figures 6/7 and the
+rack-scale extensions — live in :mod:`repro.scenarios.registry`.
 """
 
 from .spec import (
     NO_CONTROLLER,
+    NO_DEVICE,
     RACK_DNS_SERVICE,
     RACK_KVS_SERVICE,
     ColocatedJobSpec,
     ControllerSpec,
+    DeviceSpec,
     DnsHostSpec,
     DnsWorkloadSpec,
     KvsHostSpec,
@@ -56,7 +59,9 @@ from .sweep import (
     build_sweep_spec,
     closest_sweep,
     hardware_variant,
+    ondemand_variant,
     register_sweep,
+    run_pinned,
     run_point,
     run_sweep,
     software_variant,
@@ -66,10 +71,12 @@ from .sweep import (
 
 __all__ = [
     "NO_CONTROLLER",
+    "NO_DEVICE",
     "RACK_DNS_SERVICE",
     "RACK_KVS_SERVICE",
     "ColocatedJobSpec",
     "ControllerSpec",
+    "DeviceSpec",
     "DnsHostSpec",
     "DnsWorkloadSpec",
     "KvsHostSpec",
@@ -103,7 +110,9 @@ __all__ = [
     "build_sweep_spec",
     "closest_sweep",
     "hardware_variant",
+    "ondemand_variant",
     "register_sweep",
+    "run_pinned",
     "run_point",
     "run_sweep",
     "software_variant",

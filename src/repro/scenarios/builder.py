@@ -43,7 +43,7 @@ from ..core.predictive_controller import (
 )
 from ..errors import ConfigurationError
 from ..host import make_i7_server
-from ..hw.fpga import make_emu_dns_fpga, make_lake_fpga, make_p4xos_fpga
+from ..hw.device import DEFAULT_DEVICE_KIND, OffloadDevice, get_device
 from ..net.classifier import ClassifierRule, KeyShardRouter, PacketClassifier
 from ..net.node import CallbackNode
 from ..net.packet import TrafficClass
@@ -112,6 +112,8 @@ class HostResult:
     responses: int
     app: str = "kvs"
     controller_kind: str = "host"
+    #: which offload card this host carries ("none" = NIC-only host)
+    device_kind: str = DEFAULT_DEVICE_KIND
 
     def mean_throughput_pps(self, start_us: float, end_us: float) -> float:
         return windowed_mean(self.throughput_series, start_us, end_us, "throughput")
@@ -269,9 +271,14 @@ class ScenarioResult:
 
     @staticmethod
     def _host_table(hosts: List[HostResult], duration_us: float) -> List[str]:
-        lines = [
-            "host            ctl         shifts[s]           mean thr[kpps]  hw hits  misses"
-        ]
+        # the device column appears only on heterogeneous racks, keeping
+        # the default-device scenario outputs identical to the pre-device
+        # renderer
+        with_devices = any(h.device_kind != DEFAULT_DEVICE_KIND for h in hosts)
+        header = "host            ctl         shifts[s]           mean thr[kpps]  hw hits  misses"
+        if with_devices:
+            header = "host            device          " + header[16:]
+        lines = [header]
         for host in hosts:
             shifts = ", ".join(f"{t / 1e6:.2f}" for t in host.shift_times_us) or "-"
             thr = (
@@ -279,8 +286,10 @@ class ScenarioResult:
                 if any(v for _, v in host.throughput_series)
                 else 0.0
             )
+            device_col = f"{host.device_kind:<14}  " if with_devices else ""
             lines.append(
-                f"{host.name:<14}  {host.controller_kind:<10}  {shifts:<18}  "
+                f"{host.name:<14}  {device_col}{host.controller_kind:<10}  "
+                f"{shifts:<18}  "
                 f"{thr / 1e3:14.1f}  {host.hw_hits:7d}  {host.hw_miss_forwards:6d}"
             )
         return lines
@@ -293,14 +302,19 @@ class ScenarioResult:
 
 @dataclass
 class BuiltKvsHost:
-    """The wired stack behind one KVS host (construction handles)."""
+    """The wired stack behind one KVS host (construction handles).
+
+    On a NIC-only host (``DeviceSpec(kind="none")``) there is no card, no
+    hardware pipeline and no classifier: ``card``/``lake``/``classifier``
+    are None and the software memcached handles every packet directly.
+    """
 
     spec: KvsHostSpec
     server: object
-    card: object
+    card: Optional[object]
     memcached: SoftwareMemcached
-    lake: LakeKvs
-    classifier: PacketClassifier
+    lake: Optional[LakeKvs]
+    classifier: Optional[PacketClassifier]
     service: OnDemandService
     controller: Optional[ShiftController]
     client: KvsClient
@@ -312,14 +326,15 @@ class BuiltKvsHost:
 
 @dataclass
 class BuiltDnsHost:
-    """The wired stack behind one anycast DNS replica."""
+    """The wired stack behind one anycast DNS replica (see
+    :class:`BuiltKvsHost` for the NIC-only shape)."""
 
     spec: DnsHostSpec
     server: object
-    card: object
+    card: Optional[object]
     nsd: SoftwareNsd
-    emu: EmuDns
-    classifier: PacketClassifier
+    emu: Optional[EmuDns]
+    classifier: Optional[PacketClassifier]
     service: OnDemandService
     controller: Optional[ShiftController]
     client: DnsClient
@@ -339,7 +354,21 @@ class BuiltPaxosGroup:
     gap_scanner: LearnerGapScanner
     power_sampler: PeriodicSampler
     #: server/card name -> wall-power sampler for every node the group owns
+    #: (a *shared* acceptor box appears in several groups' maps, pointing
+    #: at one sampler object)
     wall_samplers: Dict[str, PeriodicSampler] = field(default_factory=dict)
+    #: node name -> this group's software role on it, for the busy-time
+    #: weights of the shared-host power split
+    roles_by_node: Dict[str, SoftwarePaxosRole] = field(default_factory=dict)
+
+    def busy_us_on(self, node_name: str) -> float:
+        """Cumulative service busy time this group spent on a node (the
+        proportional-split weight; nodes without a software role — the
+        hardware leader card — are sole-owned, so the weight is moot)."""
+        role = self.roles_by_node.get(node_name)
+        if role is None:
+            return 1.0
+        return role.served * role.service_time_us
 
 
 class ScenarioRun:
@@ -445,13 +474,18 @@ class ScenarioRun:
         double-count or drop.
         """
         entries = [
-            (host.spec.name, host.wall_sampler.series.values, host.spec.name)
+            (host.spec.name, host.wall_sampler.series.values, host.spec.name, 1.0)
             for host in (*self.kvs_hosts, *self.dns_hosts)
         ]
         for group in self.paxos_groups:
             for node_name, sampler in group.wall_samplers.items():
                 entries.append(
-                    (node_name, sampler.series.values, group.spec.name)
+                    (
+                        node_name,
+                        sampler.series.values,
+                        group.spec.name,
+                        group.busy_us_on(node_name),
+                    )
                 )
         return attribute_power(*merge_power_claims(entries))
 
@@ -468,6 +502,11 @@ class ScenarioRun:
         )
         power = _power_series(host.power_sampler, bucket_us, duration_us)
         lake = host.lake
+        hw_hits = 0
+        hw_miss_forwards = 0
+        if lake is not None:
+            hw_hits = lake.l1.hits + (lake.l2.hits if lake.l2 is not None else 0)
+            hw_miss_forwards = lake.miss_forwards
         return HostResult(
             name=host.spec.name,
             offered_pps=host.offered_pps,
@@ -475,11 +514,12 @@ class ScenarioRun:
             throughput_series=throughput,
             latency_series=latency,
             power_series=power,
-            hw_hits=lake.l1.hits + (lake.l2.hits if lake.l2 is not None else 0),
-            hw_miss_forwards=lake.miss_forwards,
+            hw_hits=hw_hits,
+            hw_miss_forwards=hw_miss_forwards,
             responses=client.responses,
             app="kvs",
             controller_kind=host.spec.controller.kind,
+            device_kind=host.spec.device.kind,
         )
 
     def _collect_dns_host(self, host: BuiltDnsHost, duration_us: float) -> HostResult:
@@ -501,11 +541,14 @@ class ScenarioRun:
             throughput_series=throughput,
             latency_series=latency,
             power_series=power,
-            hw_hits=host.emu.served,
-            hw_miss_forwards=host.emu.deep_query_fallbacks,
+            hw_hits=host.emu.served if host.emu is not None else 0,
+            hw_miss_forwards=(
+                host.emu.deep_query_fallbacks if host.emu is not None else 0
+            ),
             responses=client.responses,
             app="dns",
             controller_kind=host.spec.controller.kind,
+            device_kind=host.spec.device.kind,
         )
 
     def _collect_paxos(
@@ -551,34 +594,46 @@ class ScenarioRun:
 
 
 def merge_power_claims(
-    entries: List[Tuple[str, List[float], str]],
-) -> Tuple[Dict[str, List[float]], Dict[str, Tuple[str, ...]]]:
-    """Fold (node, samples, owner) triples into :func:`attribute_power`
-    inputs.  A node listed by several placements keeps **one** sample set
-    (it is one physical box — same probe either way) and accumulates every
-    distinct owner, so shared hosts reach the split path instead of the
-    last claimant silently absorbing the whole draw.
+    entries: List[Tuple[str, List[float], str, float]],
+) -> Tuple[
+    Dict[str, List[float]],
+    Dict[str, Tuple[str, ...]],
+    Dict[str, Dict[str, float]],
+]:
+    """Fold (node, samples, owner, busy_us) tuples into
+    :func:`attribute_power` inputs.  A node listed by several placements
+    keeps **one** sample set (it is one physical box — same probe either
+    way), accumulates every distinct owner, and sums each owner's busy
+    time, so shared hosts reach the split path instead of the last
+    claimant silently absorbing the whole draw.
     """
     samples: Dict[str, List[float]] = {}
     claims: Dict[str, Tuple[str, ...]] = {}
-    for node_name, values, owner in entries:
+    busy: Dict[str, Dict[str, float]] = {}
+    for node_name, values, owner, busy_us in entries:
         samples.setdefault(node_name, values)
         owners = claims.get(node_name, ())
         if owner not in owners:
             claims[node_name] = owners + (owner,)
-    return samples, claims
+        node_busy = busy.setdefault(node_name, {})
+        node_busy[owner] = node_busy.get(owner, 0.0) + busy_us
+    return samples, claims, busy
 
 
 def attribute_power(
     samples_by_server: Dict[str, List[float]],
     claims: Dict[str, Tuple[str, ...]],
+    busy_us_by_server: Optional[Dict[str, Dict[str, float]]] = None,
 ) -> Tuple[Dict[str, float], float]:
     """Split per-server wall-power samples among claiming placements.
 
     ``claims`` maps each sampled server to the placements running on it; a
     server claimed by several placements (Paxos groups sharing acceptor
-    hosts, KVS shards co-resident with a consensus role) contributes an
-    equal share of its mean power to each claimant.  Returns the
+    hosts, KVS shards co-resident with a consensus role) is split between
+    them **in proportion to each claimant's busy time** on that box
+    (``busy_us_by_server``: server → owner → busy µs).  Claimants with no
+    recorded busy time — or a box where nobody was busy at all — fall back
+    to the equal split, so idle shared boxes still decompose.  Returns the
     per-placement attribution plus the independently-reduced total (mean of
     per-sample sums), so callers can assert the decomposition drops or
     double-counts nothing.
@@ -605,8 +660,14 @@ def attribute_power(
                 f"power samples for {server!r} are claimed by no placement"
             )
         mean_w = sum(samples) / len(samples)
-        share = mean_w / len(owners)
-        for owner in owners:
+        weights = (busy_us_by_server or {}).get(server)
+        busy = [max(0.0, (weights or {}).get(owner, 0.0)) for owner in owners]
+        busy_total = sum(busy)
+        for owner, owner_busy in zip(owners, busy):
+            if busy_total > 0.0:
+                share = mean_w * owner_busy / busy_total
+            else:
+                share = mean_w / len(owners)
             attribution[owner] = attribution.get(owner, 0.0) + share
         for i, value in enumerate(samples):
             if i < len(per_sample_totals):
@@ -653,6 +714,38 @@ def _sum_series(
 # ---------------------------------------------------------------------------
 
 
+class _PaxosRoleFanout:
+    """Packet dispatch for a server hosting several groups' acceptor roles.
+
+    A shared acceptor box is one switch port, so inbound 1A/2A messages
+    from *different groups' leaders* arrive on one handler; acceptors only
+    ever receive from their group's leader nodes, which makes the packet
+    source the natural dispatch key.
+    """
+
+    def __init__(self, server_name: str):
+        self.server_name = server_name
+        self._roles_by_src: Dict[str, SoftwarePaxosRole] = {}
+
+    def register(self, leader_names: Tuple[str, ...], role) -> None:
+        for src in leader_names:
+            if src in self._roles_by_src:
+                raise ConfigurationError(
+                    f"leader {src!r} already routed on shared acceptor "
+                    f"host {self.server_name!r}"
+                )
+            self._roles_by_src[src] = role
+
+    def offer(self, packet) -> None:
+        role = self._roles_by_src.get(packet.src)
+        if role is None:
+            raise ConfigurationError(
+                f"shared acceptor host {self.server_name!r} got a packet "
+                f"from unregistered source {packet.src!r}"
+            )
+        role.offer(packet)
+
+
 class ScenarioBuilder:
     """Materializes a :class:`ScenarioSpec` into a :class:`ScenarioRun`."""
 
@@ -668,6 +761,10 @@ class ScenarioBuilder:
         switch = Switch(sim, spec.switch.name)
         topo = Topology(sim)
         topo.add(switch)
+        #: shared acceptor boxes built so far: name -> (server, fanout)
+        self._shared_acceptor_hosts: Dict[str, Tuple[object, _PaxosRoleFanout]] = {}
+        #: one wall sampler per physical box, even when groups share it
+        self._wall_sampler_cache: Dict[str, PeriodicSampler] = {}
 
         kvs_hosts: List[BuiltKvsHost] = []
         router: Optional[KeyShardRouter] = None
@@ -733,24 +830,24 @@ class ScenarioBuilder:
         app: str,
         host_spec,
         server,
-        classifier: PacketClassifier,
+        classifier: Optional[PacketClassifier],
         traffic_class: TrafficClass,
         service: OnDemandService,
+        device: OffloadDevice,
     ) -> Optional[ShiftController]:
         """Materialize the host's :class:`ControllerSpec` — the unified
-        controller plane.  Every §9.1 family plugs in here; ``params``
-        override each family's calibrated defaults."""
+        controller plane.  Every §9.1 family plugs in here; the rate
+        thresholds and standby figures default to the host's *device*
+        profile (the §4 calibrated crossovers on the NetFPGA, each other
+        device's own analytic crossover), and ``params`` override them."""
         kind = host_spec.controller.kind
         params = host_spec.controller.as_dict()
         if kind == "none":
             return None
+        up_pps, down_pps = device.netctl_thresholds_pps(app)
         if kind == "host":
             server.start_rapl(update_interval_us=msec(host_spec.rapl_interval_ms))
-            defaults = {
-                "rate_down_pps": cal.NETCTL_KVS_DOWN_PPS
-                if app == "kvs"
-                else cal.NETCTL_DNS_DOWN_PPS
-            }
+            defaults = {"rate_down_pps": down_pps}
             return HostController(
                 sim,
                 server,
@@ -760,19 +857,28 @@ class ScenarioBuilder:
                 traffic_class=traffic_class,
             )
         if kind == "network":
-            # the per-app §4 crossover defaults live next to the controller
-            config = NETCTL_DEFAULT_CONFIGS[app]
+            # the NetFPGA's §4 crossover defaults live next to the
+            # controller; other devices get their analytic crossover
+            if device.kind == DEFAULT_DEVICE_KIND:
+                config = NETCTL_DEFAULT_CONFIGS[app]
+            else:
+                config = dataclasses.replace(
+                    NETCTL_DEFAULT_CONFIGS[app],
+                    up_rate_pps=up_pps,
+                    down_rate_pps=down_pps,
+                )
             if params:
                 config = dataclasses.replace(config, **params)
             return NetworkController(
                 sim, classifier, traffic_class, service, config
             )
         if kind == "predictive":
-            # the steady-state curves of both placements are the model the
-            # §9.1-forward predictive controller carries
+            # the steady-state curves of both placements — on *this*
+            # device — are the model the §9.1-forward predictive
+            # controller carries
             from ..steady.ondemand import make_ondemand_model
 
-            model = make_ondemand_model(app)
+            model = make_ondemand_model(app, device=device.kind)
             standby_card_w = params.pop("standby_card_w", model.standby_card_w)
             return PredictiveController(
                 sim,
@@ -875,27 +981,39 @@ class ScenarioBuilder:
         preloader,
     ) -> BuiltKvsHost:
         spec = self.spec
-        # -- server with the LaKe card replacing its NIC (§4.2)
-        server = make_i7_server(sim, name=host_spec.name, nic=None)
-        card = make_lake_fpga()
-        server.install_card(card.power_w)
-        memcached = SoftwareMemcached(sim, server)
-        lake = LakeKvs(
-            sim,
-            card,
-            server,
-            memcached,
-            rng=streams.get(f"{host_spec.name}.lake.latency"),
-        )
-        lake.disable(power_save=host_spec.power_save)
-
-        classifier = PacketClassifier(sim)
-        classifier.add_rule(
-            ClassifierRule(
-                TrafficClass.MEMCACHED, hardware=lake.offer, host=memcached.offer
+        device = get_device(host_spec.device.kind)
+        if device.is_offload:
+            # -- server with the device's card replacing its NIC (§4.2)
+            server = make_i7_server(sim, name=host_spec.name, nic=None)
+            card = device.make_card("kvs", **host_spec.device.as_dict())
+            server.install_card(card.power_w)
+            memcached = SoftwareMemcached(sim, server)
+            lake = LakeKvs(
+                sim,
+                card,
+                server,
+                memcached,
+                rng=streams.get(f"{host_spec.name}.lake.latency"),
+                capacity_pps=device.capacity_pps("kvs"),
             )
-        )
-        server.set_packet_handler(classifier.classify)
+            lake.disable(power_save=host_spec.power_save)
+
+            classifier = PacketClassifier(sim)
+            classifier.add_rule(
+                ClassifierRule(
+                    TrafficClass.MEMCACHED, hardware=lake.offer, host=memcached.offer
+                )
+            )
+            server.set_packet_handler(classifier.classify)
+        else:
+            # -- NIC-only host: the ordinary NIC stays in, the software
+            # memcached handles every packet, nothing can ever shift
+            server = make_i7_server(sim, name=host_spec.name)
+            card = None
+            memcached = SoftwareMemcached(sim, server)
+            lake = None
+            classifier = None
+            server.set_packet_handler(memcached.offer)
         if preloader is not None:
             preloader(memcached.store.set)
         topo.add(server)
@@ -929,19 +1047,29 @@ class ScenarioBuilder:
             job.schedule(sec(job_spec.start_s), sec(job_spec.stop_s))
             jobs.append(job)
 
-        # -- on-demand service + the host's chosen controller kind (§9.1)
+        # -- on-demand service + the host's chosen controller kind (§9.1);
+        # a NIC-only host gets a hook-less service that never shifts
         service = OnDemandService(
             sim,
             host_spec.name,
             classifier=classifier,
             traffic_class=TrafficClass.MEMCACHED,
-            to_hardware=lake.enable,
-            to_software=lambda lake=lake: lake.disable(
-                power_save=host_spec.power_save
+            to_hardware=lake.enable if lake is not None else None,
+            to_software=(
+                (lambda lake=lake: lake.disable(power_save=host_spec.power_save))
+                if lake is not None
+                else None
             ),
         )
         controller = self._build_controller(
-            sim, "kvs", host_spec, server, classifier, TrafficClass.MEMCACHED, service
+            sim,
+            "kvs",
+            host_spec,
+            server,
+            classifier,
+            TrafficClass.MEMCACHED,
+            service,
+            device,
         )
         if host_spec.start_in_hardware:
             # before instrumentation: the first sample must see the active card
@@ -1061,29 +1189,40 @@ class ScenarioBuilder:
         records,
     ) -> BuiltDnsHost:
         spec = self.spec
-        # -- server with the Emu DNS card doubling as its NIC (§3.3)
-        server = make_i7_server(sim, name=host_spec.name, nic=None)
-        card = make_emu_dns_fpga()
-        server.install_card(card.power_w)
+        device = get_device(host_spec.device.kind)
         zone = ZoneTable(name=f"{host_spec.name}.zone")
         zone.add_many(records)
-        nsd = SoftwareNsd(sim, server, zone=zone)
-        emu = EmuDns(
-            sim,
-            card,
-            server,
-            fallback=nsd,
-            rng=streams.get(f"{host_spec.name}.emu.jitter"),
-        )
-        # every anycast replica answers for the whole zone
-        emu.zone.add_many(records)
-        emu.disable(power_save=host_spec.power_save)
+        if device.is_offload:
+            # -- server with the device's DNS card doubling as its NIC (§3.3)
+            server = make_i7_server(sim, name=host_spec.name, nic=None)
+            card = device.make_card("dns", **host_spec.device.as_dict())
+            server.install_card(card.power_w)
+            nsd = SoftwareNsd(sim, server, zone=zone)
+            emu = EmuDns(
+                sim,
+                card,
+                server,
+                fallback=nsd,
+                rng=streams.get(f"{host_spec.name}.emu.jitter"),
+                capacity_pps=device.capacity_pps("dns"),
+            )
+            # every anycast replica answers for the whole zone
+            emu.zone.add_many(records)
+            emu.disable(power_save=host_spec.power_save)
 
-        classifier = PacketClassifier(sim)
-        classifier.add_rule(
-            ClassifierRule(TrafficClass.DNS, hardware=emu.offer, host=nsd.offer)
-        )
-        server.set_packet_handler(classifier.classify)
+            classifier = PacketClassifier(sim)
+            classifier.add_rule(
+                ClassifierRule(TrafficClass.DNS, hardware=emu.offer, host=nsd.offer)
+            )
+            server.set_packet_handler(classifier.classify)
+        else:
+            # -- NIC-only replica: NSD answers everything, forever
+            server = make_i7_server(sim, name=host_spec.name)
+            card = None
+            nsd = SoftwareNsd(sim, server, zone=zone)
+            emu = None
+            classifier = None
+            server.set_packet_handler(nsd.offer)
         topo.add(server)
         self._connect(topo, host_spec.name)
 
@@ -1106,13 +1245,15 @@ class ScenarioBuilder:
             host_spec.name,
             classifier=classifier,
             traffic_class=TrafficClass.DNS,
-            to_hardware=emu.enable,
-            to_software=lambda emu=emu: emu.disable(
-                power_save=host_spec.power_save
+            to_hardware=emu.enable if emu is not None else None,
+            to_software=(
+                (lambda emu=emu: emu.disable(power_save=host_spec.power_save))
+                if emu is not None
+                else None
             ),
         )
         controller = self._build_controller(
-            sim, "dns", host_spec, server, classifier, TrafficClass.DNS, service
+            sim, "dns", host_spec, server, classifier, TrafficClass.DNS, service, device
         )
         if host_spec.start_in_hardware:
             service.shift_to_hardware("spec: initial hardware placement")
@@ -1160,6 +1301,7 @@ class ScenarioBuilder:
         directory = _Directory(
             acceptor_names, learner_names, leader_address=px.leader_address
         )
+        roles_by_node: Dict[str, SoftwarePaxosRole] = {}
 
         # -- software leader on an i7 host
         sw_name = px.software_leader_name
@@ -1176,40 +1318,70 @@ class ScenarioBuilder:
         sw_server.set_packet_handler(sw_leader.offer)
         topo.add(sw_server)
         self._connect(topo, sw_name)
+        roles_by_node[sw_name] = sw_leader
 
-        # -- hardware leader: P4xos on a NetFPGA behind its own port
+        # -- hardware leader: the group's device behind its own port
+        device = get_device(px.device.kind)
         hw_name = px.hardware_leader_name
-        hw_card = make_p4xos_fpga()
+        hw_card = device.make_card("paxos", **px.device.as_dict())
         hw_node = CallbackNode(
             sim, hw_name, on_packet=lambda p: hw_leader.offer(p)
         )
+        hw_capacity = device.capacity_pps("paxos")
         hw_leader = HardwarePaxosRole(
             sim,
             hw_card,
             hw_node,
             LeaderState(hw_name, 1, px.n_acceptors),
             directory,
+            **({"capacity_pps": hw_capacity} if hw_capacity is not None else {}),
         )
         topo.add(hw_node)
         self._connect(topo, hw_name)
 
-        # -- software acceptors and learner
+        # -- software acceptors and learner.  With explicit acceptor_hosts
+        # the boxes may be shared with other groups: one server, one port,
+        # one wall sampler — and one role per group, dispatched by the
+        # sending leader.
         group_servers = [sw_server]
         for name in acceptor_names:
-            server = make_i7_server(sim, name=name)
+            if px.acceptor_hosts:
+                existing = self._shared_acceptor_hosts.get(name)
+                if existing is None:
+                    server = make_i7_server(sim, name=name)
+                    fanout = _PaxosRoleFanout(name)
+                    server.set_packet_handler(fanout.offer)
+                    topo.add(server)
+                    self._connect(topo, name)
+                    self._shared_acceptor_hosts[name] = (server, fanout)
+                else:
+                    server, fanout = existing
+                role = SoftwarePaxosRole(
+                    sim,
+                    server,
+                    AcceptorState(name, recovery_window=px.recovery_window),
+                    directory,
+                    capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+                    stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
+                    app_name=f"acceptor.{px.name}.{name}",
+                )
+                fanout.register((sw_name, hw_name), role)
+            else:
+                server = make_i7_server(sim, name=name)
+                role = SoftwarePaxosRole(
+                    sim,
+                    server,
+                    AcceptorState(name, recovery_window=px.recovery_window),
+                    directory,
+                    capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
+                    stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
+                    app_name=f"acceptor.{name}",
+                )
+                server.set_packet_handler(role.offer)
+                topo.add(server)
+                self._connect(topo, name)
             group_servers.append(server)
-            role = SoftwarePaxosRole(
-                sim,
-                server,
-                AcceptorState(name, recovery_window=px.recovery_window),
-                directory,
-                capacity_pps=cal.LIBPAXOS_ACCEPTOR_CAPACITY_PPS,
-                stack_latency_us=cal.LIBPAXOS_ACCEPTOR_STACK_US,
-                app_name=f"acceptor.{name}",
-            )
-            server.set_packet_handler(role.offer)
-            topo.add(server)
-            self._connect(topo, name)
+            roles_by_node[name] = role
 
         learner_server = make_i7_server(sim, name=px.learner_name)
         group_servers.append(learner_server)
@@ -1225,6 +1397,7 @@ class ScenarioBuilder:
         learner_server.set_packet_handler(learner_role.offer)
         topo.add(learner_server)
         self._connect(topo, px.learner_name)
+        roles_by_node[px.learner_name] = learner_role
         gap_scanner = LearnerGapScanner(sim, learner_role)
 
         # -- deployment + this group's shift controller (§9.2)
@@ -1280,17 +1453,22 @@ class ScenarioBuilder:
         )
         # Every node the group owns is wall-sampled on the scenario cadence
         # so the §9.4 sweep can attribute the rack's draw per group; the
-        # P4xos card has no host CPU, its probe is the card itself.
+        # hardware leader card has no host CPU, its probe is the card
+        # itself.  Shared acceptor boxes are sampled once — both groups'
+        # maps point at the same sampler (it is one physical probe).
         wall_interval_us = msec(self.spec.sampling.power_interval_ms)
-        wall_samplers = {
-            server.name: PeriodicSampler(
-                sim,
-                server.wall_power_w,
-                wall_interval_us,
-                name=f"{server.name}.wall-power",
-            )
-            for server in group_servers
-        }
+        wall_samplers = {}
+        for server in group_servers:
+            sampler = self._wall_sampler_cache.get(server.name)
+            if sampler is None:
+                sampler = PeriodicSampler(
+                    sim,
+                    server.wall_power_w,
+                    wall_interval_us,
+                    name=f"{server.name}.wall-power",
+                )
+                self._wall_sampler_cache[server.name] = sampler
+            wall_samplers[server.name] = sampler
         wall_samplers[hw_name] = PeriodicSampler(
             sim, hw_card.power_w, wall_interval_us, name=f"{hw_name}.wall-power"
         )
@@ -1302,6 +1480,7 @@ class ScenarioBuilder:
             gap_scanner=gap_scanner,
             power_sampler=power_sampler,
             wall_samplers=wall_samplers,
+            roles_by_node=roles_by_node,
         )
 
 

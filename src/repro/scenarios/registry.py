@@ -20,20 +20,31 @@ rack-scale extensions all live here:
 ``rack-mixed``           A heterogeneous rack: 2 KVS shards, 2 independent
                          Paxos groups and 2 anycast DNS replicas sharing
                          one ToR, with per-host controller kinds.
+``rack-hetero``          Heterogeneous *hardware*: a key-sharded KVS rack
+                         mixing a NetFPGA host, an ASIC SmartNIC host and
+                         a NIC-only host behind one ToR, driven up a load
+                         ramp so each card tips at its own crossover.
+``rack-paxos-shared``    Two Paxos groups whose acceptors share the same
+                         three server boxes (the §9.4 shared-host power
+                         split, proportional to busy time).
 =====================  =====================================================
 """
 
 from __future__ import annotations
 
-import difflib
 from typing import Callable, Dict, List, Optional
 
 from ..errors import ConfigurationError
+# shared with the sweep and device registries and the CLI suggestions;
+# re-exported here because this was its historical home
+from ..naming import closest_name
 from ..units import sec
 from .builder import ScenarioBuilder, ScenarioResult
 from .spec import (
+    NO_CONTROLLER,
     ColocatedJobSpec,
     ControllerSpec,
+    DeviceSpec,
     DnsHostSpec,
     DnsWorkloadSpec,
     KvsHostSpec,
@@ -69,22 +80,6 @@ def scenario_descriptions() -> Dict[str, str]:
     return {name: _REGISTRY[name]().description for name in scenario_names()}
 
 
-def closest_name(name: str, candidates: List[str]) -> Optional[str]:
-    """The candidate most similar to ``name``, matched case-insensitively.
-
-    An exact case-insensitive hit (``Rack-Mixed``, ``FIG6-KVS-TRANSITION``)
-    is returned directly; otherwise fuzzy matching compares lowercased
-    names so casing never hides a typo's nearest neighbour.  Shared by the
-    scenario and sweep registries and the CLI suggestions.
-    """
-    lowered = {c.lower(): c for c in candidates}
-    exact = lowered.get(name.lower())
-    if exact is not None:
-        return exact
-    matches = difflib.get_close_matches(
-        name.lower(), list(lowered), n=1, cutoff=0.4
-    )
-    return lowered[matches[0]] if matches else None
 
 
 def closest_scenario(name: str) -> Optional[str]:
@@ -364,6 +359,132 @@ def rack8_spec(
         stagger_s=0.5,
         first_job_s=0.8,
         job_length_s=3.5,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Heterogeneous hardware: mixed offload devices behind one ToR.
+# ---------------------------------------------------------------------------
+
+
+@register("rack-hetero")
+def rack_hetero_spec(
+    device_kinds: tuple = ("netfpga-sume", "asic-nic", "none"),
+    device_kind: str = None,
+    rate_per_host_kpps: float = 4.0,
+    mid_rate_per_host_kpps: float = 30.0,
+    peak_rate_per_host_kpps: float = 110.0,
+    ramp: bool = True,
+    ctl_window_s: float = 0.8,
+    duration_s: float = 3.6,
+    keyspace: int = 12_000,
+    seed: int = 31,
+) -> ScenarioSpec:
+    """The heterogeneous *hardware* rack: one key-sharded KVS host per
+    entry of ``device_kinds`` — by default a NetFPGA SUME host, an ASIC
+    SmartNIC host and a NIC-only host — behind one ToR.
+
+    Every host with a card runs the network-driven controller at **its own
+    device's** thresholds (the §4 crossover for the NetFPGA, the device's
+    analytic crossover otherwise); the NIC-only host has no controller
+    because it has nothing to shift to.  With ``ramp`` the offered rate
+    climbs base → mid → peak, placed so the SmartNIC's crossover is passed
+    at mid load and the NetFPGA's only at peak: the SmartNIC host tips
+    first, the NetFPGA host later, the NIC-only host never — the §9.4
+    answer to "which hosts in a mixed rack should even have a card".
+
+    ``device_kind`` (scalar) overrides every host to one kind — the
+    homogeneous grid points ``sweep-rack-hetero`` iterates.
+    """
+    kinds = (device_kind,) * len(device_kinds) if device_kind else tuple(device_kinds)
+    if not kinds:
+        raise ConfigurationError("rack-hetero needs at least one device kind")
+    hosts = []
+    for i, kind in enumerate(kinds):
+        device = DeviceSpec(kind=kind)
+        if device.is_offload:
+            controller = ControllerSpec(
+                kind="network",
+                params=dict(
+                    up_window_us=sec(ctl_window_s),
+                    down_window_us=sec(ctl_window_s),
+                ),
+            )
+        else:
+            controller = NO_CONTROLLER
+        hosts.append(
+            KvsHostSpec(name=f"kvs{i}", device=device, controller=controller)
+        )
+    n_hosts = len(hosts)
+    t_mid = min(1.0, duration_s / 3.0)
+    t_peak = min(2.5, duration_s / 1.8)
+    phases = (
+        (
+            (t_mid, mid_rate_per_host_kpps * n_hosts),
+            (t_peak, peak_rate_per_host_kpps * n_hosts),
+        )
+        if ramp and t_peak > t_mid
+        else ()
+    )
+    return ScenarioSpec(
+        name="rack-hetero",
+        description=(
+            "heterogeneous offload rack: "
+            + " + ".join(kinds)
+            + " KVS hosts, per-device crossover controllers"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        kvs_hosts=tuple(hosts),
+        kvs_workload=KvsWorkloadSpec(
+            keyspace=keyspace,
+            rate_kpps=rate_per_host_kpps * n_hosts,
+            phases=phases,
+        ),
+        sampling=SamplingSpec(power_interval_ms=100.0, bucket_ms=250.0),
+    )
+
+
+@register("rack-paxos-shared")
+def rack_paxos_shared_spec(
+    duration_s: float = 4.0,
+    n_acceptors: int = 3,
+    heavy_clients: int = 3,
+    light_clients: int = 1,
+    seed: int = 17,
+) -> ScenarioSpec:
+    """Two Paxos consensus groups whose acceptors run on the *same* three
+    server boxes: the builder installs one acceptor role per group on each
+    shared box (dispatched by sending leader), and the §9.4 wall-power
+    attribution splits each box between the groups in proportion to their
+    busy time — px0 drives more clients than px1, so it owns the larger
+    share."""
+    shared = tuple(f"acceptor-shared{i}" for i in range(n_acceptors))
+    return ScenarioSpec(
+        name="rack-paxos-shared",
+        description=(
+            "2 Paxos groups sharing acceptor boxes (proportional-to-busy-"
+            "time power split)"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        paxos_groups=(
+            PaxosSpec(
+                name="px0",
+                n_clients=heavy_clients,
+                n_acceptors=n_acceptors,
+                acceptor_hosts=shared,
+                shifts=((min(1.2, duration_s / 2.0), True),),
+            ),
+            PaxosSpec(
+                name="px1",
+                n_clients=light_clients,
+                n_acceptors=n_acceptors,
+                acceptor_hosts=shared,
+                shifts=((min(2.2, duration_s * 0.7), True),),
+            ),
+        ),
+        sampling=SamplingSpec(power_interval_ms=100.0, bucket_ms=250.0),
     )
 
 

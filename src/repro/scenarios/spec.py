@@ -12,7 +12,10 @@ hosts, N independent Paxos consensus groups sharing the ToR (each with its
 own logical leader address), and anycast DNS hosts steered by qname hash.
 Each placement names its own :class:`ControllerSpec` — the §9.1 host- and
 network-driven designs, the predictive enhancement, or none — so *who
-decides to shift* is part of the declaration, not the wiring.
+decides to shift* is part of the declaration, not the wiring.  Each
+placement also names its own :class:`DeviceSpec` — the NetFPGA, a §10
+SmartNIC tier, or ``none`` for a NIC-only host — so *what there is to
+shift to* is declarative as well, and racks may mix offload devices.
 
 Specs are frozen dataclasses so scenarios can be derived from one another
 with :func:`dataclasses.replace` (the registry test shortens horizons that
@@ -30,6 +33,7 @@ from ..core.network_controller import NetworkControllerConfig
 from ..core.paxos_controller import PaxosControllerConfig
 from ..core.predictive_controller import PredictiveControllerConfig
 from ..errors import ConfigurationError
+from ..hw.device import DEFAULT_DEVICE_KIND, get_device
 
 
 def _config_fields(config_cls, *extra: str) -> FrozenSet[str]:
@@ -113,6 +117,62 @@ NO_CONTROLLER = ControllerSpec(kind="none")
 
 
 @dataclass(frozen=True)
+class DeviceSpec:
+    """Which offload device a placement's host carries, and with what knobs.
+
+    ``kind`` names a profile of the :mod:`repro.hw.device` registry —
+    ``netfpga-sume`` (the paper's platform, the default), the §10 SmartNIC
+    tiers (``accelnet-fpga``, ``asic-nic``, ``soc-nic``), or ``none`` (a
+    NIC-only host whose placement can never shift).  ``params`` carries
+    device-specific construction overrides (e.g. the NetFPGA's LaKe
+    ``pe_count``), validated against the profile at declaration time.  Like
+    :class:`ControllerSpec`, ``params`` accepts a mapping and is normalized
+    to a sorted tuple of pairs so specs stay hashable.
+    """
+
+    kind: str = DEFAULT_DEVICE_KIND
+    params: Union[Mapping[str, object], Tuple[Tuple[str, object], ...]] = ()
+
+    def __post_init__(self):
+        items = (
+            tuple(sorted(self.params.items()))
+            if isinstance(self.params, Mapping)
+            else tuple(tuple(pair) for pair in self.params)
+        )
+        object.__setattr__(self, "params", items)
+
+    def as_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+    @property
+    def is_offload(self) -> bool:
+        """False for the ``none`` profile (NIC-only host)."""
+        return get_device(self.kind).is_offload
+
+    def validate_for(self, app: str, owner: str) -> None:
+        # unknown kinds raise here with a case-insensitive did-you-mean
+        # suggestion, like scenario and sweep names
+        device = get_device(self.kind)
+        device.validate_app(app, owner)
+        allowed = device.accepted_params(app)
+        for key, _ in self.params:
+            if not isinstance(key, str):
+                raise ConfigurationError(
+                    f"device param names on {owner!r} must be strings"
+                )
+            if key not in allowed:
+                accepted = ", ".join(sorted(allowed)) or "none"
+                raise ConfigurationError(
+                    f"unknown {device.kind!r} device param {key!r} on "
+                    f"{owner!r}; accepted: {accepted}"
+                )
+
+
+#: A host with no offload card at all (software placement forever).
+NO_DEVICE = DeviceSpec(kind="none")
+
+
+@dataclass(frozen=True)
 class ColocatedJobSpec:
     """A ChainerMN-style CPU job co-located on one host (Figure 6)."""
 
@@ -163,6 +223,8 @@ class KvsHostSpec:
     #: hardware-pinned mode).  Applied before instrumentation starts, so
     #: the very first power sample sees the active card.
     start_in_hardware: bool = False
+    #: Which offload card this host carries (``none`` = NIC-only host).
+    device: DeviceSpec = DeviceSpec()
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -206,6 +268,8 @@ class DnsHostSpec:
     sampling: Optional[SamplingSpec] = None
     #: Begin the run already shifted into the network (see KvsHostSpec).
     start_in_hardware: bool = False
+    #: Which offload card this replica carries (``none`` = NIC-only host).
+    device: DeviceSpec = DeviceSpec()
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -253,6 +317,15 @@ class PaxosSpec:
     #: Activate the P4xos leader (not the software one) from the start —
     #: the sweep engine's hardware-pinned mode.
     start_in_hardware: bool = False
+    #: Which offload card hosts the hardware leader (must support paxos).
+    device: DeviceSpec = DeviceSpec()
+    #: Explicit acceptor server names.  Empty: the group lays out its own
+    #: ``<name>-acceptor{i}`` boxes (disjoint from every other group).
+    #: Non-empty (length must equal ``n_acceptors``): the named servers
+    #: host this group's acceptors, and several groups naming the same
+    #: server *share* it — the §9.4 shared-host case whose wall power is
+    #: split between the groups in proportion to their busy time.
+    acceptor_hosts: Tuple[str, ...] = ()
 
     # -- derived addressing (the builder and validator share these) ----------
 
@@ -274,6 +347,8 @@ class PaxosSpec:
         return f"{self.name}-learner0"
 
     def acceptor_names(self) -> List[str]:
+        if self.acceptor_hosts:
+            return list(self.acceptor_hosts)
         return [f"{self.name}-acceptor{i}" for i in range(self.n_acceptors)]
 
     def client_names(self) -> List[str]:
@@ -298,6 +373,25 @@ class OnDemandSweepSpec:
     max_rate_kpps: float = 1200.0
     steps: int = 25
     peak_rate_kpps: float = 1000.0
+
+
+def _validate_host_device(host, app: str) -> None:
+    """The NIC-only rules: a host with no card can never leave software, so
+    a hardware pin or any shifting controller on it is a declaration error,
+    caught at ``validate()`` time like every other spec mistake."""
+    if host.device.is_offload:
+        return
+    if host.start_in_hardware:
+        raise ConfigurationError(
+            f"NIC-only {app} host {host.name!r} (device 'none') cannot "
+            "start_in_hardware: there is no card to start on"
+        )
+    if host.controller.kind != "none":
+        raise ConfigurationError(
+            f"NIC-only {app} host {host.name!r} (device 'none') cannot be "
+            f"driven by a {host.controller.kind!r} controller: there is "
+            "nothing to shift to"
+        )
 
 
 def _validate_phases(phases: PhaseSchedule, owner: str) -> None:
@@ -358,6 +452,8 @@ class ScenarioSpec:
             _validate_phases(self.kvs_workload.phases, "KVS workload")
         for host in self.kvs_hosts:
             host.controller.validate_for("kvs", host.name)
+            host.device.validate_for("kvs", host.name)
+            _validate_host_device(host, "kvs")
             for job in host.colocated:
                 if job.stop_s <= job.start_s:
                     raise ConfigurationError(
@@ -395,6 +491,8 @@ class ScenarioSpec:
                 )
         for host in self.dns_hosts:
             host.controller.validate_for("dns", host.name)
+            host.device.validate_for("dns", host.name)
+            _validate_host_device(host, "dns")
 
     def _validate_paxos(self) -> None:
         group_names = [g.name for g in self.paxos_groups]
@@ -404,10 +502,22 @@ class ScenarioSpec:
             )
         for group in self.paxos_groups:
             group.controller.validate_for("paxos", group.name)
+            group.device.validate_for("paxos", group.name)
             if group.n_clients < 1 or group.n_acceptors < 1:
                 raise ConfigurationError(
                     f"Paxos group {group.name!r} needs >=1 client and acceptor"
                 )
+            if group.acceptor_hosts:
+                if len(group.acceptor_hosts) != group.n_acceptors:
+                    raise ConfigurationError(
+                        f"Paxos group {group.name!r} names "
+                        f"{len(group.acceptor_hosts)} acceptor hosts for "
+                        f"{group.n_acceptors} acceptors"
+                    )
+                if len(set(group.acceptor_hosts)) != len(group.acceptor_hosts):
+                    raise ConfigurationError(
+                        f"Paxos group {group.name!r} repeats an acceptor host"
+                    )
             for at_s, _ in group.shifts:
                 if at_s < 0:
                     raise ConfigurationError(
@@ -423,8 +533,11 @@ class ScenarioSpec:
     def _validate_node_names(self) -> None:
         """Node names must be unique across *all* apps sharing the ToR —
         a KVS host, a Paxos acceptor and a DNS client are all ports on the
-        same switch — and must not shadow the logical service addresses."""
+        same switch — and must not shadow the logical service addresses.
+        The one sanctioned overlap: a server named in several groups'
+        ``acceptor_hosts`` is *shared* (one box, one port, many roles)."""
         seen: Dict[str, str] = {}
+        _SHARED = "a shared Paxos acceptor host"
 
         def claim(name: str, what: str) -> None:
             if name in seen:
@@ -434,6 +547,16 @@ class ScenarioSpec:
                 )
             seen[name] = what
 
+        def claim_shared(name: str) -> None:
+            prev = seen.get(name)
+            if prev is None:
+                seen[name] = _SHARED
+            elif prev != _SHARED:
+                raise ConfigurationError(
+                    f"node name {name!r} used by both {prev} and {_SHARED} "
+                    f"in {self.name!r}"
+                )
+
         claim(self.switch.name, "the ToR switch")
         for host in self.kvs_hosts:
             claim(host.name, "a KVS host")
@@ -442,8 +565,12 @@ class ScenarioSpec:
             claim(host.name, "a DNS host")
             claim(host.resolved_client_name(), "a DNS client")
         for group in self.paxos_groups:
+            shared = set(group.acceptor_hosts)
             for node in group.node_names():
-                claim(node, f"Paxos group {group.name!r}")
+                if node in shared:
+                    claim_shared(node)
+                else:
+                    claim(node, f"Paxos group {group.name!r}")
         # logical addresses are switch-level destinations, not ports, but a
         # node with the same name would swallow redirected traffic
         for logical in self.logical_addresses():

@@ -63,8 +63,48 @@ def hardware_variant(spec: ScenarioSpec) -> ScenarioSpec:
     """The sweep's hardware run: every placement in the network from the
     first instant (``start_in_hardware``, applied by the builder before
     instrumentation, so even the t=0 power sample sees the active cards;
-    caches start cold — warm-up is part of what the sweep measures)."""
+    caches start cold — warm-up is part of what the sweep measures).
+
+    A NIC-only host (device ``none``) has nothing to pin *to*: it keeps
+    running software even in the hardware run — exactly the §9.4 question
+    "which hosts in a mixed rack should even have a card".
+    """
     return _pinned(spec, hardware=True)
+
+
+def ondemand_variant(spec: ScenarioSpec) -> ScenarioSpec:
+    """The third pin: the scenario's *declared* on-demand controllers run
+    live at the grid point, between the two static brackets.
+
+    Placements start in software with cards in the §9.2 standby
+    configuration (``power_save=True``) and shift — or don't — on their
+    own controllers' triggers.  Co-located jobs are dropped for
+    comparability with the pinned runs (their CPU draw would pollute the
+    power comparison), so a host-driven controller without its job trigger
+    may honestly never shift; the rate-driven families react to the grid
+    point's offered rate.
+    """
+    kvs_hosts = tuple(
+        dataclasses.replace(
+            host, colocated=(), power_save=True, start_in_hardware=False
+        )
+        for host in spec.kvs_hosts
+    )
+    dns_hosts = tuple(
+        dataclasses.replace(host, power_save=True, start_in_hardware=False)
+        for host in spec.dns_hosts
+    )
+    paxos_groups = tuple(
+        dataclasses.replace(group, start_in_hardware=False)
+        for group in spec.paxos_groups
+    )
+    return dataclasses.replace(
+        spec,
+        name=f"{spec.name}[od]",
+        kvs_hosts=kvs_hosts,
+        dns_hosts=dns_hosts,
+        paxos_groups=paxos_groups,
+    )
 
 
 def _pinned(spec: ScenarioSpec, hardware: bool) -> ScenarioSpec:
@@ -75,7 +115,9 @@ def _pinned(spec: ScenarioSpec, hardware: bool) -> ScenarioSpec:
             controller=NO_CONTROLLER,
             colocated=(),
             power_save=True,
-            start_in_hardware=hardware,
+            # a NIC-only host can never shift; its "hardware" pin is the
+            # software placement it is stuck with
+            start_in_hardware=hardware and host.device.is_offload,
         )
         for host in spec.kvs_hosts
     )
@@ -84,7 +126,7 @@ def _pinned(spec: ScenarioSpec, hardware: bool) -> ScenarioSpec:
             host,
             controller=NO_CONTROLLER,
             power_save=True,
-            start_in_hardware=hardware,
+            start_in_hardware=hardware and host.device.is_offload,
         )
         for host in spec.dns_hosts
     )
@@ -139,11 +181,13 @@ class SweepAggregate:
 
 @dataclass
 class SweepPointResult:
-    """Both pinned runs of one grid point."""
+    """The pinned runs of one grid point: the software/hardware brackets
+    plus the live on-demand controllers between them."""
 
     params: Dict[str, object]
     software: SweepAggregate
     hardware: SweepAggregate
+    ondemand: Optional[SweepAggregate] = None
 
     @property
     def hardware_wins(self) -> bool:
@@ -160,6 +204,9 @@ class TippingPoint:
     crossover: Optional[object]
     sw_ops_per_watt: Optional[float] = None
     hw_ops_per_watt: Optional[float] = None
+    #: what the declared on-demand controllers achieved at the crossover
+    #: point (between the two pins, when they react in time)
+    od_ops_per_watt: Optional[float] = None
     #: once hardware wins, does it keep winning for every later ramp value?
     monotone: bool = True
 
@@ -194,7 +241,7 @@ class ScenarioSweepResult:
             except TypeError:
                 pass
             crossover = None
-            sw_opw = hw_opw = None
+            sw_opw = hw_opw = od_opw = None
             monotone = True
             seen_win = False
             for pt in pts:
@@ -204,6 +251,8 @@ class ScenarioSweepResult:
                         crossover = pt.params[axis]
                         sw_opw = pt.software.ops_per_watt
                         hw_opw = pt.hardware.ops_per_watt
+                        if pt.ondemand is not None:
+                            od_opw = pt.ondemand.ops_per_watt
                 elif seen_win:
                     monotone = False
             rows.append(
@@ -213,6 +262,7 @@ class ScenarioSweepResult:
                     crossover=crossover,
                     sw_ops_per_watt=sw_opw,
                     hw_ops_per_watt=hw_opw,
+                    od_ops_per_watt=od_opw,
                     monotone=monotone,
                 )
             )
@@ -224,29 +274,41 @@ class ScenarioSweepResult:
         from ..experiments.reporting import format_table
 
         axis_params = [a.param for a in self.spec.axes]
+        with_od = any(pt.ondemand is not None for pt in self.points)
+        pins = "3 pinned placements" if with_od else "2 pinned placements"
         lines = [
             f"Sweep: {self.spec.name} over {self.spec.base!r} — "
-            f"{len(self.points)} points × 2 pinned placements",
+            f"{len(self.points)} points × {pins}",
         ]
         headers = axis_params + [
             "sw kpps", "sw W", "sw ops/W",
             "hw kpps", "hw W", "hw ops/W",
-            "winner",
         ]
+        if with_od:
+            headers += ["od kpps", "od W", "od ops/W"]
+        headers += ["winner"]
         rows = []
         for pt in self.points:
-            rows.append(
-                [pt.params[p] for p in axis_params]
-                + [
-                    pt.software.achieved_pps / 1e3,
-                    pt.software.total_power_w,
-                    pt.software.ops_per_watt,
-                    pt.hardware.achieved_pps / 1e3,
-                    pt.hardware.total_power_w,
-                    pt.hardware.ops_per_watt,
-                    "hardware" if pt.hardware_wins else "software",
-                ]
-            )
+            row = [pt.params[p] for p in axis_params] + [
+                pt.software.achieved_pps / 1e3,
+                pt.software.total_power_w,
+                pt.software.ops_per_watt,
+                pt.hardware.achieved_pps / 1e3,
+                pt.hardware.total_power_w,
+                pt.hardware.ops_per_watt,
+            ]
+            if with_od:
+                row += (
+                    [
+                        pt.ondemand.achieved_pps / 1e3,
+                        pt.ondemand.total_power_w,
+                        pt.ondemand.ops_per_watt,
+                    ]
+                    if pt.ondemand is not None
+                    else ["-", "-", "-"]
+                )
+            row += ["hardware" if pt.hardware_wins else "software"]
+            rows.append(row)
         lines.append(format_table(headers, rows))
         lines.append("")
         axis = self.spec.resolved_tip_axis()
@@ -255,22 +317,29 @@ class ScenarioSweepResult:
         )
         other_params = [p for p in axis_params if p != axis]
         tip_headers = (other_params or ["rack"]) + [
-            f"crossover {axis}", "sw ops/W @ tip", "hw ops/W @ tip", "monotone",
+            f"crossover {axis}", "sw ops/W @ tip", "hw ops/W @ tip",
         ]
+        if with_od:
+            tip_headers += ["ondemand ops/W @ tip"]
+        tip_headers += ["monotone"]
         tip_rows = []
         for tip in self.tipping_points():
             prefix = (
                 [tip.fixed[p] for p in other_params] if other_params else ["(all)"]
             )
-            tip_rows.append(
-                prefix
-                + [
-                    tip.crossover if tip.crossover is not None else "-",
-                    tip.sw_ops_per_watt if tip.sw_ops_per_watt is not None else "-",
-                    tip.hw_ops_per_watt if tip.hw_ops_per_watt is not None else "-",
-                    "yes" if tip.monotone else "NO",
+            row = prefix + [
+                tip.crossover if tip.crossover is not None else "-",
+                tip.sw_ops_per_watt if tip.sw_ops_per_watt is not None else "-",
+                tip.hw_ops_per_watt if tip.hw_ops_per_watt is not None else "-",
+            ]
+            if with_od:
+                row += [
+                    tip.od_ops_per_watt
+                    if tip.od_ops_per_watt is not None
+                    else "-"
                 ]
-            )
+            row += ["yes" if tip.monotone else "NO"]
+            tip_rows.append(row)
         lines.append(format_table(tip_headers, tip_rows))
         last = self.points[-1]
         attribution = ", ".join(
@@ -297,10 +366,27 @@ class ScenarioSweepResult:
 # ---------------------------------------------------------------------------
 
 
+_VARIANTS = {
+    "software": software_variant,
+    "hardware": hardware_variant,
+    "ondemand": ondemand_variant,
+}
+
+
 def run_point(spec: ScenarioSpec, hardware: bool) -> Tuple[ScenarioRun, ScenarioResult]:
     """Build and execute one pinned variant of a scenario point."""
-    variant = hardware_variant(spec) if hardware else software_variant(spec)
-    run = ScenarioBuilder(variant).build()
+    return run_pinned(spec, "hardware" if hardware else "software")
+
+
+def run_pinned(spec: ScenarioSpec, mode: str) -> Tuple[ScenarioRun, ScenarioResult]:
+    """Build and execute one variant ("software" | "hardware" |
+    "ondemand") of a scenario point."""
+    variant_fn = _VARIANTS.get(mode)
+    if variant_fn is None:
+        raise ConfigurationError(
+            f"unknown pin mode {mode!r}; choose {', '.join(sorted(_VARIANTS))}"
+        )
+    run = ScenarioBuilder(variant_fn(spec)).build()
     return run, run.execute()
 
 
@@ -365,16 +451,45 @@ def run_sweep(
     points = []
     for params in spec.points():
         scenario = _materialize(spec, params)
-        sw_run, sw_result = run_point(scenario, hardware=False)
-        hw_run, hw_result = run_point(scenario, hardware=True)
+        sw_run, sw_result = run_pinned(scenario, "software")
+        hw_run, hw_result = run_pinned(scenario, "hardware")
+        software = _aggregate(sw_run, sw_result, "software")
+        if _has_ondemand_drive(scenario):
+            od_run, od_result = run_pinned(scenario, "ondemand")
+            ondemand = _aggregate(od_run, od_result, "ondemand")
+        else:
+            # nothing can shift (no controllers, no scheduled shifts):
+            # the on-demand run is the software run, so don't re-run it
+            ondemand = dataclasses.replace(
+                software,
+                mode="ondemand",
+                power_by_placement=dict(software.power_by_placement),
+            )
         points.append(
             SweepPointResult(
                 params=params,
-                software=_aggregate(sw_run, sw_result, "software"),
+                software=software,
                 hardware=_aggregate(hw_run, hw_result, "hardware"),
+                ondemand=ondemand,
             )
         )
     return ScenarioSweepResult(spec=spec, points=points)
+
+
+def _has_ondemand_drive(spec: ScenarioSpec) -> bool:
+    """Can anything in this scenario actually shift under its declared
+    on-demand drive?  False when every host controller is ``none`` and no
+    Paxos group has a rate controller or a shift schedule — then the
+    on-demand variant is the software variant by construction."""
+    if any(
+        host.controller.kind != "none"
+        for host in (*spec.kvs_hosts, *spec.dns_hosts)
+    ):
+        return True
+    return any(
+        group.controller.kind == "rate" or group.shifts
+        for group in spec.paxos_groups
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -459,6 +574,43 @@ def sweep_rack_kvs(
             SweepAxis("rate_per_host_kpps", rates_kpps),
         ),
         fixed=dict(duration_s=duration_s, keyspace=keyspace, seed=seed),
+        tip_axis="rate_per_host_kpps",
+    )
+
+
+@register_sweep("sweep-rack-hetero")
+def sweep_rack_hetero(
+    device_kinds: Tuple[str, ...] = ("netfpga-sume", "asic-nic", "none"),
+    rates_kpps: Tuple[float, ...] = (8.0, 16.0, 24.0, 32.0),
+    duration_s: float = 0.5,
+    keyspace: int = 8_000,
+    seed: int = 11,
+) -> ScenarioSweepSpec:
+    """The device axis made sweepable: homogeneous ``rack-hetero`` racks,
+    one grid row per **device kind** × a per-host rate ramp, so the
+    tipping table reports each device's own rack-scale crossover — the
+    ASIC SmartNIC tips at a lower rate than the NetFPGA, and the NIC-only
+    row never tips (there is no hardware to win)."""
+    return ScenarioSweepSpec(
+        name="sweep-rack-hetero",
+        base="rack-hetero",
+        description=(
+            "per-device tipping sweep: homogeneous racks per offload "
+            "device kind × per-host rate ramp (incl. NIC-only)"
+        ),
+        axes=(
+            SweepAxis("device_kind", device_kinds),
+            SweepAxis("rate_per_host_kpps", rates_kpps),
+        ),
+        fixed=dict(
+            duration_s=duration_s,
+            keyspace=keyspace,
+            seed=seed,
+            # steady grid points: the ramp is the mixed showcase's drive
+            ramp=False,
+            # controllers must fit the short horizon for the on-demand pin
+            ctl_window_s=0.15,
+        ),
         tip_axis="rate_per_host_kpps",
     )
 

@@ -12,7 +12,13 @@ from .base import SteadyModel, SoftwareCurveModel, HardwareCardModel, find_cross
 from .kvs import kvs_models
 from .paxos import paxos_models
 from .dns import dns_models
-from .ondemand import OnDemandModel, make_ondemand_model
+from .ondemand import (
+    OnDemandModel,
+    device_crossover_pps,
+    device_hardware_model,
+    device_software_model,
+    make_ondemand_model,
+)
 
 __all__ = [
     "SteadyModel",
@@ -23,5 +29,8 @@ __all__ = [
     "paxos_models",
     "dns_models",
     "OnDemandModel",
+    "device_crossover_pps",
+    "device_hardware_model",
+    "device_software_model",
     "make_ondemand_model",
 ]

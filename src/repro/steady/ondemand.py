@@ -16,28 +16,82 @@ from typing import Dict, Optional
 
 from .. import calibration as cal
 from ..errors import ConfigurationError
-from ..hw.fpga import PlatformMode, make_emu_dns_fpga, make_lake_fpga, make_p4xos_fpga
-from .base import SteadyModel
+from ..hw.device import DEFAULT_DEVICE_KIND, get_device
+from .base import HardwareCardModel, SteadyModel, find_crossover
 from .dns import emu_in_server_model, nsd_model
 from .kvs import lake_in_server_model, memcached_model
 from .paxos import PaxosRole, libpaxos_model, p4xos_in_server_model
 
+#: App → software-side model factory (the curve an offload competes with).
+_SOFTWARE_MODELS = {
+    "kvs": memcached_model,
+    "paxos": lambda: libpaxos_model(PaxosRole.LEADER),
+    "dns": nsd_model,
+}
 
-def _gated_card_power_w(design: str) -> float:
-    """Card power in the §9.2 standby configuration."""
-    if design == "lake":
-        card = make_lake_fpga(mode=PlatformMode.IN_SERVER)
-        card.clock_gate_all_logic()
-        card.reset_memories()
-    elif design == "p4xos":
-        card = make_p4xos_fpga(mode=PlatformMode.IN_SERVER)
-        card.clock_gate_all_logic()
-    elif design == "emu-dns":
-        card = make_emu_dns_fpga(mode=PlatformMode.IN_SERVER)
-        card.clock_gate_all_logic()
-    else:
-        raise ConfigurationError(f"unknown design {design!r}")
-    return card.power_w()
+#: App → the paper's NetFPGA in-server hardware model (Figure 3).
+_NETFPGA_HARDWARE_MODELS = {
+    "kvs": lake_in_server_model,
+    "paxos": lambda: p4xos_in_server_model(PaxosRole.LEADER),
+    "dns": emu_in_server_model,
+}
+
+#: App → pipeline latency on an offload device (§5.3/§3.3/§9.5 figures).
+_HW_LATENCY_US = {
+    "kvs": cal.LAKE_L1_HIT_US,
+    "dns": cal.EMU_DNS_MEDIAN_US,
+    "paxos": cal.P4XOS_FPGA_PIPELINE_US,
+}
+
+
+def device_software_model(app: str) -> SteadyModel:
+    """The software curve an offload device competes with for ``app``."""
+    factory = _SOFTWARE_MODELS.get(app)
+    if factory is None:
+        raise ConfigurationError(f"unknown app {app!r}; choose kvs, paxos, or dns")
+    return factory()
+
+
+def device_hardware_model(
+    app: str, device: str = DEFAULT_DEVICE_KIND
+) -> HardwareCardModel:
+    """Figure-3-style in-server hardware curve for ``app`` on ``device``.
+
+    The default device reproduces the paper's NetFPGA models exactly; any
+    other registered offload profile yields the same curve shape built from
+    *its* power figures (host idle + card idle + utilization-scaled
+    dynamic adder), which is what makes per-device analytic crossovers
+    possible.
+    """
+    if app not in _NETFPGA_HARDWARE_MODELS:
+        raise ConfigurationError(f"unknown app {app!r}; choose kvs, paxos, or dns")
+    profile = get_device(device)
+    profile.validate_app(app, f"steady {app} model")
+    if profile.kind == DEFAULT_DEVICE_KIND:
+        return _NETFPGA_HARDWARE_MODELS[app]()
+    if not profile.is_offload:
+        raise ConfigurationError(
+            "a NIC-only host has no hardware curve (nothing to shift to)"
+        )
+    card = profile.make_card(app)
+    return HardwareCardModel(
+        name=f"{app} on {profile.kind} (HW)",
+        capacity_pps=profile.capacity_pps(app),
+        card_power_w=card.power_w,
+        card_dynamic_max_w=profile.dynamic_max_w(app),
+        host_idle_w=cal.I7_IDLE_NO_NIC_W,
+        latency_us=_HW_LATENCY_US[app],
+    )
+
+
+def device_crossover_pps(
+    app: str, device: str = DEFAULT_DEVICE_KIND
+) -> Optional[float]:
+    """The §8 tipping point of ``app`` on ``device``: the lowest rate where
+    this device's hardware curve beats the software curve on power."""
+    return find_crossover(
+        device_software_model(app), device_hardware_model(app, device)
+    )
 
 
 class OnDemandModel(SteadyModel):
@@ -89,34 +143,32 @@ class OnDemandModel(SteadyModel):
         return self.software.power_at(offered_pps) - self.power_at(offered_pps)
 
 
-def make_ondemand_model(app: str) -> OnDemandModel:
-    """On-demand model for one of the three applications, with the §4
-    crossover as the shift threshold."""
-    if app == "kvs":
-        return OnDemandModel(
-            name="KVS (On demand)",
-            software=memcached_model(),
-            hardware=lake_in_server_model(),
-            shift_threshold_pps=cal.NETCTL_KVS_UP_PPS,
-            standby_card_w=_gated_card_power_w("lake"),
+_ONDEMAND_NAMES = {"kvs": "KVS", "paxos": "Paxos", "dns": "DNS"}
+
+
+def make_ondemand_model(
+    app: str, device: str = DEFAULT_DEVICE_KIND
+) -> OnDemandModel:
+    """On-demand model for one of the three applications on a named offload
+    device: below the device's shift-up threshold (the §4 crossover for the
+    NetFPGA, the device's analytic crossover otherwise) the workload runs
+    in software with the card in *this device's* standby configuration."""
+    if app not in _ONDEMAND_NAMES:
+        raise ConfigurationError(f"unknown app {app!r}; choose kvs, paxos, or dns")
+    profile = get_device(device)
+    profile.validate_app(app, f"on-demand {app} model")
+    if not profile.is_offload:
+        raise ConfigurationError(
+            "a NIC-only host has no on-demand model (nothing to shift to)"
         )
-    if app == "paxos":
-        return OnDemandModel(
-            name="Paxos (On demand)",
-            software=libpaxos_model(PaxosRole.LEADER),
-            hardware=p4xos_in_server_model(PaxosRole.LEADER),
-            shift_threshold_pps=cal.NETCTL_PAXOS_UP_PPS,
-            standby_card_w=_gated_card_power_w("p4xos"),
-        )
-    if app == "dns":
-        return OnDemandModel(
-            name="DNS (On demand)",
-            software=nsd_model(),
-            hardware=emu_in_server_model(),
-            shift_threshold_pps=cal.NETCTL_DNS_UP_PPS,
-            standby_card_w=_gated_card_power_w("emu-dns"),
-        )
-    raise ConfigurationError(f"unknown app {app!r}; choose kvs, paxos, or dns")
+    suffix = "" if profile.kind == DEFAULT_DEVICE_KIND else f", {profile.kind}"
+    return OnDemandModel(
+        name=f"{_ONDEMAND_NAMES[app]} (On demand{suffix})",
+        software=device_software_model(app),
+        hardware=device_hardware_model(app, profile.kind),
+        shift_threshold_pps=profile.netctl_thresholds_pps(app)[0],
+        standby_card_w=profile.standby_power_w(app),
+    )
 
 
 def ondemand_models() -> Dict[str, OnDemandModel]:

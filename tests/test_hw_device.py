@@ -1,0 +1,196 @@
+"""The offload-device abstraction layer: profiles, the registry, and the
+per-device analytic crossovers."""
+
+import pytest
+
+from repro import calibration as cal
+from repro.errors import ConfigurationError
+from repro.hw.device import (
+    DEFAULT_DEVICE_KIND,
+    SmartNicCard,
+    closest_device,
+    device_names,
+    device_profiles,
+    get_device,
+    register_device,
+)
+from repro.hw.fpga import NetFpgaSume
+from repro.hw.smartnic import SMARTNIC_ARCHETYPES
+from repro.steady.ondemand import device_crossover_pps, make_ondemand_model
+
+
+# ---------------------------------------------------------------------------
+# The registry.
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_catalogue(self):
+        assert DEFAULT_DEVICE_KIND in device_names()
+        assert {"accelnet-fpga", "asic-nic", "soc-nic", "none"} <= set(
+            device_names()
+        )
+
+    def test_exact_case_insensitive_kinds_resolve(self):
+        """Mirrors the scenario registry: exact spellings in any case hit."""
+        assert get_device("NETFPGA-SUME").kind == DEFAULT_DEVICE_KIND
+        assert get_device("Asic-Nic").kind == "asic-nic"
+
+    def test_unknown_kind_suggests_closest(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'netfpga-sume'"):
+            get_device("netfga-sume")
+        with pytest.raises(ConfigurationError, match="did you mean 'asic-nic'"):
+            get_device("ASIC-NICC")
+
+    def test_unknown_kind_lists_catalogue(self):
+        with pytest.raises(ConfigurationError, match="known: "):
+            get_device("zzzzzz")
+
+    def test_closest_device(self):
+        assert closest_device("ACCELNET-FPGA") == "accelnet-fpga"
+        assert closest_device("acelnet-fpga") == "accelnet-fpga"
+        assert closest_device("zzzzzz") is None
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            register_device(get_device(DEFAULT_DEVICE_KIND))
+
+
+# ---------------------------------------------------------------------------
+# Profiles.
+# ---------------------------------------------------------------------------
+
+
+class TestNetFpgaProfile:
+    def test_cards_are_the_paper_designs(self):
+        device = get_device(DEFAULT_DEVICE_KIND)
+        assert isinstance(device.make_card("kvs"), NetFpgaSume)
+        assert device.make_card("kvs").design == "lake"
+        assert device.make_card("dns").design == "emu-dns"
+        assert device.make_card("paxos").design == "p4xos"
+
+    def test_thresholds_are_the_calibrated_crossovers(self):
+        device = get_device(DEFAULT_DEVICE_KIND)
+        assert device.netctl_thresholds_pps("kvs") == (
+            cal.NETCTL_KVS_UP_PPS,
+            cal.NETCTL_KVS_DOWN_PPS,
+        )
+        assert device.netctl_thresholds_pps("dns") == (
+            cal.NETCTL_DNS_UP_PPS,
+            cal.NETCTL_DNS_DOWN_PPS,
+        )
+
+    def test_capacity_defers_to_the_app_models(self):
+        device = get_device(DEFAULT_DEVICE_KIND)
+        assert device.capacity_pps("kvs") is None
+
+    def test_standby_below_active(self):
+        device = get_device(DEFAULT_DEVICE_KIND)
+        for app in ("kvs", "dns", "paxos"):
+            assert device.standby_power_w(app) < device.active_idle_w(app)
+
+    def test_kvs_accepts_pe_count(self):
+        device = get_device(DEFAULT_DEVICE_KIND)
+        assert "pe_count" in device.accepted_params("kvs")
+        assert device.accepted_params("dns") == frozenset()
+        card = device.make_card("kvs", pe_count=2)
+        assert sum(1 for m in card.modules if m.startswith("pe")) == 2
+
+
+class TestSmartNicProfiles:
+    @pytest.mark.parametrize("kind", ["accelnet-fpga", "asic-nic", "soc-nic"])
+    def test_standby_below_active_idle(self, kind):
+        device = get_device(kind)
+        assert 0 < device.standby_power_w("kvs") < device.active_idle_w("kvs")
+
+    def test_asic_cannot_host_paxos(self):
+        with pytest.raises(ConfigurationError, match="cannot host paxos"):
+            get_device("asic-nic").validate_app("paxos", "px0")
+
+    def test_card_power_states(self):
+        card = get_device("asic-nic").make_card("kvs")
+        nic = SMARTNIC_ARCHETYPES["asic-smartnic"]
+        assert card.power_w() == nic.idle_w
+        card.set_utilization(1.0)
+        assert card.power_w() == nic.peak_w
+        card.clock_gate_all_logic()
+        assert card.power_w() == pytest.approx(
+            nic.idle_w * cal.SMARTNIC_ASIC_STANDBY_FRACTION
+        )
+        card.activate_all_logic()
+        assert card.power_w() == nic.peak_w  # utilization survived standby
+
+    def test_card_rejects_bad_inputs(self):
+        card = get_device("soc-nic").make_card("dns")
+        with pytest.raises(ConfigurationError):
+            card.set_utilization(1.5)
+        with pytest.raises(ConfigurationError):
+            SmartNicCard(SMARTNIC_ARCHETYPES["soc-smartnic"], 0.0, "x")
+
+
+class TestNoneProfile:
+    def test_is_not_an_offload(self):
+        device = get_device("none")
+        assert not device.is_offload
+        assert device.make_card("kvs") is None
+        assert device.standby_power_w("kvs") == 0.0
+
+    def test_cannot_host_paxos(self):
+        """A consensus group always deploys a hardware leader candidate, so
+        a NIC-only 'device' cannot back one."""
+        with pytest.raises(ConfigurationError, match="cannot host paxos"):
+            get_device("none").validate_app("paxos", "px0")
+
+    def test_has_no_thresholds(self):
+        with pytest.raises(ConfigurationError, match="no shift thresholds"):
+            get_device("none").netctl_thresholds_pps("kvs")
+
+
+# ---------------------------------------------------------------------------
+# Per-device analytic crossovers (the tentpole's steady-state leg).
+# ---------------------------------------------------------------------------
+
+
+class TestDeviceCrossovers:
+    def test_cheaper_cards_cross_earlier(self):
+        """The §8 story per device: the ASIC NIC's fixed draw is repaid at
+        a lower rate than the FPGA SmartNIC's, which beats the NetFPGA's."""
+        asic = device_crossover_pps("kvs", "asic-nic")
+        accelnet = device_crossover_pps("kvs", "accelnet-fpga")
+        netfpga = device_crossover_pps("kvs", DEFAULT_DEVICE_KIND)
+        assert asic < accelnet < netfpga
+
+    def test_smartnic_thresholds_follow_their_crossover(self):
+        device = get_device("asic-nic")
+        up, down = device.netctl_thresholds_pps("kvs")
+        assert up == pytest.approx(device_crossover_pps("kvs", "asic-nic"))
+        assert 0 < down < up
+
+    def test_ondemand_model_parameterizes_on_device(self):
+        default = make_ondemand_model("kvs")
+        asic = make_ondemand_model("kvs", device="asic-nic")
+        assert default.shift_threshold_pps == cal.NETCTL_KVS_UP_PPS
+        assert asic.shift_threshold_pps < default.shift_threshold_pps
+        assert asic.standby_card_w < default.standby_card_w
+        # beyond both thresholds the cheaper card draws less at the wall
+        rate = 200_000.0
+        assert asic.power_at(rate) < default.power_at(rate)
+
+    def test_ondemand_model_rejects_nic_only(self):
+        with pytest.raises(ConfigurationError, match="NIC-only"):
+            make_ondemand_model("kvs", device="none")
+
+
+# ---------------------------------------------------------------------------
+# The doc table.
+# ---------------------------------------------------------------------------
+
+
+def test_device_profiles_table():
+    rows = device_profiles()
+    assert set(rows) == set(device_names())
+    for kind, row in rows.items():
+        assert {"idle_w", "active_w", "peak_pps", "warmup_us", "source", "apps"} <= set(row)
+        if kind != "none":
+            assert row["active_w"] > row["idle_w"] > 0
+            assert row["peak_pps"] > 0

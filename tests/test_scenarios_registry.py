@@ -34,6 +34,11 @@ _SHORT = {
         duration_s=1.5, kvs_rate_kpps=8.0, dns_rate_kqps=6.0,
         dns_storm_kqps=12.0, keyspace=4_000, n_names=400,
     ),
+    "rack-hetero": dict(
+        duration_s=1.2, rate_per_host_kpps=4.0, mid_rate_per_host_kpps=6.0,
+        peak_rate_per_host_kpps=8.0, keyspace=4_000,
+    ),
+    "rack-paxos-shared": dict(duration_s=1.2),
 }
 
 

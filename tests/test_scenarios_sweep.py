@@ -196,19 +196,50 @@ class TestAttributePower:
         path instead of the last claimant absorbing the whole draw)."""
         from repro.scenarios.builder import merge_power_claims
 
-        samples, claims = merge_power_claims(
+        samples, claims, busy = merge_power_claims(
             [
-                ("shared-box", [40.0], "px0"),
-                ("shared-box", [40.0], "px1"),
-                ("own-box", [10.0], "px0"),
-                ("own-box", [10.0], "px0"),  # duplicate claim collapses
+                ("shared-box", [40.0], "px0", 0.0),
+                ("shared-box", [40.0], "px1", 0.0),
+                ("own-box", [10.0], "px0", 1.0),
+                ("own-box", [10.0], "px0", 1.0),  # duplicate claim collapses
             ]
         )
         assert samples == {"shared-box": [40.0], "own-box": [10.0]}
         assert claims == {"shared-box": ("px0", "px1"), "own-box": ("px0",)}
-        attribution, total = attribute_power(samples, claims)
+        assert busy == {
+            "shared-box": {"px0": 0.0, "px1": 0.0},
+            "own-box": {"px0": 2.0},
+        }
+        # no busy time recorded on the shared box -> equal-split fallback
+        attribution, total = attribute_power(samples, claims, busy)
         assert attribution == {"px0": 30.0, "px1": 20.0}
         assert total == pytest.approx(50.0)
+
+    def test_proportional_split_follows_busy_time(self):
+        """The §9.4 proportional split: a shared box's draw divides by each
+        claimant's busy time, and the sum-equals-total invariant holds."""
+        samples = {"shared": [40.0, 40.0], "own": [10.0, 10.0]}
+        claims = {"shared": ("px0", "px1"), "own": ("px0",)}
+        busy = {"shared": {"px0": 3.0, "px1": 1.0}, "own": {"px0": 5.0}}
+        attribution, total = attribute_power(samples, claims, busy)
+        assert attribution == {"px0": 30.0 + 10.0, "px1": 10.0}
+        assert sum(attribution.values()) == pytest.approx(total, abs=1e-6)
+
+    def test_proportional_split_ignores_negative_and_missing_busy(self):
+        """A claimant with no recorded busy time weighs zero; all-zero
+        weights fall back to the equal split rather than dividing by 0."""
+        attribution, _ = attribute_power(
+            {"shared": [30.0]},
+            {"shared": ("a", "b", "c")},
+            {"shared": {"a": 2.0, "b": -5.0}},
+        )
+        assert attribution == {"a": 30.0, "b": 0.0, "c": 0.0}
+        attribution, _ = attribute_power(
+            {"shared": [30.0]},
+            {"shared": ("a", "b", "c")},
+            {"shared": {"a": -1.0}},
+        )
+        assert attribution == pytest.approx({"a": 10.0, "b": 10.0, "c": 10.0})
 
 
 # ---------------------------------------------------------------------------
