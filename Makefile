@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke hetero-smoke bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke bench-perf bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,13 @@ sweep-smoke:
 # land in benchmarks/results/ (CI artifacts).
 hetero-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_rack_hetero.py
+
+# The perf trajectory: DES events/sec + wall seconds per scenario and the
+# serial-vs-parallel sweep wall time, written to
+# benchmarks/results/BENCH_perf.json (a CI artifact) and gated against the
+# committed benchmarks/BENCH_perf_baseline.json (>30% events/sec drop fails).
+bench-perf:
+	$(PYTHON) -m pytest -q benchmarks/bench_perf.py
 
 # The full paper-vs-measured record (slow: includes the DES transitions
 # and the rack-scale scenario).  Explicit file list: bench_*.py does not

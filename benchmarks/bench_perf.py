@@ -1,0 +1,51 @@
+"""The perf trajectory benchmark — emits ``BENCH_perf.json``.
+
+Run via ``make bench-perf`` (or the CI ``perf-smoke`` leg).  Measures DES
+events/sec and wall seconds for the registered perf scenarios plus the
+reduced sweep's serial-vs-parallel wall time, writes the record to
+``benchmarks/results/BENCH_perf.json``, and fails when events/sec drops
+more than :data:`perf_harness.REGRESSION_TOLERANCE` below the committed
+``benchmarks/BENCH_perf_baseline.json``.
+
+The baseline is a *slow-container* measurement; the gate only fires on a
+>30% drop, so faster CI runners never trip it spuriously — only a real
+kernel regression does.
+"""
+
+import json
+
+from perf_harness import (
+    BASELINE_PATH,
+    PERF_SCENARIOS,
+    check_regression,
+    collect,
+    write_results,
+)
+
+
+def test_perf_trajectory():
+    record = collect()
+    path = write_results(record)
+    assert path.exists()
+
+    # every registered perf scenario produced a real measurement
+    assert set(record["scenarios"]) == {name for name, _ in PERF_SCENARIOS}
+    for name, row in record["scenarios"].items():
+        assert row["events"] > 0, f"{name} executed no events"
+        assert row["events_per_sec"] > 0, f"{name} has no throughput figure"
+
+    # the serial-vs-parallel sweep comparison is part of the record
+    sweep = record["sweep"]
+    assert sweep["serial"]["wall_s"] > 0
+    assert sweep["parallel"]["wall_s"] > 0
+    assert sweep["parallel"]["workers"] >= 2
+
+    # the committed-baseline regression gate (>30% events/sec drop fails)
+    assert BASELINE_PATH.exists(), (
+        "no committed perf baseline; regenerate with "
+        "`python benchmarks/perf_harness.py` and copy "
+        "results/BENCH_perf.json to BENCH_perf_baseline.json"
+    )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check_regression(record, baseline)
+    assert not failures, "; ".join(failures)

@@ -1,0 +1,148 @@
+"""Shared measurement core for the perf trajectory (``BENCH_perf.json``).
+
+Measures what the bench-perf make target and the CI perf-smoke leg track:
+
+* DES throughput (executed events per wall-clock second) and wall seconds
+  per registered scenario;
+* sweep wall time, serial vs parallel executor.
+
+Kept separate from ``bench_perf.py`` so a plain ``python
+benchmarks/perf_harness.py`` run (no pytest) can emit the JSON too.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+#: Scenario grid: (scenario name, factory overrides).  Durations are cut
+#: far below the registry defaults so the whole suite stays CI-sized; the
+#: events/sec figure is duration-independent enough for trend tracking.
+PERF_SCENARIOS = [
+    ("rack8-kvs-sharded", dict(duration_s=0.3)),
+    ("rack-kvs", dict(duration_s=0.3)),
+    ("rack-mixed", dict(duration_s=0.3)),
+    ("fig7-paxos-transition", dict(duration_s=1.0)),
+]
+
+#: Reduced sweep used for the serial-vs-parallel wall-time comparison.
+PERF_SWEEP = dict(
+    name="sweep-rack-kvs",
+    overrides=dict(hosts=(1, 2), rates_kpps=(8.0, 32.0), duration_s=0.2,
+                   keyspace=4_000),
+)
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_perf_baseline.json"
+
+#: CI regression gate: fail when events/sec drops more than this fraction
+#: below the committed baseline (ISSUE: >30%).
+REGRESSION_TOLERANCE = 0.30
+
+
+def measure_scenario(name: str, overrides: dict) -> Dict[str, float]:
+    """One scenario run -> events executed, wall seconds, events/sec."""
+    from repro.scenarios.builder import ScenarioBuilder
+    from repro.scenarios.registry import build_spec
+
+    run = ScenarioBuilder(build_spec(name, **overrides)).build()
+    start = time.perf_counter()
+    run.execute()
+    wall_s = time.perf_counter() - start
+    events = run.sim.events_executed
+    return {
+        "events": events,
+        "wall_s": round(wall_s, 4),
+        "events_per_sec": round(events / wall_s, 1) if wall_s > 0 else 0.0,
+    }
+
+
+def measure_sweep(workers: Optional[int] = None) -> Dict[str, float]:
+    """One reduced sweep run -> wall seconds (serial or parallel)."""
+    from repro.scenarios import build_sweep_spec, run_sweep
+
+    spec = build_sweep_spec(PERF_SWEEP["name"], **PERF_SWEEP["overrides"])
+    start = time.perf_counter()
+    kwargs = {} if workers is None else {"workers": workers}
+    run_sweep(spec, **kwargs)
+    return {"wall_s": round(time.perf_counter() - start, 4)}
+
+
+def collect(parallel_workers: int = 2, include_sweep: bool = True) -> dict:
+    """The full perf record written to ``BENCH_perf.json``."""
+    scenarios = {}
+    for name, overrides in PERF_SCENARIOS:
+        scenarios[name] = measure_scenario(name, overrides)
+    record = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+    }
+    if include_sweep:
+        record["sweep"] = {
+            "name": PERF_SWEEP["name"],
+            "serial": measure_sweep(),
+            "parallel": {
+                "workers": parallel_workers,
+                **measure_sweep(workers=parallel_workers),
+            },
+        }
+    return record
+
+
+def write_results(record: dict, path: pathlib.Path = RESULTS_PATH) -> pathlib.Path:
+    path.parent.mkdir(exist_ok=True)
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_regression(record: dict, baseline: dict) -> List[str]:
+    """Events/sec regressions beyond the tolerance, as human messages.
+
+    Only scenarios present in both records are compared, so adding or
+    retiring a perf scenario does not break the gate mid-transition.
+    """
+    failures = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, measured in record["scenarios"].items():
+        base = base_scenarios.get(name)
+        if not base:
+            continue
+        floor = base["events_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if measured["events_per_sec"] < floor:
+            failures.append(
+                f"{name}: {measured['events_per_sec']:.0f} events/sec is "
+                f">{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{base['events_per_sec']:.0f}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    record = collect()
+    path = write_results(record)
+    print(f"wrote {path}")
+    for name, row in record["scenarios"].items():
+        print(f"  {name}: {row['events_per_sec']:.0f} events/sec "
+              f"({row['events']} events in {row['wall_s']:.2f}s)")
+    if "sweep" in record:
+        sweep = record["sweep"]
+        print(f"  {sweep['name']}: serial {sweep['serial']['wall_s']:.2f}s, "
+              f"parallel(x{sweep['parallel']['workers']}) "
+              f"{sweep['parallel']['wall_s']:.2f}s")
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check_regression(record, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

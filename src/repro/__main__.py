@@ -148,7 +148,7 @@ def _run_sweep_command(args) -> int:
     try:
         # run_sweep resolves exact case-insensitive spellings itself;
         # unknown names and rejected overrides raise with the full message
-        result = run_sweep(name, **overrides)
+        result = run_sweep(name, workers=args.workers, **overrides)
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
@@ -194,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run a named scenario sweep (§9.4 tipping points) and print "
         "its per-point and tipping-point tables",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run --sweep grid points on N worker processes (results are "
+        "identical to the serial default; only the wall clock changes)",
     )
     return parser
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..errors import ConfigurationError
-from ..net.packet import Packet
+from ..net.packet import Packet, make_packet, release_packet
 from ..sim import FifoQueue, Simulator
 from ..units import SEC, msec
 
@@ -110,8 +110,11 @@ class SoftwareService:
     def offer(self, packet: Packet) -> None:
         """Entry point: queue a request (drop-tail on overload)."""
         self.rx += 1
-        if self.queue.push(packet) and not self._busy:
-            self._start_service()
+        if self.queue.push(packet):
+            if not self._busy:
+                self._start_service()
+        else:
+            release_packet(packet)  # drop-tail: nothing holds it now
 
     def _start_service(self) -> None:
         packet = self.queue.pop()
@@ -121,25 +124,26 @@ class SoftwareService:
         self._busy = True
         duration = self.service_time_us
         self.util.add_busy(duration)
-        self.sim.schedule(
-            duration, lambda p=packet: self._finish(p), name=f"{self.app_name}.serve"
-        )
+        self.sim.schedule_call(duration, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.served += 1
         reply = self.handle_request(packet)
         if reply is not None:
             self._send_reply(packet, reply)
+        # handle_request implementations consume the payload and drop the
+        # shell; recycle it for the next request/reply
+        release_packet(packet)
         self._start_service()
 
     def _send_reply(self, request: Packet, payload) -> None:
-        reply = Packet(
+        reply = make_packet(
             src=self.server.name,
             dst=request.src,
             traffic_class=request.traffic_class,
             payload=payload,
             size_bytes=request.size_bytes,
-            created_us=request.created_us,  # preserve for end-to-end latency
+            now=request.created_us,  # preserve for end-to-end latency
             dport=request.dport,
         )
         self.transmit(reply)
@@ -147,10 +151,8 @@ class SoftwareService:
     def transmit(self, packet: Packet) -> None:
         """Send a packet after the software stack's pipeline latency."""
         if self.extra_latency_us > 0:
-            self.sim.schedule(
-                self.extra_latency_us,
-                lambda p=packet: self.server.send(p),
-                name=f"{self.app_name}.stack",
+            self.sim.schedule_call(
+                self.extra_latency_us, self.server.send, packet
             )
         else:
             self.server.send(packet)
@@ -213,27 +215,27 @@ class HardwareService:
         window_capacity = self.capacity_pps * self._window_us / SEC
         if self._window_count >= window_capacity:
             self.dropped_overload += 1
+            release_packet(packet)  # policed drop: nothing holds it now
             return
         self._window_count += 1
         latency = self.request_latency_us(packet)
-        self.sim.schedule(
-            latency, lambda p=packet: self._finish(p), name=f"{self.app_name}.pipe"
-        )
+        self.sim.schedule_call(latency, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.served += 1
         reply = self.handle_request(packet)
         if reply is not None:
             self._send_reply(packet, reply)
+        release_packet(packet)
 
     def _send_reply(self, request: Packet, payload) -> None:
-        reply = Packet(
+        reply = make_packet(
             src=self.node.name,
             dst=request.src,
             traffic_class=request.traffic_class,
             payload=payload,
             size_bytes=request.size_bytes,
-            created_us=request.created_us,
+            now=request.created_us,
             dport=request.dport,
         )
         self.node.send(reply)

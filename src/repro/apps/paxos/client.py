@@ -12,7 +12,7 @@ from typing import Dict, Optional
 
 from ... import calibration as cal
 from ...errors import ConfigurationError
-from ...net.packet import Packet, TrafficClass, make_packet
+from ...net.packet import Packet, TrafficClass, make_packet, release_packet
 from ...net.node import Node
 from ...sim import LatencyRecorder, Simulator, TimeSeries
 from ...units import SEC, msec
@@ -75,9 +75,9 @@ class PaxosClient(Node):
         if rate_pps > 0:
             interval = SEC / rate_pps
             jitter = 0.3 if self._rng is not None else 0.0
-            self._send_timer = self.sim.call_every(
-                interval, self._submit_new, name=f"{self.name}.gen",
-                jitter=jitter, rng=self._rng,
+            # hot path: Event-free periodic loop (same ticks, same draws)
+            self._send_timer = self.sim.call_every_fast(
+                interval, self._submit_new, jitter=jitter, rng=self._rng
             )
 
     @property
@@ -140,6 +140,9 @@ class PaxosClient(Node):
         decision = packet.payload
         if not isinstance(decision, Decision):
             return
+        # the decision terminates here whatever happens next (the payload
+        # object, not the shell, is what learners/duplicates share)
+        release_packet(packet)
         command = decision.value
         if not isinstance(command, ClientCommand) or command.client != self.name:
             return

@@ -144,13 +144,13 @@ class SoftwarePaxosRole(SoftwareService):
         return None
 
     def _packet_to(self, dst: str, payload, cause: Packet) -> Packet:
-        return Packet(
+        return make_packet(
             src=self.server.name,
             dst=dst,
             traffic_class=TrafficClass.PAXOS,
             payload=payload,
             size_bytes=102,
-            created_us=cause.created_us,
+            now=cause.created_us,
             dport=PAXOS_PORT,
         )
 
@@ -201,13 +201,13 @@ class HardwarePaxosRole(HardwareService):
         return None
 
     def _packet_to(self, dst: str, payload, cause: Packet) -> Packet:
-        return Packet(
+        return make_packet(
             src=self.node.name,
             dst=dst,
             traffic_class=TrafficClass.PAXOS,
             payload=payload,
             size_bytes=102,
-            created_us=cause.created_us,
+            now=cause.created_us,
             dport=PAXOS_PORT,
         )
 

@@ -125,6 +125,10 @@ class KeyShardRouter:
         #: per-host routed-packet counters (rack telemetry).
         self.per_host: Dict[str, int] = {name: 0 for name in self.hosts}
         self.keyless = 0
+        # key -> host memo; the host list is fixed at construction so the
+        # mapping never changes, and keyspaces are bounded (ETC preloads
+        # them), so the cache cannot grow without bound.
+        self._host_cache: Dict[str, str] = {}
 
     @classmethod
     def for_qnames(cls, hosts: Sequence[str]) -> "KeyShardRouter":
@@ -151,6 +155,9 @@ class KeyShardRouter:
         if key is None:
             self.keyless += 1
             key = packet.src
-        host = self.hosts[key_shard(key, self.n_shards)]
+        host = self._host_cache.get(key)
+        if host is None:
+            host = self.hosts[key_shard(key, self.n_shards)]
+            self._host_cache[key] = host
         self.per_host[host] += 1
         return host

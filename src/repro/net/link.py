@@ -80,20 +80,37 @@ class Link:
 
     def send(self, packet: Packet) -> None:
         """Transmit ``packet`` toward ``dst`` (subject to faults)."""
-        if self.faults.loss and self._rng.random() < self.faults.loss:
-            self.lost += 1
+        faults = self.faults
+        if faults.loss or faults.duplicate or faults.reorder_jitter_us:
+            if faults.loss and self._rng.random() < faults.loss:
+                self.lost += 1
+                return
+            self._deliver(packet)
+            if faults.duplicate and self._rng.random() < faults.duplicate:
+                self.duplicated += 1
+                self._deliver(packet.copy())
             return
-        self._deliver(packet)
-        if self.faults.duplicate and self._rng.random() < self.faults.duplicate:
-            self.duplicated += 1
-            self._deliver(packet.copy())
+        # fault-free hot path: _deliver flattened in (the delay expression
+        # must stay operation-for-operation identical to serialization_us
+        # so event times are bit-identical across code paths)
+        packet.hops += 1
+        self.delivered += 1
+        self.sim.schedule_call(
+            self.latency_us + packet.size_bytes * 8 / self.bandwidth_bps * 1e6,
+            self.dst.receive,
+            packet,
+        )
 
     def _deliver(self, packet: Packet) -> None:
-        delay = self.latency_us + self.serialization_us(packet)
+        # Hot path: one call per simulated packet.  schedule_call carries
+        # the packet in the heap entry itself — no Event, no name string,
+        # no per-delivery closure.
+        delay = (
+            self.latency_us
+            + packet.size_bytes * 8 / self.bandwidth_bps * 1e6
+        )
         if self.faults.reorder_jitter_us:
             delay += self._rng.uniform(0.0, self.faults.reorder_jitter_us)
         packet.hops += 1
         self.delivered += 1
-        self.sim.schedule(
-            delay, lambda p=packet: self.dst.receive(p), name=f"{self.name}.deliver"
-        )
+        self.sim.schedule_call(delay, self.dst.receive, packet)

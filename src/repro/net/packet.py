@@ -8,14 +8,23 @@ traffic, §3.1/§3.3), and an application payload object.
 Payloads are plain Python objects (e.g. :class:`repro.apps.paxos.messages.Phase2A`).
 ``Packet.copy()`` performs a shallow copy with a fresh identity, which is
 what link-level duplication fault injection uses.
+
+Packets are the hottest allocation in a DES run (one per request plus one
+per reply).  The class is ``__slots__``-based and backed by a free-list:
+:func:`release_packet` returns a dead packet to the pool and
+:func:`make_packet` (and :meth:`Packet.copy`) reuse pooled shells instead
+of allocating.  Release is **opt-in at well-understood lifecycle ends**
+(e.g. a client dropping a processed reply) — a packet that might still be
+referenced must simply not be released; the pool never reclaims on its
+own.  Packet identity (``packet_id``) stays unique across reuse: a
+recycled shell is re-stamped from the same counter as a fresh one.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, List, Optional
 
 _packet_ids = itertools.count(1)
 
@@ -28,8 +37,12 @@ class TrafficClass(enum.Enum):
     PAXOS = "paxos"          # consensus messages (P4xos)
     DNS = "dns"              # DNS queries (Emu DNS classifier, §3.3)
 
+    # Members are singletons and enum equality is identity, so the identity
+    # hash is consistent — and C-speed, where Enum.__hash__ is a Python call.
+    # Classifier/switch counters key dicts by TrafficClass on every packet.
+    __hash__ = object.__hash__
 
-@dataclass
+
 class Packet:
     """A UDP-style datagram.
 
@@ -38,20 +51,54 @@ class Packet:
     latency recorders at the receiver.
     """
 
-    src: str
-    dst: str
-    traffic_class: TrafficClass
-    payload: Any = None
-    size_bytes: int = 128
-    created_us: float = 0.0
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
-    #: UDP destination port; applications register on ports.
-    dport: int = 0
-    hops: int = 0
+    __slots__ = (
+        "src",
+        "dst",
+        "traffic_class",
+        "payload",
+        "size_bytes",
+        "created_us",
+        "packet_id",
+        "dport",
+        "hops",
+        "_pooled",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        traffic_class: TrafficClass,
+        payload: Any = None,
+        size_bytes: int = 128,
+        created_us: float = 0.0,
+        packet_id: Optional[int] = None,
+        dport: int = 0,
+        hops: int = 0,
+    ):
+        self.src = src
+        self.dst = dst
+        self.traffic_class = traffic_class
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.created_us = created_us
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+        self.dport = dport
+        self.hops = hops
+        self._pooled = False
 
     def copy(self) -> "Packet":
         """A duplicate with a fresh packet id (used by duplication faults)."""
-        return replace(self, packet_id=next(_packet_ids))
+        return make_packet(
+            src=self.src,
+            dst=self.dst,
+            traffic_class=self.traffic_class,
+            payload=self.payload,
+            now=self.created_us,
+            dport=self.dport,
+            size_bytes=self.size_bytes,
+            hops=self.hops,
+        )
 
     def age_us(self, now: float) -> float:
         """Time since the packet was created."""
@@ -73,6 +120,13 @@ DEFAULT_PACKET_SIZES = {
     TrafficClass.NORMAL: 256,
 }
 
+#: The packet free-list.  Global (like the id counter): a run's request and
+#: reply shells cycle through it, so steady state allocates no new packets.
+_pool: List[Packet] = []
+
+#: Cap the pool so a burst does not pin memory for the rest of the process.
+_POOL_MAX = 8192
+
 
 def make_packet(
     src: str,
@@ -82,10 +136,24 @@ def make_packet(
     now: float = 0.0,
     dport: int = 0,
     size_bytes: Optional[int] = None,
+    hops: int = 0,
 ) -> Packet:
-    """Convenience constructor applying the default per-class packet size."""
+    """Pooled constructor applying the default per-class packet size."""
     if size_bytes is None:
         size_bytes = DEFAULT_PACKET_SIZES[traffic_class]
+    if _pool:
+        packet = _pool.pop()
+        packet.src = src
+        packet.dst = dst
+        packet.traffic_class = traffic_class
+        packet.payload = payload
+        packet.size_bytes = size_bytes
+        packet.created_us = now
+        packet.packet_id = next(_packet_ids)
+        packet.dport = dport
+        packet.hops = hops
+        packet._pooled = False
+        return packet
     return Packet(
         src=src,
         dst=dst,
@@ -94,4 +162,26 @@ def make_packet(
         size_bytes=size_bytes,
         created_us=now,
         dport=dport,
+        hops=hops,
     )
+
+
+def release_packet(packet: Packet) -> None:
+    """Return a dead packet's shell to the pool.
+
+    Only call at a lifecycle end where no reference can remain (a client
+    that has fully processed a reply, a sink that drops a datagram).
+    Double release is a guarded no-op; the payload reference is cleared so
+    the pool does not keep application objects alive.
+    """
+    if packet._pooled:
+        return
+    packet._pooled = True
+    packet.payload = None
+    if len(_pool) < _POOL_MAX:
+        _pool.append(packet)
+
+
+def pool_size() -> int:
+    """Current free-list occupancy (observability/testing)."""
+    return len(_pool)

@@ -44,6 +44,13 @@ from .builder import (
     run_scenario_spec,
     windowed_mean,
 )
+from .fastpath import (
+    FastPathGate,
+    SteadyEstimate,
+    steady_eligible,
+    steady_point,
+    validate_fastpath,
+)
 from .registry import (
     build_spec,
     closest_scenario,
@@ -106,6 +113,11 @@ __all__ = [
     "SweepAggregate",
     "SweepPointResult",
     "TippingPoint",
+    "FastPathGate",
+    "SteadyEstimate",
+    "steady_eligible",
+    "steady_point",
+    "validate_fastpath",
     "attribute_power",
     "build_sweep_spec",
     "closest_sweep",

@@ -1,0 +1,220 @@
+"""Steady-state fast path: skip DES for rate-constant KVS placements.
+
+A pinned sweep run of a pure KVS rack at a constant offered rate converges
+to exactly what the :mod:`repro.steady` analytic models describe — idle
+power plus a utilization-scaled dynamic term per host.  For those grid
+points the DES replay buys convergence noise, not information, so the
+sweep engine can (opt-in, ``run_sweep(..., fastpath=True)``) substitute
+the analytic curves and skip the event loop entirely.
+
+Eligibility (:func:`steady_eligible`) is deliberately narrow:
+
+* KVS hosts only — no Paxos groups (closed-loop clients adapt to latency,
+  which the steady curves do not model) and no DNS hosts (storm phases);
+* a rate-constant workload — no ``phases`` schedule;
+* nothing that can *change* during the run: every controller is ``none``
+  and no co-located jobs.  (The sweep's software/hardware pins satisfy
+  this by construction; the on-demand pin does not, and always runs DES.)
+
+:func:`validate_fastpath` is the tolerance gate: it runs both the DES and
+the analytic path for the same spec and checks the relative error on
+achieved throughput, total wall power, and ops/W.  The test suite holds
+the gate at :data:`DEFAULT_REL_TOL`; if a model or calibration change
+pushes the analytic curves away from the DES, the gate — not a silently
+wrong sweep — is what fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .. import calibration as cal
+from ..errors import ConfigurationError
+from ..hw.device import get_device
+from ..steady.kvs import memcached_model
+from ..steady.ondemand import device_hardware_model
+from ..workloads.etc import ShardedEtcWorkload
+from .spec import ScenarioSpec
+
+#: Relative error the DES-vs-analytic gate tolerates per compared metric.
+#: Short DES horizons carry warm-up and sampling noise; the analytic curve
+#: is the infinite-horizon limit.
+DEFAULT_REL_TOL = 0.15
+
+_FASTPATH_MODES = ("software", "hardware")
+
+
+def steady_eligible(spec: ScenarioSpec) -> bool:
+    """Can this scenario's pinned runs be answered analytically?"""
+    if not spec.kvs_hosts or spec.paxos_groups or spec.dns_hosts:
+        return False
+    workload = spec.kvs_workload
+    if workload is None or workload.phases:
+        return False
+    for host in spec.kvs_hosts:
+        if host.controller.kind != "none" or host.colocated:
+            return False
+    return True
+
+
+@dataclass
+class SteadyEstimate:
+    """The analytic stand-in for one pinned run's :class:`SweepAggregate`
+    inputs (same fields the sweep reduction needs)."""
+
+    mode: str
+    offered_pps: float
+    achieved_pps: float
+    total_power_w: float
+    p50_latency_us: float
+    p99_latency_us: float
+    ops_per_watt: float
+    power_by_placement: Dict[str, float] = field(default_factory=dict)
+
+
+def _per_host_rates(spec: ScenarioSpec) -> List[float]:
+    """Offered pps per host: the sweep's Zipf shard-weight rate split."""
+    workload = spec.kvs_workload
+    total_pps = workload.rate_kpps * 1e3
+    n = len(spec.kvs_hosts)
+    if n == 1:
+        return [total_pps]
+    sharded = ShardedEtcWorkload(
+        keyspace=workload.keyspace,
+        n_shards=n,
+        zipf_s=workload.zipf_s,
+        seed=spec.seed,
+    )
+    return [w * total_pps for w in sharded.shard_weights()]
+
+
+def _host_models(host, mode: str):
+    """(power_at(pps), capacity_pps, latency_at(pps)) for one host+mode."""
+    software = memcached_model()
+    if mode == "software" or not host.device.is_offload:
+        # the software pin (and a NIC-only host under the hardware pin,
+        # which has nothing to shift to).  power_save holds a present card
+        # in its standby configuration: the card replaces the NIC, so the
+        # host curve loses the NIC idle share and gains the standby draw.
+        if host.device.is_offload and host.power_save:
+            profile = get_device(host.device.kind)
+            standby_w = profile.standby_power_w("kvs")
+
+            def power_at(pps: float) -> float:
+                return (
+                    software.power_at(pps)
+                    - cal.NIC_MELLANOX_CX311A_IDLE_W
+                    + standby_w
+                )
+
+            return power_at, software.capacity_pps, software.latency_at
+        return software.power_at, software.capacity_pps, software.latency_at
+    hardware = device_hardware_model("kvs", host.device.kind)
+    return hardware.power_at, hardware.capacity_pps, hardware.latency_at
+
+
+def steady_point(spec: ScenarioSpec, mode: str) -> SteadyEstimate:
+    """Analytic aggregate for one pinned mode of an eligible scenario."""
+    if mode not in _FASTPATH_MODES:
+        raise ConfigurationError(
+            f"fast path answers {', '.join(_FASTPATH_MODES)}; got {mode!r}"
+        )
+    if not steady_eligible(spec):
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is not steady-state eligible "
+            "(see scenarios.fastpath.steady_eligible)"
+        )
+    rates = _per_host_rates(spec)
+    total_offered = sum(rates)
+    achieved = 0.0
+    power_by_placement: Dict[str, float] = {}
+    latencies: List[Tuple[float, float]] = []  # (served share, latency)
+    for host, rate in zip(spec.kvs_hosts, rates):
+        power_at, capacity, latency_at = _host_models(host, mode)
+        served = min(rate, capacity)
+        achieved += served
+        power_by_placement[host.name] = power_at(rate)
+        latencies.append((served, latency_at(rate)))
+    total_power = sum(power_by_placement.values())
+    total_served = sum(share for share, _ in latencies) or 1.0
+    # the rack-level "median" of per-host flat medians: served-weighted
+    p50 = sum(share * lat for share, lat in latencies) / total_served
+    return SteadyEstimate(
+        mode=mode,
+        offered_pps=total_offered,
+        achieved_pps=achieved,
+        total_power_w=total_power,
+        p50_latency_us=p50,
+        p99_latency_us=p50,  # steady curves model medians only
+        ops_per_watt=achieved / total_power if total_power > 0 else 0.0,
+        power_by_placement=power_by_placement,
+    )
+
+
+@dataclass
+class FastPathGate:
+    """One mode's DES-vs-analytic comparison."""
+
+    mode: str
+    des_achieved_pps: float
+    analytic_achieved_pps: float
+    des_power_w: float
+    analytic_power_w: float
+    rel_tol: float
+
+    @property
+    def achieved_rel_err(self) -> float:
+        return _rel_err(self.analytic_achieved_pps, self.des_achieved_pps)
+
+    @property
+    def power_rel_err(self) -> float:
+        return _rel_err(self.analytic_power_w, self.des_power_w)
+
+    @property
+    def ops_per_watt_rel_err(self) -> float:
+        des = self.des_achieved_pps / self.des_power_w
+        analytic = self.analytic_achieved_pps / self.analytic_power_w
+        return _rel_err(analytic, des)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.achieved_rel_err <= self.rel_tol
+            and self.power_rel_err <= self.rel_tol
+            and self.ops_per_watt_rel_err <= self.rel_tol
+        )
+
+
+def _rel_err(estimate: float, reference: float) -> float:
+    if reference == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - reference) / abs(reference)
+
+
+def validate_fastpath(
+    spec: ScenarioSpec, rel_tol: float = DEFAULT_REL_TOL
+) -> List[FastPathGate]:
+    """The tolerance gate: run DES and the analytic path for both pins and
+    report the relative errors.  Raises if the spec is not eligible; the
+    caller (tests, a cautious sweep user) asserts ``all(g.ok for g in ...)``.
+    """
+    # local import: sweep imports this module for run_sweep(fastpath=True)
+    from .sweep import _aggregate, run_pinned
+
+    gates = []
+    for mode in _FASTPATH_MODES:
+        run, result = run_pinned(spec, mode)
+        des = _aggregate(run, result, mode)
+        analytic = steady_point(spec, mode)
+        gates.append(
+            FastPathGate(
+                mode=mode,
+                des_achieved_pps=des.achieved_pps,
+                analytic_achieved_pps=analytic.achieved_pps,
+                des_power_w=des.total_power_w,
+                analytic_power_w=analytic.total_power_w,
+                rel_tol=rel_tol,
+            )
+        )
+    return gates

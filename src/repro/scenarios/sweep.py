@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ConfigurationError
-from ..sim.recorder import percentile
+from ..sim.recorder import percentiles
 from .builder import ScenarioBuilder, ScenarioResult, ScenarioRun
 from .registry import build_spec
 from .spec import (
@@ -412,13 +412,14 @@ def _aggregate(run: ScenarioRun, result: ScenarioResult, mode: str) -> SweepAggr
             f"scenario {result.name!r} reports non-positive wall power "
             f"({total_power_w}W) while serving {achieved_pps:.0f} pps"
         )
+    p50, p99 = percentiles(latencies, (50.0, 99.0)) if latencies else (0.0, 0.0)
     return SweepAggregate(
         mode=mode,
         offered_pps=result.offered_pps,
         achieved_pps=achieved_pps,
         total_power_w=total_power_w,
-        p50_latency_us=percentile(latencies, 50.0) if latencies else 0.0,
-        p99_latency_us=percentile(latencies, 99.0) if latencies else 0.0,
+        p50_latency_us=p50,
+        p99_latency_us=p99,
         ops_per_watt=achieved_pps / total_power_w if total_power_w > 0 else 0.0,
         power_by_placement=dict(result.power_by_placement),
     )
@@ -435,10 +436,102 @@ def _materialize(sweep: ScenarioSweepSpec, params: Dict[str, object]) -> Scenari
         ) from None
 
 
+def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
+    """The fast path's analytic stand-in for one pinned DES run."""
+    from .fastpath import steady_point
+
+    est = steady_point(pinned_spec, mode)
+    return SweepAggregate(
+        mode=mode,
+        offered_pps=est.offered_pps,
+        achieved_pps=est.achieved_pps,
+        total_power_w=est.total_power_w,
+        p50_latency_us=est.p50_latency_us,
+        p99_latency_us=est.p99_latency_us,
+        ops_per_watt=est.ops_per_watt,
+        power_by_placement=dict(est.power_by_placement),
+    )
+
+
+def _run_grid_point(
+    task: Tuple[ScenarioSweepSpec, Dict[str, object], bool]
+) -> SweepPointResult:
+    """Execute every pinned variant of one grid point.
+
+    Module-level (not a closure) so the parallel executor can pickle it to
+    worker processes.  Each point builds its own Simulator and RNGs from
+    the spec's seeds, so running points in separate processes produces the
+    same :class:`SweepPointResult` values as the serial loop.
+    """
+    spec, params, fastpath = task
+    scenario = _materialize(spec, params)
+    if fastpath:
+        from .fastpath import steady_eligible
+
+        if steady_eligible(software_variant(scenario)):
+            # rate-constant KVS pins: the steady curves replace both DES
+            # replays (the on-demand pin below still runs DES when it can
+            # actually shift — controllers are not rate-constant)
+            software = _steady_aggregate(software_variant(scenario), "software")
+            hardware = _steady_aggregate(hardware_variant(scenario), "hardware")
+            if _has_ondemand_drive(scenario):
+                od_run, od_result = run_pinned(scenario, "ondemand")
+                ondemand = _aggregate(od_run, od_result, "ondemand")
+            else:
+                ondemand = dataclasses.replace(
+                    software,
+                    mode="ondemand",
+                    power_by_placement=dict(software.power_by_placement),
+                )
+            return SweepPointResult(
+                params=params,
+                software=software,
+                hardware=hardware,
+                ondemand=ondemand,
+            )
+    sw_run, sw_result = run_pinned(scenario, "software")
+    hw_run, hw_result = run_pinned(scenario, "hardware")
+    software = _aggregate(sw_run, sw_result, "software")
+    if _has_ondemand_drive(scenario):
+        od_run, od_result = run_pinned(scenario, "ondemand")
+        ondemand = _aggregate(od_run, od_result, "ondemand")
+    else:
+        # nothing can shift (no controllers, no scheduled shifts):
+        # the on-demand run is the software run, so don't re-run it
+        ondemand = dataclasses.replace(
+            software,
+            mode="ondemand",
+            power_by_placement=dict(software.power_by_placement),
+        )
+    return SweepPointResult(
+        params=params,
+        software=software,
+        hardware=_aggregate(hw_run, hw_result, "hardware"),
+        ondemand=ondemand,
+    )
+
+
 def run_sweep(
-    sweep: Union[str, ScenarioSweepSpec], **overrides
+    sweep: Union[str, ScenarioSweepSpec],
+    workers: Optional[int] = None,
+    fastpath: bool = False,
+    **overrides,
 ) -> ScenarioSweepResult:
-    """Execute a sweep (named, or an explicit spec) over its whole grid."""
+    """Execute a sweep (named, or an explicit spec) over its whole grid.
+
+    ``workers`` > 1 fans the grid points out over a process pool (one
+    point — all of its pinned runs — per task).  Every point seeds its own
+    simulator and RNGs, so the parallel result is identical to the serial
+    one; ``Pool.map`` preserves grid order, so so is the point order (and
+    therefore the rendered tables).  The default is the serial in-process
+    loop.
+
+    ``fastpath=True`` answers steady-state-eligible grid points (see
+    :func:`repro.scenarios.fastpath.steady_eligible`) from the analytic
+    models instead of replaying the DES — opt-in, because the numbers are
+    the infinite-horizon limit rather than the finite replay (held within
+    tolerance by the fastpath validation gate, but not byte-identical).
+    """
     if isinstance(sweep, ScenarioSweepSpec):
         if overrides:
             raise ConfigurationError(
@@ -448,31 +541,23 @@ def run_sweep(
     else:
         spec = build_sweep_spec(sweep, **overrides)
     spec.validate()
-    points = []
-    for params in spec.points():
-        scenario = _materialize(spec, params)
-        sw_run, sw_result = run_pinned(scenario, "software")
-        hw_run, hw_result = run_pinned(scenario, "hardware")
-        software = _aggregate(sw_run, sw_result, "software")
-        if _has_ondemand_drive(scenario):
-            od_run, od_result = run_pinned(scenario, "ondemand")
-            ondemand = _aggregate(od_run, od_result, "ondemand")
-        else:
-            # nothing can shift (no controllers, no scheduled shifts):
-            # the on-demand run is the software run, so don't re-run it
-            ondemand = dataclasses.replace(
-                software,
-                mode="ondemand",
-                power_by_placement=dict(software.power_by_placement),
-            )
-        points.append(
-            SweepPointResult(
-                params=params,
-                software=software,
-                hardware=_aggregate(hw_run, hw_result, "hardware"),
-                ondemand=ondemand,
-            )
-        )
+    if workers is not None and workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    tasks = [(spec, params, fastpath) for params in spec.points()]
+    if workers is None or workers == 1 or len(tasks) <= 1:
+        points = [_run_grid_point(task) for task in tasks]
+    else:
+        import multiprocessing
+
+        # fork (where available) shares the already-imported registry with
+        # the workers; spawn re-imports it, which also works — just slower.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        n = min(workers, len(tasks))
+        with ctx.Pool(processes=n) as pool:
+            points = pool.map(_run_grid_point, tasks)
     return ScenarioSweepResult(spec=spec, points=points)
 
 

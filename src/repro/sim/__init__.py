@@ -5,6 +5,7 @@ callback scheduling, and optional generator-based processes.  Everything in
 the network/host/hardware substrates builds on :class:`Simulator`.
 """
 
+from .calqueue import CalendarQueue
 from .kernel import Event, Simulator
 from .process import Process
 from .queues import FifoQueue, QueueStats
@@ -15,10 +16,12 @@ from .recorder import (
     bucket_mean_series,
     bucket_rate_series,
     percentile,
+    percentiles,
 )
 from .rng import RngStreams
 
 __all__ = [
+    "CalendarQueue",
     "Event",
     "Simulator",
     "Process",
@@ -30,5 +33,6 @@ __all__ = [
     "bucket_mean_series",
     "bucket_rate_series",
     "percentile",
+    "percentiles",
     "RngStreams",
 ]

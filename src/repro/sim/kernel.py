@@ -3,6 +3,22 @@
 Time is a float in **microseconds** (see :mod:`repro.units`).  Events are
 callbacks ordered by (time, sequence), so same-time events run in the order
 they were scheduled — a property several protocol tests rely on.
+
+Two scheduling tiers share one total order:
+
+* :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at` return a
+  cancellable, named :class:`Event` — the observable API.
+* :meth:`Simulator.schedule_fast` / :meth:`Simulator.schedule_call` are the
+  hot-path tier used by links, services and load generators: no Event
+  object, no name string, no cancellation — just ``(time, seq, fn)`` (or
+  ``(time, seq, fn, arg)``) tuples on the heap, compared at C speed.  The
+  sequence numbers come from the same counter, so fast and slow entries
+  interleave in exactly the order they were scheduled.
+
+The default event queue is a binary heap; ``Simulator(scheduler="calendar")``
+swaps in the bucketed calendar queue of :mod:`repro.sim.calqueue`, which
+suits workloads dominated by near-uniform inter-arrival times.  Both order
+events identically by (time, seq).
 """
 
 from __future__ import annotations
@@ -12,6 +28,8 @@ import itertools
 from typing import Callable, List, Optional
 
 from ..errors import SimulationError
+
+_HEAP_SCHEDULERS = ("heap", "calendar")
 
 
 class Event:
@@ -66,9 +84,17 @@ class Simulator:
         sim.run_until(100.0)
     """
 
-    def __init__(self) -> None:
+    def __init__(self, scheduler: str = "heap") -> None:
+        if scheduler not in _HEAP_SCHEDULERS:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; choose one of "
+                f"{', '.join(_HEAP_SCHEDULERS)}"
+            )
         self._now = 0.0
-        self._heap: List[Event] = []
+        #: heap entries are (time, seq, payload[, arg]) tuples; payload is
+        #: an Event (cancellable tier) or a bare callable (fast tier).  seq
+        #: is unique, so tuple comparison never reaches the payload.
+        self._heap: List[tuple] = []
         self._seq = itertools.count()
         self._running = False
         self._stopped = False
@@ -76,6 +102,13 @@ class Simulator:
         #: live (scheduled, not yet executed, not cancelled) event count;
         #: kept in sync by schedule/cancel/step so :attr:`pending` is O(1).
         self._live = 0
+        self.scheduler = scheduler
+        if scheduler == "calendar":
+            from .calqueue import CalendarQueue
+
+            self._calq: Optional["CalendarQueue"] = CalendarQueue()
+        else:
+            self._calq = None
 
     # -- clock ---------------------------------------------------------
 
@@ -111,8 +144,9 @@ class Simulator:
         """Schedule ``callback`` to run ``delay`` microseconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(self._now + delay, next(self._seq), callback, name, sim=self)
-        heapq.heappush(self._heap, event)
+        time = self._now + delay
+        event = Event(time, next(self._seq), callback, name, sim=self)
+        self._push((time, event.seq, event))
         self._live += 1
         return event
 
@@ -125,9 +159,48 @@ class Simulator:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         event = Event(time, next(self._seq), callback, name, sim=self)
-        heapq.heappush(self._heap, event)
+        self._push((time, event.seq, event))
         self._live += 1
         return event
+
+    def schedule_fast(self, delay: float, callback: Callable[[], None]) -> None:
+        """Hot-path scheduling: no Event object, no name, not cancellable.
+
+        Orders identically to :meth:`schedule` (same sequence counter);
+        use for high-volume machinery (packet deliveries, service
+        completions) where the Event API's observability costs real time.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if self._calq is None:
+            heapq.heappush(
+                self._heap, (self._now + delay, next(self._seq), callback)
+            )
+        else:
+            self._calq.push((self._now + delay, next(self._seq), callback))
+        self._live += 1
+
+    def schedule_call(self, delay: float, callback, arg) -> None:
+        """Like :meth:`schedule_fast` but invokes ``callback(arg)``.
+
+        Saves the per-call closure/partial allocation of binding ``arg``:
+        the argument rides in the heap entry itself.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if self._calq is None:
+            heapq.heappush(
+                self._heap, (self._now + delay, next(self._seq), callback, arg)
+            )
+        else:
+            self._calq.push((self._now + delay, next(self._seq), callback, arg))
+        self._live += 1
+
+    def _push(self, entry: tuple) -> None:
+        if self._calq is None:
+            heapq.heappush(self._heap, entry)
+        else:
+            self._calq.push(entry)
 
     def call_every(
         self,
@@ -162,23 +235,157 @@ class Simulator:
         handle.event = self.schedule(interval, fire, name)
         return handle
 
+    def call_every_fast(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng=None,
+    ) -> "FastPeriodicHandle":
+        """:meth:`call_every` without the per-tick Event allocation.
+
+        Semantics are tick-for-tick identical — first firing after an
+        un-jittered ``interval``, then ``callback()`` *before* the jitter
+        draw, so RNG draw order matches ``call_every`` exactly (the
+        byte-identity of recorded experiments depends on this).  The only
+        difference: cancellation leaves the already-scheduled next tick in
+        the queue as a no-op instead of cancelling it.  Use for high-rate
+        loops (open-loop load generators); keep ``call_every`` where the
+        handle's pending event must be observable/cancellable.
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an rng")
+        handle = FastPeriodicHandle()
+        schedule_fast = self.schedule_fast
+
+        def fire() -> None:
+            if handle.cancelled:
+                return
+            callback()
+            if handle.cancelled:  # callback may cancel the loop
+                return
+            delay = interval
+            if jitter:
+                delay *= 1.0 + rng.uniform(-jitter, jitter)
+            schedule_fast(delay, fire)
+
+        schedule_fast(interval, fire)
+        return handle
+
+    def call_every_batched(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        jitter: float = 0.0,
+        rng=None,
+        batch: int = 64,
+    ) -> "FastPeriodicHandle":
+        """Batched arrival generation: pre-draw and pre-schedule ``batch``
+        ticks per refill instead of one reschedule per tick.
+
+        The inter-arrival samples for a whole block are drawn in one tight
+        loop (vectorized sampling per stream) and pushed as bare heap
+        tuples; a single refill entry rides after the block's last tick.
+        Statistically the tick process matches :meth:`call_every_fast`
+        (same jitter distribution, same mean rate), but it is **opt-in**
+        precisely because it is *not* draw-for-draw identical: a stream
+        draws its whole block up front, so draws interleave differently
+        with any other use of the same ``rng`` — recorded experiments that
+        promise byte-identical output must keep the unbatched loop.
+        Cancellation leaves the rest of the current block in the queue as
+        no-ops (up to ``batch`` dead entries).
+        """
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        if batch < 1:
+            raise SimulationError(f"batch must be >= 1, got {batch}")
+        if jitter and rng is None:
+            raise SimulationError("jitter requires an rng")
+        handle = FastPeriodicHandle()
+
+        def tick() -> None:
+            if not handle.cancelled:
+                callback()
+
+        def refill() -> None:
+            if handle.cancelled:
+                return
+            seq = self._seq
+            entries = []
+            if jitter:
+                rand = rng.random
+                low = 1.0 - jitter
+                span = 2.0 * jitter
+                t = self._now
+                for _ in range(batch):
+                    t += interval * (low + span * rand())
+                    entries.append((t, next(seq), tick))
+            else:
+                now = self._now
+                for i in range(1, batch + 1):
+                    entries.append((now + interval * i, next(seq), tick))
+                t = entries[-1][0]
+            # the refill shares the last tick's time but a later seq, so it
+            # runs immediately after it and tops the queue back up
+            entries.append((t, next(seq), refill))
+            if self._calq is None:
+                heap = self._heap
+                push = heapq.heappush
+                for entry in entries:
+                    push(heap, entry)
+            else:
+                calq_push = self._calq.push
+                for entry in entries:
+                    calq_push(entry)
+            self._live += len(entries)
+
+        refill()
+        return handle
+
     # -- running -------------------------------------------------------
+
+    def _pop_next(self) -> Optional[tuple]:
+        """Pop the next entry from whichever queue backs this simulator."""
+        if self._calq is None:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)
+        return self._calq.pop()
+
+    def _peek_next(self) -> Optional[tuple]:
+        if self._calq is None:
+            if not self._heap:
+                return None
+            return self._heap[0]
+        return self._calq.peek()
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if none remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
+        while True:
+            entry = self._pop_next()
+            if entry is None:
+                return False
+            payload = entry[2]
+            if payload.__class__ is Event:
+                if payload.cancelled:
+                    continue
+                payload._done = True
+                callback = payload.callback
+            else:
+                callback = payload
+            time = entry[0]
+            if time < self._now:
                 raise SimulationError("event heap corrupted: time went backwards")
-            self._now = event.time
+            self._now = time
             self._executed += 1
             self._live -= 1
-            event._done = True
-            event.callback()
+            if len(entry) == 4:
+                callback(entry[3])
+            else:
+                callback()
             return True
-        return False
 
     def run_until(self, time: float, max_events: Optional[int] = None) -> None:
         """Run events until the clock reaches ``time`` (inclusive of events
@@ -196,27 +403,82 @@ class Simulator:
         if time < self._now:
             raise SimulationError(f"cannot run backwards to t={time}")
         self._running = True
-        budget = max_events
         try:
-            while self._heap:
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    # Purge without charging the budget: only executed
-                    # callbacks count against max_events.
-                    heapq.heappop(self._heap)
-                    continue
-                if nxt.time > time:
-                    break
-                if budget is not None:
-                    if budget <= 0:
-                        raise SimulationError(
-                            f"exceeded max_events={max_events} before t={time}"
-                        )
-                    budget -= 1
-                self.step()
+            if self._calq is None:
+                self._run_heap_until(time, max_events)
+            else:
+                self._run_calendar_until(time, max_events)
             self._now = max(self._now, time)
         finally:
             self._running = False
+
+    def _run_heap_until(self, time: float, max_events: Optional[int]) -> None:
+        """The inlined hot loop: local aliases, tuple entries, no step()
+        call overhead.  Semantics match the documented run_until contract."""
+        heap = self._heap
+        pop = heapq.heappop
+        budget = max_events
+        event_class = Event
+        while heap:
+            entry = heap[0]
+            entry_time = entry[0]
+            payload = entry[2]
+            if payload.__class__ is event_class and payload.cancelled:
+                # Purge without charging the budget: only executed
+                # callbacks count against max_events.
+                pop(heap)
+                continue
+            if entry_time > time:
+                break
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before t={time}"
+                    )
+                budget -= 1
+            pop(heap)
+            self._now = entry_time
+            self._executed += 1
+            self._live -= 1
+            if payload.__class__ is event_class:
+                payload._done = True
+                payload.callback()
+            elif len(entry) == 4:
+                payload(entry[3])
+            else:
+                payload()
+
+    def _run_calendar_until(self, time: float, max_events: Optional[int]) -> None:
+        calq = self._calq
+        budget = max_events
+        event_class = Event
+        while True:
+            entry = calq.peek()
+            if entry is None:
+                break
+            payload = entry[2]
+            if payload.__class__ is event_class and payload.cancelled:
+                calq.pop()
+                continue
+            if entry[0] > time:
+                break
+            if budget is not None:
+                if budget <= 0:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before t={time}"
+                    )
+                budget -= 1
+            calq.pop()
+            self._now = entry[0]
+            self._executed += 1
+            self._live -= 1
+            if payload.__class__ is event_class:
+                payload._done = True
+                payload.callback()
+            elif len(entry) == 4:
+                payload(entry[3])
+            else:
+                payload()
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Run until the event heap is empty (bounded by ``max_events``)."""
@@ -246,3 +508,16 @@ class PeriodicHandle:
         self.cancelled = True
         if self.event is not None:
             self.event.cancel()
+
+
+class FastPeriodicHandle:
+    """Handle returned by :meth:`Simulator.call_every_fast`."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Stop the periodic callback (the pending tick no-ops)."""
+        self.cancelled = True

@@ -43,6 +43,16 @@ class ZipfSampler:
         self._rng = rng
         self._h_x1 = self._h(1.5) - 1.0
         self._h_n = self._h(n + 0.5)
+        # hot-path constants (hoisted out of sample(); identical floats to
+        # the expressions they replace, so the accept/reject decisions — and
+        # therefore the RNG draw sequence — are unchanged)
+        self._one_minus_s = 1.0 - self.s
+        self._inv_one_minus_s = 1.0 / (1.0 - self.s)
+        self._span = self._h_x1 - self._h_n
+        #: rank -> acceptance threshold h(k+0.5) - k^-s.  The Zipf skew
+        #: concentrates samples on a few ranks, so this stays small and
+        #: hits almost always.
+        self._accept: dict = {}
 
     def _h(self, x: float) -> float:
         return (x ** (1.0 - self.s)) / (1.0 - self.s)
@@ -52,14 +62,30 @@ class ZipfSampler:
 
     def sample(self) -> int:
         """A rank in 1..n, rank 1 most popular."""
+        rand = self._rng.random
+        h_n = self._h_n
+        span = self._span
+        oms = self._one_minus_s
+        inv = self._inv_one_minus_s
+        n = self.n
+        accept = self._accept
         while True:
-            u = self._h_n + self._rng.random() * (self._h_x1 - self._h_n)
-            x = self._h_inv(u)
+            u = h_n + rand() * span
+            x = (u * oms) ** inv
             k = int(x + 0.5)
-            k = min(max(k, 1), self.n)
-            if k - x <= 1.0 or u >= self._h(k + 0.5) - math.exp(
-                -self.s * math.log(k)
-            ):
+            if k < 1:
+                k = 1
+            elif k > n:
+                k = n
+            if k - x <= 1.0:
+                return k
+            threshold = accept.get(k)
+            if threshold is None:
+                threshold = ((k + 0.5) ** oms) / oms - math.exp(
+                    -self.s * math.log(k)
+                )
+                accept[k] = threshold
+            if u >= threshold:
                 return k
 
 
@@ -149,10 +175,48 @@ class EtcShardStream:
 
     def key(self) -> str:
         """A key owned by this shard, global-Zipf-distributed within it."""
+        # The rejection-inversion loop from ZipfSampler.sample is inlined:
+        # the shard filter rejects ~(n_shards-1)/n_shards of draws, so the
+        # loop body runs many times per key and per-call overhead dominates.
+        # Float expressions and RNG call order are identical to sample().
+        zipf = self._zipf
+        rand = zipf._rng.random
+        h_n = zipf._h_n
+        span = zipf._span
+        oms = zipf._one_minus_s
+        inv = zipf._inv_one_minus_s
+        n = zipf.n
+        s = zipf.s
+        accept = zipf._accept
+        accept_get = accept.get
+        cache = self.parent._rank_cache
+        cache_get = cache.get
+        n_shards = self.parent.n_shards
+        shard = self.shard
         while True:
-            key = f"key:{self._zipf.sample():08d}"
-            if key_shard(key, self.parent.n_shards) == self.shard:
-                return key
+            u = h_n + rand() * span
+            x = (u * oms) ** inv
+            k = int(x + 0.5)
+            if k < 1:
+                k = 1
+            elif k > n:
+                k = n
+            if k - x > 1.0:
+                threshold = accept_get(k)
+                if threshold is None:
+                    threshold = ((k + 0.5) ** oms) / oms - math.exp(
+                        -s * math.log(k)
+                    )
+                    accept[k] = threshold
+                if u < threshold:
+                    continue
+            entry = cache_get(k)
+            if entry is None:
+                key = f"key:{k:08d}"
+                entry = (key, key_shard(key, n_shards))
+                cache[k] = entry
+            if entry[1] == shard:
+                return entry[0]
 
     def value(self) -> bytes:
         return _sample_value(self._rng)
@@ -195,6 +259,9 @@ class ShardedEtcWorkload:
         self.n_shards = n_shards
         self.zipf_s = zipf_s
         self.seed = seed
+        #: rank -> (key string, owning shard), shared by all shard streams
+        #: (ownership depends only on the rank and the shard count)
+        self._rank_cache: dict = {}
 
     # -- shard topology ------------------------------------------------------
 

@@ -1,0 +1,27 @@
+"""Regenerate the golden fixtures (run from the repo root)::
+
+    PYTHONPATH=src:tests python tests/goldens/capture.py
+
+Only rerun this when an *intentional* output change lands; the whole
+point of the fixtures is to freeze the rendered bytes across kernel
+rewrites.
+"""
+
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).parent
+sys.path.insert(0, str(HERE))
+
+from params import GOLDENS, generate  # noqa: E402
+
+
+def main() -> None:
+    for filename, (kind, params) in GOLDENS.items():
+        text = generate(kind, params)
+        (HERE / filename).write_text(text)
+        print(f"wrote {filename} ({len(text)} chars)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,7 +1,12 @@
 """Packet model."""
 
 from repro.net import Packet, TrafficClass
-from repro.net.packet import DEFAULT_PACKET_SIZES, make_packet
+from repro.net.packet import (
+    DEFAULT_PACKET_SIZES,
+    make_packet,
+    pool_size,
+    release_packet,
+)
 
 
 def test_packet_ids_unique():
@@ -36,3 +41,45 @@ def test_age():
 def test_memcached_packets_small_enough_for_line_rate():
     # LaKe's 13Mpps line-rate claim requires ~70B queries (§4.2)
     assert DEFAULT_PACKET_SIZES[TrafficClass.MEMCACHED] <= 80
+
+
+# -- the free-list ----------------------------------------------------------
+
+
+def test_released_shell_is_reused_with_fresh_identity():
+    p = make_packet("a", "b", TrafficClass.NORMAL, payload={"k": 1})
+    old_id = p.packet_id
+    release_packet(p)
+    assert p.payload is None  # the pool must not keep payloads alive
+    q = make_packet("c", "d", TrafficClass.DNS)
+    assert q is p  # LIFO free-list: the shell was recycled...
+    assert q.packet_id != old_id  # ...but identity stays unique
+    assert (q.src, q.dst, q.traffic_class) == ("c", "d", TrafficClass.DNS)
+    assert q.hops == 0 and q.payload is None
+
+
+def test_double_release_is_a_noop():
+    p = make_packet("a", "b", TrafficClass.NORMAL)
+    release_packet(p)
+    occupancy = pool_size()
+    release_packet(p)  # guarded: must not enter the pool twice
+    assert pool_size() == occupancy
+    # drain what we added so other tests see a clean pool
+    assert make_packet("x", "y", TrafficClass.NORMAL) is p
+
+
+def test_copy_draws_from_the_pool():
+    donor = make_packet("a", "b", TrafficClass.NORMAL)
+    release_packet(donor)
+    original = make_packet("c", "d", TrafficClass.PAXOS, payload=object())
+    assert original is donor  # LIFO: the last-released shell comes back first
+    dup = original.copy()
+    assert dup is not original
+    assert dup.payload is original.payload
+    assert dup.packet_id != original.packet_id
+
+
+def test_direct_constructor_still_works():
+    p = Packet("a", "b", TrafficClass.NORMAL)
+    assert p.size_bytes == 128
+    assert p.packet_id > 0

@@ -1,0 +1,57 @@
+"""Byte-identity of recorded experiments under the performance kernel.
+
+The fixtures in ``tests/goldens/`` were captured from the revision
+*before* the fast-kernel changes (tuple-entry heap, pooled packets,
+memoized samplers, parallel sweep executor).  These tests re-run the
+exact same reduced experiments and require byte-for-byte identical
+rendered output — the strongest statement that the optimizations
+preserved event ordering and RNG draw sequences — and that the parallel
+sweep executor reproduces the serial renders exactly.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+_spec = importlib.util.spec_from_file_location(
+    "golden_params", GOLDEN_DIR / "params.py"
+)
+golden_params = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(golden_params)
+
+
+@pytest.mark.parametrize("fixture", sorted(golden_params.GOLDENS))
+def test_golden_byte_identity(fixture):
+    """fig6/fig7 and the sweep tables render byte-identically to the
+    pre-optimization captures."""
+    kind, params = golden_params.GOLDENS[fixture]
+    want = (GOLDEN_DIR / fixture).read_text()
+    assert golden_params.generate(kind, params) == want
+
+
+@pytest.mark.parametrize(
+    "fixture,name,params",
+    [
+        (
+            "sweep_rack_kvs.txt",
+            "sweep-rack-kvs",
+            golden_params.SWEEP_KVS_PARAMS,
+        ),
+        (
+            "sweep_rack_hetero.txt",
+            "sweep-rack-hetero",
+            golden_params.SWEEP_HETERO_PARAMS,
+        ),
+    ],
+)
+def test_parallel_sweep_matches_serial_golden(fixture, name, params):
+    """The multiprocessing executor (workers=2) must render byte-identically
+    to the serial golden: per-point seeded RNGs make each grid point
+    self-contained, and the reduction preserves grid order."""
+    from repro.scenarios import build_sweep_spec, run_sweep
+
+    rendered = run_sweep(build_sweep_spec(name, **params), workers=2).render()
+    assert rendered == (GOLDEN_DIR / fixture).read_text()

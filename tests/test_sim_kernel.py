@@ -189,3 +189,164 @@ def test_clock_advances_to_run_until_time_with_empty_heap():
     sim = Simulator()
     sim.run_until(123.0)
     assert sim.now == 123.0
+
+
+# -- the fast scheduling tier ------------------------------------------------
+
+
+def test_fast_tier_interleaves_with_events_in_schedule_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(10.0, lambda: order.append("event"))
+    sim.schedule_fast(10.0, lambda: order.append("fast"))
+    sim.schedule_call(10.0, order.append, "call")
+    sim.run()
+    assert order == ["event", "fast", "call"]
+
+
+def test_fast_tier_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_fast(-1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule_call(-1.0, print, None)
+
+
+def test_call_every_fast_ticks_match_call_every():
+    """Tick times and RNG draw order are identical to call_every — the
+    property the byte-identical goldens depend on."""
+    import random
+
+    slow_ticks, fast_ticks = [], []
+    sim1 = Simulator()
+    sim1.call_every(
+        10.0, lambda: slow_ticks.append(sim1.now), jitter=0.3,
+        rng=random.Random(5),
+    )
+    sim1.run_until(500.0)
+    sim2 = Simulator()
+    sim2.call_every_fast(
+        10.0, lambda: fast_ticks.append(sim2.now), jitter=0.3,
+        rng=random.Random(5),
+    )
+    sim2.run_until(500.0)
+    assert fast_ticks == slow_ticks
+
+
+def test_call_every_fast_cancel_stops_ticks():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_every_fast(10.0, lambda: fired.append(sim.now))
+    sim.run_until(35.0)
+    handle.cancel()
+    sim.run_until(200.0)
+    assert fired == [10.0, 20.0, 30.0]
+
+
+def test_call_every_fast_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_every_fast(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_every_fast(10.0, lambda: None, jitter=0.3)  # jitter needs rng
+
+
+# -- batched arrival generation ----------------------------------------------
+
+
+def test_call_every_batched_unjittered_ticks_are_exact():
+    sim = Simulator()
+    fired = []
+    sim.call_every_batched(10.0, lambda: fired.append(sim.now), batch=4)
+    sim.run_until(100.0)
+    # the refill entry chains blocks at the last tick's time, so the tick
+    # train continues seamlessly across block boundaries
+    assert fired == [10.0 * i for i in range(1, 11)]
+
+
+def test_call_every_batched_cancel_stops_ticks():
+    sim = Simulator()
+    fired = []
+    handle = sim.call_every_batched(10.0, lambda: fired.append(sim.now), batch=8)
+    sim.run_until(25.0)
+    handle.cancel()
+    sim.run_until(500.0)  # the rest of the block no-ops
+    assert fired == [10.0, 20.0]
+
+
+def test_call_every_batched_jittered_rate_and_gaps():
+    import random
+
+    sim = Simulator()
+    fired = []
+    sim.call_every_batched(
+        10.0, lambda: fired.append(sim.now), jitter=0.3,
+        rng=random.Random(9), batch=16,
+    )
+    sim.run_until(10_000.0)
+    # mean inter-arrival is the interval; ~1000 ticks over 10ms
+    assert abs(len(fired) - 1000) <= 60
+    gaps = [b - a for a, b in zip(fired, fired[1:])]
+    # every gap (including across refill boundaries) is interval*(1±jitter)
+    assert all(6.999 <= g <= 13.001 for g in gaps)
+
+
+def test_call_every_batched_validation():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_every_batched(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.call_every_batched(10.0, lambda: None, batch=0)
+    with pytest.raises(SimulationError):
+        sim.call_every_batched(10.0, lambda: None, jitter=0.3)  # needs rng
+
+
+# -- the calendar-queue scheduler --------------------------------------------
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(scheduler="fifo")
+
+
+def test_calendar_scheduler_matches_heap_order():
+    """Both schedulers pop in (time, seq) order, so a mixed event/fast/call
+    schedule executes identically under either queue."""
+    import random
+
+    rng = random.Random(17)
+    times = [rng.uniform(0.0, 50.0) for _ in range(300)]
+    orders = []
+    for scheduler in ("heap", "calendar"):
+        sim = Simulator(scheduler=scheduler)
+        order = []
+        for i, t in enumerate(times):
+            if i % 3 == 0:
+                sim.schedule(t, lambda i=i: order.append(i))
+            elif i % 3 == 1:
+                sim.schedule_fast(t, lambda i=i: order.append(i))
+            else:
+                sim.schedule_call(t, order.append, i)
+        sim.run()
+        orders.append(order)
+    assert orders[0] == orders[1]
+
+
+def test_calendar_scheduler_cancellation_and_periodics():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    cancelled = sim.schedule(25.0, lambda: fired.append("cancelled"))
+    cancelled.cancel()
+    handle = sim.call_every_fast(10.0, lambda: fired.append(sim.now))
+    sim.run_until(45.0)
+    handle.cancel()
+    sim.run_until(100.0)
+    assert fired == [10.0, 20.0, 30.0, 40.0]
+
+
+def test_calendar_scheduler_batched_ticks():
+    sim = Simulator(scheduler="calendar")
+    fired = []
+    sim.call_every_batched(10.0, lambda: fired.append(sim.now), batch=4)
+    sim.run_until(100.0)
+    assert fired == [10.0 * i for i in range(1, 11)]

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim import LatencyRecorder, Simulator, TimeSeries, percentile
-from repro.sim.recorder import PeriodicSampler
+from repro.sim.recorder import PeriodicSampler, percentiles
 from repro.units import sec
 
 
@@ -28,6 +28,20 @@ class TestPercentile:
     def test_out_of_range_pct_raises(self):
         with pytest.raises(ValueError):
             percentile([1], 101.0)
+
+    def test_presorted_skips_the_sort(self):
+        # a deliberately unsorted list with presorted=True reads ranks
+        # positionally — proving the sort really is skipped
+        assert percentile([9, 1, 5], 50.0, presorted=True) == 1
+
+    def test_percentiles_single_sort_matches_percentile(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0]
+        assert percentiles(values, (0.0, 50.0, 99.0, 100.0)) == [
+            percentile(values, 0.0),
+            percentile(values, 50.0),
+            percentile(values, 99.0),
+            percentile(values, 100.0),
+        ]
 
 
 class TestTimeSeries:
@@ -75,6 +89,23 @@ class TestTimeSeries:
         ts.record(0.0, 0.0)
         ts.record(sec(10.0), 100.0)
         assert ts.integrate_seconds() == pytest.approx(500.0)
+
+    def test_views_are_immutable_tuples(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        ts.record(2.0, 20.0)
+        assert ts.times == (1.0, 2.0)
+        assert ts.values == (10.0, 20.0)
+        assert isinstance(ts.times, tuple)
+
+    def test_views_cached_between_appends(self):
+        ts = TimeSeries()
+        ts.record(1.0, 10.0)
+        first = ts.times
+        assert ts.times is first  # repeated reads are O(1), no re-copy
+        ts.record(2.0, 20.0)
+        assert ts.times == (1.0, 2.0)  # refreshed after an append
+        assert ts.values == (10.0, 20.0)
 
 
 class TestLatencyRecorder:
