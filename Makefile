@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke hetero-smoke bench-perf bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke bench-perf bench-replication bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,12 +29,20 @@ sweep-smoke:
 hetero-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_rack_hetero.py
 
-# The perf trajectory: DES events/sec + wall seconds per scenario and the
-# serial-vs-parallel sweep wall time, written to
+# The perf trajectory: DES events/sec + wall seconds per scenario, the
+# serial-vs-parallel sweep wall time, and the K=4 replicated-sweep leg
+# (serial vs pooled wall + points/sec), written to
 # benchmarks/results/BENCH_perf.json (a CI artifact) and gated against the
-# committed benchmarks/BENCH_perf_baseline.json (>30% events/sec drop fails).
+# committed benchmarks/BENCH_perf_baseline.json (>30% drop in events/sec
+# or replication points/sec fails).
 bench-perf:
 	$(PYTHON) -m pytest -q benchmarks/bench_perf.py
+
+# The replication acceptance benchmark: K=8 seeds of the reduced
+# sweep-rack-kvs, per-seed byte-identity vs serial run_sweep everywhere,
+# and the >=3x workers=4 speedup criterion on machines with >=4 cores.
+bench-replication:
+	$(PYTHON) -m pytest -q benchmarks/bench_replication.py
 
 # The full paper-vs-measured record (slow: includes the DES transitions
 # and the rack-scale scenario).  Explicit file list: bench_*.py does not

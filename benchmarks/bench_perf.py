@@ -1,10 +1,12 @@
 """The perf trajectory benchmark — emits ``BENCH_perf.json``.
 
 Run via ``make bench-perf`` (or the CI ``perf-smoke`` leg).  Measures DES
-events/sec and wall seconds for the registered perf scenarios plus the
-reduced sweep's serial-vs-parallel wall time, writes the record to
-``benchmarks/results/BENCH_perf.json``, and fails when events/sec drops
-more than :data:`perf_harness.REGRESSION_TOLERANCE` below the committed
+events/sec and wall seconds for the registered perf scenarios, the
+reduced sweep's serial-vs-parallel wall time, and the K-seed replication
+leg (serial vs pooled wall + points/sec), writes the record to
+``benchmarks/results/BENCH_perf.json``, and fails when events/sec or
+replication points/sec drops more than
+:data:`perf_harness.REGRESSION_TOLERANCE` below the committed
 ``benchmarks/BENCH_perf_baseline.json``.
 
 The baseline is a *slow-container* measurement; the gate only fires on a
@@ -17,6 +19,7 @@ import json
 from perf_harness import (
     BASELINE_PATH,
     PERF_SCENARIOS,
+    PERF_SWEEP,
     check_regression,
     collect,
     write_results,
@@ -39,6 +42,19 @@ def test_perf_trajectory():
     assert sweep["serial"]["wall_s"] > 0
     assert sweep["parallel"]["wall_s"] > 0
     assert sweep["parallel"]["workers"] >= 2
+
+    # the K-seed replication leg records both wall clocks and the gated
+    # throughput figure (completed seed×point tasks per second)
+    rep = record["replication"]
+    assert rep["seeds"] >= 2
+    assert rep["workers"] >= 2
+    assert rep["serial_wall_s"] > 0
+    assert rep["wall_s"] > 0
+    from repro.scenarios import build_sweep_spec
+
+    spec = build_sweep_spec(PERF_SWEEP["name"], **PERF_SWEEP["overrides"])
+    assert rep["tasks"] == rep["seeds"] * len(spec.points())
+    assert rep["points_per_sec"] > 0
 
     # the committed-baseline regression gate (>30% events/sec drop fails)
     assert BASELINE_PATH.exists(), (

@@ -1,0 +1,78 @@
+"""Replication executor benchmark — the ISSUE 7 acceptance criterion.
+
+``run_replicated`` on the reduced ``sweep-rack-kvs`` with K=8 seeds must
+(a) produce per-seed sweep results byte-identical to running each seed
+serially through ``run_sweep``, and (b) on a machine with >= 4 cores,
+finish at workers=4 at least 3x faster than the K-serial loop.  The
+speedup half is skipped on small containers (this repo's CI floor is a
+single core, where a process pool can only add overhead); the
+byte-identity half runs everywhere — it is the correctness contract.
+
+Artifact: ``benchmarks/results/replication_speedup.txt``.
+"""
+
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.scenarios import (
+    build_sweep_spec,
+    replication_seeds,
+    run_replicated,
+    run_sweep,
+)
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+#: Reduced sweep-rack-kvs grid (same shape as perf_harness.PERF_SWEEP but
+#: a little shorter per point: 8 seeds x 4 points is 32 DES runs).
+SWEEP = dict(hosts=(1, 2), rates_kpps=(8.0, 32.0), duration_s=0.1,
+             keyspace=4_000)
+SEEDS = 8
+WORKERS = 4
+
+
+def test_replicated_matches_serial_per_seed():
+    """Every one of the K replicated runs renders byte-identically to the
+    equivalent serial ``run_sweep`` with that seed pinned."""
+    spec = build_sweep_spec("sweep-rack-kvs", **SWEEP)
+    replicated = run_replicated(spec, seeds=SEEDS, workers=2)
+    seeds = replicated.seeds
+    assert len(seeds) == SEEDS
+    assert seeds == replication_seeds(seeds[0], SEEDS)
+    for seed, run in zip(seeds, replicated.runs):
+        serial = run_sweep(build_sweep_spec("sweep-rack-kvs", seed=seed,
+                                            **SWEEP))
+        assert run.render() == serial.render(), (
+            f"seed {seed}: replicated run diverges from serial run_sweep"
+        )
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < WORKERS,
+    reason=f"speedup criterion needs >= {WORKERS} cores "
+    f"(have {os.cpu_count()})",
+)
+def test_replicated_speedup():
+    """workers=4 beats the K-serial loop by >= 3x on K=8 (>= 4 cores)."""
+    spec = build_sweep_spec("sweep-rack-kvs", **SWEEP)
+    start = time.perf_counter()
+    run_replicated(spec, seeds=SEEDS, workers=1)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_replicated(spec, seeds=SEEDS, workers=WORKERS)
+    pooled_s = time.perf_counter() - start
+    speedup = serial_s / pooled_s
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "replication_speedup.txt").write_text(
+        f"sweep-rack-kvs K={SEEDS} workers={WORKERS}\n"
+        f"serial  {serial_s:.2f}s\n"
+        f"pooled  {pooled_s:.2f}s\n"
+        f"speedup {speedup:.2f}x\n"
+    )
+    assert speedup >= 3.0, (
+        f"replicated sweep speedup {speedup:.2f}x < 3x "
+        f"(serial {serial_s:.2f}s, pooled {pooled_s:.2f}s)"
+    )

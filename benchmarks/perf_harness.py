@@ -36,6 +36,10 @@ PERF_SWEEP = dict(
                    keyspace=4_000),
 )
 
+#: Replication leg: K seeds of the reduced sweep through run_replicated,
+#: serial vs a small worker pool (ISSUE 7's replication-scale executor).
+PERF_REPLICATION = dict(seeds=4, workers=2)
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_perf_baseline.json"
 
@@ -72,6 +76,36 @@ def measure_sweep(workers: Optional[int] = None) -> Dict[str, float]:
     return {"wall_s": round(time.perf_counter() - start, 4)}
 
 
+def measure_replication(
+    seeds: int = 4, workers: int = 2
+) -> Dict[str, object]:
+    """K-seed replicated sweep -> serial and pooled wall seconds.
+
+    ``points_per_sec`` (completed seedxgrid-point tasks per wall second,
+    pooled) is the gated trend figure; ``speedup`` is informational — it
+    tracks the machine's core count as much as the code.
+    """
+    from repro.scenarios import build_sweep_spec, run_replicated
+
+    spec = build_sweep_spec(PERF_SWEEP["name"], **PERF_SWEEP["overrides"])
+    n_tasks = seeds * len(spec.points())
+    start = time.perf_counter()
+    run_replicated(spec, seeds=seeds, workers=1)
+    serial_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_replicated(spec, seeds=seeds, workers=workers)
+    wall_s = time.perf_counter() - start
+    return {
+        "seeds": seeds,
+        "workers": workers,
+        "tasks": n_tasks,
+        "serial_wall_s": round(serial_wall_s, 4),
+        "wall_s": round(wall_s, 4),
+        "speedup": round(serial_wall_s / wall_s, 3) if wall_s > 0 else 0.0,
+        "points_per_sec": round(n_tasks / wall_s, 3) if wall_s > 0 else 0.0,
+    }
+
+
 def collect(parallel_workers: int = 2, include_sweep: bool = True) -> dict:
     """The full perf record written to ``BENCH_perf.json``."""
     scenarios = {}
@@ -90,6 +124,10 @@ def collect(parallel_workers: int = 2, include_sweep: bool = True) -> dict:
                 "workers": parallel_workers,
                 **measure_sweep(workers=parallel_workers),
             },
+        }
+        record["replication"] = {
+            "name": PERF_SWEEP["name"],
+            **measure_replication(**PERF_REPLICATION),
         }
     return record
 
@@ -119,6 +157,16 @@ def check_regression(record: dict, baseline: dict) -> List[str]:
                 f">{REGRESSION_TOLERANCE:.0%} below the baseline "
                 f"{base['events_per_sec']:.0f}"
             )
+    base_rep = baseline.get("replication")
+    rep = record.get("replication")
+    if base_rep and rep and rep.get("seeds") == base_rep.get("seeds"):
+        floor = base_rep["points_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if rep["points_per_sec"] < floor:
+            failures.append(
+                f"replication: {rep['points_per_sec']:.2f} points/sec is "
+                f">{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{base_rep['points_per_sec']:.2f}"
+            )
     return failures
 
 
@@ -134,6 +182,12 @@ def main(argv=None) -> int:
         print(f"  {sweep['name']}: serial {sweep['serial']['wall_s']:.2f}s, "
               f"parallel(x{sweep['parallel']['workers']}) "
               f"{sweep['parallel']['wall_s']:.2f}s")
+    if "replication" in record:
+        rep = record["replication"]
+        print(f"  replication K={rep['seeds']}: serial "
+              f"{rep['serial_wall_s']:.2f}s, pooled(x{rep['workers']}) "
+              f"{rep['wall_s']:.2f}s (speedup {rep['speedup']:.2f}x, "
+              f"{rep['points_per_sec']:.2f} points/sec)")
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
         failures = check_regression(record, baseline)

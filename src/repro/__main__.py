@@ -25,6 +25,7 @@ from .hw.device import device_descriptions
 from .scenarios import (
     closest_scenario,
     closest_sweep,
+    run_replicated,
     run_scenario,
     run_sweep,
     scenario_descriptions,
@@ -148,6 +149,12 @@ def _run_sweep_command(args) -> int:
     try:
         # run_sweep resolves exact case-insensitive spellings itself;
         # unknown names and rejected overrides raise with the full message
+        if args.seeds is not None and args.seeds != 1:
+            replicated = run_replicated(
+                name, seeds=args.seeds, workers=args.workers, **overrides
+            )
+            print(replicated.render())
+            return 0
         result = run_sweep(name, workers=args.workers, **overrides)
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
@@ -202,6 +209,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run --sweep grid points on N worker processes (results are "
         "identical to the serial default; only the wall clock changes)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="K",
+        help="replicate --sweep over K seeds and print mean ± 95%% CI "
+        "tables (K tasks per grid point share the --workers pool; "
+        "seed 1 of K is the sweep's own seed)",
     )
     return parser
 

@@ -113,17 +113,25 @@ class KeyShardRouter:
 
     def __init__(
         self,
-        hosts: Sequence[str],
+        hosts: Sequence[Optional[str]],
         key_of: Optional[Callable[[Packet], Optional[str]]] = None,
     ):
         if not hosts:
             raise ConfigurationError("router needs at least one host")
-        self.hosts: List[str] = list(hosts)
+        if all(h is None for h in hosts):
+            raise ConfigurationError("router needs at least one owned shard")
+        #: shard index -> owning host name.  ``None`` marks a shard with no
+        #: host in this scenario (a sub-rack of a larger sharded rack);
+        #: traffic for such shards is never offered, so routing to one is a
+        #: configuration bug and raises.
+        self.hosts: List[Optional[str]] = list(hosts)
         self._key_of = key_of or (
             lambda packet: getattr(packet.payload, "key", None)
         )
         #: per-host routed-packet counters (rack telemetry).
-        self.per_host: Dict[str, int] = {name: 0 for name in self.hosts}
+        self.per_host: Dict[str, int] = {
+            name: 0 for name in self.hosts if name is not None
+        }
         self.keyless = 0
         # key -> host memo; the host list is fixed at construction so the
         # mapping never changes, and keyspaces are bounded (ETC preloads
@@ -147,7 +155,12 @@ class KeyShardRouter:
         return key_shard(key, self.n_shards)
 
     def host_for_key(self, key: str) -> str:
-        return self.hosts[self.shard_of(key)]
+        host = self.hosts[self.shard_of(key)]
+        if host is None:
+            raise ConfigurationError(
+                f"no host owns shard {self.shard_of(key)} for key {key!r}"
+            )
+        return host
 
     def route(self, packet: Packet) -> str:
         """The switch-dispatch chooser: next-hop host name for a packet."""
@@ -158,6 +171,11 @@ class KeyShardRouter:
         host = self._host_cache.get(key)
         if host is None:
             host = self.hosts[key_shard(key, self.n_shards)]
+            if host is None:
+                raise ConfigurationError(
+                    f"no host owns shard {key_shard(key, self.n_shards)} "
+                    f"for key {key!r}"
+                )
             self._host_cache[key] = host
         self.per_host[host] += 1
         return host

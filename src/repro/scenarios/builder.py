@@ -908,26 +908,40 @@ class ScenarioBuilder:
         total_rate_pps = kpps(workload.rate_kpps)
 
         if spec.sharded:
+            # A sub-rack (workload.n_shards > host count) keeps the *full*
+            # rack's shard space: each host samples, weighs and preloads
+            # its original shard, so per-host traffic is byte-identical to
+            # the complete scenario and absent shards simply offer nothing.
+            n_shards = workload.n_shards or n_hosts
+            shard_indices = [
+                h.shard_index if h.shard_index is not None else i
+                for i, h in enumerate(host_specs)
+            ]
             sharded = ShardedEtcWorkload(
                 keyspace=workload.keyspace,
-                n_shards=n_hosts,
+                n_shards=n_shards,
                 zipf_s=workload.zipf_s,
                 seed=spec.seed,
             )
-            weights = sharded.shard_weights()
-            router = KeyShardRouter([h.name for h in host_specs])
+            all_weights = sharded.shard_weights()
+            weights = [all_weights[s] for s in shard_indices]
+            owners: List[Optional[str]] = [None] * n_shards
+            for host_spec, s in zip(host_specs, shard_indices):
+                owners[s] = host_spec.name
+            router = KeyShardRouter(owners)
             switch.install_dispatch(
                 TrafficClass.MEMCACHED, RACK_KVS_SERVICE, router.route
             )
         else:
             sharded = None
+            shard_indices = [0]
             weights = [1.0]
             router = None
 
         hosts: List[BuiltKvsHost] = []
         for index, host_spec in enumerate(host_specs):
             if sharded is not None:
-                stream = sharded.stream(index)
+                stream = sharded.stream(shard_indices[index])
                 key_sampler, value_sampler = stream.key, stream.value
                 set_fraction = stream.set_fraction
                 preloader = stream.preload if workload.preload else None

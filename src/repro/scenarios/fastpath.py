@@ -26,8 +26,9 @@ wrong sweep — is what fails.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import calibration as cal
 from ..errors import ConfigurationError
@@ -45,17 +46,76 @@ DEFAULT_REL_TOL = 0.15
 _FASTPATH_MODES = ("software", "hardware")
 
 
-def steady_eligible(spec: ScenarioSpec) -> bool:
-    """Can this scenario's pinned runs be answered analytically?"""
+def _rack_steady_shape(spec: ScenarioSpec) -> bool:
+    """Rack-level preconditions shared by full and per-host eligibility:
+    a pure KVS rack offered a rate-constant (phase-free) workload."""
     if not spec.kvs_hosts or spec.paxos_groups or spec.dns_hosts:
         return False
     workload = spec.kvs_workload
-    if workload is None or workload.phases:
-        return False
-    for host in spec.kvs_hosts:
-        if host.controller.kind != "none" or host.colocated:
-            return False
-    return True
+    return workload is not None and not workload.phases
+
+
+def host_steady_eligible(host) -> bool:
+    """Can this one KVS host's run be answered analytically?  Nothing may
+    change during the run: no controller that could shift the placement,
+    no co-located job that could perturb its power draw."""
+    return host.controller.kind == "none" and not host.colocated
+
+
+def steady_eligible(spec: ScenarioSpec) -> bool:
+    """Can this scenario's pinned runs be answered analytically?"""
+    return _rack_steady_shape(spec) and all(
+        host_steady_eligible(host) for host in spec.kvs_hosts
+    )
+
+
+def split_steady(
+    spec: ScenarioSpec,
+) -> Tuple[Tuple[int, ...], Optional[ScenarioSpec]]:
+    """Partition a scenario into analytically-answerable hosts and a
+    residual DES sub-rack (per-placement fast-path eligibility).
+
+    Returns ``(analytic_indices, residual)``:
+
+    * ``((), spec)`` — nothing eligible (wrong rack shape, or every host
+      can shift): run the full DES.
+    * ``(all indices, None)`` — fully eligible: pure analytics.
+    * ``(some indices, sub_rack)`` — the mixed case (``sweep-rack-hetero``
+      style racks): answer the pinned/NIC-only hosts from the steady
+      curves and DES-simulate only the shifting ones.  The residual spec
+      keeps the full rack's shard space (``n_shards``/``shard_index``), so
+      every surviving host samples, weighs, routes and preloads exactly as
+      it would in the complete rack — its DES series are byte-identical to
+      the full run's.
+    """
+    if not _rack_steady_shape(spec):
+        return (), spec
+    eligible = tuple(
+        i for i, host in enumerate(spec.kvs_hosts) if host_steady_eligible(host)
+    )
+    if not eligible:
+        return (), spec
+    if len(eligible) == len(spec.kvs_hosts):
+        return eligible, None
+    n_shards = spec.kvs_workload.n_shards or len(spec.kvs_hosts)
+    analytic = set(eligible)
+    residual_hosts = tuple(
+        dataclasses.replace(
+            host,
+            shard_index=(
+                host.shard_index if host.shard_index is not None else i
+            ),
+        )
+        for i, host in enumerate(spec.kvs_hosts)
+        if i not in analytic
+    )
+    residual = dataclasses.replace(
+        spec,
+        name=f"{spec.name}[resid]",
+        kvs_hosts=residual_hosts,
+        kvs_workload=dataclasses.replace(spec.kvs_workload, n_shards=n_shards),
+    )
+    return eligible, residual
 
 
 @dataclass
@@ -74,19 +134,30 @@ class SteadyEstimate:
 
 
 def _per_host_rates(spec: ScenarioSpec) -> List[float]:
-    """Offered pps per host: the sweep's Zipf shard-weight rate split."""
+    """Offered pps per host: the sweep's Zipf shard-weight rate split.
+
+    Honors ``n_shards``/``shard_index`` sub-racks: each host is weighed by
+    its *own* shard of the full rack's shard space, so a residual sub-rack
+    sees the same per-host rates as the complete scenario.
+    """
     workload = spec.kvs_workload
     total_pps = workload.rate_kpps * 1e3
-    n = len(spec.kvs_hosts)
-    if n == 1:
+    hosts = spec.kvs_hosts
+    n_shards = workload.n_shards or len(hosts)
+    if n_shards == 1:
         return [total_pps]
     sharded = ShardedEtcWorkload(
         keyspace=workload.keyspace,
-        n_shards=n,
+        n_shards=n_shards,
         zipf_s=workload.zipf_s,
         seed=spec.seed,
     )
-    return [w * total_pps for w in sharded.shard_weights()]
+    weights = sharded.shard_weights()
+    return [
+        weights[host.shard_index if host.shard_index is not None else i]
+        * total_pps
+        for i, host in enumerate(hosts)
+    ]
 
 
 def _host_models(host, mode: str):
@@ -114,23 +185,48 @@ def _host_models(host, mode: str):
     return hardware.power_at, hardware.capacity_pps, hardware.latency_at
 
 
-def steady_point(spec: ScenarioSpec, mode: str) -> SteadyEstimate:
-    """Analytic aggregate for one pinned mode of an eligible scenario."""
+def steady_point(
+    spec: ScenarioSpec,
+    mode: str,
+    host_indices: Optional[Sequence[int]] = None,
+) -> SteadyEstimate:
+    """Analytic aggregate for one pinned mode of an eligible scenario.
+
+    ``host_indices`` restricts the estimate to a subset of the rack's
+    hosts (the per-placement fast path: analytics for the pinned hosts of
+    a mixed rack while the shifting ones run DES).  Rates always come from
+    the **full** rack's shard split, so the subset estimate composes
+    exactly with the residual sub-rack's DES aggregate.
+    """
     if mode not in _FASTPATH_MODES:
         raise ConfigurationError(
             f"fast path answers {', '.join(_FASTPATH_MODES)}; got {mode!r}"
         )
-    if not steady_eligible(spec):
-        raise ConfigurationError(
-            f"scenario {spec.name!r} is not steady-state eligible "
-            "(see scenarios.fastpath.steady_eligible)"
-        )
+    if host_indices is None:
+        if not steady_eligible(spec):
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is not steady-state eligible "
+                "(see scenarios.fastpath.steady_eligible)"
+            )
+        host_indices = range(len(spec.kvs_hosts))
+    else:
+        if not _rack_steady_shape(spec):
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is not a rate-constant KVS rack"
+            )
+        for i in host_indices:
+            if not host_steady_eligible(spec.kvs_hosts[i]):
+                raise ConfigurationError(
+                    f"host {spec.kvs_hosts[i].name!r} is not steady-state "
+                    "eligible (live controller or co-located job)"
+                )
     rates = _per_host_rates(spec)
-    total_offered = sum(rates)
+    selected = [(spec.kvs_hosts[i], rates[i]) for i in host_indices]
+    total_offered = sum(rate for _, rate in selected)
     achieved = 0.0
     power_by_placement: Dict[str, float] = {}
     latencies: List[Tuple[float, float]] = []  # (served share, latency)
-    for host, rate in zip(spec.kvs_hosts, rates):
+    for host, rate in selected:
         power_at, capacity, latency_at = _host_models(host, mode)
         served = min(rate, capacity)
         achieved += served

@@ -26,8 +26,11 @@ Named sweeps live in the registry here (``sweep-rack-kvs``,
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import math
+from array import array
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..sim.recorder import percentiles
@@ -453,6 +456,52 @@ def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
     )
 
 
+def _hybrid_ondemand_aggregate(
+    od_spec: ScenarioSpec,
+    analytic_indices: Tuple[int, ...],
+    residual: ScenarioSpec,
+) -> SweepAggregate:
+    """Per-placement fast path for the on-demand pin of a mixed rack.
+
+    Hosts that cannot shift (NIC-only, or declared with no controller) sit
+    in the software placement for the whole run, so the steady curves
+    answer them; only the shifting hosts run DES — as a residual sub-rack
+    that keeps the full rack's shard space, so their series are the ones
+    the full DES would have produced.  The two halves add: rates and watts
+    sum, latency percentiles merge achieved-weighted.
+    """
+    from .fastpath import steady_point
+
+    est = steady_point(od_spec, "software", host_indices=analytic_indices)
+    run = ScenarioBuilder(residual).build()
+    result = run.execute()
+    des = _aggregate(run, result, "ondemand")
+    achieved = est.achieved_pps + des.achieved_pps
+    total_power = est.total_power_w + des.total_power_w
+    total = achieved or 1.0
+    p50 = (
+        est.p50_latency_us * est.achieved_pps
+        + des.p50_latency_us * des.achieved_pps
+    ) / total
+    p99 = (
+        est.p99_latency_us * est.achieved_pps
+        + des.p99_latency_us * des.achieved_pps
+    ) / total
+    return SweepAggregate(
+        mode="ondemand",
+        offered_pps=est.offered_pps + des.offered_pps,
+        achieved_pps=achieved,
+        total_power_w=total_power,
+        p50_latency_us=p50,
+        p99_latency_us=p99,
+        ops_per_watt=achieved / total_power if total_power > 0 else 0.0,
+        power_by_placement={
+            **est.power_by_placement,
+            **des.power_by_placement,
+        },
+    )
+
+
 def _run_grid_point(
     task: Tuple[ScenarioSweepSpec, Dict[str, object], bool]
 ) -> SweepPointResult:
@@ -466,7 +515,7 @@ def _run_grid_point(
     spec, params, fastpath = task
     scenario = _materialize(spec, params)
     if fastpath:
-        from .fastpath import steady_eligible
+        from .fastpath import split_steady, steady_eligible
 
         if steady_eligible(software_variant(scenario)):
             # rate-constant KVS pins: the steady curves replace both DES
@@ -475,8 +524,17 @@ def _run_grid_point(
             software = _steady_aggregate(software_variant(scenario), "software")
             hardware = _steady_aggregate(hardware_variant(scenario), "hardware")
             if _has_ondemand_drive(scenario):
-                od_run, od_result = run_pinned(scenario, "ondemand")
-                ondemand = _aggregate(od_run, od_result, "ondemand")
+                od_spec = ondemand_variant(scenario)
+                analytic_idx, residual = split_steady(od_spec)
+                if analytic_idx and residual is not None:
+                    # mixed rack: analytics for the hosts that cannot
+                    # shift, DES only for the sub-rack that can
+                    ondemand = _hybrid_ondemand_aggregate(
+                        od_spec, analytic_idx, residual
+                    )
+                else:
+                    od_run, od_result = run_pinned(scenario, "ondemand")
+                    ondemand = _aggregate(od_run, od_result, "ondemand")
             else:
                 ondemand = dataclasses.replace(
                     software,
@@ -559,6 +617,389 @@ def run_sweep(
         with ctx.Pool(processes=n) as pool:
             points = pool.map(_run_grid_point, tasks)
     return ScenarioSweepResult(spec=spec, points=points)
+
+
+# ---------------------------------------------------------------------------
+# Replication: K seeds per grid point (statistical weight at sweep scale).
+# ---------------------------------------------------------------------------
+
+
+def replication_seeds(base_seed: int, k: int) -> List[int]:
+    """K deterministic, independent seeds derived from ``base_seed``.
+
+    ``seeds[0]`` **is** ``base_seed``, so a K=1 replication reproduces the
+    single-seed sweep byte-for-byte; the rest hash the base through
+    sha256, the same namespacing discipline :class:`repro.sim.rng.RngStreams`
+    uses, so replicate streams never collide with each other or with any
+    in-run stream.
+    """
+    if k < 1:
+        raise ConfigurationError(f"replication needs >= 1 seed, got {k}")
+    seeds = [int(base_seed)]
+    for i in range(1, k):
+        digest = hashlib.sha256(f"{base_seed}:replicate:{i}".encode()).digest()
+        seeds.append(int.from_bytes(digest[:8], "big"))
+    return seeds
+
+
+@dataclass(frozen=True)
+class ReplicationSpec:
+    """How to replicate a sweep: K seeds per grid point.
+
+    ``workers`` fans the K × points task list over a process pool;
+    ``chunksize`` is the work-stealing granularity of the unordered
+    executor (1 = finest stealing, the default — replicated DES tasks are
+    seconds long, so per-task dispatch overhead is noise).  ``fastpath``
+    forwards to :func:`run_sweep`'s steady-state analytics.
+    """
+
+    seeds: int = 8
+    workers: Optional[int] = None
+    chunksize: int = 1
+    fastpath: bool = False
+
+    def validate(self) -> "ReplicationSpec":
+        if self.seeds < 1:
+            raise ConfigurationError(
+                f"replication needs >= 1 seed, got {self.seeds}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
+        if self.chunksize < 1:
+            raise ConfigurationError(
+                f"chunksize must be >= 1, got {self.chunksize}"
+            )
+        return self
+
+
+#: two-sided 95% t critical values keyed by sample count (df = n-1);
+#: larger replications fall back to the normal 1.96.
+_T95_BY_N = {
+    2: 12.706, 3: 4.303, 4: 3.182, 5: 2.776, 6: 2.571,
+    7: 2.447, 8: 2.365, 9: 2.306, 10: 2.262,
+}
+
+
+@dataclass(frozen=True)
+class ReplicateStats:
+    """Mean ± 95% CI of one metric across the replicate seeds."""
+
+    mean: float
+    ci95: float
+    n: int
+    values: Tuple[float, ...] = ()
+
+
+def replicate_stats(values: Sequence[float]) -> ReplicateStats:
+    """Small-n t-interval summary of per-seed metric values."""
+    n = len(values)
+    if n == 0:
+        raise ConfigurationError("no replicate values to summarize")
+    mean = sum(values) / n
+    if n == 1:
+        return ReplicateStats(mean=mean, ci95=0.0, n=1, values=tuple(values))
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    t = _T95_BY_N.get(n, 1.96)
+    return ReplicateStats(
+        mean=mean,
+        ci95=t * math.sqrt(var / n),
+        n=n,
+        values=tuple(values),
+    )
+
+
+#: scalar SweepAggregate fields carried across the process boundary.
+_AGG_FIELDS = (
+    "offered_pps",
+    "achieved_pps",
+    "total_power_w",
+    "p50_latency_us",
+    "p99_latency_us",
+    "ops_per_watt",
+)
+
+
+def _pack_point(pt: SweepPointResult) -> tuple:
+    """Reduce a grid-point result to compact transport: one ``array('d')``
+    byte blob of per-mode aggregates plus a tiny name layout.
+
+    Raw series never cross the process boundary — a packed point is a few
+    hundred bytes regardless of the run's event count — and the
+    float64 round-trip is exact, so parallel replication stays
+    byte-identical to serial execution.
+    """
+    aggs = [("software", pt.software), ("hardware", pt.hardware)]
+    if pt.ondemand is not None:
+        aggs.append(("ondemand", pt.ondemand))
+    layout = []
+    vals = array("d")
+    for mode, agg in aggs:
+        names = tuple(agg.power_by_placement)
+        layout.append((mode, names))
+        vals.extend(getattr(agg, f) for f in _AGG_FIELDS)
+        vals.extend(agg.power_by_placement[name] for name in names)
+    return pt.params, tuple(layout), vals.tobytes()
+
+
+def _unpack_point(
+    params: Dict[str, object], layout: tuple, blob: bytes
+) -> SweepPointResult:
+    vals = array("d")
+    vals.frombytes(blob)
+    offset = 0
+    by_mode: Dict[str, SweepAggregate] = {}
+    n_fields = len(_AGG_FIELDS)
+    for mode, names in layout:
+        fields = dict(zip(_AGG_FIELDS, vals[offset:offset + n_fields]))
+        offset += n_fields
+        placements = dict(zip(names, vals[offset:offset + len(names)]))
+        offset += len(names)
+        by_mode[mode] = SweepAggregate(
+            mode=mode, power_by_placement=placements, **fields
+        )
+    return SweepPointResult(
+        params=params,
+        software=by_mode["software"],
+        hardware=by_mode["hardware"],
+        ondemand=by_mode.get("ondemand"),
+    )
+
+
+def _with_seed(spec: ScenarioSweepSpec, seed: int) -> ScenarioSweepSpec:
+    """The sweep spec with its fixed ``seed`` override replaced."""
+    return dataclasses.replace(
+        spec, fixed={**spec.fixed_dict(), "seed": seed}
+    )
+
+
+def _run_replicated_task(
+    task: Tuple[int, int, ScenarioSweepSpec, Dict[str, object], bool]
+) -> Tuple[int, int, tuple]:
+    """One (replicate, grid point) unit of work, packed for transport.
+
+    Module-level so the pool can pickle it; the (rep, point) indices ride
+    along because the executor is unordered (work stealing)."""
+    rep_idx, pt_idx, spec, params, fastpath = task
+    point = _run_grid_point((spec, params, fastpath))
+    return rep_idx, pt_idx, _pack_point(point)
+
+
+@dataclass
+class ReplicatedSweepResult:
+    """K seeded repetitions of a sweep, with cross-seed reductions.
+
+    ``runs[0]`` used the sweep's own base seed, so it is byte-identical to
+    the unreplicated :func:`run_sweep` result; the rest used derived
+    seeds (:func:`replication_seeds`).
+    """
+
+    spec: ScenarioSweepSpec
+    seeds: List[int]
+    runs: List[ScenarioSweepResult]
+
+    @property
+    def base_run(self) -> ScenarioSweepResult:
+        return self.runs[0]
+
+    def point_stats(
+        self, metric: str = "ops_per_watt"
+    ) -> List[Dict[str, object]]:
+        """Per grid point: mean ± CI of ``metric`` for each pinned mode."""
+        out: List[Dict[str, object]] = []
+        for i, base_pt in enumerate(self.runs[0].points):
+            row: Dict[str, object] = {"params": dict(base_pt.params)}
+            for mode in ("software", "hardware", "ondemand"):
+                values = []
+                for run in self.runs:
+                    agg = getattr(run.points[i], mode)
+                    if agg is None:
+                        break
+                    values.append(getattr(agg, metric))
+                row[mode] = (
+                    replicate_stats(values)
+                    if len(values) == len(self.runs)
+                    else None
+                )
+            out.append(row)
+        return out
+
+    def tipping_stats(self) -> List[Dict[str, object]]:
+        """Per tipping group: how often the rack tipped across seeds, and
+        the crossover's mean ± CI over the seeds where it did."""
+        per_run = [run.tipping_points() for run in self.runs]
+        out: List[Dict[str, object]] = []
+        for group in zip(*per_run):
+            first = group[0]
+            crossings = [tip.crossover for tip in group]
+            tipped = [c for c in crossings if c is not None]
+            numeric = all(isinstance(c, (int, float)) for c in tipped)
+            stats = (
+                replicate_stats([float(c) for c in tipped])
+                if tipped and numeric
+                else None
+            )
+            out.append(
+                {
+                    "fixed": dict(first.fixed),
+                    "axis": first.axis,
+                    "tip_count": len(tipped),
+                    "tip_fraction": len(tipped) / len(crossings),
+                    "crossover": stats,
+                    "crossovers": tuple(crossings),
+                }
+            )
+        return out
+
+    # -- reporting -----------------------------------------------------------
+
+    def render(self) -> str:
+        """Point and tipping tables with mean ± 95% CI error bars."""
+        from ..experiments.reporting import format_table
+
+        k = len(self.seeds)
+        axis_params = [a.param for a in self.spec.axes]
+        base_points = self.runs[0].points
+        with_od = any(pt.ondemand is not None for pt in base_points)
+        lines = [
+            f"Replicated sweep: {self.spec.name} over {self.spec.base!r} — "
+            f"{len(base_points)} points × K={k} seeds (mean ± 95% CI)",
+        ]
+        modes = ("software", "hardware") + (("ondemand",) if with_od else ())
+        short = {"software": "sw", "hardware": "hw", "ondemand": "od"}
+        headers = list(axis_params)
+        for mode in modes:
+            headers += [f"{short[mode]} ops/W", f"{short[mode]} ±"]
+        headers += ["hw wins"]
+        stats = self.point_stats("ops_per_watt")
+        rows = []
+        for i, row_stats in enumerate(stats):
+            row: List[object] = [
+                base_points[i].params[p] for p in axis_params
+            ]
+            for mode in modes:
+                st = row_stats[mode]
+                row += [st.mean, st.ci95] if st is not None else ["-", "-"]
+            wins = sum(1 for run in self.runs if run.points[i].hardware_wins)
+            row.append(f"{wins}/{k}")
+            rows.append(row)
+        lines.append(format_table(headers, rows))
+        lines.append("")
+        axis = self.spec.resolved_tip_axis()
+        lines.append(
+            f"Tipping points across seeds: first {axis} where the hardware "
+            "rack wins on ops/W"
+        )
+        other = [p for p in axis_params if p != axis]
+        tip_headers = (other or ["rack"]) + [
+            "tipped", f"crossover {axis}", "±",
+        ]
+        tip_rows = []
+        for group in self.tipping_stats():
+            prefix = (
+                [group["fixed"][p] for p in other] if other else ["(all)"]
+            )
+            st = group["crossover"]
+            tip_rows.append(
+                prefix
+                + [
+                    f"{group['tip_count']}/{k}",
+                    st.mean if st is not None else "-",
+                    st.ci95 if st is not None else "-",
+                ]
+            )
+        lines.append(format_table(tip_headers, tip_rows))
+        return "\n".join(lines)
+
+
+def run_replicated(
+    sweep: Union[str, ScenarioSweepSpec],
+    replication: Optional[ReplicationSpec] = None,
+    *,
+    seeds: Optional[int] = None,
+    workers: Optional[int] = None,
+    chunksize: Optional[int] = None,
+    fastpath: Optional[bool] = None,
+    **overrides,
+) -> ReplicatedSweepResult:
+    """Run a sweep K times with independent seeds (§9.4 with error bars).
+
+    The K × grid-points task list is flattened through one unordered,
+    chunked process pool — work stealing across both axes, so a slow grid
+    point on one seed does not serialize the other seeds — and each task
+    ships back only its packed aggregate (:func:`_pack_point`), never raw
+    series.  Per-seed results reassemble deterministically by (seed,
+    point) index: ``result.runs[i]`` is byte-identical to running
+    ``run_sweep`` serially with seed ``result.seeds[i]``, regardless of
+    worker count or completion order.
+
+    Keyword shortcuts (``seeds=``, ``workers=``, ``chunksize=``,
+    ``fastpath=``) override the corresponding :class:`ReplicationSpec`
+    fields; ``**overrides`` forward to the named sweep's factory exactly
+    as in :func:`run_sweep`.
+    """
+    rep = replication if replication is not None else ReplicationSpec()
+    if seeds is not None:
+        rep = dataclasses.replace(rep, seeds=seeds)
+    if workers is not None:
+        rep = dataclasses.replace(rep, workers=workers)
+    if chunksize is not None:
+        rep = dataclasses.replace(rep, chunksize=chunksize)
+    if fastpath is not None:
+        rep = dataclasses.replace(rep, fastpath=fastpath)
+    rep.validate()
+    if isinstance(sweep, ScenarioSweepSpec):
+        if overrides:
+            raise ConfigurationError(
+                "overrides apply to named sweeps; pass an adjusted spec instead"
+            )
+        spec = sweep
+    else:
+        spec = build_sweep_spec(sweep, **overrides)
+    spec.validate()
+    base_seed = spec.fixed_dict().get("seed")
+    grid = spec.points()
+    if base_seed is None:
+        # the sweep does not pin a seed: replicate around the scenario's
+        # own default (read off the first materialized point)
+        base_seed = _materialize(spec, grid[0]).seed
+    seed_list = replication_seeds(int(base_seed), rep.seeds)
+    variants = [_with_seed(spec, s) for s in seed_list]
+    tasks = [
+        (rep_idx, pt_idx, variants[rep_idx], params, rep.fastpath)
+        for rep_idx in range(rep.seeds)
+        for pt_idx, params in enumerate(grid)
+    ]
+    packed: Dict[Tuple[int, int], tuple] = {}
+    if rep.workers is None or rep.workers == 1 or len(tasks) <= 1:
+        for task in tasks:
+            rep_idx, pt_idx, blob = _run_replicated_task(task)
+            packed[(rep_idx, pt_idx)] = blob
+    else:
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        n = min(rep.workers, len(tasks))
+        with ctx.Pool(processes=n) as pool:
+            for rep_idx, pt_idx, blob in pool.imap_unordered(
+                _run_replicated_task, tasks, chunksize=rep.chunksize
+            ):
+                packed[(rep_idx, pt_idx)] = blob
+    runs = [
+        ScenarioSweepResult(
+            spec=variants[rep_idx],
+            points=[
+                _unpack_point(*packed[(rep_idx, pt_idx)])
+                for pt_idx in range(len(grid))
+            ],
+        )
+        for rep_idx in range(rep.seeds)
+    ]
+    return ReplicatedSweepResult(spec=spec, seeds=seed_list, runs=runs)
 
 
 def _has_ondemand_drive(spec: ScenarioSpec) -> bool:

@@ -48,6 +48,22 @@ class CalendarQueue:
         if self._size > 2 * n:
             self._resize(2 * n)
 
+    def push_many(self, entries: List[tuple]) -> None:
+        """Bulk enqueue: one resize check for the whole block.
+
+        Used by the batched arrival generators — pushing a refill block
+        entry-by-entry re-evaluates the resize threshold per entry and can
+        thrash the calendar mid-block.
+        """
+        n = len(self._buckets)
+        width = self._width
+        buckets = self._buckets
+        for entry in entries:
+            heapq.heappush(buckets[int(entry[0] / width) % n], entry)
+        self._size += len(entries)
+        if self._size > 2 * n:
+            self._resize(2 * n)
+
     def peek(self) -> Optional[tuple]:
         if self._size == 0:
             return None

@@ -99,6 +99,8 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._executed = 0
+        #: Event objects re-armed via :meth:`reschedule` (pool hit count).
+        self._reused = 0
         #: live (scheduled, not yet executed, not cancelled) event count;
         #: kept in sync by schedule/cancel/step so :attr:`pending` is O(1).
         self._live = 0
@@ -121,6 +123,11 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of callbacks executed so far (observability/testing)."""
         return self._executed
+
+    @property
+    def events_reused(self) -> int:
+        """Number of pooled Event re-arms (observability/testing)."""
+        return self._reused
 
     @property
     def pending(self) -> int:
@@ -202,6 +209,33 @@ class Simulator:
         else:
             self._calq.push(entry)
 
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm an **executed** :class:`Event` ``delay`` microseconds from
+        now, reusing the object instead of allocating a fresh one.
+
+        This is the event-object pool for the cancellable tier: a periodic
+        loop keeps one Event alive for its whole lifetime (see
+        :meth:`call_every`), so ``call_every``-heavy controller racks stop
+        churning allocations.  Only legal once the event has fired — its
+        queue entry has been popped, so re-pushing the same object cannot
+        leave a stale duplicate behind.  The event draws a fresh sequence
+        number from the shared counter, so ordering semantics are exactly
+        those of a newly-scheduled event.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not event._done or event.cancelled:
+            raise SimulationError(
+                "reschedule requires an executed, uncancelled event"
+            )
+        event.time = self._now + delay
+        event.seq = next(self._seq)
+        event._done = False
+        self._push((event.time, event.seq, event))
+        self._live += 1
+        self._reused += 1
+        return event
+
     def call_every(
         self,
         interval: float,
@@ -214,6 +248,11 @@ class Simulator:
 
         ``jitter`` (a fraction of the interval) requires ``rng`` and spreads
         firings uniformly in ``interval * (1 ± jitter)``.
+
+        The loop allocates **one** Event for its whole lifetime: each tick
+        re-arms it via :meth:`reschedule` (the entry just popped belongs to
+        the event now firing, so reuse is safe), keeping the handle fully
+        cancellable without a per-tick allocation.
         """
         if interval <= 0:
             raise SimulationError(f"interval must be positive, got {interval}")
@@ -230,7 +269,7 @@ class Simulator:
             delay = interval
             if jitter:
                 delay *= 1.0 + rng.uniform(-jitter, jitter)
-            handle.event = self.schedule(delay, fire, name)
+            handle.event = self.reschedule(handle.event, delay)
 
         handle.event = self.schedule(interval, fire, name)
         return handle
@@ -336,9 +375,7 @@ class Simulator:
                 for entry in entries:
                     push(heap, entry)
             else:
-                calq_push = self._calq.push
-                for entry in entries:
-                    calq_push(entry)
+                self._calq.push_many(entries)
             self._live += len(entries)
 
         refill()

@@ -3,11 +3,19 @@
 These play the role of the paper's instrumentation — the SHW 3A wall power
 meter sampled once a second, hardware throughput counters on the LaKe card,
 and the Endace DAG card capturing per-packet latency (§4.1).
+
+Storage is ``array('d')`` (one machine double per sample, no per-sample
+object), and the bucket/percentile reductions dispatch to numpy kernels
+when numpy is importable, with a pure-python fallback that produces
+bit-identical results (enforced by tests).  Set ``REPRO_PURE_PYTHON=1``
+to force the fallback.
 """
 
 from __future__ import annotations
 
 import math
+import os
+from array import array
 from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -15,6 +23,14 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from ..errors import ConfigurationError
 from ..units import SEC, to_seconds
 from .kernel import Simulator
+
+try:  # pragma: no cover - exercised via both dispatch branches
+    import numpy as _np
+except Exception:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_PURE_PYTHON"):
+    _np = None
 
 
 def percentile(
@@ -26,7 +42,7 @@ def percentile(
     ordered snapshot (see :meth:`LatencyRecorder.sorted_samples` and
     :func:`percentiles`).
     """
-    if not values:
+    if not len(values):
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= pct <= 100.0:
         raise ValueError(f"pct must be in [0, 100], got {pct}")
@@ -37,15 +53,45 @@ def percentile(
     return ordered[rank - 1]
 
 
+def _percentiles_python(
+    values: Sequence[float], pcts: Sequence[float]
+) -> List[float]:
+    ordered = sorted(values)
+    return [percentile(ordered, pct, presorted=True) for pct in pcts]
+
+
+def _percentiles_numpy(
+    values: Sequence[float], pcts: Sequence[float]
+) -> List[float]:
+    # One C sort; nearest-rank picks read ranks positionally, exactly as
+    # the python kernel does, so both kernels select the *same element*.
+    if not len(values):
+        raise ValueError("percentile of empty sequence")
+    ordered = _np.sort(_np.asarray(values, dtype=_np.float64))
+    n = len(ordered)
+    out = []
+    for pct in pcts:
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"pct must be in [0, 100], got {pct}")
+        if pct == 0.0:
+            out.append(float(ordered[0]))
+        else:
+            rank = max(1, math.ceil(pct / 100.0 * n))
+            out.append(float(ordered[rank - 1]))
+    return out
+
+
 def percentiles(values: Sequence[float], pcts: Sequence[float]) -> List[float]:
     """Several nearest-rank percentiles from **one** sort of ``values``.
 
     The reduction loops (sweep aggregation, figure rendering) extract
     p50+p99 from the same sample list; sorting once instead of once per
-    percentile halves their dominant cost on large runs.
+    percentile halves their dominant cost on large runs.  Dispatches to a
+    numpy sort when available (identical element selection either way).
     """
-    ordered = sorted(values)
-    return [percentile(ordered, pct, presorted=True) for pct in pcts]
+    if _np is not None and len(values) >= 32:
+        return _percentiles_numpy(values, pcts)
+    return _percentiles_python(values, pcts)
 
 
 @dataclass
@@ -60,12 +106,15 @@ class TimeSeries:
     """An append-only (time, value) series with window queries.
 
     Used for power meters, throughput counters and controller telemetry.
+    Backed by two ``array('d')`` columns: 8 bytes per sample per column,
+    no per-sample boxing, and slices hand contiguous buffers straight to
+    the reduction kernels.
     """
 
     def __init__(self, name: str = "series"):
         self.name = name
-        self._times: List[float] = []
-        self._values: List[float] = []
+        self._times = array("d")
+        self._values = array("d")
         # cached immutable snapshots; invalidated (by length) on append
         self._times_view: Tuple[float, ...] = ()
         self._values_view: Tuple[float, ...] = ()
@@ -106,23 +155,29 @@ class TimeSeries:
             return None
         return Sample(self._times[-1], self._values[-1])
 
-    def window(self, start_us: float, end_us: float) -> List[Sample]:
-        """Samples with start <= time < end."""
+    def _window_bounds(self, start_us: float, end_us: float) -> Tuple[int, int]:
+        """Index range [lo, hi) with start <= time < end (bisect, O(log n))."""
         lo = bisect_right(self._times, start_us - 1e-12)
         hi = bisect_right(self._times, end_us - 1e-12)
+        return lo, hi
+
+    def window(self, start_us: float, end_us: float) -> List[Sample]:
+        """Samples with start <= time < end."""
+        lo, hi = self._window_bounds(start_us, end_us)
         return [Sample(t, v) for t, v in zip(self._times[lo:hi], self._values[lo:hi])]
 
     def mean(self, start_us: Optional[float] = None, end_us: Optional[float] = None) -> float:
         """Arithmetic mean of samples in the window (whole series by default)."""
         if start_us is None and end_us is None:
-            values = self._values
+            values: Sequence[float] = self._values
         else:
-            samples = self.window(
+            lo, hi = self._window_bounds(
                 start_us if start_us is not None else float("-inf"),
                 end_us if end_us is not None else float("inf"),
             )
-            values = [s.value for s in samples]
-        if not values:
+            # No Sample boxing on the reduction path — slice the column.
+            values = self._values[lo:hi]
+        if not len(values):
             raise ValueError(f"no samples in window for {self.name!r}")
         return sum(values) / len(values)
 
@@ -132,21 +187,29 @@ class TimeSeries:
         Integrating a power (W) series yields energy in joules.
         """
         total = 0.0
-        for i in range(1, len(self._times)):
-            dt = to_seconds(self._times[i] - self._times[i - 1])
-            total += 0.5 * (self._values[i] + self._values[i - 1]) * dt
+        times, values = self._times, self._values
+        for i in range(1, len(times)):
+            dt = to_seconds(times[i] - times[i - 1])
+            total += 0.5 * (values[i] + values[i - 1]) * dt
         return total
 
 
 class LatencyRecorder:
-    """Collects per-request latencies and reports distribution statistics."""
+    """Collects per-request latencies and reports distribution statistics.
+
+    Samples live in one ``array('d')``; the ascending view is maintained
+    *incrementally* — appends since the last query are sorted on their own
+    and merged into the cached run (two ascending runs: one Timsort merge
+    pass), so append-mostly workloads never pay a full re-sort.
+    """
 
     def __init__(self, name: str = "latency"):
         self.name = name
-        self._samples: List[float] = []
+        self._samples = array("d")
         # sorted-view cache: median()+p99() on the same snapshot cost one
-        # sort, not two; invalidated (by length) on record/reset
+        # sort, not two; _sorted_len marks how many samples it covers
         self._sorted: List[float] = []
+        self._sorted_len = 0
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -157,17 +220,27 @@ class LatencyRecorder:
         self._samples.append(latency_us)
 
     def extend(self, values: Sequence[float]) -> None:
-        for v in values:
-            self.record(v)
+        """Bulk append; all-or-nothing (no partial append on a bad value)."""
+        staged = array("d", values)
+        if staged and min(staged) < 0:
+            raise ConfigurationError("negative latency recorded")
+        self._samples.extend(staged)
 
     @property
     def samples(self) -> List[float]:
         return list(self._samples)
 
     def sorted_samples(self) -> List[float]:
-        """The samples in ascending order (cached between records)."""
-        if len(self._sorted) != len(self._samples):
-            self._sorted = sorted(self._samples)
+        """The samples in ascending order (cache merged incrementally)."""
+        n = len(self._samples)
+        if self._sorted_len != n:
+            if not self._sorted:
+                self._sorted = sorted(self._samples)
+            else:
+                merged = self._sorted + sorted(self._samples[self._sorted_len:])
+                merged.sort()  # two ascending runs -> single merge pass
+                self._sorted = merged
+            self._sorted_len = n
         return self._sorted
 
     def mean(self) -> float:
@@ -176,26 +249,24 @@ class LatencyRecorder:
         return sum(self._samples) / len(self._samples)
 
     def median(self) -> float:
+        if not self._samples:
+            raise ValueError("percentile of empty sequence")
         return percentile(self.sorted_samples(), 50.0, presorted=True)
 
     def p99(self) -> float:
+        if not self._samples:
+            raise ValueError("percentile of empty sequence")
         return percentile(self.sorted_samples(), 99.0, presorted=True)
 
     def reset(self) -> None:
-        self._samples.clear()
+        self._samples = array("d")
         self._sorted = []
+        self._sorted_len = 0
 
 
-def bucket_rate_series(
+def _bucket_rate_python(
     times_us: Sequence[float], window_us: float, end_us: float
 ) -> List[Tuple[float, float]]:
-    """Convert event timestamps into a (t_us, rate_pps) series.
-
-    Used to turn client response timestamps into the throughput timelines
-    of Figures 6 and 7 (and the rack-scale scenarios).
-    """
-    if window_us <= 0:
-        raise ConfigurationError("window must be positive")
     buckets = {}
     for t in times_us:
         buckets[int(t // window_us)] = buckets.get(int(t // window_us), 0) + 1
@@ -207,12 +278,43 @@ def bucket_rate_series(
     return series
 
 
-def bucket_mean_series(
-    samples: Sequence[Tuple[float, float]], window_us: float, end_us: float
-) -> List[Tuple[float, Optional[float]]]:
-    """Average (t_us, value) samples into fixed windows (None when empty)."""
+def _bucket_rate_numpy(
+    times_us: Sequence[float], window_us: float, end_us: float
+) -> List[Tuple[float, float]]:
+    n_buckets = int(end_us // window_us) + 1
+    arr = _np.asarray(times_us, dtype=_np.float64)
+    if arr.size:
+        idx = (arr // window_us).astype(_np.int64)
+        counts = _np.bincount(idx, minlength=n_buckets)
+    else:
+        counts = _np.zeros(n_buckets, dtype=_np.int64)
+    # Counts are exact integers, so the per-bucket arithmetic below is
+    # bit-identical to the python kernel.
+    return [
+        (i * window_us, int(counts[i]) * SEC / window_us)
+        for i in range(n_buckets)
+    ]
+
+
+def bucket_rate_series(
+    times_us: Sequence[float], window_us: float, end_us: float
+) -> List[Tuple[float, float]]:
+    """Convert event timestamps into a (t_us, rate_pps) series.
+
+    Used to turn client response timestamps into the throughput timelines
+    of Figures 6 and 7 (and the rack-scale scenarios).  numpy counts the
+    buckets when available; both kernels return identical floats.
+    """
     if window_us <= 0:
         raise ConfigurationError("window must be positive")
+    if _np is not None and len(times_us) >= 64:
+        return _bucket_rate_numpy(times_us, window_us, end_us)
+    return _bucket_rate_python(times_us, window_us, end_us)
+
+
+def _bucket_mean_python(
+    samples: Sequence[Tuple[float, float]], window_us: float, end_us: float
+) -> List[Tuple[float, Optional[float]]]:
     sums = {}
     counts = {}
     for t, v in samples:
@@ -226,6 +328,43 @@ def bucket_mean_series(
         else:
             series.append((i * window_us, None))
     return series
+
+
+def _bucket_mean_numpy(
+    samples: Sequence[Tuple[float, float]], window_us: float, end_us: float
+) -> List[Tuple[float, Optional[float]]]:
+    n_buckets = int(end_us // window_us) + 1
+    if len(samples):
+        t = _np.fromiter((s[0] for s in samples), dtype=_np.float64, count=len(samples))
+        v = _np.fromiter((s[1] for s in samples), dtype=_np.float64, count=len(samples))
+        idx = (t // window_us).astype(_np.int64)
+        # bincount accumulates weights in input order — the same
+        # left-to-right addition sequence as the dict kernel, so the
+        # per-bucket sums are bit-identical doubles.
+        sums = _np.bincount(idx, weights=v, minlength=n_buckets)
+        counts = _np.bincount(idx, minlength=n_buckets)
+    else:
+        sums = _np.zeros(n_buckets)
+        counts = _np.zeros(n_buckets, dtype=_np.int64)
+    series: List[Tuple[float, Optional[float]]] = []
+    for i in range(n_buckets):
+        c = int(counts[i])
+        if c:
+            series.append((i * window_us, float(sums[i]) / c))
+        else:
+            series.append((i * window_us, None))
+    return series
+
+
+def bucket_mean_series(
+    samples: Sequence[Tuple[float, float]], window_us: float, end_us: float
+) -> List[Tuple[float, Optional[float]]]:
+    """Average (t_us, value) samples into fixed windows (None when empty)."""
+    if window_us <= 0:
+        raise ConfigurationError("window must be positive")
+    if _np is not None and len(samples) >= 64:
+        return _bucket_mean_numpy(samples, window_us, end_us)
+    return _bucket_mean_python(samples, window_us, end_us)
 
 
 class PeriodicSampler:

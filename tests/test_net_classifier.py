@@ -124,3 +124,36 @@ class TestKeyShardRouter:
 
         with pytest.raises(ConfigurationError):
             key_shard("key", 0)
+
+    def test_none_placeholder_marks_unowned_shards(self):
+        """A sub-rack of a larger sharded rack lists ``None`` for shards
+        its hosts do not own; traffic for those shards is a config bug."""
+        from repro.errors import ConfigurationError
+        from repro.net import KeyShardRouter, key_shard
+
+        sim = Simulator()
+        # a 4-shard space where only shard 2's host survives
+        owners = [None, None, "kvs2", None]
+        router = KeyShardRouter(owners)
+        assert router.n_shards == 4
+        assert router.per_host == {"kvs2": 0}
+        owned = next(
+            f"key:{i:08d}" for i in range(256)
+            if key_shard(f"key:{i:08d}", 4) == 2
+        )
+        assert router.route(self._packet(sim, owned)) == "kvs2"
+        orphan = next(
+            f"key:{i:08d}" for i in range(256)
+            if key_shard(f"key:{i:08d}", 4) != 2
+        )
+        with pytest.raises(ConfigurationError):
+            router.route(self._packet(sim, orphan))
+        with pytest.raises(ConfigurationError):
+            router.host_for_key(orphan)
+
+    def test_all_none_owner_list_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.net import KeyShardRouter
+
+        with pytest.raises(ConfigurationError):
+            KeyShardRouter([None, None])

@@ -55,3 +55,17 @@ def test_parallel_sweep_matches_serial_golden(fixture, name, params):
 
     rendered = run_sweep(build_sweep_spec(name, **params), workers=2).render()
     assert rendered == (GOLDEN_DIR / fixture).read_text()
+
+
+def test_replicated_base_run_matches_serial_golden():
+    """run_replicated's seed-0 run is the unreplicated sweep: even through
+    the packed cross-process transport (K=2, workers=2), the base run must
+    render byte-identically to the committed serial golden."""
+    from repro.scenarios import build_sweep_spec, run_replicated
+
+    spec = build_sweep_spec(
+        "sweep-rack-kvs", **golden_params.SWEEP_KVS_PARAMS
+    )
+    replicated = run_replicated(spec, seeds=2, workers=2)
+    want = (GOLDEN_DIR / "sweep_rack_kvs.txt").read_text()
+    assert replicated.base_run.render() == want

@@ -350,3 +350,79 @@ def test_calendar_scheduler_batched_ticks():
     sim.call_every_batched(10.0, lambda: fired.append(sim.now), batch=4)
     sim.run_until(100.0)
     assert fired == [10.0 * i for i in range(1, 11)]
+
+
+# -- event pooling (reschedule) ----------------------------------------------
+
+
+def test_reschedule_reuses_the_same_event_object():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(sim.now))
+    sim.run_until(1.0)
+    again = sim.reschedule(ev, 2.0)
+    assert again is ev
+    assert ev.time == 3.0
+    sim.run_until(5.0)
+    assert fired == [1.0, 3.0]
+    assert sim.events_reused == 1
+
+
+def test_reschedule_orders_like_a_fresh_schedule():
+    """A reused event takes a fresh seq, so same-time FIFO order is the
+    schedule-call order, exactly as if a new Event had been allocated."""
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append("pooled"))
+    sim.run_until(1.0)
+    sim.reschedule(ev, 1.0)  # fires at t=2.0 ...
+    sim.schedule(1.0, lambda: fired.append("fresh"))  # ... ties at t=2.0
+    sim.run_until(2.0)
+    assert fired == ["pooled", "pooled", "fresh"]
+
+
+def test_reschedule_rejects_pending_and_cancelled_events():
+    sim = Simulator()
+    pending = sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.reschedule(pending, 1.0)  # still queued: would duplicate it
+    pending.cancel()
+    sim.run_until(1.0)
+    with pytest.raises(SimulationError):
+        sim.reschedule(pending, 1.0)  # cancelled: never executed
+    fired = sim.schedule(1.5, lambda: None)
+    sim.run_until(2.0)
+    with pytest.raises(SimulationError):
+        sim.reschedule(fired, -0.5)
+
+
+def test_call_every_reuses_one_event_per_loop():
+    sim = Simulator()
+    ticks = []
+    handle = sim.call_every(1.0, lambda: ticks.append(sim.now))
+    first_event = handle.event
+    sim.run_until(10.0)
+    assert ticks == [float(i) for i in range(1, 11)]
+    assert handle.event is first_event
+    # every firing re-arms the same object (incl. the last, which
+    # leaves it queued for t=11): 10 firings, 1 allocation
+    assert sim.events_reused == 10
+
+
+def test_call_every_cancel_still_works_with_pooling():
+    sim = Simulator()
+    ticks = []
+    handle = sim.call_every(1.0, lambda: ticks.append(sim.now))
+    sim.run_until(3.0)
+    handle.cancel()
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+
+
+def test_call_every_pooling_under_calendar_scheduler():
+    sim = Simulator(scheduler="calendar")
+    ticks = []
+    sim.call_every(2.0, lambda: ticks.append(sim.now))
+    sim.run_until(10.0)
+    assert ticks == [2.0, 4.0, 6.0, 8.0, 10.0]
+    assert sim.events_reused == 5

@@ -152,3 +152,121 @@ class TestPeriodicSampler:
     def test_bad_interval_rejected(self):
         with pytest.raises(ConfigurationError):
             PeriodicSampler(Simulator(), lambda: 1.0, 0.0)
+
+
+class TestIncrementalSortedCache:
+    """sorted_samples() merges the sorted prefix with the new tail instead
+    of re-sorting from scratch — and must stay coherent through every mix
+    of record()/extend()/reset()."""
+
+    def test_cache_coherent_across_record_extend_mix(self):
+        import random
+
+        rng = random.Random(11)
+        rec = LatencyRecorder()
+        shadow = []
+        for round_ in range(8):
+            batch = [rng.uniform(0.0, 1000.0) for _ in range(round_ * 3 + 1)]
+            if round_ % 2:
+                rec.extend(batch)
+            else:
+                for v in batch:
+                    rec.record(v)
+            shadow.extend(batch)
+            # query mid-stream so the cache is built, then appended past
+            assert rec.sorted_samples() == sorted(shadow)
+        assert rec.median() == percentile(sorted(shadow), 50, presorted=True)
+
+    def test_repeated_queries_without_new_samples(self):
+        rec = LatencyRecorder()
+        rec.extend([3.0, 1.0, 2.0])
+        first = rec.sorted_samples()
+        assert rec.sorted_samples() == first == [1.0, 2.0, 3.0]
+
+    def test_reset_clears_the_cache(self):
+        rec = LatencyRecorder()
+        rec.extend([5.0, 4.0])
+        assert rec.sorted_samples() == [4.0, 5.0]
+        rec.reset()
+        rec.extend([2.0, 1.0])
+        assert rec.sorted_samples() == [1.0, 2.0]
+
+    def test_extend_is_all_or_nothing(self):
+        rec = LatencyRecorder()
+        rec.extend([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            rec.extend([3.0, -0.5, 4.0])
+        # the valid prefix of the rejected batch must not have landed
+        assert rec.samples == [1.0, 2.0]
+        assert rec.sorted_samples() == [1.0, 2.0]
+
+
+class TestVectorizedKernelsAgree:
+    """Property test: the numpy kernels and the pure-python fallbacks are
+    the same function.  The dispatch thresholds (32/64 samples) mean both
+    paths run in production, so they must agree — to 1e-12 where float
+    association could differ, exactly where it cannot."""
+
+    def _skip_without_numpy(self):
+        from repro.sim import recorder
+
+        if recorder._np is None:
+            pytest.skip("numpy unavailable (or REPRO_PURE_PYTHON=1)")
+        return recorder
+
+    def test_percentile_kernels_pick_identical_elements(self):
+        import random
+
+        recorder = self._skip_without_numpy()
+        rng = random.Random(7)
+        values = [rng.expovariate(1 / 50.0) for _ in range(501)]
+        pcts = [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0]
+        py = recorder._percentiles_python(values, pcts)
+        np_ = recorder._percentiles_numpy(values, pcts)
+        # nearest-rank selection returns an *element*, so identity is exact
+        assert py == np_
+
+    def test_bucket_rate_kernels_identical(self):
+        import random
+
+        recorder = self._skip_without_numpy()
+        rng = random.Random(13)
+        times = sorted(rng.uniform(0.0, 5e6) for _ in range(2000))
+        py = recorder._bucket_rate_python(times, 1e5, 5e6)
+        np_ = recorder._bucket_rate_numpy(times, 1e5, 5e6)
+        assert py == np_  # integer counts scaled identically: exact
+
+    def test_bucket_mean_kernels_agree_to_1e_12(self):
+        import random
+
+        recorder = self._skip_without_numpy()
+        rng = random.Random(29)
+        samples = [
+            (rng.uniform(0.0, 2e6), rng.gauss(100.0, 37.0))
+            for _ in range(1500)
+        ]
+        samples.sort()
+        py = recorder._bucket_mean_python(samples, 5e4, 2e6)
+        np_ = recorder._bucket_mean_numpy(samples, 5e4, 2e6)
+        assert len(py) == len(np_)
+        for (t_a, v_a), (t_b, v_b) in zip(py, np_):
+            assert t_a == t_b
+            if v_a is None or v_b is None:
+                assert v_a is None and v_b is None
+            else:
+                assert v_b == pytest.approx(v_a, abs=1e-12, rel=1e-12)
+
+    def test_public_apis_agree_across_dispatch_threshold(self):
+        """percentiles()/bucket_rate_series() answers must not change when
+        input size crosses the numpy dispatch thresholds (32/64)."""
+        from repro.sim import recorder
+        from repro.sim.recorder import bucket_rate_series
+
+        values = [float((i * 37) % 101) for i in range(40)]  # >= 32: numpy
+        assert percentiles(values, [50.0, 99.0]) == (
+            recorder._percentiles_python(values, [50.0, 99.0])
+        )
+        times = sorted(float(i * 997 % 100_000) for i in range(80))  # >= 64
+        assert bucket_rate_series(times, 1e4, 1e5) == (
+            recorder._bucket_rate_python(times, 1e4, 1e5)
+        )
