@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke hetero-smoke bench-perf bench-replication bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke fabric-smoke bench-perf bench-replication bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,14 @@ sweep-smoke:
 # land in benchmarks/results/ (CI artifacts).
 hetero-smoke:
 	$(PYTHON) -m pytest -q benchmarks/bench_rack_hetero.py
+
+# The multi-rack leaf-spine fabric: asserts the centralized controller's
+# same-rack steer lands before the cross-rack one, that oversubscribed
+# uplinks raise the cross-rack client p99, and that per-placement power
+# attribution sums to the scenario totals within 1e-6.  Tables land in
+# benchmarks/results/ (CI artifacts).
+fabric-smoke:
+	$(PYTHON) -m pytest -q benchmarks/bench_fabric_scale.py
 
 # The perf trajectory: DES events/sec + wall seconds per scenario, the
 # serial-vs-parallel sweep wall time, and the K=4 replicated-sweep leg

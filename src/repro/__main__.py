@@ -113,6 +113,13 @@ def _render_catalogue() -> str:
         lines.extend(
             f"  {name:<{width}}  {sweeps[name]}" for name in sorted(sweeps)
         )
+    fabrics = _fabric_topologies()
+    if fabrics:
+        lines.append("fabric topologies (multi-rack scenarios):")
+        width = max(len(name) for name in fabrics)
+        lines.extend(
+            f"  {name:<{width}}  {fabrics[name]}" for name in sorted(fabrics)
+        )
     lines.append("offload devices (DeviceSpec kinds):")
     devices = device_descriptions()
     width = max(len(name) for name in devices)
@@ -120,6 +127,32 @@ def _render_catalogue() -> str:
         f"  {name:<{width}}  {devices[name]}" for name in sorted(devices)
     )
     return "\n".join(lines)
+
+
+def _fabric_topologies() -> dict:
+    """name -> one-line leaf-spine shape summary for every catalogue
+    scenario declaring a :class:`FabricSpec` (spec factories are cheap;
+    nothing is simulated here)."""
+    from .scenarios import build_spec
+
+    rows = {}
+    for name in scenario_names():
+        spec = build_spec(name)
+        fabric = spec.fabric
+        if fabric is None:
+            continue
+        n_hosts = (
+            len(spec.kvs_hosts)
+            + len(spec.dns_hosts)
+            + sum(len(set(px.acceptor_hosts or ())) for px in spec.paxos_groups)
+        )
+        uplink = fabric.uplink
+        rows[name] = (
+            f"{fabric.racks} racks x 1 ToR + spine {fabric.spine.name!r}, "
+            f"{n_hosts} server host(s), uplinks {uplink.bandwidth_gbps:g} Gb/s "
+            f"/ {uplink.oversubscription:g}:1 oversubscribed"
+        )
+    return rows
 
 
 def _resolve_case_insensitive(name: str) -> str:

@@ -22,6 +22,13 @@ from .controller import (
     ServiceShiftController,
     ShiftController,
 )
+from .fabric_controller import (
+    FABRIC_CONTROLLER_KINDS,
+    FabricController,
+    FabricControllerConfig,
+    HostPlacement,
+    SteerEvent,
+)
 from .hysteresis import HysteresisSwitch, Thresholds
 from .network_controller import NetworkController, NetworkControllerConfig
 from .host_controller import HostController, HostControllerConfig
@@ -34,7 +41,12 @@ from .shift_strategy import ShiftStrategy, ShiftStrategyModel
 
 __all__ = [
     "CONTROLLER_KINDS",
+    "FABRIC_CONTROLLER_KINDS",
     "PAXOS_CONTROLLER_KINDS",
+    "FabricController",
+    "FabricControllerConfig",
+    "HostPlacement",
+    "SteerEvent",
     "ServiceShiftController",
     "ShiftController",
     "SlidingWindowRate",

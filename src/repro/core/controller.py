@@ -38,6 +38,12 @@ CONTROLLER_KINDS = ("host", "network", "predictive", "none")
 #: shifts autonomously (§9.2's centralized controller proper).
 PAXOS_CONTROLLER_KINDS = ("schedule", "rate")
 
+#: A third registry lives beside these two: scenario-level (not per-host)
+#: controller families for multi-rack fabrics —
+#: :data:`repro.core.fabric_controller.FABRIC_CONTROLLER_KINDS` names the
+#: §9.1 centralized orchestrator (``kind="fabric"``), which reads every
+#: ToR's counters via the spine and shifts/steers workloads fleet-wide.
+
 
 class ShiftController(ABC):
     """Common surface of every on-demand shift controller.

@@ -10,6 +10,14 @@ application-specific transition hooks (e.g. ``LakeKvs.enable`` /
 ``LakeKvs.disable``, or a Paxos leader shift).  Controllers call
 ``shift_to_hardware()`` / ``shift_to_software()``; the service records
 every transition for the Figure 6/7 timelines.
+
+Devices with a non-zero ``warmup_us`` (SmartNIC tiers: FPGA
+reconfiguration, ASIC table loads, SoC boot) don't serve the instant the
+controller decides: the card powers up immediately (and draws power), but
+the classifier keeps steering traffic to the host until the warm-up
+elapses — software keeps serving during warm-up, exactly the §9
+transition discipline.  The NetFPGA profile's warm-up is 0 (LaKe's cache
+warm-up is emergent), so the paper-figure timelines are unchanged.
 """
 
 from __future__ import annotations
@@ -18,7 +26,7 @@ import enum
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-from ..errors import PlacementError
+from ..errors import ConfigurationError, PlacementError
 from ..net.classifier import PacketClassifier
 from ..net.packet import TrafficClass
 from ..sim import Simulator
@@ -27,6 +35,11 @@ from ..sim import Simulator
 class Placement(enum.Enum):
     SOFTWARE = "software"
     HARDWARE = "hardware"
+    #: the card is powering up: it draws power but the classifier still
+    #: steers traffic to the host.  Transient — resolves to HARDWARE when
+    #: the warm-up timer fires, or back to SOFTWARE if the controller
+    #: cancels the shift first.
+    WARMING = "warming"
 
 
 @dataclass(frozen=True)
@@ -50,7 +63,10 @@ class OnDemandService:
         to_hardware: Optional[Callable[[], None]] = None,
         to_software: Optional[Callable[[], None]] = None,
         initial: Placement = Placement.SOFTWARE,
+        warmup_us: float = 0.0,
     ):
+        if warmup_us < 0:
+            raise ConfigurationError(f"warmup_us must be >= 0, got {warmup_us}")
         self.sim = sim
         self.name = name
         self.classifier = classifier
@@ -58,43 +74,82 @@ class OnDemandService:
         self._to_hardware = to_hardware
         self._to_software = to_software
         self.placement = initial
+        self.warmup_us = warmup_us
+        self._warmup_event = None
         self.shifts: List[Shift] = []
 
     # -- transitions ------------------------------------------------------
 
-    def shift_to_hardware(self, reason: str = "") -> bool:
-        """Shift processing into the network; False if already there."""
-        if self.placement is Placement.HARDWARE:
+    def shift_to_hardware(self, reason: str = "", immediate: bool = False) -> bool:
+        """Shift processing into the network; False if already there.
+
+        With a non-zero ``warmup_us`` the card is brought up now (the
+        application hook runs, power draw starts) but traffic keeps going
+        to the host until the warm-up elapses; the shift is recorded at
+        *activation* time, when the classifier actually flips.  Pass
+        ``immediate=True`` to skip the warm-up — used for declared initial
+        placements (``start_in_hardware``), which describe a card that was
+        warm before the experiment window opened.
+        """
+        if self.placement is not Placement.SOFTWARE:
+            # HARDWARE: nothing to do.  WARMING: the card is already on
+            # its way up; the pending activation stands.
             return False
         if self._to_hardware is not None:
             self._to_hardware()
-        if self.classifier is not None:
-            if self.traffic_class is None:
-                raise PlacementError(f"{self.name}: classifier without traffic class")
-            self.classifier.set_offload(self.traffic_class, True)
+        if self.warmup_us > 0.0 and not immediate:
+            self.placement = Placement.WARMING
+            self._warmup_event = self.sim.schedule(
+                self.warmup_us,
+                lambda: self._activate_hardware(reason),
+                name=f"{self.name}.warmup",
+            )
+            return True
+        self._flip_offload(True)
         self.placement = Placement.HARDWARE
         self.shifts.append(Shift(self.sim.now, Placement.HARDWARE, reason))
         return True
 
+    def _activate_hardware(self, reason: str) -> None:
+        self._warmup_event = None
+        self._flip_offload(True)
+        self.placement = Placement.HARDWARE
+        self.shifts.append(Shift(self.sim.now, Placement.HARDWARE, reason))
+
     def shift_to_software(self, reason: str = "") -> bool:
-        """Shift processing back to the host; False if already there."""
+        """Shift processing back to the host; False if already there.
+
+        Called during warm-up it cancels the pending activation (the
+        classifier never flipped, so the host never stopped serving) and
+        powers the card back down.
+        """
         if self.placement is Placement.SOFTWARE:
             return False
-        if self.classifier is not None:
-            if self.traffic_class is None:
-                raise PlacementError(f"{self.name}: classifier without traffic class")
-            self.classifier.set_offload(self.traffic_class, False)
+        if self.placement is Placement.WARMING and self._warmup_event is not None:
+            self._warmup_event.cancel()
+            self._warmup_event = None
+        self._flip_offload(False)
         if self._to_software is not None:
             self._to_software()
         self.placement = Placement.SOFTWARE
         self.shifts.append(Shift(self.sim.now, Placement.SOFTWARE, reason))
         return True
 
+    def _flip_offload(self, enabled: bool) -> None:
+        if self.classifier is not None:
+            if self.traffic_class is None:
+                raise PlacementError(f"{self.name}: classifier without traffic class")
+            self.classifier.set_offload(self.traffic_class, enabled)
+
     # -- introspection ------------------------------------------------------
 
     @property
     def in_hardware(self) -> bool:
         return self.placement is Placement.HARDWARE
+
+    @property
+    def warming(self) -> bool:
+        return self.placement is Placement.WARMING
 
     def shift_times_us(self) -> List[float]:
         """The red dashed lines of Figures 6 and 7."""

@@ -5,12 +5,45 @@ names the same way: an exact case-insensitive spelling hits directly, and
 anything else gets a fuzzy did-you-mean suggestion.  One implementation
 lives here so the cutoff and matching behaviour cannot drift between
 registries.
+
+Rack-qualified node names also live here: a multi-rack fabric reuses host
+names across racks (every rack has an ``h0``), so builder-facing names are
+namespaced ``<rack>/<name>``.  Routing every builder node name through
+:func:`rack_qualified` is what lets two racks reuse ``h0`` without
+``Topology.add`` raising ``duplicate node name`` — and because
+``RngStreams`` keys streams by these fully-qualified names, per-rack
+latency/arrival streams stay independent for free.
 """
 
 from __future__ import annotations
 
 import difflib
-from typing import List, Optional
+from typing import List, Optional, Tuple
+
+#: Separator between a rack name and a node name in fully-qualified names.
+RACK_SEPARATOR = "/"
+
+
+def rack_qualified(rack: Optional[str], name: str) -> str:
+    """``<rack>/<name>``, or ``name`` unchanged when ``rack`` is None.
+
+    The None passthrough is what keeps the single-ToR scenario path
+    byte-identical: without a fabric no name (and therefore no RNG stream
+    key) changes spelling.  Already-qualified names pass through untouched
+    so explicit placements like ``rack1/acc0`` are stable under
+    re-qualification.
+    """
+    if rack is None or RACK_SEPARATOR in name:
+        return name
+    return f"{rack}{RACK_SEPARATOR}{name}"
+
+
+def split_rack(name: str) -> Tuple[Optional[str], str]:
+    """Invert :func:`rack_qualified`: ``(rack | None, bare_name)``."""
+    rack, sep, bare = name.partition(RACK_SEPARATOR)
+    if not sep:
+        return None, name
+    return rack, bare
 
 
 def closest_name(name: str, candidates: List[str]) -> Optional[str]:

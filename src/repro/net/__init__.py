@@ -11,10 +11,18 @@ from .packet import Packet, TrafficClass
 from .link import Link, LinkFaults
 from .node import Node
 from .switch import ForwardingRule, Switch
-from .classifier import PacketClassifier, ClassifierRule, KeyShardRouter, key_shard
-from .topology import Topology, star_topology
+from .classifier import (
+    PacketClassifier,
+    ClassifierRule,
+    KeyShardRouter,
+    RouterFleet,
+    key_shard,
+)
+from .topology import Fabric, Topology, build_fabric, star_topology
 
 __all__ = [
+    "Fabric",
+    "build_fabric",
     "Packet",
     "TrafficClass",
     "Link",
@@ -25,6 +33,7 @@ __all__ = [
     "PacketClassifier",
     "ClassifierRule",
     "KeyShardRouter",
+    "RouterFleet",
     "key_shard",
     "Topology",
     "star_topology",

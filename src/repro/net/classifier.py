@@ -179,3 +179,94 @@ class KeyShardRouter:
             self._host_cache[key] = host
         self.per_host[host] += 1
         return host
+
+    def reassign(self, shard_index: int, host: Optional[str]) -> Optional[str]:
+        """Move a shard to a different owning host (fabric steering).
+
+        Returns the previous owner.  Invalidates the key->host memo (the
+        ownership mapping is no longer fixed) and registers the new host
+        in the per-host counters.  In a multi-switch fabric the same
+        reassignment must be applied to every switch's router instance so
+        all hops keep agreeing — see
+        :meth:`repro.net.topology.Fabric.install_dispatch`.
+        """
+        if not 0 <= shard_index < self.n_shards:
+            raise ConfigurationError(
+                f"shard_index {shard_index} out of range [0, {self.n_shards})"
+            )
+        previous = self.hosts[shard_index]
+        self.hosts[shard_index] = host
+        if host is not None and host not in self.per_host:
+            self.per_host[host] = 0
+        self._host_cache.clear()
+        return previous
+
+
+class RouterFleet:
+    """One logical service's routers across every switch of a fabric.
+
+    In a leaf-spine fabric each switch re-resolves a dispatched logical
+    destination independently, so each ToR and the spine owns its own
+    :class:`KeyShardRouter` instance (sharing the initial owner list).
+    The fleet keeps them in lock-step — :meth:`reassign` applies a shard
+    move to every instance — and exposes aggregated telemetry using the
+    transit identity (a cross-rack packet is dispatched at its ingress
+    ToR, the spine, and its egress ToR; a same-rack packet only at its
+    ToR): ``sum(ToR routers) - spine router`` counts each request once.
+    """
+
+    def __init__(
+        self,
+        tor_routers: Dict[str, "KeyShardRouter"],
+        spine_router: Optional["KeyShardRouter"] = None,
+    ):
+        if not tor_routers:
+            raise ConfigurationError("a router fleet needs at least one ToR router")
+        self._tor_routers = dict(tor_routers)
+        self._spine_router = spine_router
+        self._primary = next(iter(self._tor_routers.values()))
+
+    @property
+    def routers(self) -> List["KeyShardRouter"]:
+        routers = list(self._tor_routers.values())
+        if self._spine_router is not None:
+            routers.append(self._spine_router)
+        return routers
+
+    @property
+    def owners(self) -> List[Optional[str]]:
+        """shard index -> owning host (all instances agree)."""
+        return list(self._primary.hosts)
+
+    @property
+    def n_shards(self) -> int:
+        return self._primary.n_shards
+
+    def shards_of(self, host: str) -> List[int]:
+        return [i for i, h in enumerate(self._primary.hosts) if h == host]
+
+    @property
+    def per_host(self) -> Dict[str, int]:
+        """Requests served per host (each offered request counted once)."""
+        totals: Dict[str, int] = {}
+        for router in self._tor_routers.values():
+            for host, count in router.per_host.items():
+                totals[host] = totals.get(host, 0) + count
+        if self._spine_router is not None:
+            for host, count in self._spine_router.per_host.items():
+                totals[host] = totals.get(host, 0) - count
+        return totals
+
+    @property
+    def crossrack_per_host(self) -> Dict[str, int]:
+        """Requests that crossed racks, per serving host (spine view)."""
+        if self._spine_router is None:
+            return {}
+        return dict(self._spine_router.per_host)
+
+    def reassign(self, shard_index: int, host: Optional[str]) -> Optional[str]:
+        """Move a shard on every switch's router; returns the old owner."""
+        previous = None
+        for router in self.routers:
+            previous = router.reassign(shard_index, host)
+        return previous

@@ -55,6 +55,7 @@ class Link:
         faults: Optional[LinkFaults] = None,
         rng: Optional[random.Random] = None,
         name: str = "",
+        queueing: bool = False,
     ):
         if latency_us < 0:
             raise ConfigurationError("latency_us must be >= 0")
@@ -68,8 +69,24 @@ class Link:
         self.faults.validate()
         if (self.faults.loss or self.faults.duplicate or self.faults.reorder_jitter_us) and rng is None:
             raise ConfigurationError("fault injection requires an rng")
+        if queueing and (
+            self.faults.loss or self.faults.duplicate or self.faults.reorder_jitter_us
+        ):
+            raise ConfigurationError(
+                "queueing and fault injection are mutually exclusive on one link"
+            )
         self._rng = rng
         self.name = name or f"link->{dst.name}"
+        #: FIFO output-queue contention: each packet occupies the wire for
+        #: its serialization time and later packets wait their turn.  This
+        #: is what makes an oversubscribed fabric uplink actually queue
+        #: (raising cross-rack tail latency) rather than just serializing
+        #: each packet independently.  Off by default: in-rack links keep
+        #: the contention-free model the paper figures were calibrated on.
+        self.queueing = queueing
+        self._busy_until_us = 0.0
+        self.queued_us = 0.0
+        self.max_queue_us = 0.0
         self.delivered = 0
         self.lost = 0
         self.duplicated = 0
@@ -90,6 +107,9 @@ class Link:
                 self.duplicated += 1
                 self._deliver(packet.copy())
             return
+        if self.queueing:
+            self._send_queued(packet)
+            return
         # fault-free hot path: _deliver flattened in (the delay expression
         # must stay operation-for-operation identical to serialization_us
         # so event times are bit-identical across code paths)
@@ -99,6 +119,26 @@ class Link:
             self.latency_us + packet.size_bytes * 8 / self.bandwidth_bps * 1e6,
             self.dst.receive,
             packet,
+        )
+
+    def _send_queued(self, packet: Packet) -> None:
+        # FIFO output queue: the wire is busy until the previous packet's
+        # serialization finishes; propagation overlaps (pipelining).
+        now = self.sim.now
+        start = self._busy_until_us
+        if start < now:
+            start = now
+        wait = start - now
+        serialization = packet.size_bytes * 8 / self.bandwidth_bps * 1e6
+        self._busy_until_us = start + serialization
+        if wait > 0.0:
+            self.queued_us += wait
+            if wait > self.max_queue_us:
+                self.max_queue_us = wait
+        packet.hops += 1
+        self.delivered += 1
+        self.sim.schedule_call(
+            wait + serialization + self.latency_us, self.dst.receive, packet
         )
 
     def _deliver(self, packet: Packet) -> None:

@@ -43,9 +43,16 @@ class Switch(Node):
         self._dispatchers: Dict[
             Tuple[TrafficClass, str], Callable[[Packet], str]
         ] = {}
+        #: destination name -> port name to reach it (multi-switch fabrics:
+        #: the spine routes each host via its rack's ToR).
+        self._routes: Dict[str, str] = {}
+        #: port used for any destination with no direct port and no route
+        #: (a ToR's uplink toward the spine).  None on single-switch racks.
+        self._default_route: Optional[str] = None
         self.forwarded = 0
         self.redirected = 0
         self.dispatched = 0
+        self.routed = 0
         self.dropped_no_route = 0
         #: per-traffic-class packet counters (controllers read these).
         self.class_counters: Dict[TrafficClass, int] = {tc: 0 for tc in TrafficClass}
@@ -66,12 +73,46 @@ class Switch(Node):
     def ports(self) -> Dict[str, Link]:
         return dict(self._ports)
 
+    def add_route(self, dst_name: str, via: str) -> None:
+        """Route packets for ``dst_name`` out the port toward ``via``.
+
+        This is the fabric's static routing table: the spine knows each
+        host is reachable via its rack's ToR without holding a direct
+        port to the host.
+        """
+        if via not in self._ports:
+            raise ConfigurationError(
+                f"route via {via!r} is not a connected port of {self.name!r}"
+            )
+        self._routes[dst_name] = via
+
+    def set_default_route(self, via: str) -> None:
+        """Send anything without a port or route out ``via`` (ToR uplink)."""
+        if via not in self._ports:
+            raise ConfigurationError(
+                f"default route via {via!r} is not a connected port of "
+                f"{self.name!r}"
+            )
+        self._default_route = via
+
+    def route_for(self, dst_name: str) -> Optional[str]:
+        """The port a packet for ``dst_name`` would leave on, or None."""
+        if dst_name in self._ports:
+            return dst_name
+        return self._routes.get(dst_name, self._default_route)
+
     # -- control plane -----------------------------------------------------
 
     def install_rule(self, rule: ForwardingRule) -> None:
         """Install (or replace) a redirect rule.  This is the operation the
-        Paxos on-demand controller performs to shift the leader (§9.2)."""
-        if rule.next_hop not in self._ports:
+        Paxos on-demand controller performs to shift the leader (§9.2).
+
+        The next hop must be *routable* — a direct port, a routing-table
+        entry, or (fabric ToRs) a default uplink — not necessarily a local
+        port: a centralized controller installs the same leader rule on
+        every switch in the fabric, and remote ToRs forward via the spine.
+        """
+        if self.route_for(rule.next_hop) is None:
             raise ConfigurationError(
                 f"rule next_hop {rule.next_hop!r} is not a connected port"
             )
@@ -133,7 +174,15 @@ class Switch(Node):
                 self.dispatched += 1
         link = self._ports.get(target)
         if link is None:
-            self.dropped_no_route += 1
-            return
+            # multi-switch fabrics: static route (spine -> owning ToR) or
+            # default route (ToR -> spine uplink); single-switch racks have
+            # neither, so this stays a drop there.
+            via = self._routes.get(target, self._default_route)
+            if via is not None:
+                link = self._ports.get(via)
+            if link is None:
+                self.dropped_no_route += 1
+                return
+            self.routed += 1
         self.forwarded += 1
         link.send(packet)

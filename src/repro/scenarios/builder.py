@@ -30,6 +30,12 @@ from ..apps.paxos.deployment import (
 )
 from ..apps.paxos.roles import AcceptorState, LeaderState, LearnerState
 from ..core.controller import ShiftController
+from ..core.fabric_controller import (
+    FabricController,
+    FabricControllerConfig,
+    HostPlacement,
+    SteerEvent,
+)
 from ..core.host_controller import HostController, HostControllerConfig
 from ..core.network_controller import (
     DEFAULT_CONFIGS as NETCTL_DEFAULT_CONFIGS,
@@ -44,11 +50,17 @@ from ..core.predictive_controller import (
 from ..errors import ConfigurationError
 from ..host import make_i7_server
 from ..hw.device import DEFAULT_DEVICE_KIND, OffloadDevice, get_device
-from ..net.classifier import ClassifierRule, KeyShardRouter, PacketClassifier
+from ..naming import rack_qualified, split_rack
+from ..net.classifier import (
+    ClassifierRule,
+    KeyShardRouter,
+    PacketClassifier,
+    RouterFleet,
+)
 from ..net.node import CallbackNode
 from ..net.packet import TrafficClass
 from ..net.switch import Switch
-from ..net.topology import Topology
+from ..net.topology import Fabric, Topology, build_fabric
 from ..sim import (
     PeriodicSampler,
     RngStreams,
@@ -173,6 +185,28 @@ class ScenarioResult:
     #: so the two must agree (the attribution invariant the §9.4 sweep
     #: benchmark asserts).
     total_wall_power_w: float = 0.0
+    #: fabric telemetry (empty/zero on single-ToR scenarios, so every
+    #: pre-fabric result — and its rendering — is unchanged)
+    fabric_racks: Tuple[str, ...] = ()
+    #: packets for the KVS service seen at each rack's ToR (raw per-ToR
+    #: telemetry: a rack counts its own clients' offered load plus
+    #: cross-rack arrivals handed down from the spine)
+    rack_kvs_packets: Dict[str, int] = field(default_factory=dict)
+    #: KVS packets that transited the spine — the cross-rack subset
+    spine_crossrack_packets: int = 0
+    #: per-host served requests that crossed racks (spine router view)
+    crossrack_routed_per_host: Dict[str, int] = field(default_factory=dict)
+    #: shard moves issued by the centralized fabric controller
+    fabric_steers: List[SteerEvent] = field(default_factory=list)
+    #: total / worst FIFO queueing delay accumulated on the uplinks
+    uplink_queued_us: float = 0.0
+    uplink_max_queue_us: float = 0.0
+
+    def cross_rack_steers(self) -> List[SteerEvent]:
+        return [s for s in self.fabric_steers if s.cross_rack]
+
+    def same_rack_steers(self) -> List[SteerEvent]:
+        return [s for s in self.fabric_steers if not s.cross_rack]
 
     @property
     def paxos(self) -> Optional[PaxosResult]:
@@ -230,6 +264,27 @@ class ScenarioResult:
 
     def render(self) -> str:
         lines = [f"Scenario: {self.name} ({self.duration_us / 1e6:.1f}s simulated)"]
+        if self.fabric_racks:
+            lines.append(
+                f"fabric: {len(self.fabric_racks)} rack(s) "
+                f"[{', '.join(self.fabric_racks)}], "
+                f"{self.spine_crossrack_packets} cross-rack packet(s), "
+                f"uplink queueing {self.uplink_queued_us / 1e3:.1f} ms total "
+                f"(max {self.uplink_max_queue_us:.1f} us)"
+            )
+            if any(self.rack_kvs_packets.values()):
+                per_rack = ", ".join(
+                    f"{rack}={count}"
+                    for rack, count in self.rack_kvs_packets.items()
+                )
+                lines.append(f"per-rack ToR KVS packets: {per_rack}")
+            for steer in self.fabric_steers:
+                kind = "cross-rack" if steer.cross_rack else "same-rack"
+                lines.append(
+                    f"fabricctl steer @{steer.time_us / 1e6:.2f}s: "
+                    f"shard {steer.shard} {steer.from_host} -> {steer.to_host} "
+                    f"({kind})"
+                )
         if self.hosts:
             lines.append(
                 f"rack: {len(self.hosts)} KVS host(s), "
@@ -385,16 +440,23 @@ class ScenarioRun:
         paxos_groups: List[BuiltPaxosGroup],
         dns_hosts: Optional[List[BuiltDnsHost]] = None,
         dns_router: Optional[KeyShardRouter] = None,
+        fabric: Optional[Fabric] = None,
+        fabric_controller: Optional[FabricController] = None,
     ):
         self.spec = spec
         self.sim = sim
         self.topology = topology
+        #: the rack ToR on single-switch scenarios, the spine on fabrics
         self.switch = switch
         self.kvs_hosts = kvs_hosts
+        #: the ToR's :class:`KeyShardRouter` on single-switch scenarios, or
+        #: the fabric-wide :class:`RouterFleet` (same ``per_host`` surface)
         self.router = router
         self.paxos_groups = paxos_groups
         self.dns_hosts = dns_hosts or []
         self.dns_router = dns_router
+        self.fabric = fabric
+        self.fabric_controller = fabric_controller
         self._executed = False
 
     # -- execution -----------------------------------------------------------
@@ -412,6 +474,8 @@ class ScenarioRun:
         for group in self.paxos_groups:
             group.controller.stop()
             group.gap_scanner.stop()
+        if self.fabric_controller is not None:
+            self.fabric_controller.stop()
         return self._collect(duration_us)
 
     # -- series collection ---------------------------------------------------
@@ -448,6 +512,30 @@ class ScenarioRun:
             for group in self.paxos_groups
         ]
         power_by_placement, total_wall_power_w = self._attribute_wall_power()
+        fabric_racks: Tuple[str, ...] = ()
+        rack_kvs_packets: Dict[str, int] = {}
+        spine_crossrack = 0
+        crossrack_per_host: Dict[str, int] = {}
+        steers: List[SteerEvent] = []
+        uplink_queued_us = 0.0
+        uplink_max_queue_us = 0.0
+        if self.fabric is not None:
+            fabric_racks = self.fabric.racks
+            rack_kvs_packets = self.fabric.rack_logical_counts(
+                TrafficClass.MEMCACHED, RACK_KVS_SERVICE
+            )
+            # every packet the spine forwards crossed racks, whatever its
+            # class or direction — counts Paxos quorums and responses too,
+            # not just KVS dispatch
+            spine_crossrack = self.fabric.spine.forwarded
+            if isinstance(self.router, RouterFleet):
+                crossrack_per_host = self.router.crossrack_per_host
+            uplink_queued_us = sum(l.queued_us for l in self.fabric.uplinks)
+            uplink_max_queue_us = max(
+                (l.max_queue_us for l in self.fabric.uplinks), default=0.0
+            )
+        if self.fabric_controller is not None:
+            steers = list(self.fabric_controller.steers)
         return ScenarioResult(
             name=self.spec.name,
             duration_us=duration_us,
@@ -462,6 +550,13 @@ class ScenarioRun:
             dns_hosts=dns_results,
             power_by_placement=power_by_placement,
             total_wall_power_w=total_wall_power_w,
+            fabric_racks=fabric_racks,
+            rack_kvs_packets=rack_kvs_packets,
+            spine_crossrack_packets=spine_crossrack,
+            crossrack_routed_per_host=crossrack_per_host,
+            fabric_steers=steers,
+            uplink_queued_us=uplink_queued_us,
+            uplink_max_queue_us=uplink_max_queue_us,
         )
 
     def _attribute_wall_power(self) -> Tuple[Dict[str, float], float]:
@@ -758,16 +853,35 @@ class ScenarioBuilder:
         spec = self.spec
         sim = Simulator()
         streams = RngStreams(spec.seed)
-        switch = Switch(sim, spec.switch.name)
-        topo = Topology(sim)
-        topo.add(switch)
+        if spec.fabric is not None:
+            # -- leaf-spine fabric: a ToR per rack under one spine, with
+            # oversubscribed queueing uplinks; the per-rack ToRs reuse the
+            # single-switch spelling under their rack prefix
+            self._fabric = build_fabric(
+                sim,
+                spec.fabric.rack_names(),
+                spine_name=spec.fabric.spine.name,
+                tor_name=spec.switch.name,
+                host_latency_us=spec.switch.latency_us,
+                host_bandwidth_bps=gbit_per_s(spec.switch.bandwidth_gbps),
+                uplink_latency_us=spec.fabric.uplink.latency_us,
+                uplink_bandwidth_bps=gbit_per_s(spec.fabric.uplink.bandwidth_gbps),
+                oversubscription=spec.fabric.uplink.oversubscription,
+            )
+            topo = self._fabric.topology
+            switch = self._fabric.spine
+        else:
+            self._fabric = None
+            switch = Switch(sim, spec.switch.name)
+            topo = Topology(sim)
+            topo.add(switch)
         #: shared acceptor boxes built so far: name -> (server, fanout)
         self._shared_acceptor_hosts: Dict[str, Tuple[object, _PaxosRoleFanout]] = {}
         #: one wall sampler per physical box, even when groups share it
         self._wall_sampler_cache: Dict[str, PeriodicSampler] = {}
 
         kvs_hosts: List[BuiltKvsHost] = []
-        router: Optional[KeyShardRouter] = None
+        router = None
         if spec.kvs_hosts:
             kvs_hosts, router = self._build_kvs_rack(sim, streams, topo, switch)
 
@@ -777,9 +891,11 @@ class ScenarioBuilder:
         ]
 
         dns_hosts: List[BuiltDnsHost] = []
-        dns_router: Optional[KeyShardRouter] = None
+        dns_router = None
         if spec.dns_hosts:
             dns_hosts, dns_router = self._build_dns_rack(sim, streams, topo, switch)
+
+        fabric_controller = self._build_fabric_controller(sim, kvs_hosts, router)
 
         return ScenarioRun(
             spec,
@@ -791,6 +907,8 @@ class ScenarioBuilder:
             paxos_groups,
             dns_hosts=dns_hosts,
             dns_router=dns_router,
+            fabric=self._fabric,
+            fabric_controller=fabric_controller,
         )
 
     def run(self) -> ScenarioResult:
@@ -799,12 +917,128 @@ class ScenarioBuilder:
 
     # -- shared plumbing -----------------------------------------------------
 
-    def _connect(self, topo: Topology, node_name: str) -> None:
+    def _connect(
+        self, topo: Topology, node_name: str, rack: Optional[str] = None
+    ) -> None:
+        """Attach a node to the scenario's switching layer.
+
+        Single-switch scenarios wire to the one ToR; fabric scenarios wire
+        to the rack's ToR (the rack prefix of an already-qualified name
+        wins, otherwise ``rack``, otherwise the fabric default).
+        """
+        if self._fabric is not None:
+            name_rack = split_rack(node_name)[0]
+            target_rack = (
+                name_rack or rack or self.spec.fabric.default_rack
+            )
+            self._fabric.connect_host(
+                target_rack,
+                topo.node(node_name),
+                latency_us=self.spec.switch.latency_us,
+                bandwidth_bps=gbit_per_s(self.spec.switch.bandwidth_gbps),
+            )
+            return
         topo.connect_via_switch(
             self.spec.switch.name,
             node_name,
             latency_us=self.spec.switch.latency_us,
             bandwidth_bps=gbit_per_s(self.spec.switch.bandwidth_gbps),
+        )
+
+    def _qualified(self, host_spec):
+        """Rack-qualify a host/group spec's names for fabric scenarios.
+
+        Every derived name (clients, paxos roles, RNG stream keys, sampler
+        names) flows from the spec's ``name``, so one ``dataclasses.replace``
+        namespaces the whole host under ``<rack>/`` — racks can reuse host
+        spellings without colliding in the topology or the RNG registry.
+        Single-switch scenarios return the spec untouched (byte-identity).
+        """
+        if self._fabric is None:
+            return host_spec
+        rack = self.spec.host_rack(host_spec)
+        if isinstance(host_spec, PaxosSpec):
+            return dataclasses.replace(
+                host_spec,
+                name=rack_qualified(rack, host_spec.name),
+                acceptor_hosts=tuple(
+                    rack_qualified(rack, acc) for acc in host_spec.acceptor_hosts
+                ),
+            )
+        updates = dict(
+            name=rack_qualified(rack, host_spec.name),
+            client_name=rack_qualified(rack, host_spec.resolved_client_name()),
+        )
+        if getattr(host_spec, "served_by", None) is not None:
+            updates["served_by"] = rack_qualified(rack, host_spec.served_by)
+        return dataclasses.replace(host_spec, **updates)
+
+    def _install_dispatch(
+        self,
+        switch: Switch,
+        traffic_class: TrafficClass,
+        logical_dst: str,
+        router_factory,
+    ):
+        """Install the key-shard dispatcher for a logical service.
+
+        On a single switch: one router, installed once.  On a fabric:
+        one router per switch (per-hop counters stay meaningful), kept in
+        lock-step by the returned :class:`RouterFleet`; the spine's router
+        only sees cross-rack traffic, so the fleet's ``per_host`` uses the
+        ``sum(ToRs) - spine`` transit identity.
+        """
+        if self._fabric is None:
+            router = router_factory()
+            switch.install_dispatch(traffic_class, logical_dst, router.route)
+            return router
+        tor_routers: Dict[str, KeyShardRouter] = {}
+        spine_router: Optional[KeyShardRouter] = None
+        for sw in self._fabric.switches:
+            router = router_factory()
+            sw.install_dispatch(traffic_class, logical_dst, router.route)
+            if sw is self._fabric.spine:
+                spine_router = router
+            else:
+                tor_routers[sw.name] = router
+        return RouterFleet(tor_routers, spine_router)
+
+    def _build_fabric_controller(
+        self, sim: Simulator, kvs_hosts: List[BuiltKvsHost], router
+    ) -> Optional[FabricController]:
+        """Materialize the scenario-level §9.1 centralized controller."""
+        ctl_spec = self.spec.fabric_controller
+        if ctl_spec is None:
+            return None
+        if not kvs_hosts:
+            raise ConfigurationError(
+                f"scenario {self.spec.name!r}: the fabric controller drives "
+                "the sharded KVS fleet and needs at least one KVS host"
+            )
+        placements = []
+        for host in kvs_hosts:
+            device = get_device(host.spec.device.kind)
+            up_pps = down_pps = None
+            if device.is_offload:
+                up_pps, down_pps = device.netctl_thresholds_pps("kvs")
+            placements.append(
+                HostPlacement(
+                    host=host.spec.name,
+                    rack=self.spec.host_rack(host.spec),
+                    service=host.service if host.classifier is not None else None,
+                    shift_up_pps=up_pps,
+                    shift_down_pps=down_pps,
+                )
+            )
+        params = ctl_spec.as_dict()
+        return FabricController(
+            sim,
+            self._fabric,
+            TrafficClass.MEMCACHED,
+            RACK_KVS_SERVICE,
+            placements,
+            fleet=router if isinstance(router, RouterFleet) else None,
+            config=FabricControllerConfig(**params) if params else None,
         )
 
     def _schedule_phases(
@@ -903,7 +1137,7 @@ class ScenarioBuilder:
     ) -> Tuple[List[BuiltKvsHost], Optional[KeyShardRouter]]:
         spec = self.spec
         workload = spec.kvs_workload
-        host_specs = spec.kvs_hosts
+        host_specs = [self._qualified(h) for h in spec.kvs_hosts]
         n_hosts = len(host_specs)
         total_rate_pps = kpps(workload.rate_kpps)
 
@@ -927,10 +1161,14 @@ class ScenarioBuilder:
             weights = [all_weights[s] for s in shard_indices]
             owners: List[Optional[str]] = [None] * n_shards
             for host_spec, s in zip(host_specs, shard_indices):
-                owners[s] = host_spec.name
-            router = KeyShardRouter(owners)
-            switch.install_dispatch(
-                TrafficClass.MEMCACHED, RACK_KVS_SERVICE, router.route
+                # consolidated initial placement: another host starts as
+                # this shard's server (the donor still offers its traffic)
+                owners[s] = host_spec.served_by or host_spec.name
+            router = self._install_dispatch(
+                switch,
+                TrafficClass.MEMCACHED,
+                RACK_KVS_SERVICE,
+                lambda: KeyShardRouter(list(owners)),
             )
         else:
             sharded = None
@@ -976,6 +1214,15 @@ class ScenarioBuilder:
                     preloader=preloader,
                 )
             )
+        if sharded is not None:
+            # consolidated shards: the serving host also preloads the
+            # donated shard's keys (a fresh same-seed stream, so the
+            # donor's own samplers are not perturbed)
+            by_name = {host.spec.name: host for host in hosts}
+            for host, s in zip(hosts, shard_indices):
+                target = host.spec.served_by
+                if target and target != host.spec.name and workload.preload:
+                    sharded.stream(s).preload(by_name[target].memcached.store.set)
         self._schedule_phases(
             sim, workload.phases, [host.client for host in hosts], weights
         )
@@ -1062,7 +1309,9 @@ class ScenarioBuilder:
             jobs.append(job)
 
         # -- on-demand service + the host's chosen controller kind (§9.1);
-        # a NIC-only host gets a hook-less service that never shifts
+        # a NIC-only host gets a hook-less service that never shifts.  The
+        # device's warm-up (FPGA reconfiguration, ASIC table loads) delays
+        # classifier activation; software keeps serving meanwhile.
         service = OnDemandService(
             sim,
             host_spec.name,
@@ -1074,6 +1323,7 @@ class ScenarioBuilder:
                 if lake is not None
                 else None
             ),
+            warmup_us=device.warmup_us,
         )
         controller = self._build_controller(
             sim,
@@ -1086,8 +1336,12 @@ class ScenarioBuilder:
             device,
         )
         if host_spec.start_in_hardware:
-            # before instrumentation: the first sample must see the active card
-            service.shift_to_hardware("spec: initial hardware placement")
+            # before instrumentation: the first sample must see the active
+            # card; a declared initial placement was warm before the
+            # experiment window opened, so it skips the warm-up
+            service.shift_to_hardware(
+                "spec: initial hardware placement", immediate=True
+            )
 
         # -- instrumentation (the paper reads CPU power from RAPL; the wall
         # sampler adds the card draw on the shared scenario cadence so the
@@ -1132,7 +1386,7 @@ class ScenarioBuilder:
     ) -> Tuple[List[BuiltDnsHost], Optional[KeyShardRouter]]:
         spec = self.spec
         workload = spec.dns_workload
-        host_specs = spec.dns_hosts
+        host_specs = [self._qualified(h) for h in spec.dns_hosts]
         n_hosts = len(host_specs)
         total_rate_pps = kpps(workload.rate_kpps)
 
@@ -1146,9 +1400,12 @@ class ScenarioBuilder:
             )
             weights = sharded.shard_weights()
             records = sharded.records()
-            router = KeyShardRouter.for_qnames([h.name for h in host_specs])
-            switch.install_dispatch(
-                TrafficClass.DNS, RACK_DNS_SERVICE, router.route
+            replica_names = [h.name for h in host_specs]
+            router = self._install_dispatch(
+                switch,
+                TrafficClass.DNS,
+                RACK_DNS_SERVICE,
+                lambda: KeyShardRouter.for_qnames(replica_names),
             )
         else:
             sharded = None
@@ -1265,12 +1522,15 @@ class ScenarioBuilder:
                 if emu is not None
                 else None
             ),
+            warmup_us=device.warmup_us,
         )
         controller = self._build_controller(
             sim, "dns", host_spec, server, classifier, TrafficClass.DNS, service, device
         )
         if host_spec.start_in_hardware:
-            service.shift_to_hardware("spec: initial hardware placement")
+            service.shift_to_hardware(
+                "spec: initial hardware placement", immediate=True
+            )
 
         sampling = host_spec.sampling or spec.sampling
         power_sampler = PeriodicSampler(
@@ -1310,6 +1570,13 @@ class ScenarioBuilder:
         switch: Switch,
         px: PaxosSpec,
     ) -> BuiltPaxosGroup:
+        # On a fabric the group (and its derived role/client names) lives
+        # under its rack prefix; explicitly rack-qualified acceptor_hosts
+        # entries keep their declared rack, splitting the quorum across
+        # racks.  The switch handle is then the Fabric facade, so leader
+        # redirect rules and rate reads span every ToR.
+        px = self._qualified(px)
+        switch = self._fabric if self._fabric is not None else switch
         acceptor_names = px.acceptor_names()
         learner_names = [px.learner_name]
         directory = _Directory(

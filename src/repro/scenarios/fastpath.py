@@ -48,8 +48,12 @@ _FASTPATH_MODES = ("software", "hardware")
 
 def _rack_steady_shape(spec: ScenarioSpec) -> bool:
     """Rack-level preconditions shared by full and per-host eligibility:
-    a pure KVS rack offered a rate-constant (phase-free) workload."""
+    a pure KVS rack offered a rate-constant (phase-free) workload, behind
+    a single ToR — the steady models know nothing about uplink queueing
+    or cross-rack latency, so fabric scenarios always replay the DES."""
     if not spec.kvs_hosts or spec.paxos_groups or spec.dns_hosts:
+        return False
+    if spec.fabric is not None:
         return False
     workload = spec.kvs_workload
     return workload is not None and not workload.phases

@@ -27,6 +27,17 @@ rack-scale extensions all live here:
 ``rack-paxos-shared``    Two Paxos groups whose acceptors share the same
                          three server boxes (the §9.4 shared-host power
                          split, proportional to busy time).
+``fabric-kvs``           Leaf-spine sweep base: ``n_racks`` racks ×
+                         ``hosts_per_rack`` sharded KVS hosts under one
+                         spine, oversubscribed uplinks, host names reused
+                         across racks.
+``fabric-kvs-crossrack``  The §9.1 centralized controller at fabric
+                         scale: a consolidated 2-rack fleet whose hot host
+                         is shifted to hardware and whose donated shard is
+                         steered *across racks*.
+``fabric-paxos-split``   Figure 7's leader shift with the acceptor quorum
+                         split across two racks (one rack-qualified
+                         ``acceptor_hosts`` entry behind the spine).
 =====================  =====================================================
 """
 
@@ -47,11 +58,13 @@ from .spec import (
     DeviceSpec,
     DnsHostSpec,
     DnsWorkloadSpec,
+    FabricSpec,
     KvsHostSpec,
     KvsWorkloadSpec,
     PaxosSpec,
     SamplingSpec,
     ScenarioSpec,
+    UplinkSpec,
 )
 
 SpecFactory = Callable[..., ScenarioSpec]
@@ -485,6 +498,174 @@ def rack_paxos_shared_spec(
             ),
         ),
         sampling=SamplingSpec(power_interval_ms=100.0, bucket_ms=250.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-rack fabrics: leaf-spine scenarios and the centralized controller.
+# ---------------------------------------------------------------------------
+
+
+@register("fabric-kvs")
+def fabric_kvs_spec(
+    n_racks: int = 2,
+    hosts_per_rack: int = 2,
+    rate_per_host_kpps: float = 12.0,
+    oversubscription: float = 4.0,
+    uplink_latency_us: float = 5.0,
+    duration_s: float = 2.0,
+    keyspace: int = 20_000,
+    seed: int = 11,
+) -> ScenarioSpec:
+    """The parameterized leaf-spine rack grid the fabric sweeps iterate:
+    ``n_racks`` racks × ``hosts_per_rack`` key-sharded memcached hosts
+    under one spine.  Every rack reuses the same host spellings
+    (``kvs0``, ``kvs1``, …) — the rack-qualified namespace keeps them
+    apart — and each host's client enters the fabric at the *next* rack's
+    ToR, so with two or more racks the offered load and its responses all
+    cross the oversubscribed uplinks (at one rack everything stays under
+    the single ToR).  No controllers: sweep points are pinned to a
+    placement."""
+    if n_racks < 1:
+        raise ConfigurationError("fabric-kvs needs n_racks >= 1")
+    if hosts_per_rack < 1:
+        raise ConfigurationError("fabric-kvs needs hosts_per_rack >= 1")
+    hosts = tuple(
+        KvsHostSpec(
+            name=f"kvs{j}",
+            rack=f"rack{i}",
+            client_name=f"rack{(i + 1) % n_racks}/kvs{j}-client",
+            controller=NO_CONTROLLER,
+        )
+        for i in range(n_racks)
+        for j in range(hosts_per_rack)
+    )
+    return ScenarioSpec(
+        name="fabric-kvs",
+        description=(
+            f"leaf-spine KVS fabric (sweep base): {n_racks} rack(s) × "
+            f"{hosts_per_rack} sharded hosts under one spine"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        fabric=FabricSpec(
+            racks=n_racks,
+            hosts_per_rack=hosts_per_rack,
+            uplink=UplinkSpec(
+                latency_us=uplink_latency_us,
+                oversubscription=oversubscription,
+            ),
+        ),
+        kvs_hosts=hosts,
+        kvs_workload=KvsWorkloadSpec(
+            keyspace=keyspace, rate_kpps=rate_per_host_kpps * len(hosts)
+        ),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=250.0),
+    )
+
+
+@register("fabric-kvs-crossrack")
+def fabric_kvs_crossrack_spec(
+    duration_s: float = 3.0,
+    rate_kpps: float = 16.0,
+    hot_host_kpps: float = 10.0,
+    cold_host_kpps: float = 6.0,
+    shift_up_kpps: float = 8.0,
+    shift_down_kpps: float = 4.0,
+    oversubscription: float = 4.0,
+    keyspace: int = 20_000,
+    seed: int = 19,
+) -> ScenarioSpec:
+    """The §9.1 centralized controller's cross-rack showcase.
+
+    Two racks under one spine.  The rack-wide keyspace starts
+    *consolidated*: ``rack1/kvs1``'s shard is initially served by
+    ``rack0/kvs0`` (``served_by``), so kvs0 serves two shards' traffic and
+    runs sustained-hot while kvs1 serves nothing.  The centralized fabric
+    controller reads every ToR's counters via the spine, shifts kvs0 into
+    hardware (its served rate crosses ``shift_up_kpps``), and — because
+    rack0 has no cold host to spread onto — steers the donated shard
+    **across racks** back to kvs1 once the overload outlasts the
+    deliberately longer ``cross_rack_sustain_us``.  Per-host controllers
+    are off: every decision here is the central one."""
+    return ScenarioSpec(
+        name="fabric-kvs-crossrack",
+        description=(
+            "centralized fabric controller: consolidated 2-rack KVS fleet, "
+            "hot host shifted to hardware and its shard steered cross-rack"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        fabric=FabricSpec(
+            racks=2,
+            uplink=UplinkSpec(oversubscription=oversubscription),
+        ),
+        fabric_controller=ControllerSpec(
+            kind="fabric",
+            params=dict(
+                hot_host_pps=hot_host_kpps * 1e3,
+                cold_host_pps=cold_host_kpps * 1e3,
+                shift_up_pps=shift_up_kpps * 1e3,
+                shift_down_pps=shift_down_kpps * 1e3,
+                window_us=sec(0.5),
+                same_rack_sustain_us=sec(0.3),
+                cross_rack_sustain_us=sec(0.9),
+            ),
+        ),
+        kvs_hosts=(
+            KvsHostSpec(name="kvs0", rack="rack0", controller=NO_CONTROLLER),
+            KvsHostSpec(
+                name="kvs1",
+                rack="rack1",
+                controller=NO_CONTROLLER,
+                served_by="rack0/kvs0",
+            ),
+            KvsHostSpec(name="kvs2", rack="rack1", controller=NO_CONTROLLER),
+        ),
+        kvs_workload=KvsWorkloadSpec(keyspace=keyspace, rate_kpps=rate_kpps),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=250.0),
+    )
+
+
+@register("fabric-paxos-split")
+def fabric_paxos_split_spec(
+    duration_s: float = 3.0,
+    shift_to_hw_s: float = 1.0,
+    shift_to_sw_s: float = 2.2,
+    n_clients: int = 3,
+    n_acceptors: int = 3,
+    seed: int = 7,
+) -> ScenarioSpec:
+    """Figure 7's leader shift on a two-rack fabric with the acceptor
+    quorum *split across racks*: two acceptors beside the leader in rack0,
+    the third behind the spine in rack1 (a rack-qualified
+    ``acceptor_hosts`` entry).  The leader redirect rule is installed
+    fleet-wide, so 2A messages to the remote acceptor pay the uplink both
+    ways — quorum latency now includes the fabric."""
+    acceptors = tuple(
+        f"rack1/acc{i}" if i == n_acceptors - 1 else f"acc{i}"
+        for i in range(n_acceptors)
+    )
+    return ScenarioSpec(
+        name="fabric-paxos-split",
+        description=(
+            "Paxos leader shift on a 2-rack fabric, acceptor quorum split "
+            "across racks"
+        ),
+        duration_s=duration_s,
+        seed=seed,
+        fabric=FabricSpec(racks=2),
+        paxos_groups=(
+            PaxosSpec(
+                name="paxos",
+                rack="rack0",
+                n_clients=n_clients,
+                n_acceptors=n_acceptors,
+                acceptor_hosts=acceptors,
+                shifts=((shift_to_hw_s, True), (shift_to_sw_s, False)),
+            ),
+        ),
+        sampling=SamplingSpec(power_interval_ms=50.0, bucket_ms=50.0),
     )
 
 

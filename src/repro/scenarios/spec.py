@@ -28,12 +28,17 @@ from dataclasses import dataclass, field, fields
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple, Union
 
 from ..core.controller import CONTROLLER_KINDS, PAXOS_CONTROLLER_KINDS
+from ..core.fabric_controller import (
+    FABRIC_CONTROLLER_KINDS,
+    FabricControllerConfig,
+)
 from ..core.host_controller import HostControllerConfig
 from ..core.network_controller import NetworkControllerConfig
 from ..core.paxos_controller import PaxosControllerConfig
 from ..core.predictive_controller import PredictiveControllerConfig
 from ..errors import ConfigurationError
 from ..hw.device import DEFAULT_DEVICE_KIND, get_device
+from ..naming import rack_qualified, split_rack
 
 
 def _config_fields(config_cls, *extra: str) -> FrozenSet[str]:
@@ -50,6 +55,7 @@ _KIND_PARAMS: Dict[str, FrozenSet[str]] = {
     "none": frozenset(),
     "schedule": _config_fields(PaxosControllerConfig),
     "rate": _config_fields(PaxosControllerConfig),
+    "fabric": _config_fields(FabricControllerConfig),
 }
 
 #: (at_s, value) steps applied over a run, e.g. offered-rate ramps.
@@ -58,11 +64,91 @@ PhaseSchedule = Tuple[Tuple[float, float], ...]
 
 @dataclass(frozen=True)
 class SwitchSpec:
-    """The ToR switch and the rack's port characteristics."""
+    """The ToR switch and the rack's port characteristics.
+
+    In a multi-rack scenario (``ScenarioSpec.fabric``) this describes
+    *each rack's* ToR: one switch named ``<rack>/<name>`` is built per
+    rack, with these host-port characteristics.
+    """
 
     name: str = "tor"
     latency_us: float = 1.0
     bandwidth_gbps: float = 10.0
+
+
+@dataclass(frozen=True)
+class UplinkSpec:
+    """A rack's ToR->spine uplink (both directions).
+
+    ``oversubscription`` divides the effective bandwidth — a 4:1
+    oversubscribed 40G uplink serves cross-rack traffic at 10G — and the
+    uplink queues (FIFO output contention), so oversubscription shows up
+    as cross-rack tail latency under load, not just a rate cap.
+    """
+
+    latency_us: float = 5.0
+    bandwidth_gbps: float = 40.0
+    oversubscription: float = 1.0
+
+    def validate(self, owner: str) -> None:
+        if self.latency_us < 0:
+            raise ConfigurationError(
+                f"uplink latency_us must be >= 0 on {owner!r}"
+            )
+        if self.bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"uplink bandwidth_gbps must be positive on {owner!r}"
+            )
+        if self.oversubscription < 1.0:
+            raise ConfigurationError(
+                f"uplink oversubscription must be >= 1 on {owner!r}, got "
+                f"{self.oversubscription}"
+            )
+
+
+@dataclass(frozen=True)
+class SpineSpec:
+    """The aggregation/spine switch tier (one switch; latency and
+    bandwidth live on the :class:`UplinkSpec` links that reach it)."""
+
+    name: str = "spine"
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """A declarative leaf-spine fabric: N racks of ToRs under one spine.
+
+    Racks are named ``rack0..rack{N-1}``; placements choose a rack with
+    their ``rack`` field (default: ``rack0``).  ``hosts_per_rack`` is an
+    optional capacity cap on declared KVS/DNS server hosts per rack —
+    exceeding it is a declaration error, the way a real rack runs out of
+    slots.
+    """
+
+    racks: int = 2
+    hosts_per_rack: Optional[int] = None
+    uplink: UplinkSpec = field(default_factory=UplinkSpec)
+    spine: SpineSpec = field(default_factory=SpineSpec)
+
+    def rack_names(self) -> Tuple[str, ...]:
+        return tuple(f"rack{i}" for i in range(self.racks))
+
+    @property
+    def default_rack(self) -> str:
+        return "rack0"
+
+    def validate(self, owner: str) -> None:
+        if self.racks < 1:
+            raise ConfigurationError(
+                f"fabric on {owner!r} needs at least one rack"
+            )
+        if self.hosts_per_rack is not None and self.hosts_per_rack < 1:
+            raise ConfigurationError(
+                f"fabric hosts_per_rack must be >= 1 on {owner!r}"
+            )
+        self.uplink.validate(owner)
+        if not self.spine.name:
+            raise ConfigurationError(f"fabric spine needs a name on {owner!r}")
 
 
 @dataclass(frozen=True)
@@ -92,7 +178,12 @@ class ControllerSpec:
         return dict(self.params)
 
     def validate_for(self, app: str, owner: str) -> None:
-        kinds = PAXOS_CONTROLLER_KINDS if app == "paxos" else CONTROLLER_KINDS
+        if app == "paxos":
+            kinds = PAXOS_CONTROLLER_KINDS
+        elif app == "fabric":
+            kinds = FABRIC_CONTROLLER_KINDS
+        else:
+            kinds = CONTROLLER_KINDS
         if self.kind not in kinds:
             raise ConfigurationError(
                 f"unknown controller kind {self.kind!r} on {owner!r}; "
@@ -232,6 +323,17 @@ class KvsHostSpec:
     #: every per-shard RNG stream, traffic weight and route identical to
     #: the full rack (the per-placement steady fast path depends on this).
     shard_index: Optional[int] = None
+    #: Which fabric rack this host (and its client) lives in.  Requires
+    #: ``ScenarioSpec.fabric``; None means the fabric's default rack — or,
+    #: without a fabric, the plain single-ToR wiring.
+    rack: Optional[str] = None
+    #: Consolidated initial placement: the name of *another* KVS host that
+    #: initially serves this host's key shard (this host still offers its
+    #: shard's traffic, but starts serving nothing).  Requires a sharded
+    #: rack.  In fabric mode a bare name resolves inside this host's rack;
+    #: write ``"rack0/kvs0"`` to consolidate onto another rack — the
+    #: centralized fabric controller can later steer the shard back out.
+    served_by: Optional[str] = None
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -284,6 +386,9 @@ class DnsHostSpec:
     start_in_hardware: bool = False
     #: Which offload card this replica carries (``none`` = NIC-only host).
     device: DeviceSpec = DeviceSpec()
+    #: Which fabric rack this replica (and its client) lives in (see
+    #: KvsHostSpec.rack).
+    rack: Optional[str] = None
 
     def resolved_client_name(self) -> str:
         return self.client_name or f"{self.name}-client"
@@ -338,8 +443,15 @@ class PaxosSpec:
     #: Non-empty (length must equal ``n_acceptors``): the named servers
     #: host this group's acceptors, and several groups naming the same
     #: server *share* it — the §9.4 shared-host case whose wall power is
-    #: split between the groups in proportion to their busy time.
+    #: split between the groups in proportion to their busy time.  In a
+    #: fabric scenario an entry may be rack-qualified (``"rack1/acc0"``)
+    #: to place that acceptor outside the group's home rack — a consensus
+    #: group whose quorum spans racks.
     acceptor_hosts: Tuple[str, ...] = ()
+    #: Which fabric rack the group's nodes live in by default (leaders,
+    #: learner, clients, and any acceptor_hosts entry without an explicit
+    #: ``<rack>/`` prefix).  Requires ``ScenarioSpec.fabric``.
+    rack: Optional[str] = None
 
     # -- derived addressing (the builder and validator share these) ----------
 
@@ -429,6 +541,13 @@ class ScenarioSpec:
     duration_s: float = 10.0
     seed: int = 42
     switch: SwitchSpec = field(default_factory=SwitchSpec)
+    #: None: the classic single-ToR rack (byte-identical legacy wiring).
+    #: Set: a leaf-spine fabric; placements pick racks via their ``rack``
+    #: fields and all node names become ``<rack>/<name>``-qualified.
+    fabric: Optional[FabricSpec] = None
+    #: The §9.1 centralized controller over the whole fabric
+    #: (``ControllerSpec(kind="fabric")``); requires ``fabric``.
+    fabric_controller: Optional[ControllerSpec] = None
     kvs_hosts: Tuple[KvsHostSpec, ...] = ()
     kvs_workload: Optional[KvsWorkloadSpec] = None
     paxos_groups: Tuple[PaxosSpec, ...] = ()
@@ -444,12 +563,76 @@ class ScenarioSpec:
                 f"scenario {self.name!r} declares no KVS hosts, no Paxos "
                 "groups and no DNS hosts"
             )
+        self._validate_fabric()
         self._validate_kvs()
         self._validate_dns()
         self._validate_paxos()
         self._validate_sampling()
         self._validate_node_names()
         return self
+
+    # -- fabric placement ----------------------------------------------------
+
+    def host_rack(self, placement) -> Optional[str]:
+        """The rack a placement (host spec or Paxos group) lives in: its
+        ``rack`` field, the fabric default, or None without a fabric."""
+        if self.fabric is None:
+            return None
+        return placement.rack or self.fabric.default_rack
+
+    def _validate_fabric(self) -> None:
+        placements = [
+            ("KVS host", h) for h in self.kvs_hosts
+        ] + [
+            ("DNS host", h) for h in self.dns_hosts
+        ] + [
+            ("Paxos group", g) for g in self.paxos_groups
+        ]
+        if self.fabric is None:
+            for what, placement in placements:
+                if placement.rack is not None:
+                    raise ConfigurationError(
+                        f"{what} {placement.name!r} names rack "
+                        f"{placement.rack!r} but scenario {self.name!r} "
+                        "declares no fabric"
+                    )
+            if self.fabric_controller is not None:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} declares a fabric_controller "
+                    "but no fabric"
+                )
+            return
+        self.fabric.validate(self.name)
+        racks = set(self.fabric.rack_names())
+        for what, placement in placements:
+            if placement.rack is not None and placement.rack not in racks:
+                raise ConfigurationError(
+                    f"{what} {placement.name!r} names unknown rack "
+                    f"{placement.rack!r}; fabric racks are "
+                    f"{', '.join(self.fabric.rack_names())}"
+                )
+        for group in self.paxos_groups:
+            for acceptor in group.acceptor_hosts:
+                rack, _ = split_rack(acceptor)
+                if rack is not None and rack not in racks:
+                    raise ConfigurationError(
+                        f"Paxos group {group.name!r} places acceptor "
+                        f"{acceptor!r} in unknown rack {rack!r}"
+                    )
+        if self.fabric.hosts_per_rack is not None:
+            per_rack: Dict[str, int] = {}
+            for host in (*self.kvs_hosts, *self.dns_hosts):
+                rack = self.host_rack(host)
+                per_rack[rack] = per_rack.get(rack, 0) + 1
+            for rack, count in per_rack.items():
+                if count > self.fabric.hosts_per_rack:
+                    raise ConfigurationError(
+                        f"rack {rack!r} has {count} server hosts but the "
+                        f"fabric caps hosts_per_rack at "
+                        f"{self.fabric.hosts_per_rack} in {self.name!r}"
+                    )
+        if self.fabric_controller is not None:
+            self.fabric_controller.validate_for("fabric", self.name)
 
     # -- per-app checks ------------------------------------------------------
 
@@ -474,6 +657,7 @@ class ScenarioSpec:
                     raise ConfigurationError(
                         f"colocated job on {host.name!r} stops before it starts"
                     )
+        self._validate_kvs_served_by()
 
     def _validate_kvs_shards(self) -> None:
         n_shards = self.kvs_workload.n_shards
@@ -504,6 +688,34 @@ class ScenarioSpec:
                 raise ConfigurationError(
                     f"scenario {self.name!r} shard_index {i} out of range "
                     f"for n_shards={n_shards}"
+                )
+
+    def _validate_kvs_served_by(self) -> None:
+        """Consolidated initial ownership must name a real, distinct host
+        on a sharded rack, in both single-ToR and fabric spellings."""
+        donors = [h for h in self.kvs_hosts if h.served_by is not None]
+        if not donors:
+            return
+        if len(self.kvs_hosts) < 2:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: served_by needs a sharded rack "
+                "(at least two KVS hosts)"
+            )
+        fq_names = {
+            rack_qualified(self.host_rack(h), h.name) for h in self.kvs_hosts
+        }
+        for host in donors:
+            rack = self.host_rack(host)
+            target = rack_qualified(rack, host.served_by)
+            own = rack_qualified(rack, host.name)
+            if target == own:
+                raise ConfigurationError(
+                    f"KVS host {host.name!r} cannot be served_by itself"
+                )
+            if target not in fq_names:
+                raise ConfigurationError(
+                    f"KVS host {host.name!r} is served_by unknown host "
+                    f"{host.served_by!r}"
                 )
 
     def _validate_dns(self) -> None:
@@ -581,7 +793,13 @@ class ScenarioSpec:
         a KVS host, a Paxos acceptor and a DNS client are all ports on the
         same switch — and must not shadow the logical service addresses.
         The one sanctioned overlap: a server named in several groups'
-        ``acceptor_hosts`` is *shared* (one box, one port, many roles)."""
+        ``acceptor_hosts`` is *shared* (one box, one port, many roles).
+
+        In a fabric scenario uniqueness is checked on the *fully-qualified*
+        ``<rack>/<name>`` spellings (the names the builder actually
+        registers), so two racks may each declare an ``h0``; the rack
+        prefix is exactly what prevents the duplicate-node collision.
+        """
         seen: Dict[str, str] = {}
         _SHARED = "a shared Paxos acceptor host"
 
@@ -603,20 +821,37 @@ class ScenarioSpec:
                     f"in {self.name!r}"
                 )
 
-        claim(self.switch.name, "the ToR switch")
+        if self.fabric is None:
+            claim(self.switch.name, "the ToR switch")
+        else:
+            claim(self.fabric.spine.name, "the spine switch")
+            for rack in self.fabric.rack_names():
+                claim(rack_qualified(rack, self.switch.name), "a ToR switch")
         for host in self.kvs_hosts:
-            claim(host.name, "a KVS host")
-            claim(host.resolved_client_name(), "a KVS client")
+            rack = self.host_rack(host)
+            claim(rack_qualified(rack, host.name), "a KVS host")
+            claim(
+                rack_qualified(rack, host.resolved_client_name()),
+                "a KVS client",
+            )
         for host in self.dns_hosts:
-            claim(host.name, "a DNS host")
-            claim(host.resolved_client_name(), "a DNS client")
+            rack = self.host_rack(host)
+            claim(rack_qualified(rack, host.name), "a DNS host")
+            claim(
+                rack_qualified(rack, host.resolved_client_name()),
+                "a DNS client",
+            )
         for group in self.paxos_groups:
-            shared = set(group.acceptor_hosts)
+            rack = self.host_rack(group)
+            shared = {
+                rack_qualified(rack, a) for a in group.acceptor_hosts
+            }
             for node in group.node_names():
-                if node in shared:
-                    claim_shared(node)
+                fq = rack_qualified(rack, node)
+                if fq in shared:
+                    claim_shared(fq)
                 else:
-                    claim(node, f"Paxos group {group.name!r}")
+                    claim(fq, f"Paxos group {group.name!r}")
         # logical addresses are switch-level destinations, not ports, but a
         # node with the same name would swallow redirected traffic
         for logical in self.logical_addresses():
@@ -627,7 +862,14 @@ class ScenarioSpec:
                 )
 
     def logical_addresses(self) -> List[str]:
-        addresses = [g.leader_address for g in self.paxos_groups]
+        """The switch-level service destinations, as the builder installs
+        them: Paxos leader addresses are rack-qualified in fabric mode
+        (each group's leader rule is still installed fleet-wide), while
+        the sharded KVS/DNS services stay fabric-global."""
+        addresses = [
+            rack_qualified(self.host_rack(g), g.leader_address)
+            for g in self.paxos_groups
+        ]
         if self.sharded:
             addresses.append(RACK_KVS_SERVICE)
         if self.dns_sharded:

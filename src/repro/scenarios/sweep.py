@@ -101,6 +101,8 @@ def ondemand_variant(spec: ScenarioSpec) -> ScenarioSpec:
         dataclasses.replace(group, start_in_hardware=False)
         for group in spec.paxos_groups
     )
+    # the scenario-level fabric controller (if any) stays live: it is an
+    # on-demand drive like the per-host controllers
     return dataclasses.replace(
         spec,
         name=f"{spec.name}[od]",
@@ -142,12 +144,15 @@ def _pinned(spec: ScenarioSpec, hardware: bool) -> ScenarioSpec:
         )
         for group in spec.paxos_groups
     )
+    # a pinned rack must stay pinned: the centralized fabric controller
+    # is stripped along with the per-host controllers
     return dataclasses.replace(
         spec,
         name=f"{spec.name}[{suffix}]",
         kvs_hosts=kvs_hosts,
         dns_hosts=dns_hosts,
         paxos_groups=paxos_groups,
+        fabric_controller=None,
     )
 
 
@@ -1007,6 +1012,8 @@ def _has_ondemand_drive(spec: ScenarioSpec) -> bool:
     on-demand drive?  False when every host controller is ``none`` and no
     Paxos group has a rate controller or a shift schedule — then the
     on-demand variant is the software variant by construction."""
+    if spec.fabric_controller is not None:
+        return True
     if any(
         host.controller.kind != "none"
         for host in (*spec.kvs_hosts, *spec.dns_hosts)
@@ -1136,6 +1143,43 @@ def sweep_rack_hetero(
             ramp=False,
             # controllers must fit the short horizon for the on-demand pin
             ctl_window_s=0.15,
+        ),
+        tip_axis="rate_per_host_kpps",
+    )
+
+
+@register_sweep("sweep-fabric-scale")
+def sweep_fabric_scale(
+    racks: Tuple[int, ...] = (1, 2, 4),
+    rates_kpps: Tuple[float, ...] = (8.0, 16.0, 24.0, 32.0),
+    hosts_per_rack: int = 2,
+    oversubscription: float = 4.0,
+    duration_s: float = 0.5,
+    keyspace: int = 8_000,
+    seed: int = 11,
+) -> ScenarioSweepSpec:
+    """The tipping sweep at datacenter scale: leaf-spine ``fabric-kvs``
+    grids swept over the **rack count** × a per-host rate ramp.  Each rack
+    row reports its own software/hardware crossover; cross-rack dispatch
+    through the oversubscribed spine uplinks is what separates the
+    multi-rack rows from ``sweep-rack-kvs``'s single-ToR curve."""
+    return ScenarioSweepSpec(
+        name="sweep-fabric-scale",
+        base="fabric-kvs",
+        description=(
+            "fabric-scale tipping sweep: 1→4 leaf-spine racks × per-host "
+            "rate ramp over oversubscribed uplinks"
+        ),
+        axes=(
+            SweepAxis("n_racks", racks),
+            SweepAxis("rate_per_host_kpps", rates_kpps),
+        ),
+        fixed=dict(
+            hosts_per_rack=hosts_per_rack,
+            oversubscription=oversubscription,
+            duration_s=duration_s,
+            keyspace=keyspace,
+            seed=seed,
         ),
         tip_axis="rate_per_host_kpps",
     )

@@ -1,0 +1,273 @@
+"""The §9.1 centralized fabric controller: config validation, centrally
+driven placement shifts, and the same-rack/cross-rack steering asymmetry.
+
+The controller only reads ``fabric.logical_count`` and the router fleet's
+``per_host``/``shards_of``/``reassign`` surface, so these tests drive it
+with small fakes whose counters grow linearly with simulated time — a
+constant per-host rate without building a full scenario."""
+
+import pytest
+
+from repro.core.fabric_controller import (
+    FABRIC_CONTROLLER_KINDS,
+    FabricController,
+    FabricControllerConfig,
+    HostPlacement,
+    SteerEvent,
+)
+from repro.errors import ConfigurationError
+from repro.net import TrafficClass
+from repro.sim import Simulator
+from repro.units import msec, sec
+
+
+class FakeFleet:
+    """RouterFleet stand-in: linear per-host counters, steerable shards."""
+
+    def __init__(self, sim, rates_pps, owners):
+        self.sim = sim
+        self.rates_pps = dict(rates_pps)
+        self.owners = list(owners)
+        self.reassigned = []
+        self._base = {host: 0.0 for host in rates_pps}
+        self._since = {host: 0.0 for host in rates_pps}
+
+    def set_rate(self, host, rate_pps):
+        """Rebase so the counter stays monotone across rate changes."""
+        now = self.sim.now
+        self._base[host] += self.rates_pps[host] * (now - self._since[host]) / 1e6
+        self._since[host] = now
+        self.rates_pps[host] = rate_pps
+
+    @property
+    def per_host(self):
+        now = self.sim.now
+        return {
+            host: int(
+                self._base[host] + rate * (now - self._since[host]) / 1e6
+            )
+            for host, rate in self.rates_pps.items()
+        }
+
+    def shards_of(self, host):
+        return [s for s, owner in enumerate(self.owners) if owner == host]
+
+    def reassign(self, shard, host):
+        self.owners[shard] = host
+        self.reassigned.append((shard, host))
+
+
+class FakeFabric:
+    """logical_count == fleet-wide offered packets (sum of host rates)."""
+
+    def __init__(self, fleet):
+        self.fleet = fleet
+
+    def logical_count(self, traffic_class, logical_dst):
+        return sum(self.fleet.per_host.values())
+
+
+class FakeService:
+    in_hardware = False
+    warming = False
+
+    def __init__(self):
+        self.shifts = []
+
+    def shift_to_hardware(self, reason=""):
+        self.in_hardware = True
+        self.shifts.append("hw")
+        return True
+
+    def shift_to_software(self, reason=""):
+        self.in_hardware = False
+        self.shifts.append("sw")
+        return True
+
+
+FAST = dict(
+    hot_host_pps=10_000.0,
+    cold_host_pps=5_000.0,
+    window_us=sec(0.1),
+    tick_us=msec(10.0),
+    same_rack_sustain_us=sec(0.05),
+    cross_rack_sustain_us=sec(0.2),
+)
+
+
+def _controller(sim, rates, owners, placements, **config):
+    fleet = FakeFleet(sim, rates, owners)
+    ctl = FabricController(
+        sim,
+        FakeFabric(fleet),
+        TrafficClass.MEMCACHED,
+        "kvs",
+        placements,
+        fleet=fleet,
+        config=FabricControllerConfig(**{**FAST, **config}),
+    )
+    return ctl, fleet
+
+
+def test_registry_names_the_fabric_kind():
+    assert FabricController.kind in FABRIC_CONTROLLER_KINDS
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(hot_host_pps=1.0, cold_host_pps=2.0)
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(shift_up_pps=1.0, shift_down_pps=2.0)
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(window_us=0.0)
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(tick_us=-1.0)
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(same_rack_sustain_us=0.0)
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(
+            same_rack_sustain_us=sec(1.0), cross_rack_sustain_us=sec(0.5)
+        )
+    with pytest.raises(ConfigurationError):
+        FabricControllerConfig(max_steers=-1)
+
+
+def test_placements_must_be_nonempty_and_unique():
+    sim = Simulator()
+    fleet = FakeFleet(sim, {}, [])
+    with pytest.raises(ConfigurationError):
+        FabricController(
+            sim, FakeFabric(fleet), TrafficClass.MEMCACHED, "kvs", []
+        )
+    dup = [HostPlacement("a", "rack0"), HostPlacement("a", "rack0")]
+    with pytest.raises(ConfigurationError):
+        FabricController(
+            sim, FakeFabric(fleet), TrafficClass.MEMCACHED, "kvs", dup
+        )
+
+
+def test_centralized_placement_shift_up_then_down():
+    sim = Simulator()
+    service = FakeService()
+    placements = [
+        HostPlacement(
+            "a", "rack0", service=service,
+            shift_up_pps=8_000.0, shift_down_pps=2_000.0,
+        ),
+    ]
+    ctl, fleet = _controller(sim, {"a": 12_000.0}, ["a"], placements)
+    sim.run_until(sec(0.5))
+    assert service.shifts[:1] == ["hw"]
+    up_times = ctl.shift_times_us()
+    assert len(up_times) == 1
+    # cool off: counter stops growing, the window drains below shift_down
+    fleet.set_rate("a", 0.0)
+    sim.run_until(sec(1.0))
+    assert service.shifts == ["hw", "sw"]
+    assert len(ctl.shift_times_us()) == 2
+    ctl.stop()
+
+
+def test_placement_without_thresholds_is_left_alone():
+    sim = Simulator()
+    service = FakeService()
+    placements = [HostPlacement("a", "rack0", service=service)]
+    ctl, _ = _controller(sim, {"a": 50_000.0}, ["a"], placements)
+    sim.run_until(sec(0.5))
+    assert service.shifts == []
+    ctl.stop()
+
+
+def test_same_rack_steer_preferred_and_earlier():
+    """With a cold host in the hot host's own rack, the controller steers
+    same-rack at the shorter sustain — even though the cross-rack host is
+    colder."""
+    sim = Simulator()
+    placements = [
+        HostPlacement("a", "rack0"),
+        HostPlacement("b", "rack0"),
+        HostPlacement("c", "rack1"),
+    ]
+    rates = {"a": 20_000.0, "b": 4_000.0, "c": 1_000.0}
+    ctl, fleet = _controller(sim, rates, ["a", "a", "b", "c"], placements)
+    sim.run_until(sec(1.0))
+    assert len(ctl.steers) >= 1
+    first = ctl.steers[0]
+    assert first.to_host == "b"
+    assert not first.cross_rack
+    assert first.time_us < FAST["window_us"] + FAST["cross_rack_sustain_us"]
+    assert fleet.reassigned[0] == (first.shard, "b")
+    ctl.stop()
+
+
+def test_cross_rack_steer_waits_for_longer_sustain():
+    sim = Simulator()
+    placements = [HostPlacement("a", "rack0"), HostPlacement("c", "rack1")]
+    ctl, fleet = _controller(
+        sim, {"a": 20_000.0, "c": 1_000.0}, ["a", "a"], placements
+    )
+    sim.run_until(sec(1.0))
+    assert len(ctl.steers) >= 1
+    first = ctl.steers[0]
+    assert first.to_host == "c"
+    assert first.cross_rack
+    assert isinstance(first, SteerEvent)
+    # hot-since starts once the warm-up window has filled; the cross-rack
+    # sustain is then served on top of it
+    assert first.time_us >= FAST["window_us"] + FAST["cross_rack_sustain_us"]
+    ctl.stop()
+
+
+def test_single_shard_host_never_donates():
+    sim = Simulator()
+    placements = [HostPlacement("a", "rack0"), HostPlacement("b", "rack0")]
+    ctl, _ = _controller(
+        sim, {"a": 50_000.0, "b": 0.0}, ["a", "b"], placements
+    )
+    sim.run_until(sec(1.0))
+    assert ctl.steers == []
+    ctl.stop()
+
+
+def test_max_steers_caps_the_controller():
+    sim = Simulator()
+    placements = [
+        HostPlacement("a", "rack0"),
+        HostPlacement("b", "rack0"),
+        HostPlacement("c", "rack0"),
+    ]
+    ctl, _ = _controller(
+        sim,
+        {"a": 50_000.0, "b": 0.0, "c": 0.0},
+        ["a"] * 6,
+        placements,
+        max_steers=1,
+    )
+    sim.run_until(sec(2.0))
+    assert len(ctl.steers) == 1
+    ctl.stop()
+
+
+def test_rates_and_rack_rollup():
+    sim = Simulator()
+    placements = [HostPlacement("a", "rack0"), HostPlacement("b", "rack1")]
+    ctl, _ = _controller(
+        sim, {"a": 10_000.0, "b": 2_000.0}, ["a", "b"], placements
+    )
+    sim.run_until(sec(0.4))
+    assert ctl.host_rate_pps("a") == pytest.approx(10_000.0, rel=0.15)
+    racks = ctl.rack_rates_pps()
+    assert racks["rack0"] == pytest.approx(10_000.0, rel=0.15)
+    assert racks["rack1"] == pytest.approx(2_000.0, rel=0.15)
+    ctl.stop()
+
+
+def test_stop_cancels_the_tick():
+    sim = Simulator()
+    ctl, _ = _controller(sim, {"a": 1_000.0}, ["a"], [HostPlacement("a", "r")])
+    ctl.stop()
+    events_before = sim.now
+    sim.run_until(sec(1.0))
+    assert ctl.rate_series.times == [] or max(
+        ctl.rate_series.times, default=0.0
+    ) <= events_before + FAST["tick_us"]

@@ -1,0 +1,146 @@
+"""Leaf-spine fabric wiring: ToR-per-rack builds, spine routing, the
+transit counter identity, mirrored control plane, and oversubscribed
+queueing uplinks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net import ForwardingRule, TrafficClass, build_fabric
+from repro.net.node import SinkNode
+from repro.net.packet import make_packet
+from repro.sim import Simulator
+from repro.units import gbit_per_s
+
+
+def _fabric(n_racks=2, hosts_per_rack=1, **kwargs):
+    sim = Simulator()
+    fabric = build_fabric(sim, [f"rack{i}" for i in range(n_racks)], **kwargs)
+    hosts = {}
+    for rack in fabric.racks:
+        for j in range(hosts_per_rack):
+            node = SinkNode(sim, f"{rack}/h{j}")
+            fabric.topology.add(node)
+            fabric.connect_host(rack, node)
+            hosts[node.name] = node
+    return sim, fabric, hosts
+
+
+def _offer(fabric, tor_rack, dst, traffic_class=TrafficClass.NORMAL, n=1):
+    tor = fabric.tor(tor_rack)
+    for _ in range(n):
+        tor.receive(make_packet("client", dst, traffic_class, now=fabric.sim.now))
+
+
+def test_build_names_tors_rack_qualified():
+    _, fabric, _ = _fabric(n_racks=3)
+    assert fabric.racks == ("rack0", "rack1", "rack2")
+    assert sorted(t.name for t in fabric.tors.values()) == [
+        "rack0/tor", "rack1/tor", "rack2/tor",
+    ]
+    assert fabric.spine.name == "spine"
+    assert len(fabric.switches) == 4
+
+
+def test_build_rejects_bad_shapes():
+    sim = Simulator()
+    with pytest.raises(ConfigurationError):
+        build_fabric(sim, [])
+    with pytest.raises(ConfigurationError):
+        build_fabric(sim, ["a", "a"])
+    with pytest.raises(ConfigurationError):
+        build_fabric(sim, ["a"], oversubscription=0.5)
+
+
+def test_same_rack_delivery_skips_spine():
+    sim, fabric, hosts = _fabric(hosts_per_rack=2)
+    _offer(fabric, "rack0", "rack0/h1")
+    sim.run()
+    assert len(hosts["rack0/h1"].received) == 1
+    assert fabric.spine.forwarded == 0
+
+
+def test_cross_rack_delivery_transits_spine_once():
+    sim, fabric, hosts = _fabric()
+    _offer(fabric, "rack0", "rack1/h0")
+    sim.run()
+    assert len(hosts["rack1/h0"].received) == 1
+    assert fabric.spine.forwarded == 1
+    # ToR -> spine was the default route, spine -> ToR a static route
+    assert fabric.tor("rack0").routed == 1
+    assert fabric.spine.routed == 1
+
+
+def test_rack_of_and_unknown_rack():
+    _, fabric, _ = _fabric()
+    assert fabric.rack_of("rack1/h0") == "rack1"
+    with pytest.raises(ConfigurationError):
+        fabric.rack_of("nobody")
+    with pytest.raises(ConfigurationError):
+        fabric.tor("rack9")
+
+
+def test_unroutable_destination_drops_at_spine():
+    sim, fabric, _ = _fabric()
+    _offer(fabric, "rack0", "ghost")
+    sim.run()
+    # the ToR default-routes it up; the spine has no route and drops
+    assert fabric.dropped_no_route == 1
+    assert fabric.spine.dropped_no_route == 1
+
+
+def test_transit_identity_counts_offered_exactly_once():
+    """sum(ToR logical counters) - spine == offered, spine == cross-rack."""
+    sim, fabric, _ = _fabric(hosts_per_rack=1)
+    cls, svc = TrafficClass.MEMCACHED, "kvs-service"
+    # dispatch alternates racks so both same- and cross-rack paths occur;
+    # keyed on packet_id so every hop resolves the same packet identically
+    targets = ["rack0/h0", "rack1/h0"]
+    fabric.install_dispatch(
+        cls, svc, lambda: lambda pkt: targets[pkt.packet_id % 2]
+    )
+    _offer(fabric, "rack0", svc, traffic_class=cls, n=10)
+    sim.run()
+    assert fabric.logical_count(cls, svc) == 10
+    per_rack = fabric.rack_logical_counts(cls, svc)
+    crossrack = fabric.spine_logical_count(cls, svc)
+    assert sum(per_rack.values()) - crossrack == 10
+    assert 0 < crossrack < 10
+    assert fabric.class_counters[cls] == 10
+
+
+def test_install_rule_is_fleet_wide():
+    """A §9.2 redirect installed through the fabric rewrites at every hop,
+    so a ToR without a local port still lands the packet cross-rack."""
+    sim, fabric, hosts = _fabric()
+    rule = ForwardingRule(TrafficClass.PAXOS, "leader", "rack1/h0")
+    fabric.install_rule(rule)
+    _offer(fabric, "rack0", "leader", traffic_class=TrafficClass.PAXOS)
+    sim.run()
+    assert len(hosts["rack1/h0"].received) == 1
+    removed = fabric.remove_rule(TrafficClass.PAXOS, "leader")
+    assert removed is rule
+    _offer(fabric, "rack0", "leader", traffic_class=TrafficClass.PAXOS)
+    sim.run()
+    assert fabric.dropped_no_route == 1
+
+
+def test_oversubscribed_uplinks_queue():
+    def burst(oversub):
+        sim, fabric, hosts = _fabric(
+            uplink_bandwidth_bps=gbit_per_s(1.0), oversubscription=oversub
+        )
+        for _ in range(50):
+            _offer(fabric, "rack0", "rack1/h0")
+        sim.run()
+        assert len(hosts["rack1/h0"].received) == 50
+        return sum(link.queued_us for link in fabric.uplinks)
+
+    base, oversubscribed = burst(1.0), burst(8.0)
+    assert oversubscribed > base
+
+
+def test_uplinks_property_enumerates_both_directions():
+    _, fabric, _ = _fabric(n_racks=3)
+    uplinks = fabric.uplinks
+    assert len(uplinks) == 6  # (ToR->spine, spine->ToR) per rack
+    assert all(link.queueing for link in uplinks)

@@ -74,3 +74,67 @@ def test_figure7_result_window_helpers():
     assert result.mean_latency_us(0.0, 1e6) == 400.0
     text = result.render()
     assert "stalls" in text and "100ms" in text
+
+
+# -- warm-up: shifts with a non-zero activation delay -----------------------
+
+
+def _counting_hooks():
+    calls = {"hw": 0, "sw": 0}
+    return calls, dict(
+        to_hardware=lambda: calls.__setitem__("hw", calls["hw"] + 1),
+        to_software=lambda: calls.__setitem__("sw", calls["sw"] + 1),
+    )
+
+
+def test_warmup_delays_activation_and_stamps_shift_at_flip():
+    sim = Simulator()
+    calls, hooks = _counting_hooks()
+    service = OnDemandService(sim, "x", warmup_us=1_000.0, **hooks)
+    assert service.shift_to_hardware("load")
+    # card powered immediately, classifier not yet flipped
+    assert calls["hw"] == 1
+    assert service.warming and not service.in_hardware
+    assert service.shifts == []
+    sim.run()
+    assert service.in_hardware and not service.warming
+    assert service.shifts[0].time_us == pytest.approx(1_000.0)
+
+
+def test_warmup_shift_is_idempotent_while_warming():
+    sim = Simulator()
+    service = OnDemandService(sim, "x", warmup_us=1_000.0)
+    assert service.shift_to_hardware()
+    # a second request during warm-up neither restarts nor double-books
+    assert not service.shift_to_hardware()
+    sim.run()
+    assert service.in_hardware
+    assert len(service.shifts) == 1
+
+
+def test_shift_to_software_cancels_pending_warmup():
+    sim = Simulator()
+    calls, hooks = _counting_hooks()
+    service = OnDemandService(sim, "x", warmup_us=1_000.0, **hooks)
+    service.shift_to_hardware()
+    assert service.shift_to_software("cooled off")
+    sim.run()
+    # the activation never fired: the only recorded shift is the software one
+    assert not service.in_hardware and not service.warming
+    assert [s.to for s in service.shifts] == [Placement.SOFTWARE]
+    assert calls["sw"] == 1
+
+
+def test_immediate_skips_warmup():
+    sim = Simulator()
+    service = OnDemandService(sim, "x", warmup_us=1_000.0)
+    assert service.shift_to_hardware("declared initial placement", immediate=True)
+    assert service.in_hardware and not service.warming
+    assert service.shifts[0].time_us == 0.0
+
+
+def test_negative_warmup_rejected():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        OnDemandService(Simulator(), "x", warmup_us=-1.0)

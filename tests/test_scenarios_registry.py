@@ -39,6 +39,11 @@ _SHORT = {
         peak_rate_per_host_kpps=8.0, keyspace=4_000,
     ),
     "rack-paxos-shared": dict(duration_s=1.2),
+    "fabric-kvs": dict(duration_s=0.5, rate_per_host_kpps=4.0, keyspace=4_000),
+    "fabric-kvs-crossrack": dict(duration_s=1.6, keyspace=4_000),
+    "fabric-paxos-split": dict(
+        duration_s=1.0, shift_to_hw_s=0.3, shift_to_sw_s=0.6
+    ),
 }
 
 
