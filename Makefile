@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke hetero-smoke fabric-smoke bench-perf bench-replication bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke fabric-smoke bench-perf bench-fabric-perf bench-replication bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -45,6 +45,14 @@ fabric-smoke:
 # or replication points/sec fails).
 bench-perf:
 	$(PYTHON) -m pytest -q benchmarks/bench_perf.py
+
+# The fabric fast-path criteria: sweep-fabric-scale with fastpath=True
+# must be >=3x faster wall-clock than the full DES at n_racks=4 while
+# staying inside the validate_fastpath tolerance gate (achieved pps,
+# total wall W, ops/W), plus the fabric events/sec regression gate.
+# Artifact: benchmarks/results/fabric_fastpath.txt.
+bench-fabric-perf:
+	$(PYTHON) -m pytest -q benchmarks/bench_fabric_perf.py
 
 # The replication acceptance benchmark: K=8 seeds of the reduced
 # sweep-rack-kvs, per-seed byte-identity vs serial run_sweep everywhere,

@@ -1,0 +1,110 @@
+"""Fabric fast-path benchmark — the ISSUE 9 acceptance criteria.
+
+``sweep-fabric-scale`` (reduced grid) with ``fastpath=True`` must beat the
+full DES by >= 3x wall-clock at ``n_racks=4``, *and* stay inside the
+``validate_fastpath`` tolerance gate on achieved pps, total wall power and
+ops/W at the same grid point — speed that drifts from the DES is a model
+bug, not a win.  The gated trend figure (fabric-kvs events/sec against the
+committed baseline) rides in ``BENCH_perf.json``'s ``fabric`` section via
+``bench_perf.py``; this module re-checks just the fabric gate so ``make
+bench-fabric-perf`` fails standalone when the fabric kernel regresses.
+
+Artifact: ``benchmarks/results/fabric_fastpath.txt``.
+"""
+
+import json
+import pathlib
+import time
+
+from perf_harness import (
+    BASELINE_PATH,
+    PERF_FABRIC_SWEEP,
+    check_regression,
+    measure_fabric,
+)
+from repro.scenarios import (
+    build_spec,
+    build_sweep_spec,
+    run_sweep,
+    software_variant,
+    validate_fastpath,
+)
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+SPEEDUP_FLOOR = 3.0
+
+
+def test_fabric_fastpath_speedup_and_gate():
+    """fastpath >= 3x faster than DES at 4 racks, within the tolerance
+    gate on achieved pps, total wall W and ops/W."""
+    spec = build_sweep_spec(
+        PERF_FABRIC_SWEEP["name"], **PERF_FABRIC_SWEEP["overrides"]
+    )
+    n_racks = max(PERF_FABRIC_SWEEP["overrides"]["racks"])
+
+    start = time.perf_counter()
+    des = run_sweep(spec)
+    des_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    fast = run_sweep(spec, fastpath=True)
+    fastpath_wall_s = time.perf_counter() - start
+    speedup = des_wall_s / fastpath_wall_s if fastpath_wall_s > 0 else 0.0
+
+    # the tolerance gate at the largest, highest-rate grid point: the
+    # analytic uplink model must stay within DEFAULT_REL_TOL of the DES
+    point_overrides = {
+        k: v for k, v in PERF_FABRIC_SWEEP["overrides"].items()
+        if k not in ("racks", "rates_kpps")
+    }
+    point_spec = build_spec(
+        spec.base,
+        n_racks=n_racks,
+        rate_per_host_kpps=max(PERF_FABRIC_SWEEP["overrides"]["rates_kpps"]),
+        **point_overrides,
+    )
+    gates = validate_fastpath(software_variant(point_spec))
+
+    RESULTS.mkdir(exist_ok=True)
+    lines = [
+        f"{spec.name} fastpath vs DES @ n_racks={n_racks} "
+        f"({len(spec.points())} grid points)",
+        f"des      {des_wall_s:.2f}s",
+        f"fastpath {fastpath_wall_s:.3f}s",
+        f"speedup  {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+    ]
+    for gate in gates:
+        lines.append(
+            f"gate {gate.mode}: achieved {gate.achieved_rel_err:.3%} "
+            f"power {gate.power_rel_err:.3%} "
+            f"ops/W {gate.ops_per_watt_rel_err:.3%} "
+            f"(tol {gate.rel_tol:.0%}) -> {'ok' if gate.ok else 'FAIL'}"
+        )
+    (RESULTS / "fabric_fastpath.txt").write_text("\n".join(lines) + "\n")
+
+    assert len(des.points) == len(fast.points)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fabric fastpath speedup {speedup:.1f}x < {SPEEDUP_FLOOR:.0f}x "
+        f"(DES {des_wall_s:.2f}s, fastpath {fastpath_wall_s:.3f}s)"
+    )
+    for gate in gates:
+        assert gate.ok, (
+            f"fabric fastpath drifted from DES in mode {gate.mode!r}: "
+            f"achieved {gate.achieved_rel_err:.1%}, "
+            f"power {gate.power_rel_err:.1%}, "
+            f"ops/W {gate.ops_per_watt_rel_err:.1%} "
+            f"(tolerance {gate.rel_tol:.0%})"
+        )
+
+
+def test_fabric_perf_section_gate():
+    """The fabric record section measures real work and holds the >30%
+    events/sec regression gate against the committed baseline."""
+    fabric = measure_fabric()
+    assert fabric["scenario"]["events"] > 0
+    assert fabric["sweep_fastpath"]["speedup"] > 0
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check_regression({"scenarios": {}, "fabric": fabric},
+                                    baseline)
+        assert not failures, "; ".join(failures)

@@ -56,6 +56,20 @@ def test_perf_trajectory():
     assert rep["tasks"] == rep["seeds"] * len(spec.points())
     assert rep["points_per_sec"] > 0
 
+    # the fabric leg (ISSUE 9): gated DES throughput on fabric-kvs, the
+    # fastpath-vs-DES wall comparison, and the replicated speedups
+    fabric = record["fabric"]
+    assert fabric["scenario"]["events"] > 0
+    assert fabric["scenario"]["events_per_sec"] > 0
+    fast = fabric["sweep_fastpath"]
+    assert fast["des_wall_s"] > 0 and fast["fastpath_wall_s"] > 0
+    assert fast["speedup"] > 0
+    frep = fabric["replication"]
+    assert frep["serial_wall_s"] > 0
+    for key in ("workers2", "workers4"):
+        assert frep[key]["wall_s"] > 0
+        assert frep[key]["speedup"] > 0
+
     # the committed-baseline regression gate (>30% events/sec drop fails)
     assert BASELINE_PATH.exists(), (
         "no committed perf baseline; regenerate with "

@@ -40,6 +40,24 @@ PERF_SWEEP = dict(
 #: serial vs a small worker pool (ISSUE 7's replication-scale executor).
 PERF_REPLICATION = dict(seeds=4, workers=2)
 
+#: Fabric leg (ISSUE 9): DES throughput on the leaf-spine scenario, the
+#: fastpath-vs-DES wall clock of a reduced ``sweep-fabric-scale`` at its
+#: largest rack count, and the replicated executor's speedup at 2/4
+#: workers on a small fabric grid.
+PERF_FABRIC_SCENARIO = ("fabric-kvs", dict(n_racks=2, duration_s=0.3,
+                                           keyspace=4_000))
+PERF_FABRIC_SWEEP = dict(
+    name="sweep-fabric-scale",
+    overrides=dict(racks=(4,), rates_kpps=(8.0, 24.0), hosts_per_rack=2,
+                   duration_s=0.2, keyspace=4_000),
+)
+PERF_FABRIC_REPLICATION = dict(
+    overrides=dict(racks=(2,), rates_kpps=(8.0, 16.0), hosts_per_rack=2,
+                   duration_s=0.1, keyspace=4_000),
+    seeds=2,
+    workers=(2, 4),
+)
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_perf_baseline.json"
 
@@ -106,7 +124,76 @@ def measure_replication(
     }
 
 
-def collect(parallel_workers: int = 2, include_sweep: bool = True) -> dict:
+def measure_fabric() -> Dict[str, object]:
+    """The ``fabric`` record section (ISSUE 9).
+
+    ``scenario`` is the gated trend figure (DES events/sec on the
+    leaf-spine ``fabric-kvs``); ``sweep_fastpath`` compares the full-DES
+    and analytic-fastpath wall clock of the reduced ``sweep-fabric-scale``
+    at 4 racks (the >= 3x acceptance criterion lives in
+    ``bench_fabric_perf.py``); ``replication`` reports the replicated
+    executor's speedup at 2 and 4 workers on a small fabric grid —
+    informational, like the single-rack replication speedup, because it
+    tracks the machine's core count as much as the code.
+    """
+    from repro.scenarios import build_sweep_spec, run_replicated, run_sweep
+
+    name, overrides = PERF_FABRIC_SCENARIO
+    scenario = {"name": name, **measure_scenario(name, overrides)}
+
+    sweep_spec = build_sweep_spec(
+        PERF_FABRIC_SWEEP["name"], **PERF_FABRIC_SWEEP["overrides"]
+    )
+    start = time.perf_counter()
+    run_sweep(sweep_spec)
+    des_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_sweep(sweep_spec, fastpath=True)
+    fastpath_wall_s = time.perf_counter() - start
+    sweep_fastpath = {
+        "name": PERF_FABRIC_SWEEP["name"],
+        "n_racks": max(PERF_FABRIC_SWEEP["overrides"]["racks"]),
+        "points": len(sweep_spec.points()),
+        "des_wall_s": round(des_wall_s, 4),
+        "fastpath_wall_s": round(fastpath_wall_s, 4),
+        "speedup": (
+            round(des_wall_s / fastpath_wall_s, 1)
+            if fastpath_wall_s > 0 else 0.0
+        ),
+    }
+
+    rep_cfg = PERF_FABRIC_REPLICATION
+    rep_spec = build_sweep_spec(
+        PERF_FABRIC_SWEEP["name"], **rep_cfg["overrides"]
+    )
+    seeds = rep_cfg["seeds"]
+    n_tasks = seeds * len(rep_spec.points())
+    start = time.perf_counter()
+    run_replicated(rep_spec, seeds=seeds, workers=1)
+    serial_wall_s = time.perf_counter() - start
+    replication: Dict[str, object] = {
+        "name": PERF_FABRIC_SWEEP["name"],
+        "seeds": seeds,
+        "tasks": n_tasks,
+        "serial_wall_s": round(serial_wall_s, 4),
+    }
+    for workers in rep_cfg["workers"]:
+        start = time.perf_counter()
+        run_replicated(rep_spec, seeds=seeds, workers=workers)
+        wall_s = time.perf_counter() - start
+        replication[f"workers{workers}"] = {
+            "wall_s": round(wall_s, 4),
+            "speedup": round(serial_wall_s / wall_s, 3) if wall_s > 0 else 0.0,
+        }
+    return {
+        "scenario": scenario,
+        "sweep_fastpath": sweep_fastpath,
+        "replication": replication,
+    }
+
+
+def collect(parallel_workers: int = 2, include_sweep: bool = True,
+            include_fabric: bool = True) -> dict:
     """The full perf record written to ``BENCH_perf.json``."""
     scenarios = {}
     for name, overrides in PERF_SCENARIOS:
@@ -129,6 +216,8 @@ def collect(parallel_workers: int = 2, include_sweep: bool = True) -> dict:
             "name": PERF_SWEEP["name"],
             **measure_replication(**PERF_REPLICATION),
         }
+    if include_fabric:
+        record["fabric"] = measure_fabric()
     return record
 
 
@@ -167,6 +256,16 @@ def check_regression(record: dict, baseline: dict) -> List[str]:
                 f">{REGRESSION_TOLERANCE:.0%} below the baseline "
                 f"{base_rep['points_per_sec']:.2f}"
             )
+    base_fabric = (baseline.get("fabric") or {}).get("scenario")
+    fabric = (record.get("fabric") or {}).get("scenario")
+    if base_fabric and fabric and fabric.get("name") == base_fabric.get("name"):
+        floor = base_fabric["events_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if fabric["events_per_sec"] < floor:
+            failures.append(
+                f"fabric {fabric['name']}: {fabric['events_per_sec']:.0f} "
+                f"events/sec is >{REGRESSION_TOLERANCE:.0%} below the "
+                f"baseline {base_fabric['events_per_sec']:.0f}"
+            )
     return failures
 
 
@@ -188,6 +287,22 @@ def main(argv=None) -> int:
               f"{rep['serial_wall_s']:.2f}s, pooled(x{rep['workers']}) "
               f"{rep['wall_s']:.2f}s (speedup {rep['speedup']:.2f}x, "
               f"{rep['points_per_sec']:.2f} points/sec)")
+    if "fabric" in record:
+        fabric = record["fabric"]
+        scen = fabric["scenario"]
+        fast = fabric["sweep_fastpath"]
+        print(f"  fabric {scen['name']}: {scen['events_per_sec']:.0f} "
+              f"events/sec ({scen['events']} events in {scen['wall_s']:.2f}s)")
+        print(f"  fabric {fast['name']} @ {fast['n_racks']} racks: DES "
+              f"{fast['des_wall_s']:.2f}s vs fastpath "
+              f"{fast['fastpath_wall_s']:.3f}s ({fast['speedup']:.0f}x)")
+        rep = fabric["replication"]
+        pooled = ", ".join(
+            f"x{w[len('workers'):]} {rep[w]['speedup']:.2f}x"
+            for w in sorted(rep) if w.startswith("workers")
+        )
+        print(f"  fabric replication K={rep['seeds']} ({rep['tasks']} tasks):"
+              f" serial {rep['serial_wall_s']:.2f}s, speedup {pooled}")
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
         failures = check_regression(record, baseline)

@@ -19,6 +19,37 @@ from .node import Node
 from .packet import Packet
 
 
+def serialization_time_us(size_bytes: float, bandwidth_bps: float) -> float:
+    """Analytic serialization delay: time to put ``size_bytes`` on a wire
+    of ``bandwidth_bps`` — the same expression :meth:`Link.serialization_us`
+    charges per packet, exposed for the steady-state fast path."""
+    if bandwidth_bps <= 0:
+        raise ConfigurationError("bandwidth_bps must be > 0")
+    return size_bytes * 8 / bandwidth_bps * 1e6
+
+
+def fifo_wait_us(
+    offered_pps: float, size_bytes: float, bandwidth_bps: float
+) -> float:
+    """Mean queueing wait (us) of a rate-constant flow through one FIFO
+    output queue (:class:`Link` with ``queueing=True``).
+
+    At a constant offered rate the queue is an M/D/1 station —
+    deterministic service (fixed serialization time ``S``), near-Poisson
+    arrivals from many independent clients — whose mean wait is
+    ``S * rho / (2 * (1 - rho))`` at utilization ``rho = offered_pps * S``.
+    The approximation degrades near saturation; utilization is clamped
+    just below 1 so callers get a large-but-finite wait instead of a pole,
+    and the fast-path tolerance gate is what enforces the validity
+    envelope (``rho`` comfortably below 1).
+    """
+    if offered_pps < 0:
+        raise ConfigurationError("offered_pps must be >= 0")
+    service_s = serialization_time_us(size_bytes, bandwidth_bps) / 1e6
+    rho = min(offered_pps * service_s, 0.999)
+    return service_s * rho / (2.0 * (1.0 - rho)) * 1e6
+
+
 @dataclass
 class LinkFaults:
     """Fault-injection knobs, all probabilities in [0, 1]."""
@@ -93,6 +124,9 @@ class Link:
 
     def serialization_us(self, packet: Packet) -> float:
         """Time to put ``packet`` on the wire at this link's bandwidth."""
+        # keep this expression operation-for-operation identical to
+        # serialization_time_us: event times must not drift between the
+        # DES and the analytic fast path's description of it
         return packet.size_bytes * 8 / self.bandwidth_bps * 1e6
 
     def send(self, packet: Packet) -> None:

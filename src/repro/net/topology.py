@@ -315,6 +315,25 @@ class Fabric:
         return links
 
 
+def uplink_effective_bps(
+    uplink_bandwidth_bps: float, oversubscription: float
+) -> float:
+    """The effective per-direction bandwidth of an oversubscribed uplink —
+    the single analytic parameter the steady fast path needs from the
+    fabric's queueing model.  Kept as the one shared expression so
+    :func:`build_fabric`'s DES links and the analytic model can never
+    disagree about what a 4:1 oversubscribed 40G uplink serves."""
+    if uplink_bandwidth_bps <= 0:
+        raise ConfigurationError(
+            f"uplink bandwidth must be > 0, got {uplink_bandwidth_bps}"
+        )
+    if oversubscription < 1.0:
+        raise ConfigurationError(
+            f"oversubscription must be >= 1, got {oversubscription}"
+        )
+    return uplink_bandwidth_bps / oversubscription
+
+
 def build_fabric(
     sim: Simulator,
     rack_names: Sequence[str],
@@ -341,14 +360,10 @@ def build_fabric(
         raise ConfigurationError("a fabric needs at least one rack")
     if len(set(rack_names)) != len(rack_names):
         raise ConfigurationError(f"duplicate rack names in {list(rack_names)}")
-    if oversubscription < 1.0:
-        raise ConfigurationError(
-            f"oversubscription must be >= 1, got {oversubscription}"
-        )
+    effective_bps = uplink_effective_bps(uplink_bandwidth_bps, oversubscription)
     topo = topology if topology is not None else Topology(sim)
     spine = Switch(sim, spine_name)
     topo.add(spine)
-    effective_bps = uplink_bandwidth_bps / oversubscription
     tors: Dict[str, Switch] = {}
     for rack in rack_names:
         tor = Switch(sim, rack_qualified(rack, tor_name))

@@ -12,9 +12,23 @@ Eligibility (:func:`steady_eligible`) is deliberately narrow:
 * KVS hosts only — no Paxos groups (closed-loop clients adapt to latency,
   which the steady curves do not model) and no DNS hosts (storm phases);
 * a rate-constant workload — no ``phases`` schedule;
-* nothing that can *change* during the run: every controller is ``none``
-  and no co-located jobs.  (The sweep's software/hardware pins satisfy
-  this by construction; the on-demand pin does not, and always runs DES.)
+* nothing that can *change* during the run: every controller is ``none``,
+  no centralized fabric controller, no ``served_by`` shard donations (the
+  fabric controller may steer them back mid-run), and no co-located jobs.
+  (The sweep's software/hardware pins satisfy this by construction; the
+  on-demand pin does not, and always runs DES.)
+
+Multi-rack fabrics are eligible too: per-rack steady aggregates compose
+with the analytic uplink model of :mod:`repro.steady.fabric`.  Each
+cross-rack host pays four uplink traversals (request up + down, response
+up + down) of propagation + serialization + the utilization-scaled M/D/1
+FIFO wait at that uplink direction's own offered load, where the
+per-direction loads are the spec-derived cross-rack subset — the same
+quantity the DES's transit identity ``sum(ToRs) − spine`` measures from
+counters.  Achieved throughput is capped by the bottleneck direction's
+effective bandwidth.  Single-ToR estimates are untouched by the fabric
+terms (no fabric → no adder, bare placement names), so pre-fabric outputs
+stay byte-identical.
 
 :func:`validate_fastpath` is the tolerance gate: it runs both the DES and
 the analytic path for the same spec and checks the relative error on
@@ -33,6 +47,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import calibration as cal
 from ..errors import ConfigurationError
 from ..hw.device import get_device
+from ..naming import rack_qualified, split_rack
+from ..steady.fabric import FabricUplinkModel
 from ..steady.kvs import memcached_model
 from ..steady.ondemand import device_hardware_model
 from ..workloads.etc import ShardedEtcWorkload
@@ -48,12 +64,17 @@ _FASTPATH_MODES = ("software", "hardware")
 
 def _rack_steady_shape(spec: ScenarioSpec) -> bool:
     """Rack-level preconditions shared by full and per-host eligibility:
-    a pure KVS rack offered a rate-constant (phase-free) workload, behind
-    a single ToR — the steady models know nothing about uplink queueing
-    or cross-rack latency, so fabric scenarios always replay the DES."""
+    a pure KVS fleet offered a rate-constant (phase-free) workload, with
+    no fleet-level dynamics.  Single-ToR racks and multi-rack fabrics both
+    qualify (the fabric composes with the analytic uplink model of
+    :mod:`repro.steady.fabric`), but a live centralized fabric controller
+    or a ``served_by`` shard donation means serving assignments can move
+    mid-run — those always replay the DES."""
     if not spec.kvs_hosts or spec.paxos_groups or spec.dns_hosts:
         return False
-    if spec.fabric is not None:
+    if spec.fabric_controller is not None:
+        return False
+    if any(host.served_by is not None for host in spec.kvs_hosts):
         return False
     workload = spec.kvs_workload
     return workload is not None and not workload.phases
@@ -101,6 +122,13 @@ def split_steady(
         return (), spec
     if len(eligible) == len(spec.kvs_hosts):
         return eligible, None
+    if spec.fabric is not None:
+        # no partial split on a fabric: eligible and residual hosts share
+        # the uplink FIFO queues, so dropping the analytic hosts from the
+        # residual DES would change the survivors' queueing delays — the
+        # residual would NOT be byte-identical to the full run.  Fabric
+        # fast-pathing is all-or-nothing.
+        return (), spec
     n_shards = spec.kvs_workload.n_shards or len(spec.kvs_hosts)
     analytic = set(eligible)
     residual_hosts = tuple(
@@ -164,6 +192,52 @@ def _per_host_rates(spec: ScenarioSpec) -> List[float]:
     ]
 
 
+def _fabric_uplink_model(spec: ScenarioSpec) -> FabricUplinkModel:
+    """The declared fabric's analytic uplink parameters (shared by every
+    ToR↔spine direction: the spec declares one :class:`UplinkSpec`)."""
+    uplink = spec.fabric.uplink
+    return FabricUplinkModel(
+        latency_us=uplink.latency_us,
+        effective_bps=uplink.effective_bandwidth_bps(),
+    )
+
+
+def _host_racks(spec: ScenarioSpec, host) -> Tuple[str, str]:
+    """``(host_rack, client_rack)`` of one placement.  The client rack is
+    read off the (possibly rack-qualified) client name — a bare client
+    name enters the fabric at its host's own ToR."""
+    host_rack = spec.host_rack(host)
+    client_rack, _ = split_rack(host.resolved_client_name())
+    return host_rack, client_rack or host_rack
+
+
+def _uplink_direction_loads(
+    spec: ScenarioSpec, rates: Sequence[float]
+) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """Offered pps on each uplink direction: ``(up[rack], down[rack])``.
+
+    This is the spec-derived cross-rack subset — analytically, the same
+    packets the DES transit identity ``sum(ToRs) − spine`` isolates: a
+    cross-rack host's requests leave the client's rack (up), enter the
+    host's rack (down), and its responses make the reverse trip.  Loads
+    always cover the **whole** fleet, not just an estimated subset: the
+    FIFO uplinks queue everyone's packets together.
+    """
+    racks = spec.fabric.rack_names()
+    up = {rack: 0.0 for rack in racks}
+    down = {rack: 0.0 for rack in racks}
+    for i, host in enumerate(spec.kvs_hosts):
+        host_rack, client_rack = _host_racks(spec, host)
+        if client_rack == host_rack:
+            continue
+        rate = rates[i]
+        up[client_rack] += rate    # requests leave the client's rack
+        down[host_rack] += rate    # ...and enter the host's rack
+        up[host_rack] += rate      # responses leave the host's rack
+        down[client_rack] += rate  # ...and return to the client's rack
+    return up, down
+
+
 def _host_models(host, mode: str):
     """(power_at(pps), capacity_pps, latency_at(pps)) for one host+mode."""
     software = memcached_model()
@@ -201,6 +275,12 @@ def steady_point(
     a mixed rack while the shifting ones run DES).  Rates always come from
     the **full** rack's shard split, so the subset estimate composes
     exactly with the residual sub-rack's DES aggregate.
+
+    On a fabric spec, placement keys are rack-qualified (matching the
+    builder's ``power_by_placement`` spelling) and every cross-rack host
+    additionally pays the four-traversal analytic uplink adder on latency
+    plus the bottleneck direction's throughput cap — see
+    :mod:`repro.steady.fabric` for the model and its validity envelope.
     """
     if mode not in _FASTPATH_MODES:
         raise ConfigurationError(
@@ -227,15 +307,38 @@ def steady_point(
     rates = _per_host_rates(spec)
     selected = [(spec.kvs_hosts[i], rates[i]) for i in host_indices]
     total_offered = sum(rate for _, rate in selected)
+    fabric = spec.fabric
+    if fabric is not None:
+        uplink = _fabric_uplink_model(spec)
+        up_loads, down_loads = _uplink_direction_loads(spec, rates)
     achieved = 0.0
     power_by_placement: Dict[str, float] = {}
     latencies: List[Tuple[float, float]] = []  # (served share, latency)
     for host, rate in selected:
         power_at, capacity, latency_at = _host_models(host, mode)
         served = min(rate, capacity)
+        latency = latency_at(rate)
+        key = host.name
+        if fabric is not None:
+            host_rack, client_rack = _host_racks(spec, host)
+            key = rack_qualified(host_rack, host.name)
+            if client_rack != host_rack:
+                # request: client-rack up, host-rack down; response:
+                # host-rack up, client-rack down — four traversals, each
+                # at its own direction's offered load
+                directions = (
+                    up_loads[client_rack],
+                    down_loads[host_rack],
+                    up_loads[host_rack],
+                    down_loads[client_rack],
+                )
+                latency += sum(uplink.crossing_us(load) for load in directions)
+                served *= min(
+                    uplink.throughput_factor(load) for load in directions
+                )
         achieved += served
-        power_by_placement[host.name] = power_at(rate)
-        latencies.append((served, latency_at(rate)))
+        power_by_placement[key] = power_at(rate)
+        latencies.append((served, latency))
     total_power = sum(power_by_placement.values())
     total_served = sum(share for share, _ in latencies) or 1.0
     # the rack-level "median" of per-host flat medians: served-weighted

@@ -90,6 +90,18 @@ class UplinkSpec:
     bandwidth_gbps: float = 40.0
     oversubscription: float = 1.0
 
+    def effective_bandwidth_bps(self) -> float:
+        """The per-direction bandwidth the DES uplinks actually serve —
+        the declared bandwidth divided down by the oversubscription ratio.
+        This is the analytic parameter the steady fast path's queueing
+        model consumes (``repro.steady.fabric``)."""
+        from ..net.topology import uplink_effective_bps
+        from ..units import gbit_per_s
+
+        return uplink_effective_bps(
+            gbit_per_s(self.bandwidth_gbps), self.oversubscription
+        )
+
     def validate(self, owner: str) -> None:
         if self.latency_us < 0:
             raise ConfigurationError(

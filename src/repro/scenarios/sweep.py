@@ -25,17 +25,19 @@ Named sweeps live in the registry here (``sweep-rack-kvs``,
 
 from __future__ import annotations
 
+import atexit
 import dataclasses
 import hashlib
 import math
 from array import array
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..sim.recorder import percentiles
 from .builder import ScenarioBuilder, ScenarioResult, ScenarioRun
-from .registry import build_spec
+from .registry import _REGISTRY, resolve_factory
 from .spec import (
     NO_CONTROLLER,
     ControllerSpec,
@@ -433,15 +435,71 @@ def _aggregate(run: ScenarioRun, result: ScenarioResult, mode: str) -> SweepAggr
     )
 
 
+def spec_hash(base: str, overrides: Dict[str, object]) -> str:
+    """Stable hash of one grid point's materialization inputs: the base
+    scenario name plus its full override set (sweep ``fixed`` + point
+    params, key-sorted).  Override values are the primitives a sweep axis
+    can carry (numbers, strings, tuples), whose ``repr`` is stable within
+    a process — and the cache this keys is per-process anyway."""
+    payload = repr(
+        (base, sorted(overrides.items(), key=lambda item: item[0]))
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+#: Materialized-spec cache: grid points are re-materialized once per
+#: eligibility precheck, once per task, and K times across replicate seeds
+#: that share (base, overrides); specs are frozen dataclasses, so handing
+#: the same instance out repeatedly is safe.  Entries pin the factory that
+#: built them — a re-registered scenario name misses instead of serving a
+#: stale spec.  Fork-started pool workers inherit a pre-warmed cache.
+_SPEC_CACHE: "OrderedDict[Tuple[str, str], Tuple[Callable, ScenarioSpec]]" = (
+    OrderedDict()
+)
+_SPEC_CACHE_MAX = 512
+_spec_cache_hits = 0
+_spec_cache_misses = 0
+
+
+def spec_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the materialization cache (diagnostics)."""
+    return {
+        "hits": _spec_cache_hits,
+        "misses": _spec_cache_misses,
+        "size": len(_SPEC_CACHE),
+    }
+
+
+def clear_spec_cache() -> None:
+    """Drop every cached materialized spec (and reset the counters)."""
+    global _spec_cache_hits, _spec_cache_misses
+    _SPEC_CACHE.clear()
+    _spec_cache_hits = 0
+    _spec_cache_misses = 0
+
+
 def _materialize(sweep: ScenarioSweepSpec, params: Dict[str, object]) -> ScenarioSpec:
+    global _spec_cache_hits, _spec_cache_misses
     overrides = {**sweep.fixed_dict(), **params}
+    factory = resolve_factory(_REGISTRY, sweep.base, "scenario")
+    key = (sweep.base, spec_hash(sweep.base, overrides))
+    entry = _SPEC_CACHE.get(key)
+    if entry is not None and entry[0] is factory:
+        _spec_cache_hits += 1
+        _SPEC_CACHE.move_to_end(key)
+        return entry[1]
+    _spec_cache_misses += 1
     try:
-        return build_spec(sweep.base, **overrides)
+        spec = factory(**overrides)
     except TypeError as exc:
         raise ConfigurationError(
             f"sweep {sweep.name!r}: scenario factory {sweep.base!r} rejected "
             f"overrides {sorted(overrides)} ({exc})"
         ) from None
+    _SPEC_CACHE[key] = (factory, spec)
+    while len(_SPEC_CACHE) > _SPEC_CACHE_MAX:
+        _SPEC_CACHE.popitem(last=False)
+    return spec
 
 
 def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
@@ -574,6 +632,106 @@ def _run_grid_point(
     )
 
 
+# ---------------------------------------------------------------------------
+# The executor: a persistent worker pool with chunked dispatch.
+# ---------------------------------------------------------------------------
+
+#: One long-lived pool reused across run_sweep/run_replicated calls:
+#: forking + importing per call costs a noticeable fraction of a reduced
+#: sweep's wall time, and sequential benchmark legs (serial vs pooled vs
+#: pooled-again) were paying it over and over.
+_POOL = None
+_POOL_SIZE = 0
+#: The scenario registry as the pool's workers saw it at fork time
+#: (strong refs, compared by identity).  Fork workers resolve scenario
+#: names in their inherited registry, so a scenario registered *after*
+#: the fork would be invisible to a reused pool — recreate instead.
+_POOL_REGISTRY: Optional[Dict[str, Callable]] = None
+
+
+def _fork_context():
+    import multiprocessing
+
+    # fork (where available) shares the already-imported registry with
+    # the workers; spawn re-imports it, which also works — just slower.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _registry_changed() -> bool:
+    return _POOL_REGISTRY is None or not (
+        len(_POOL_REGISTRY) == len(_REGISTRY)
+        and all(_REGISTRY.get(k) is v for k, v in _POOL_REGISTRY.items())
+    )
+
+
+def _get_pool(workers: int):
+    """The shared pool, created on first use and reused while the worker
+    count and the scenario registry stay the same."""
+    global _POOL, _POOL_SIZE, _POOL_REGISTRY
+    if _POOL is not None and (_POOL_SIZE != workers or _registry_changed()):
+        shutdown_executor()
+    if _POOL is None:
+        _POOL = _fork_context().Pool(processes=workers)
+        _POOL_SIZE = workers
+        _POOL_REGISTRY = dict(_REGISTRY)
+    return _POOL
+
+
+def shutdown_executor() -> None:
+    """Tear down the persistent worker pool (idempotent; re-created on the
+    next parallel call).  Registered at interpreter exit."""
+    global _POOL, _POOL_SIZE, _POOL_REGISTRY
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+        _POOL = None
+        _POOL_SIZE = 0
+        _POOL_REGISTRY = None
+
+
+atexit.register(shutdown_executor)
+
+
+def _auto_chunksize(n_tasks: int, workers: int) -> int:
+    """Dispatch granularity: ~4 chunks per worker.  Coarse enough that
+    per-task IPC (pickle a spec over a pipe, wake the worker, pickle the
+    result back) stops dominating second-long DES tasks, fine enough that
+    work stealing still evens out slow points."""
+    return max(1, n_tasks // (max(1, workers) * 4))
+
+
+def _require_fastpath_eligibility(
+    spec: ScenarioSweepSpec, grid: Sequence[Dict[str, object]]
+) -> None:
+    """``fastpath=True`` on a sweep where no grid point qualifies would
+    silently run the full DES for everything — refuse instead."""
+    from .fastpath import steady_eligible
+
+    if any(
+        steady_eligible(software_variant(_materialize(spec, params)))
+        for params in grid
+    ):
+        return
+    raise ConfigurationError(
+        f"sweep {spec.name!r} over {spec.base!r}: fastpath=True, but no "
+        "grid point is steady-state eligible — every point would silently "
+        "run the full DES; drop fastpath=True or sweep an eligible "
+        "scenario (see repro.scenarios.fastpath.steady_eligible)"
+    )
+
+
+def _run_grid_point_packed(
+    task: Tuple[ScenarioSweepSpec, Dict[str, object], bool]
+) -> tuple:
+    """Worker-side wrapper: run the grid point and ship back only the
+    packed aggregate (:func:`_pack_point`) — per-rack placement series
+    stay in the worker, so transport cost is independent of fabric size."""
+    return _pack_point(_run_grid_point(task))
+
+
 def run_sweep(
     sweep: Union[str, ScenarioSweepSpec],
     workers: Optional[int] = None,
@@ -582,18 +740,22 @@ def run_sweep(
 ) -> ScenarioSweepResult:
     """Execute a sweep (named, or an explicit spec) over its whole grid.
 
-    ``workers`` > 1 fans the grid points out over a process pool (one
-    point — all of its pinned runs — per task).  Every point seeds its own
-    simulator and RNGs, so the parallel result is identical to the serial
-    one; ``Pool.map`` preserves grid order, so so is the point order (and
-    therefore the rendered tables).  The default is the serial in-process
-    loop.
+    ``workers`` > 1 fans the grid points out over the persistent process
+    pool (one point — all of its pinned runs — per task, dispatched in
+    auto-sized chunks, results shipped back packed).  Every point seeds
+    its own simulator and RNGs, so the parallel result is identical to
+    the serial one; ``Pool.map`` preserves grid order, so so is the point
+    order (and therefore the rendered tables).  The default is the serial
+    in-process loop.
 
     ``fastpath=True`` answers steady-state-eligible grid points (see
     :func:`repro.scenarios.fastpath.steady_eligible`) from the analytic
     models instead of replaying the DES — opt-in, because the numbers are
     the infinite-horizon limit rather than the finite replay (held within
     tolerance by the fastpath validation gate, but not byte-identical).
+    Raises :class:`ConfigurationError` when *no* grid point qualifies —
+    a fastpath request that would silently run the full DES everywhere
+    is a misconfiguration, not a slow success.
     """
     if isinstance(sweep, ScenarioSweepSpec):
         if overrides:
@@ -606,21 +768,27 @@ def run_sweep(
     spec.validate()
     if workers is not None and workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
-    tasks = [(spec, params, fastpath) for params in spec.points()]
+    grid = spec.points()
+    if fastpath:
+        # pre-warming the materialization cache here also seeds the fork
+        # workers' caches (they inherit it), so the check is ~free
+        _require_fastpath_eligibility(spec, grid)
+    tasks = [(spec, params, fastpath) for params in grid]
     if workers is None or workers == 1 or len(tasks) <= 1:
         points = [_run_grid_point(task) for task in tasks]
     else:
-        import multiprocessing
-
-        # fork (where available) shares the already-imported registry with
-        # the workers; spawn re-imports it, which also works — just slower.
+        pool = _get_pool(workers)
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        n = min(workers, len(tasks))
-        with ctx.Pool(processes=n) as pool:
-            points = pool.map(_run_grid_point, tasks)
+            packed = pool.map(
+                _run_grid_point_packed,
+                tasks,
+                chunksize=_auto_chunksize(len(tasks), workers),
+            )
+        except Exception:
+            # a dead or poisoned pool must not wedge the next call
+            shutdown_executor()
+            raise
+        points = [_unpack_point(*blob) for blob in packed]
     return ScenarioSweepResult(spec=spec, points=points)
 
 
@@ -653,14 +821,16 @@ class ReplicationSpec:
 
     ``workers`` fans the K × points task list over a process pool;
     ``chunksize`` is the work-stealing granularity of the unordered
-    executor (1 = finest stealing, the default — replicated DES tasks are
-    seconds long, so per-task dispatch overhead is noise).  ``fastpath``
-    forwards to :func:`run_sweep`'s steady-state analytics.
+    executor.  The default (``None``) auto-tunes it from the task count
+    and worker count (:func:`_auto_chunksize`) — per-task dispatch was
+    measurably slower than serial on short tasks; ``1`` restores the
+    finest stealing.  ``fastpath`` forwards to :func:`run_sweep`'s
+    steady-state analytics.
     """
 
     seeds: int = 8
     workers: Optional[int] = None
-    chunksize: int = 1
+    chunksize: Optional[int] = None
     fastpath: bool = False
 
     def validate(self) -> "ReplicationSpec":
@@ -672,7 +842,7 @@ class ReplicationSpec:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
             )
-        if self.chunksize < 1:
+        if self.chunksize is not None and self.chunksize < 1:
             raise ConfigurationError(
                 f"chunksize must be >= 1, got {self.chunksize}"
             )
@@ -969,6 +1139,10 @@ def run_replicated(
         # the sweep does not pin a seed: replicate around the scenario's
         # own default (read off the first materialized point)
         base_seed = _materialize(spec, grid[0]).seed
+    if rep.fastpath:
+        # eligibility is seed-independent, so the base grid stands in for
+        # every replicate's
+        _require_fastpath_eligibility(spec, grid)
     seed_list = replication_seeds(int(base_seed), rep.seeds)
     variants = [_with_seed(spec, s) for s in seed_list]
     tasks = [
@@ -982,18 +1156,20 @@ def run_replicated(
             rep_idx, pt_idx, blob = _run_replicated_task(task)
             packed[(rep_idx, pt_idx)] = blob
     else:
-        import multiprocessing
-
+        chunksize = (
+            rep.chunksize
+            if rep.chunksize is not None
+            else _auto_chunksize(len(tasks), rep.workers)
+        )
+        pool = _get_pool(rep.workers)
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        n = min(rep.workers, len(tasks))
-        with ctx.Pool(processes=n) as pool:
             for rep_idx, pt_idx, blob in pool.imap_unordered(
-                _run_replicated_task, tasks, chunksize=rep.chunksize
+                _run_replicated_task, tasks, chunksize=chunksize
             ):
                 packed[(rep_idx, pt_idx)] = blob
+        except Exception:
+            shutdown_executor()
+            raise
     runs = [
         ScenarioSweepResult(
             spec=variants[rep_idx],

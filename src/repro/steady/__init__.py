@@ -9,6 +9,7 @@ integration tests check the two layers agree at overlapping rates.
 """
 
 from .base import SteadyModel, SoftwareCurveModel, HardwareCardModel, find_crossover
+from .fabric import NOMINAL_KVS_PACKET_BYTES, FabricUplinkModel
 from .kvs import kvs_models
 from .paxos import paxos_models
 from .dns import dns_models
@@ -25,6 +26,8 @@ __all__ = [
     "SoftwareCurveModel",
     "HardwareCardModel",
     "find_crossover",
+    "NOMINAL_KVS_PACKET_BYTES",
+    "FabricUplinkModel",
     "kvs_models",
     "paxos_models",
     "dns_models",

@@ -1,0 +1,83 @@
+"""Analytic steady-state model of the leaf-spine fabric's uplinks.
+
+The DES builds every ToR→spine / spine→ToR uplink as a FIFO output queue
+(:class:`repro.net.link.Link` with ``queueing=True``) at
+``bandwidth / oversubscription`` effective bandwidth.  At a rate-constant
+offered load each direction is an M/D/1 station — deterministic service
+(fixed serialization time) fed by many independent constant-rate clients —
+so the steady fast path can describe a cross-rack flow without replaying
+events: each uplink traversal costs propagation + serialization + the
+utilization-scaled mean FIFO wait of :func:`repro.net.link.fifo_wait_us`.
+
+A request/response round trip between racks crosses four uplink
+directions — client-rack up, host-rack down (the request), host-rack up,
+client-rack down (the response) — so the analytic cross-rack latency adder
+is the sum of four :meth:`FabricUplinkModel.crossing_us` terms, one per
+direction at that direction's own offered load.  The per-direction loads
+are exactly the cross-rack subset the spine would see in the DES (the
+transit identity ``sum(ToRs) − spine``), derived from the spec's client
+and host rack assignments instead of measured from counters.
+
+Validity envelope: the M/D/1 wait and the fluid throughput cap are
+accurate while every uplink direction stays comfortably below saturation
+(utilization ≲ 0.7) and cross-rack packets are small relative to the
+uplink's effective bandwidth — the regime every registered fabric scenario
+operates in.  Near saturation the wait term grows without bound and the
+cap becomes a crude bottleneck scaling; ``scenarios.validate_fastpath`` is
+the gate that keeps a drifting model from silently substituting for DES.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..net.link import fifo_wait_us, serialization_time_us
+
+#: Nominal wire size (bytes) of a cross-rack KVS packet for the uplink
+#: utilization/queueing terms.  ETC requests are ``48 + key`` bytes and
+#: the value-size CDF keeps most responses under a few hundred bytes, so
+#: serialization on a multi-gigabit effective uplink is ~0.1 us against a
+#: 5 us propagation — the model is insensitive to this constant until an
+#: uplink direction approaches saturation, which the tolerance gate
+#: excludes anyway.
+NOMINAL_KVS_PACKET_BYTES = 128.0
+
+
+@dataclass(frozen=True)
+class FabricUplinkModel:
+    """One uplink direction's analytic parameters (all directions of a
+    declared fabric share them — the spec declares one ``UplinkSpec``)."""
+
+    latency_us: float
+    effective_bps: float
+    packet_bytes: float = NOMINAL_KVS_PACKET_BYTES
+
+    @property
+    def serialization_us(self) -> float:
+        """Serialization of one nominal packet at effective bandwidth."""
+        return serialization_time_us(self.packet_bytes, self.effective_bps)
+
+    @property
+    def capacity_pps(self) -> float:
+        """Nominal-packet saturation rate of one uplink direction."""
+        return self.effective_bps / (self.packet_bytes * 8.0)
+
+    def utilization(self, offered_pps: float) -> float:
+        """``rho`` of one direction at a rate-constant offered load."""
+        return offered_pps / self.capacity_pps if self.capacity_pps else 0.0
+
+    def wait_us(self, offered_pps: float) -> float:
+        """Mean M/D/1 FIFO wait of one direction at ``offered_pps``."""
+        return fifo_wait_us(offered_pps, self.packet_bytes, self.effective_bps)
+
+    def crossing_us(self, offered_pps: float) -> float:
+        """One traversal of this direction: propagation + serialization +
+        the mean queueing wait at the direction's offered load."""
+        return self.latency_us + self.serialization_us + self.wait_us(offered_pps)
+
+    def throughput_factor(self, offered_pps: float) -> float:
+        """Fluid cap: the fraction of a flow this direction can carry
+        (1.0 below saturation, proportional scaling above)."""
+        if offered_pps <= self.capacity_pps:
+            return 1.0
+        return self.capacity_pps / offered_pps
