@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke sweep-smoke hetero-smoke fabric-smoke bench-perf bench-fabric-perf bench-replication bench examples
+.PHONY: test bench-smoke sweep-smoke hetero-smoke fabric-smoke bench-perf bench-fabric-perf bench-grid-perf bench-replication bench examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +53,14 @@ bench-perf:
 # Artifact: benchmarks/results/fabric_fastpath.txt.
 bench-fabric-perf:
 	$(PYTHON) -m pytest -q benchmarks/bench_fabric_perf.py
+
+# The grid/adaptive criteria (ISSUE 10): the adaptive crossover search
+# must be >=5x faster wall-clock than the exhaustive DES sweep on the
+# reduced sweep-fabric-scale grid while reporting identical tipping rows
+# from <=25% of the DES replays, plus the vectorized steady-grid kernel's
+# points/sec regression gate.  Artifact: benchmarks/results/grid_adaptive.txt.
+bench-grid-perf:
+	$(PYTHON) -m pytest -q benchmarks/bench_grid_perf.py
 
 # The replication acceptance benchmark: K=8 seeds of the reduced
 # sweep-rack-kvs, per-seed byte-identity vs serial run_sweep everywhere,

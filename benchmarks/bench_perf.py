@@ -2,8 +2,10 @@
 
 Run via ``make bench-perf`` (or the CI ``perf-smoke`` leg).  Measures DES
 events/sec and wall seconds for the registered perf scenarios, the
-reduced sweep's serial-vs-parallel wall time, and the K-seed replication
-leg (serial vs pooled wall + points/sec), writes the record to
+reduced sweep's serial-vs-parallel wall time, the K-seed replication
+leg (serial vs pooled wall + points/sec), the fabric leg, and the grid
+leg (vectorized steady-grid points/sec + the adaptive-vs-exhaustive
+search wall clock), writes the record to
 ``benchmarks/results/BENCH_perf.json``, and fails when events/sec or
 replication points/sec drops more than
 :data:`perf_harness.REGRESSION_TOLERANCE` below the committed
@@ -69,6 +71,18 @@ def test_perf_trajectory():
     for key in ("workers2", "workers4"):
         assert frep[key]["wall_s"] > 0
         assert frep[key]["speedup"] > 0
+
+    # the grid leg (ISSUE 10): gated vectorized-kernel points/sec plus
+    # the adaptive-vs-exhaustive wall comparison and savings counters
+    grid = record["grid"]
+    assert grid["kernel"]["points"] > 0
+    assert grid["kernel"]["points_per_sec"] > 0
+    search = grid["search"]
+    assert search["exhaustive_wall_s"] > 0 and search["adaptive_wall_s"] > 0
+    assert search["speedup"] > 0
+    assert search["des_points_run"] + search["des_points_saved"] == \
+        search["points"]
+    assert search["rows_match"] is True
 
     # the committed-baseline regression gate (>30% events/sec drop fails)
     assert BASELINE_PATH.exists(), (

@@ -58,6 +58,23 @@ PERF_FABRIC_REPLICATION = dict(
     workers=(2, 4),
 )
 
+#: Grid leg (ISSUE 10): the vectorized steady-grid kernel's points/sec
+#: (the gated trend figure) and the adaptive-vs-exhaustive wall clock of
+#: a reduced ``sweep-fabric-scale`` ramp — long enough (16 rate steps x
+#: 2 rack counts) that the bracketed search's handful of DES probes pays
+#: for itself well past the >=5x acceptance floor in
+#: ``bench_grid_perf.py``.
+PERF_GRID = dict(
+    name="sweep-fabric-scale",
+    overrides=dict(
+        racks=(1, 2),
+        rates_kpps=tuple(6.0 + 3.0 * i for i in range(16)),
+        hosts_per_rack=2,
+        duration_s=0.15,
+        keyspace=4_000,
+    ),
+)
+
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_perf.json"
 BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_perf_baseline.json"
 
@@ -192,8 +209,80 @@ def measure_fabric() -> Dict[str, object]:
     }
 
 
+def measure_grid() -> Dict[str, object]:
+    """The ``grid`` record section (ISSUE 10).
+
+    ``kernel`` is the gated trend figure: grid points answered per wall
+    second by one vectorized :func:`steady_grid` pass over the reduced
+    ``sweep-fabric-scale`` grid (repeated until the wall clock is
+    measurable).  ``search`` compares the exhaustive and adaptive sweep
+    wall clock on the same grid and reports the DES savings counters;
+    ``rows_match`` records whether the two searches produced identical
+    tipping rows (asserted, with the >=5x speedup floor, in
+    ``bench_grid_perf.py``).
+    """
+    from repro.scenarios import (
+        build_sweep_spec,
+        run_sweep,
+        software_variant,
+        steady_grid,
+    )
+    from repro.scenarios.sweep import _materialize
+    from repro.steady import grid as grid_kernels
+
+    spec = build_sweep_spec(PERF_GRID["name"], **PERF_GRID["overrides"])
+    specs = [
+        software_variant(_materialize(spec, params))
+        for params in spec.points()
+    ]
+    steady_grid(specs, "software")  # warm the memoized model constants
+    passes = 0
+    start = time.perf_counter()
+    while True:
+        steady_grid(specs, "software")
+        passes += 1
+        kernel_wall_s = time.perf_counter() - start
+        if kernel_wall_s >= 0.2 and passes >= 3:
+            break
+    kernel = {
+        "numpy": grid_kernels.have_numpy(),
+        "points": len(specs),
+        "passes": passes,
+        "wall_s": round(kernel_wall_s, 4),
+        "points_per_sec": (
+            round(len(specs) * passes / kernel_wall_s, 1)
+            if kernel_wall_s > 0 else 0.0
+        ),
+    }
+
+    start = time.perf_counter()
+    exhaustive = run_sweep(spec)
+    exhaustive_wall_s = time.perf_counter() - start
+    start = time.perf_counter()
+    adaptive = run_sweep(spec, search="adaptive")
+    adaptive_wall_s = time.perf_counter() - start
+    search = {
+        "name": PERF_GRID["name"],
+        "points": adaptive.grid_points_total,
+        "exhaustive_wall_s": round(exhaustive_wall_s, 4),
+        "adaptive_wall_s": round(adaptive_wall_s, 4),
+        "speedup": (
+            round(exhaustive_wall_s / adaptive_wall_s, 2)
+            if adaptive_wall_s > 0 else 0.0
+        ),
+        "des_points_run": adaptive.des_points_run,
+        "des_points_saved": (
+            adaptive.grid_points_total - adaptive.des_points_run
+        ),
+        "rows_match": (
+            adaptive.tipping_points() == exhaustive.tipping_points()
+        ),
+    }
+    return {"kernel": kernel, "search": search}
+
+
 def collect(parallel_workers: int = 2, include_sweep: bool = True,
-            include_fabric: bool = True) -> dict:
+            include_fabric: bool = True, include_grid: bool = True) -> dict:
     """The full perf record written to ``BENCH_perf.json``."""
     scenarios = {}
     for name, overrides in PERF_SCENARIOS:
@@ -218,6 +307,8 @@ def collect(parallel_workers: int = 2, include_sweep: bool = True,
         }
     if include_fabric:
         record["fabric"] = measure_fabric()
+    if include_grid:
+        record["grid"] = measure_grid()
     return record
 
 
@@ -255,6 +346,21 @@ def check_regression(record: dict, baseline: dict) -> List[str]:
                 f"replication: {rep['points_per_sec']:.2f} points/sec is "
                 f">{REGRESSION_TOLERANCE:.0%} below the baseline "
                 f"{base_rep['points_per_sec']:.2f}"
+            )
+    base_kernel = (baseline.get("grid") or {}).get("kernel")
+    kernel = (record.get("grid") or {}).get("kernel")
+    if (
+        base_kernel
+        and kernel
+        and kernel.get("points") == base_kernel.get("points")
+        and kernel.get("numpy") == base_kernel.get("numpy")
+    ):
+        floor = base_kernel["points_per_sec"] * (1.0 - REGRESSION_TOLERANCE)
+        if kernel["points_per_sec"] < floor:
+            failures.append(
+                f"grid kernel: {kernel['points_per_sec']:.0f} points/sec is "
+                f">{REGRESSION_TOLERANCE:.0%} below the baseline "
+                f"{base_kernel['points_per_sec']:.0f}"
             )
     base_fabric = (baseline.get("fabric") or {}).get("scenario")
     fabric = (record.get("fabric") or {}).get("scenario")
@@ -303,6 +409,18 @@ def main(argv=None) -> int:
         )
         print(f"  fabric replication K={rep['seeds']} ({rep['tasks']} tasks):"
               f" serial {rep['serial_wall_s']:.2f}s, speedup {pooled}")
+    if "grid" in record:
+        kernel = record["grid"]["kernel"]
+        search = record["grid"]["search"]
+        print(f"  grid kernel: {kernel['points_per_sec']:.0f} points/sec "
+              f"({kernel['points']} points x {kernel['passes']} passes, "
+              f"numpy={kernel['numpy']})")
+        print(f"  grid {search['name']}: exhaustive "
+              f"{search['exhaustive_wall_s']:.2f}s vs adaptive "
+              f"{search['adaptive_wall_s']:.2f}s ({search['speedup']:.1f}x, "
+              f"DES {search['des_points_run']}/{search['points']}, "
+              f"{search['des_points_saved']} saved, rows_match="
+              f"{search['rows_match']})")
     if BASELINE_PATH.exists():
         baseline = json.loads(BASELINE_PATH.read_text())
         failures = check_regression(record, baseline)

@@ -15,6 +15,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import ast
 import difflib
 import pathlib
 import sys
@@ -109,9 +110,19 @@ def _render_catalogue() -> str:
     lines.append("sweeps (run with --sweep):")
     sweeps = sweep_descriptions()
     if sweeps:
+        from .scenarios import sweep_fastpath_eligibility
+
+        # eligible → the whole grid has analytic steady-state answers
+        # (--search adaptive and fastpath work); DES-only → every point
+        # replays the event simulation
+        tags = {
+            name: f"[{sweep_fastpath_eligibility(name)}]" for name in sweeps
+        }
         width = max(len(name) for name in sweeps)
+        tag_width = max(len(tag) for tag in tags.values())
         lines.extend(
-            f"  {name:<{width}}  {sweeps[name]}" for name in sorted(sweeps)
+            f"  {name:<{width}}  {tags[name]:<{tag_width}}  {sweeps[name]}"
+            for name in sorted(sweeps)
         )
     fabrics = _fabric_topologies()
     if fabrics:
@@ -174,25 +185,90 @@ def _suggestion(name: str) -> str:
     return f"; did you mean {best!r}?" if best else ""
 
 
+def _parse_anchor(text: str) -> dict:
+    """``--anchor "axis=value[,axis2=value2]"`` → a params mapping;
+    values parse as python literals, falling back to the raw string."""
+    anchor = {}
+    for part in text.split(","):
+        key, sep, raw = part.partition("=")
+        if not sep or not key.strip():
+            raise ConfigurationError(
+                f"anchor {text!r} must be comma-separated axis=value pairs"
+            )
+        try:
+            value = ast.literal_eval(raw.strip())
+        except (ValueError, SyntaxError):
+            value = raw.strip()
+        anchor[key.strip()] = value
+    return anchor
+
+
+def _print_perf_stats(result) -> None:
+    """The ``--perf-stats`` diagnostics block (stderr, after the tables)."""
+    from .scenarios import executor_stats, spec_cache_stats
+
+    runs = result.runs if hasattr(result, "runs") else [result]
+    total = sum(run.grid_points_total for run in runs)
+    des = sum(
+        run.des_points_run
+        if run.des_points_run is not None
+        else run.grid_points_total
+        for run in runs
+    )
+    cache = spec_cache_stats()
+    pool = executor_stats()
+    lines = [
+        "perf stats:",
+        f"  grid points: {total} total, {des} DES-replayed, "
+        f"{total - des} answered by the analytic grid kernel",
+        f"  spec cache: {cache['hits']} hits, {cache['misses']} misses, "
+        f"{cache['size']} cached",
+        f"  executor: {pool['pool_creates']} pool created, "
+        f"{pool['pool_reuses']} warm reuses, "
+        f"{pool['tasks_dispatched']} tasks dispatched",
+    ]
+    print("\n".join(lines), file=sys.stderr)
+
+
 def _run_sweep_command(args) -> int:
     name = args.sweep
     overrides = {}
     if args.duration is not None:
         overrides["duration_s"] = args.duration
     try:
+        anchors = [_parse_anchor(text) for text in (args.anchor or [])]
         # run_sweep resolves exact case-insensitive spellings itself;
         # unknown names and rejected overrides raise with the full message
         if args.seeds is not None and args.seeds != 1:
+            if anchors:
+                raise ConfigurationError(
+                    "--anchor applies to single adaptive runs; replicated "
+                    "sweeps re-validate every seed's bracket already"
+                )
             replicated = run_replicated(
-                name, seeds=args.seeds, workers=args.workers, **overrides
+                name,
+                seeds=args.seeds,
+                workers=args.workers,
+                search=args.search,
+                **overrides,
             )
             print(replicated.render())
+            if args.perf_stats:
+                _print_perf_stats(replicated)
             return 0
-        result = run_sweep(name, workers=args.workers, **overrides)
+        result = run_sweep(
+            name,
+            workers=args.workers,
+            search=args.search,
+            anchors=anchors,
+            **overrides,
+        )
     except ConfigurationError as exc:
         print(exc, file=sys.stderr)
         return 2
     print(result.render())
+    if args.perf_stats:
+        _print_perf_stats(result)
     _maybe_png(args, result.spec.name, result)
     return 0
 
@@ -251,6 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="replicate --sweep over K seeds and print mean ± 95%% CI "
         "tables (K tasks per grid point share the --workers pool; "
         "seed 1 of K is the sweep's own seed)",
+    )
+    parser.add_argument(
+        "--search",
+        choices=("exhaustive", "adaptive"),
+        default="exhaustive",
+        help="how --sweep walks its grid: 'exhaustive' replays every "
+        "point; 'adaptive' brackets each crossover on the vectorized "
+        "analytic grid and replays the DES only at the bracketing points",
+    )
+    parser.add_argument(
+        "--anchor",
+        action="append",
+        metavar="AXIS=VALUE[,AXIS=VALUE]",
+        default=None,
+        help="with --search adaptive: grid points matching these axis "
+        "values always replay the DES (repeatable)",
+    )
+    parser.add_argument(
+        "--perf-stats",
+        action="store_true",
+        help="after the tables, print spec-cache, executor-pool, and "
+        "grid-kernel vs DES point counters to stderr",
     )
     return parser
 

@@ -42,12 +42,14 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import calibration as cal
 from ..errors import ConfigurationError
 from ..hw.device import get_device
 from ..naming import rack_qualified, split_rack
+from ..steady import grid as steady_grid_kernels
 from ..steady.fabric import FabricUplinkModel
 from ..steady.kvs import memcached_model
 from ..steady.ondemand import device_hardware_model
@@ -165,6 +167,19 @@ class SteadyEstimate:
     power_by_placement: Dict[str, float] = field(default_factory=dict)
 
 
+@lru_cache(maxsize=256)
+def _shard_weights(
+    keyspace: int, n_shards: int, zipf_s: float, seed: int
+) -> Tuple[float, ...]:
+    """Memoized Zipf shard split: every grid point of a sweep that shares
+    (keyspace, shard count, skew, seed) — an entire rate ramp — reuses one
+    ranking pass instead of recomputing it per analytic evaluation."""
+    sharded = ShardedEtcWorkload(
+        keyspace=keyspace, n_shards=n_shards, zipf_s=zipf_s, seed=seed
+    )
+    return tuple(sharded.shard_weights())
+
+
 def _per_host_rates(spec: ScenarioSpec) -> List[float]:
     """Offered pps per host: the sweep's Zipf shard-weight rate split.
 
@@ -178,13 +193,9 @@ def _per_host_rates(spec: ScenarioSpec) -> List[float]:
     n_shards = workload.n_shards or len(hosts)
     if n_shards == 1:
         return [total_pps]
-    sharded = ShardedEtcWorkload(
-        keyspace=workload.keyspace,
-        n_shards=n_shards,
-        zipf_s=workload.zipf_s,
-        seed=spec.seed,
+    weights = _shard_weights(
+        workload.keyspace, n_shards, workload.zipf_s, spec.seed
     )
-    weights = sharded.shard_weights()
     return [
         weights[host.shard_index if host.shard_index is not None else i]
         * total_pps
@@ -353,6 +364,218 @@ def steady_point(
         ops_per_watt=achieved / total_power if total_power > 0 else 0.0,
         power_by_placement=power_by_placement,
     )
+
+
+@lru_cache(maxsize=128)
+def _grid_host_constants(
+    device_kind: str, is_offload: bool, power_save: bool, mode: str
+) -> Tuple:
+    """The scalar constants :func:`_host_models`' closures close over,
+    flattened for the array kernels and memoized per (device kind, mode):
+    a sweep grid re-derives each model family once, not once per point.
+
+    Returns ``("software", capacity, idle, span, alpha, poly_w, poly_exp,
+    sub_w, add_w, base_latency_us)`` or ``("hardware", capacity, fixed_w,
+    dyn_max_w, latency_us)``; ``fixed_w`` is host idle + the probed card
+    draw (``power_at(0.0)``, exact — the dynamic term is +0.0 there).
+    """
+    software = memcached_model()
+    if mode == "software" or not is_offload:
+        sub_w = add_w = 0.0
+        if is_offload and power_save:
+            sub_w = cal.NIC_MELLANOX_CX311A_IDLE_W
+            add_w = get_device(device_kind).standby_power_w("kvs")
+        span = software.peak_w - software.idle_w - software.poly_w
+        return (
+            "software",
+            software.capacity_pps,
+            software.idle_w,
+            span,
+            software.alpha,
+            software.poly_w,
+            software.poly_exp,
+            sub_w,
+            add_w,
+            software.base_latency_us(),
+        )
+    hardware = device_hardware_model("kvs", device_kind)
+    return (
+        "hardware",
+        hardware.capacity_pps,
+        hardware.power_at(0.0),
+        hardware.card_dynamic_max_w,
+        hardware.base_latency_us(),
+    )
+
+
+def steady_grid(
+    specs: Sequence[ScenarioSpec], mode: str
+) -> List[SteadyEstimate]:
+    """Batched :func:`steady_point`: one vectorized pass over many
+    eligible specs (a sweep grid's pinned variants), identical output.
+
+    The grid is flattened into struct-of-arrays host records — offered
+    rate plus the memoized per-device model constants — and evaluated
+    through the array kernels of :mod:`repro.steady.grid`; cross-rack
+    hosts of fabric specs additionally gather their four uplink-direction
+    loads for the batched M/D/1 adder.  Per-spec reductions (achieved
+    sum, wall-power sum, the served-weighted p50) stay in python, in host
+    order, so every returned :class:`SteadyEstimate` is byte-identical to
+    ``steady_point(spec, mode)``.
+
+    Without numpy (or under ``REPRO_PURE_PYTHON=1``) the fallback *is*
+    the per-point loop — identity by construction.
+    """
+    if mode not in _FASTPATH_MODES:
+        raise ConfigurationError(
+            f"fast path answers {', '.join(_FASTPATH_MODES)}; got {mode!r}"
+        )
+    specs = list(specs)
+    if not steady_grid_kernels.have_numpy():
+        return [steady_point(spec, mode) for spec in specs]
+    # -- flatten: one record per (spec, host) --------------------------------
+    flat_rate: List[float] = []
+    sw_slots: List[int] = []
+    hw_slots: List[int] = []
+    sw_const: List[List[float]] = [[] for _ in range(9)]
+    hw_const: List[List[float]] = [[] for _ in range(4)]
+    # cross-rack records: flat slot + the four direction loads + uplink
+    cross_slots: List[int] = []
+    cross_loads: Tuple[List[float], ...] = ([], [], [], [])
+    cross_lat: List[float] = []
+    cross_ser: List[float] = []
+    cross_cap: List[float] = []
+    layouts = []  # per spec: (slot_lo, rates, placement keys)
+    for spec in specs:
+        if not steady_eligible(spec):
+            raise ConfigurationError(
+                f"scenario {spec.name!r} is not steady-state eligible "
+                "(see scenarios.fastpath.steady_eligible)"
+            )
+        rates = _per_host_rates(spec)
+        fabric = spec.fabric
+        if fabric is not None:
+            uplink = _fabric_uplink_model(spec)
+            serialization_us = uplink.serialization_us
+            capacity_pps = uplink.capacity_pps
+            up_loads, down_loads = _uplink_direction_loads(spec, rates)
+        slot_lo = len(flat_rate)
+        keys = []
+        for i, host in enumerate(spec.kvs_hosts):
+            slot = len(flat_rate)
+            flat_rate.append(rates[i])
+            constants = _grid_host_constants(
+                host.device.kind,
+                host.device.is_offload,
+                host.power_save,
+                mode,
+            )
+            if constants[0] == "software":
+                sw_slots.append(slot)
+                for column, value in zip(sw_const, constants[1:]):
+                    column.append(value)
+            else:
+                hw_slots.append(slot)
+                for column, value in zip(hw_const, constants[1:]):
+                    column.append(value)
+            key = host.name
+            if fabric is not None:
+                host_rack, client_rack = _host_racks(spec, host)
+                key = rack_qualified(host_rack, host.name)
+                if client_rack != host_rack:
+                    cross_slots.append(slot)
+                    directions = (
+                        up_loads[client_rack],
+                        down_loads[host_rack],
+                        up_loads[host_rack],
+                        down_loads[client_rack],
+                    )
+                    for column, load in zip(cross_loads, directions):
+                        column.append(load)
+                    cross_lat.append(uplink.latency_us)
+                    cross_ser.append(serialization_us)
+                    cross_cap.append(capacity_pps)
+            keys.append(key)
+        layouts.append((slot_lo, rates, keys))
+    # -- evaluate the flattened records through the array kernels ------------
+    n = len(flat_rate)
+    power = [0.0] * n
+    served = [0.0] * n
+    latency = [0.0] * n
+    if sw_slots:
+        sw_rate = [flat_rate[s] for s in sw_slots]
+        capacity = sw_const[0]
+        for slot, value in zip(
+            sw_slots, steady_grid_kernels.software_power(sw_rate, *sw_const[:8])
+        ):
+            power[slot] = value
+        for slot, value in zip(
+            sw_slots, steady_grid_kernels.served_pps(sw_rate, capacity)
+        ):
+            served[slot] = value
+        for slot, value in zip(
+            sw_slots,
+            steady_grid_kernels.software_latency(sw_rate, capacity, sw_const[8]),
+        ):
+            latency[slot] = value
+    if hw_slots:
+        hw_rate = [flat_rate[s] for s in hw_slots]
+        capacity = hw_const[0]
+        for slot, value in zip(
+            hw_slots,
+            steady_grid_kernels.hardware_power(
+                hw_rate, capacity, hw_const[1], hw_const[2]
+            ),
+        ):
+            power[slot] = value
+        for slot, value in zip(
+            hw_slots, steady_grid_kernels.served_pps(hw_rate, capacity)
+        ):
+            served[slot] = value
+        for slot, base in zip(hw_slots, hw_const[3]):
+            latency[slot] = base  # fully pipelined: flat with load (§9.5)
+    if cross_slots:
+        # four traversals, each at its own direction's load; the adder and
+        # the bottleneck cap compose in the scalar path's exact order
+        crossings = [
+            steady_grid_kernels.crossing_us(loads, cross_lat, cross_ser)
+            for loads in cross_loads
+        ]
+        factors = [
+            steady_grid_kernels.throughput_factor(loads, cross_cap)
+            for loads in cross_loads
+        ]
+        for j, slot in enumerate(cross_slots):
+            adder = (
+                (crossings[0][j] + crossings[1][j]) + crossings[2][j]
+            ) + crossings[3][j]
+            latency[slot] = latency[slot] + adder
+            served[slot] = served[slot] * min(f[j] for f in factors)
+    # -- per-spec reductions, python-ordered like steady_point ---------------
+    estimates = []
+    for spec, (slot_lo, rates, keys) in zip(specs, layouts):
+        slots = range(slot_lo, slot_lo + len(keys))
+        total_offered = sum(rates)
+        achieved = sum(served[s] for s in slots)
+        power_by_placement = {
+            key: power[s] for key, s in zip(keys, slots)
+        }
+        total_power = sum(power_by_placement.values())
+        total_served = sum(served[s] for s in slots) or 1.0
+        p50 = sum(served[s] * latency[s] for s in slots) / total_served
+        estimates.append(
+            SteadyEstimate(
+                mode=mode,
+                offered_pps=total_offered,
+                achieved_pps=achieved,
+                total_power_w=total_power,
+                p50_latency_us=p50,
+                p99_latency_us=p50,  # steady curves model medians only
+                ops_per_watt=achieved / total_power if total_power > 0 else 0.0,
+                power_by_placement=power_by_placement,
+            )
+        )
+    return estimates
 
 
 @dataclass

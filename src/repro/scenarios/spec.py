@@ -1004,6 +1004,34 @@ class ScenarioSweepSpec:
             ]
         return grid
 
+    def ramp_groups(
+        self,
+    ) -> List[Tuple[Dict[str, object], List[int]]]:
+        """Grid indices grouped by the non-ramp axes, each group ordered
+        along the ramp axis — the iteration shape of the tipping-point
+        scan and of the adaptive crossover search.
+
+        Returns ``(fixed_params, indices)`` pairs in first-seen grid
+        order; ``indices`` point into :meth:`points` and are sorted by
+        the ramp-axis value (declaration order when the values are not
+        mutually comparable, mirroring the tipping scan's fallback).
+        """
+        grid = self.points()
+        axis = self.resolved_tip_axis()
+        other = [a.param for a in self.axes if a.param != axis]
+        groups: Dict[Tuple, List[int]] = {}
+        for i, params in enumerate(grid):
+            key = tuple(params[p] for p in other)
+            groups.setdefault(key, []).append(i)
+        out = []
+        for key, indices in groups.items():
+            try:
+                indices = sorted(indices, key=lambda i: grid[i][axis])
+            except TypeError:
+                pass
+            out.append((dict(zip(other, key)), indices))
+        return out
+
 
 #: Logical destination clients address in rack mode; the ToR's key-shard
 #: dispatch rule spreads it across the hosts.

@@ -198,6 +198,9 @@ class SweepPointResult:
     software: SweepAggregate
     hardware: SweepAggregate
     ondemand: Optional[SweepAggregate] = None
+    #: True when the aggregates are analytic steady-state estimates filled
+    #: in by the adaptive search rather than a DES replay of this point
+    estimated: bool = False
 
     @property
     def hardware_wins(self) -> bool:
@@ -223,10 +226,29 @@ class TippingPoint:
 
 @dataclass
 class ScenarioSweepResult:
-    """Every grid point of a sweep, plus the tipping-point reduction."""
+    """Every grid point of a sweep, plus the tipping-point reduction.
+
+    ``search`` records how the grid was evaluated: ``"exhaustive"`` (every
+    point through its configured path) or ``"adaptive"`` (DES only at the
+    bracketed crossovers, analytic aggregates elsewhere).
+    ``des_points_run`` counts the grid points whose pinned brackets
+    replayed the DES — the savings counter ``des_points_run /
+    grid_points_total`` the adaptive mode reports.  An adaptive run also
+    stores its DES-confirmed crossover rows in ``tipping_rows``;
+    :meth:`tipping_points` returns those instead of rescanning the mixed
+    DES/analytic point list (the analytic fills are estimates and must not
+    vote in the crossover scan).
+    """
 
     spec: ScenarioSweepSpec
     points: List[SweepPointResult]
+    search: str = "exhaustive"
+    des_points_run: Optional[int] = None
+    tipping_rows: Optional[List[TippingPoint]] = None
+
+    @property
+    def grid_points_total(self) -> int:
+        return len(self.points)
 
     def point(self, **params) -> SweepPointResult:
         for pt in self.points:
@@ -236,6 +258,8 @@ class ScenarioSweepResult:
 
     def tipping_points(self) -> List[TippingPoint]:
         """One crossover search per setting of the non-ramp axes."""
+        if self.tipping_rows is not None:
+            return list(self.tipping_rows)
         axis = self.spec.resolved_tip_axis()
         other_params = [a.param for a in self.spec.axes if a.param != axis]
         groups: Dict[Tuple, List[SweepPointResult]] = {}
@@ -317,9 +341,17 @@ class ScenarioSweepResult:
                     if pt.ondemand is not None
                     else ["-", "-", "-"]
                 )
-            row += ["hardware" if pt.hardware_wins else "software"]
+            winner = "hardware" if pt.hardware_wins else "software"
+            if pt.estimated:
+                winner = "~" + winner
+            row += [winner]
             rows.append(row)
         lines.append(format_table(headers, rows))
+        if any(pt.estimated for pt in self.points):
+            lines.append(
+                "~ analytic steady-state estimate (adaptive search; "
+                "point not DES-replayed)"
+            )
         lines.append("")
         axis = self.spec.resolved_tip_axis()
         lines.append(
@@ -361,6 +393,14 @@ class ScenarioSweepResult:
             "per-placement wall power at the last point (hardware-pinned): "
             + attribution
         )
+        if self.search == "adaptive" and self.des_points_run is not None:
+            # exhaustive renders predate the counter and are golden-pinned
+            total = self.grid_points_total
+            saved = total - self.des_points_run
+            lines.append(
+                f"{self.search} search: DES on {self.des_points_run}/{total} "
+                f"grid points ({saved} answered analytically)"
+            )
         return "\n".join(lines)
 
     def save_png(self, path):
@@ -502,11 +542,8 @@ def _materialize(sweep: ScenarioSweepSpec, params: Dict[str, object]) -> Scenari
     return spec
 
 
-def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
-    """The fast path's analytic stand-in for one pinned DES run."""
-    from .fastpath import steady_point
-
-    est = steady_point(pinned_spec, mode)
+def _estimate_aggregate(est, mode: str) -> SweepAggregate:
+    """Shape a :class:`SteadyEstimate` into the sweep's aggregate record."""
     return SweepAggregate(
         mode=mode,
         offered_pps=est.offered_pps,
@@ -517,6 +554,13 @@ def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
         ops_per_watt=est.ops_per_watt,
         power_by_placement=dict(est.power_by_placement),
     )
+
+
+def _steady_aggregate(pinned_spec: ScenarioSpec, mode: str) -> SweepAggregate:
+    """The fast path's analytic stand-in for one pinned DES run."""
+    from .fastpath import steady_point
+
+    return _estimate_aggregate(steady_point(pinned_spec, mode), mode)
 
 
 def _hybrid_ondemand_aggregate(
@@ -648,6 +692,21 @@ _POOL_SIZE = 0
 #: the fork would be invisible to a reused pool — recreate instead.
 _POOL_REGISTRY: Optional[Dict[str, Callable]] = None
 
+#: Executor observability (``--perf-stats``): how often parallel calls
+#: found the persistent pool warm vs had to fork one, and how many grid
+#: tasks were dispatched through it.
+_EXECUTOR_STATS = {"pool_creates": 0, "pool_reuses": 0, "tasks_dispatched": 0}
+
+
+def executor_stats() -> Dict[str, int]:
+    """Pool create/reuse and dispatched-task counters (diagnostics)."""
+    return dict(_EXECUTOR_STATS)
+
+
+def reset_executor_stats() -> None:
+    for key in _EXECUTOR_STATS:
+        _EXECUTOR_STATS[key] = 0
+
 
 def _fork_context():
     import multiprocessing
@@ -677,6 +736,9 @@ def _get_pool(workers: int):
         _POOL = _fork_context().Pool(processes=workers)
         _POOL_SIZE = workers
         _POOL_REGISTRY = dict(_REGISTRY)
+        _EXECUTOR_STATS["pool_creates"] += 1
+    else:
+        _EXECUTOR_STATS["pool_reuses"] += 1
     return _POOL
 
 
@@ -732,10 +794,424 @@ def _run_grid_point_packed(
     return _pack_point(_run_grid_point(task))
 
 
+_SEARCH_MODES = ("exhaustive", "adaptive")
+
+
+def _count_ineligible(
+    spec: ScenarioSweepSpec, grid: Sequence[Dict[str, object]]
+) -> int:
+    """Grid points the fast path cannot answer (they replay the DES)."""
+    from .fastpath import steady_eligible
+
+    return sum(
+        1
+        for params in grid
+        if not steady_eligible(software_variant(_materialize(spec, params)))
+    )
+
+
+def _validate_anchors(
+    spec: ScenarioSweepSpec, anchors: Sequence[Dict[str, object]]
+) -> None:
+    axis_params = {a.param for a in spec.axes}
+    for anchor in anchors:
+        if not anchor:
+            raise ConfigurationError(
+                "an empty anchor matches every grid point; give axis=value "
+                "pairs to pin the points that must replay the DES"
+            )
+        unknown = sorted(set(anchor) - axis_params)
+        if unknown:
+            raise ConfigurationError(
+                f"anchor keys {unknown} are not axes of sweep {spec.name!r} "
+                f"(axes: {sorted(axis_params)})"
+            )
+
+
+def _matches_anchors(
+    params: Dict[str, object], anchors: Sequence[Dict[str, object]]
+) -> bool:
+    return any(
+        all(params.get(key) == value for key, value in anchor.items())
+        for anchor in anchors
+    )
+
+
+def _bracket_first_win(flags: Sequence[bool]) -> Optional[int]:
+    """Position of the first analytic win along one ramp group.
+
+    Bisection over the (assumed monotone lose→win) analytic flags — the
+    crossover bracket refined to axis resolution — verified against the
+    prefix so a non-monotone analytic curve falls back to the exact
+    linear scan instead of returning a wrong bracket.
+    """
+    if not any(flags):
+        return None
+    lo, hi = 0, len(flags) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if flags[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    if any(flags[pos] for pos in range(lo)):  # non-monotone analytics
+        return list(flags).index(True)
+    return lo
+
+
+def _run_des_points(
+    spec: ScenarioSweepSpec,
+    grid: Sequence[Dict[str, object]],
+    indices: Sequence[int],
+    workers: Optional[int],
+) -> Dict[int, SweepPointResult]:
+    """Full-DES evaluation of selected grid points (one adaptive probe
+    wave), serial or through the persistent pool — byte-identical to the
+    same points of an exhaustive run."""
+    tasks = [(spec, grid[i], False) for i in indices]
+    if workers is None or workers == 1 or len(tasks) <= 1:
+        return {i: _run_grid_point(task) for i, task in zip(indices, tasks)}
+    pool = _get_pool(workers)
+    _EXECUTOR_STATS["tasks_dispatched"] += len(tasks)
+    try:
+        packed = pool.map(
+            _run_grid_point_packed,
+            tasks,
+            chunksize=_auto_chunksize(len(tasks), workers),
+        )
+    except Exception:
+        shutdown_executor()
+        raise
+    return {i: _unpack_point(*blob) for i, blob in zip(indices, packed)}
+
+
+def _linear_fill(
+    xs: Sequence[int], ys: Sequence[float], n: int
+) -> List[float]:
+    """Piecewise-linear interpolation of samples ``(xs, ys)`` over
+    ``range(n)``, linearly extrapolated from the two nearest samples past
+    each end (flat when only one sample exists).  ``xs`` is sorted."""
+    out = []
+    for x in range(n):
+        if len(xs) == 1:
+            out.append(ys[0])
+            continue
+        if x <= xs[0]:
+            j = 1
+        elif x >= xs[-1]:
+            j = len(xs) - 1
+        else:
+            j = next(k for k in range(1, len(xs)) if xs[k] >= x)
+        x0, x1, y0, y1 = xs[j - 1], xs[j], ys[j - 1], ys[j]
+        out.append(y0 + (y1 - y0) * (x - x0) / (x1 - x0))
+    return out
+
+
+def _scan_tipping_group(
+    fixed: Dict[str, object],
+    axis: str,
+    pts: Sequence[SweepPointResult],
+) -> TippingPoint:
+    """The exhaustive crossover scan over one fully-evaluated ramp group —
+    the same reduction :meth:`ScenarioSweepResult.tipping_points` applies."""
+    crossover = None
+    sw_opw = hw_opw = od_opw = None
+    monotone = True
+    seen_win = False
+    for pt in pts:
+        if pt.hardware_wins:
+            if not seen_win:
+                seen_win = True
+                crossover = pt.params[axis]
+                sw_opw = pt.software.ops_per_watt
+                hw_opw = pt.hardware.ops_per_watt
+                if pt.ondemand is not None:
+                    od_opw = pt.ondemand.ops_per_watt
+        elif seen_win:
+            monotone = False
+    return TippingPoint(
+        fixed=dict(fixed),
+        axis=axis,
+        crossover=crossover,
+        sw_ops_per_watt=sw_opw,
+        hw_ops_per_watt=hw_opw,
+        od_ops_per_watt=od_opw,
+        monotone=monotone,
+    )
+
+
+def _run_adaptive(
+    spec: ScenarioSweepSpec,
+    grid: Sequence[Dict[str, object]],
+    workers: Optional[int],
+    anchors: Sequence[Dict[str, object]] = (),
+    bracket_hints: Optional[Dict[int, Optional[int]]] = None,
+    hints_out: Optional[Dict[int, Optional[int]]] = None,
+) -> ScenarioSweepResult:
+    """The adaptive crossover search: analytic grid, calibrated brackets,
+    DES only at the decision boundary.
+
+    One vectorized pass per pin (:func:`repro.scenarios.fastpath.steady_grid`)
+    answers the analytic ops/W margin ``hw − sw`` at every eligible grid
+    point.  The analytic margin has the right *shape* but a finite-replay
+    bias against the DES (the fast-path tolerance, a few percent — enough
+    to flip the winner where the pins are close), so each ramp group's
+    crossover is located on the **calibrated** margin: every DES probe
+    contributes a bias sample ``margin_DES − margin_analytic`` at its ramp
+    position, pooled across groups (the grid is a full product, so groups
+    share ramp positions) and interpolated linearly across positions.  A
+    group converges when its first predicted win is DES-confirmed **and**
+    the preceding ramp value is a DES-confirmed loss — the reported
+    crossover row is built from real replays only, identical to the
+    exhaustive row under the paper's monotone-crossover premise (§8: once
+    hardware wins it keeps winning along the ramp).  Any probe that
+    contradicts that premise (a DES loss above a DES-confirmed win)
+    demotes its whole group to exhaustive DES, which reproduces the
+    non-monotone row exactly.  Never-tipping groups DES-confirm only the
+    last ramp value; groups with ineligible points (and user-anchored
+    points) replay the DES outright.
+
+    Unprobed points carry the analytic aggregates, flagged
+    ``estimated=True`` (the on-demand column is filled only where nothing
+    could shift); the DES-confirmed rows are stored on the result so the
+    tipping reduction never consults the estimates.
+
+    ``bracket_hints`` seeds each group's initial probe position
+    (:func:`run_replicated` brackets once on seed 0 and DES-validates the
+    bracket per replicate seed); ``hints_out``, when given, receives this
+    run's confirmed crossover positions in the same shape.
+    """
+    scenarios = [_materialize(spec, params) for params in grid]
+    from .fastpath import steady_eligible, steady_grid
+
+    eligible = [steady_eligible(software_variant(sc)) for sc in scenarios]
+    if not any(eligible):
+        raise ConfigurationError(
+            f"sweep {spec.name!r} over {spec.base!r}: search='adaptive', "
+            "but no grid point is steady-state eligible — there is no "
+            "analytic grid to bracket crossovers on; use the exhaustive "
+            "search (see repro.scenarios.fastpath.steady_eligible)"
+        )
+    _validate_anchors(spec, anchors)
+    # one vectorized kernel pass per pin answers every eligible point
+    elig = [i for i in range(len(grid)) if eligible[i]]
+    sw_est = steady_grid(
+        [software_variant(scenarios[i]) for i in elig], "software"
+    )
+    hw_est = steady_grid(
+        [hardware_variant(scenarios[i]) for i in elig], "hardware"
+    )
+    analytic: Dict[int, Tuple[SweepAggregate, SweepAggregate]] = {}
+    margin_a: Dict[int, float] = {}
+    for i, sw, hw in zip(elig, sw_est, hw_est):
+        sw_agg = _estimate_aggregate(sw, "software")
+        hw_agg = _estimate_aggregate(hw, "hardware")
+        analytic[i] = (sw_agg, hw_agg)
+        margin_a[i] = hw_agg.ops_per_watt - sw_agg.ops_per_watt
+    groups = spec.ramp_groups()
+    adaptive_groups = [
+        (g, indices)
+        for g, (_, indices) in enumerate(groups)
+        if all(eligible[i] for i in indices)
+    ]
+    demoted: set = set()  # groups that fell back to exhaustive DES
+    pending = {
+        i
+        for _, indices in groups
+        if not all(eligible[j] for j in indices)
+        for i in indices
+    }
+    pending.update(
+        i
+        for i, params in enumerate(grid)
+        if _matches_anchors(params, anchors)
+    )
+    for g, indices in adaptive_groups:
+        if bracket_hints is not None and g in bracket_hints:
+            k = bracket_hints[g]
+        elif (g, indices) == adaptive_groups[0]:
+            # seed only the first group: its ramp endpoints calibrate the
+            # pooled bias across the whole ramp (linear in position), and
+            # its analytic bracket lands the first crossover candidate —
+            # the remaining groups then bracket off the calibrated
+            # margins, which beat the raw analytic flags by construction
+            pending.add(indices[0])
+            pending.add(indices[-1])
+            k = _bracket_first_win([margin_a[i] > 0.0 for i in indices])
+        else:
+            continue
+        if k is None:
+            pending.add(indices[-1])
+        else:
+            k = min(k, len(indices) - 1)
+            pending.add(indices[k])
+            if k > 0:
+                pending.add(indices[k - 1])
+    probed: Dict[int, SweepPointResult] = {}
+
+    def _margin_des(i: int) -> float:
+        pt = probed[i]
+        return pt.hardware.ops_per_watt - pt.software.ops_per_watt
+
+    def _first_win(g: int, indices: Sequence[int]) -> Optional[int]:
+        """First effective win: DES flags where probed, calibrated
+        analytic margins elsewhere.
+
+        The bias (DES margin − analytic margin) is estimated local-first:
+        a group with two or more of its own probes gets a linear fit of
+        its own samples (bias drifts near-linearly along the ramp); with
+        exactly one it borrows the *shape* pooled across every group's
+        samples, re-anchored through its own point; with none it takes
+        the pooled shape as-is.  Local-first matters because groups can
+        sit a few ops/W apart (host counts) or on entirely different
+        scales (device kinds) — one group's raw samples must not poison
+        another's bracket.
+        """
+        n = len(indices)
+        per_group: Dict[int, Dict[int, float]] = {}
+        by_pos: Dict[int, List[float]] = {}
+        for h, h_indices in adaptive_groups:
+            samples = {
+                pos: _margin_des(i) - margin_a[i]
+                for pos, i in enumerate(h_indices)
+                if i in probed
+            }
+            per_group[h] = samples
+            for pos, v in samples.items():
+                by_pos.setdefault(pos, []).append(v)
+        xs = sorted(by_pos)
+        ys = [sum(by_pos[x]) / len(by_pos[x]) for x in xs]
+        shape = _linear_fill(xs, ys, n) if xs else [0.0] * n
+        own = per_group.get(g, {})
+        if len(own) >= 2:
+            xs_own = sorted(own)
+            bias = _linear_fill(xs_own, [own[p] for p in xs_own], n)
+        elif len(own) == 1:
+            (p0, s0), = own.items()
+            bias = [shape[pos] + (s0 - shape[p0]) for pos in range(n)]
+        else:
+            bias = shape
+        for pos, i in enumerate(indices):
+            if i in probed:
+                won = probed[i].hardware_wins
+            else:
+                won = margin_a[i] + bias[pos] > 0.0
+            if won:
+                return pos
+        return None
+
+    while True:
+        todo = sorted(i for i in pending if i not in probed)
+        pending.clear()
+        if todo:
+            fresh = _run_des_points(spec, grid, todo, workers)
+            probed.update(fresh)
+        for g, indices in adaptive_groups:
+            if g in demoted:
+                pending.update(i for i in indices if i not in probed)
+                continue
+            k_eff = _first_win(g, indices)
+            if k_eff is None:
+                # never tips (so far): the last ramp value must be a
+                # DES-confirmed loss
+                if indices[-1] not in probed:
+                    pending.add(indices[-1])
+                continue
+            # a DES loss above a DES-confirmed win breaks the monotone
+            # premise — this group needs the full exhaustive scan
+            if any(
+                indices[q] in probed and not probed[indices[q]].hardware_wins
+                for q in range(k_eff + 1, len(indices))
+            ) and indices[k_eff] in probed:
+                demoted.add(g)
+                pending.update(i for i in indices if i not in probed)
+                continue
+            if indices[k_eff] not in probed:
+                pending.add(indices[k_eff])
+            elif k_eff > 0 and indices[k_eff - 1] not in probed:
+                pending.add(indices[k_eff - 1])
+        if not pending:
+            break
+    # DES-confirmed rows, in the tipping scan's group order
+    rows: List[TippingPoint] = []
+    axis = spec.resolved_tip_axis()
+    adaptive_by_g = dict(adaptive_groups)
+    final_pos: Dict[int, Optional[int]] = {}
+    for g, (fixed, indices) in enumerate(groups):
+        fully_probed = all(i in probed for i in indices)
+        if g not in adaptive_by_g or (fully_probed and g in demoted):
+            rows.append(
+                _scan_tipping_group(fixed, axis, [probed[i] for i in indices])
+            )
+            if g in adaptive_by_g:
+                flags = [probed[i].hardware_wins for i in indices]
+                final_pos[g] = flags.index(True) if any(flags) else None
+            continue
+        w = _first_win(g, indices)
+        final_pos[g] = w
+        if w is None:
+            rows.append(
+                TippingPoint(fixed=dict(fixed), axis=axis, crossover=None)
+            )
+            continue
+        pt = probed[indices[w]]
+        rows.append(
+            TippingPoint(
+                fixed=dict(fixed),
+                axis=axis,
+                crossover=pt.params[axis],
+                sw_ops_per_watt=pt.software.ops_per_watt,
+                hw_ops_per_watt=pt.hardware.ops_per_watt,
+                od_ops_per_watt=(
+                    pt.ondemand.ops_per_watt
+                    if pt.ondemand is not None
+                    else None
+                ),
+                monotone=True,
+            )
+        )
+    if hints_out is not None:
+        hints_out.update(final_pos)
+    points = []
+    for i, params in enumerate(grid):
+        if i in probed:
+            points.append(probed[i])
+            continue
+        sw_agg, hw_agg = analytic[i]
+        if _has_ondemand_drive(scenarios[i]):
+            # the controllers never ran at this point; leave the column
+            # empty rather than substitute a curve for live behavior
+            ondemand = None
+        else:
+            ondemand = dataclasses.replace(
+                sw_agg,
+                mode="ondemand",
+                power_by_placement=dict(sw_agg.power_by_placement),
+            )
+        points.append(
+            SweepPointResult(
+                params=params,
+                software=sw_agg,
+                hardware=hw_agg,
+                ondemand=ondemand,
+                estimated=True,
+            )
+        )
+    return ScenarioSweepResult(
+        spec=spec,
+        points=points,
+        search="adaptive",
+        des_points_run=len(probed),
+        tipping_rows=rows,
+    )
+
+
 def run_sweep(
     sweep: Union[str, ScenarioSweepSpec],
     workers: Optional[int] = None,
     fastpath: bool = False,
+    search: str = "exhaustive",
+    anchors: Sequence[Dict[str, object]] = (),
     **overrides,
 ) -> ScenarioSweepResult:
     """Execute a sweep (named, or an explicit spec) over its whole grid.
@@ -756,6 +1232,17 @@ def run_sweep(
     Raises :class:`ConfigurationError` when *no* grid point qualifies —
     a fastpath request that would silently run the full DES everywhere
     is a misconfiguration, not a slow success.
+
+    ``search="adaptive"`` brackets each ramp group's sw/hw crossover on
+    the vectorized analytic grid and replays the full DES only at the
+    bracketing points (plus any ``anchors`` — mappings of axis values
+    that must always replay), walking the bracket until the crossover is
+    DES-confirmed on both sides; every other point carries analytic
+    aggregates.  The tipping rows are the ones the exhaustive search
+    reports whenever the analytic win flags agree with the DES away from
+    the bracket (the walk re-probes every disagreement it meets), and
+    ``result.des_points_run / result.grid_points_total`` is the savings
+    counter.
     """
     if isinstance(sweep, ScenarioSweepSpec):
         if overrides:
@@ -768,7 +1255,24 @@ def run_sweep(
     spec.validate()
     if workers is not None and workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if search not in _SEARCH_MODES:
+        raise ConfigurationError(
+            f"unknown search mode {search!r}; choose "
+            f"{', '.join(_SEARCH_MODES)}"
+        )
+    if anchors and search != "adaptive":
+        raise ConfigurationError(
+            "anchors apply to search='adaptive' (the exhaustive search "
+            "replays every grid point anyway)"
+        )
     grid = spec.points()
+    if search == "adaptive":
+        if fastpath:
+            raise ConfigurationError(
+                "fastpath=True is redundant under search='adaptive' (un"
+                "probed points are already analytic); choose one of the two"
+            )
+        return _run_adaptive(spec, grid, workers, anchors=anchors)
     if fastpath:
         # pre-warming the materialization cache here also seeds the fork
         # workers' caches (they inherit it), so the check is ~free
@@ -778,6 +1282,7 @@ def run_sweep(
         points = [_run_grid_point(task) for task in tasks]
     else:
         pool = _get_pool(workers)
+        _EXECUTOR_STATS["tasks_dispatched"] += len(tasks)
         try:
             packed = pool.map(
                 _run_grid_point_packed,
@@ -789,7 +1294,10 @@ def run_sweep(
             shutdown_executor()
             raise
         points = [_unpack_point(*blob) for blob in packed]
-    return ScenarioSweepResult(spec=spec, points=points)
+    des_points = _count_ineligible(spec, grid) if fastpath else len(grid)
+    return ScenarioSweepResult(
+        spec=spec, points=points, des_points_run=des_points
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -825,13 +1333,18 @@ class ReplicationSpec:
     and worker count (:func:`_auto_chunksize`) — per-task dispatch was
     measurably slower than serial on short tasks; ``1`` restores the
     finest stealing.  ``fastpath`` forwards to :func:`run_sweep`'s
-    steady-state analytics.
+    steady-state analytics.  ``search="adaptive"`` brackets the
+    crossovers once on seed 0's analytic grid and DES-validates the
+    bracket per replicate seed (each seed's tipping rows are its own
+    DES-confirmed ones; later seeds just start the walk from seed 0's
+    answer instead of re-deriving the bracket).
     """
 
     seeds: int = 8
     workers: Optional[int] = None
     chunksize: Optional[int] = None
     fastpath: bool = False
+    search: str = "exhaustive"
 
     def validate(self) -> "ReplicationSpec":
         if self.seeds < 1:
@@ -845,6 +1358,16 @@ class ReplicationSpec:
         if self.chunksize is not None and self.chunksize < 1:
             raise ConfigurationError(
                 f"chunksize must be >= 1, got {self.chunksize}"
+            )
+        if self.search not in _SEARCH_MODES:
+            raise ConfigurationError(
+                f"unknown search mode {self.search!r}; choose "
+                f"{', '.join(_SEARCH_MODES)}"
+            )
+        if self.search == "adaptive" and self.fastpath:
+            raise ConfigurationError(
+                "fastpath=True is redundant under search='adaptive' (un"
+                "probed points are already analytic); choose one of the two"
             )
         return self
 
@@ -1096,6 +1619,7 @@ def run_replicated(
     workers: Optional[int] = None,
     chunksize: Optional[int] = None,
     fastpath: Optional[bool] = None,
+    search: Optional[str] = None,
     **overrides,
 ) -> ReplicatedSweepResult:
     """Run a sweep K times with independent seeds (§9.4 with error bars).
@@ -1109,10 +1633,19 @@ def run_replicated(
     ``run_sweep`` serially with seed ``result.seeds[i]``, regardless of
     worker count or completion order.
 
+    ``search="adaptive"`` brackets the crossovers once, on seed 0's
+    analytic grid, and reuses the confirmed bracket as every later
+    seed's starting probe — each seed still DES-validates its own
+    crossover rows (the rows are per-seed DES facts; only the *starting
+    point* of the walk is shared), so ``runs[i].tipping_points()``
+    matches a standalone adaptive run of seed ``i``, while the probe
+    *set* — and therefore which fill points are analytic estimates —
+    may differ from the standalone run's.
+
     Keyword shortcuts (``seeds=``, ``workers=``, ``chunksize=``,
-    ``fastpath=``) override the corresponding :class:`ReplicationSpec`
-    fields; ``**overrides`` forward to the named sweep's factory exactly
-    as in :func:`run_sweep`.
+    ``fastpath=``, ``search=``) override the corresponding
+    :class:`ReplicationSpec` fields; ``**overrides`` forward to the
+    named sweep's factory exactly as in :func:`run_sweep`.
     """
     rep = replication if replication is not None else ReplicationSpec()
     if seeds is not None:
@@ -1123,6 +1656,8 @@ def run_replicated(
         rep = dataclasses.replace(rep, chunksize=chunksize)
     if fastpath is not None:
         rep = dataclasses.replace(rep, fastpath=fastpath)
+    if search is not None:
+        rep = dataclasses.replace(rep, search=search)
     rep.validate()
     if isinstance(sweep, ScenarioSweepSpec):
         if overrides:
@@ -1145,6 +1680,25 @@ def run_replicated(
         _require_fastpath_eligibility(spec, grid)
     seed_list = replication_seeds(int(base_seed), rep.seeds)
     variants = [_with_seed(spec, s) for s in seed_list]
+    if rep.search == "adaptive":
+        # bracket once on seed 0's analytic grid; later replicates start
+        # their DES validation from seed 0's confirmed crossovers
+        hints: Optional[Dict[int, Optional[int]]] = None
+        runs = []
+        for variant in variants:
+            hints_out: Dict[int, Optional[int]] = {}
+            runs.append(
+                _run_adaptive(
+                    variant,
+                    variant.points(),
+                    rep.workers,
+                    bracket_hints=hints,
+                    hints_out=hints_out,
+                )
+            )
+            if hints is None:
+                hints = hints_out
+        return ReplicatedSweepResult(spec=spec, seeds=seed_list, runs=runs)
     tasks = [
         (rep_idx, pt_idx, variants[rep_idx], params, rep.fastpath)
         for rep_idx in range(rep.seeds)
@@ -1162,6 +1716,7 @@ def run_replicated(
             else _auto_chunksize(len(tasks), rep.workers)
         )
         pool = _get_pool(rep.workers)
+        _EXECUTOR_STATS["tasks_dispatched"] += len(tasks)
         try:
             for rep_idx, pt_idx, blob in pool.imap_unordered(
                 _run_replicated_task, tasks, chunksize=chunksize
@@ -1170,6 +1725,7 @@ def run_replicated(
         except Exception:
             shutdown_executor()
             raise
+    des_points = _count_ineligible(spec, grid) if rep.fastpath else len(grid)
     runs = [
         ScenarioSweepResult(
             spec=variants[rep_idx],
@@ -1177,6 +1733,7 @@ def run_replicated(
                 _unpack_point(*packed[(rep_idx, pt_idx)])
                 for pt_idx in range(len(grid))
             ],
+            des_points_run=des_points,
         )
         for rep_idx in range(rep.seeds)
     ]
@@ -1253,6 +1810,38 @@ def build_sweep_spec(name: str, **overrides) -> ScenarioSweepSpec:
         raise ConfigurationError(
             f"sweep {name!r} rejected overrides {sorted(overrides)} ({exc})"
         ) from None
+
+
+def sweep_fastpath_eligibility(
+    sweep: Union[str, ScenarioSweepSpec], **overrides
+) -> str:
+    """Classify a sweep's grid for the analytic fast path.
+
+    ``"eligible"`` — every grid point is steady-state eligible (the
+    vectorized grid kernel and the adaptive search cover the whole
+    grid); ``"partial"`` — only some points are; ``"DES-only"`` — none
+    are (``fastpath=True`` and ``search="adaptive"`` both refuse).
+    Shown per sweep by ``python -m repro --list``.
+    """
+    from .fastpath import steady_eligible
+
+    if isinstance(sweep, ScenarioSweepSpec):
+        if overrides:
+            raise ConfigurationError(
+                "overrides apply to named sweeps; pass an adjusted spec instead"
+            )
+        spec = sweep
+    else:
+        spec = build_sweep_spec(sweep, **overrides)
+    flags = [
+        steady_eligible(software_variant(_materialize(spec, params)))
+        for params in spec.points()
+    ]
+    if all(flags):
+        return "eligible"
+    if any(flags):
+        return "partial"
+    return "DES-only"
 
 
 # ---------------------------------------------------------------------------
